@@ -1,0 +1,1 @@
+bin/m2c.ml: Arg Array Cmd Cmdliner Driver Filename Format List M2lib Mcc_codegen Mcc_core Mcc_m2 Mcc_sched Mcc_sem Mcc_stats Mcc_vm Printf Project Source_store Term

@@ -1,0 +1,1 @@
+bin/m2c.mli:

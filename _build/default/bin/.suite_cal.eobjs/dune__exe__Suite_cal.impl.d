@@ -1,0 +1,1 @@
+bin/suite_cal.ml: Driver List Mcc_core Mcc_m2 Mcc_sched Mcc_sem Mcc_synth Printf Seq_driver Source_store String Suite

@@ -1,0 +1,185 @@
+(* m2c — the concurrent Modula-2+ compiler, as a command-line tool.
+
+   Compiles M.mod (with sibling .def interfaces from the same directory)
+   on the simulated multiprocessor, the real domain engine, or the
+   sequential baseline, and optionally executes the result in the VM.
+
+     m2c compile Foo.mod --procs 8 --strategy skeptical --watch
+     m2c run Foo.mod --input 1,2,3
+     m2c sweep Foo.mod            # speedup on 1..8 processors *)
+
+open Cmdliner
+open Mcc_core
+module Symtab = Mcc_sem.Symtab
+
+let load path =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  if not (Filename.check_suffix base ".mod") then `Error (false, "expected a .mod file")
+  else
+    let main_name = Filename.chop_suffix base ".mod" in
+    (* the bundled library (Strings, MathLib, InOut, Bits) is available
+       unless the program provides its own module of the same name *)
+    try `Ok (M2lib.augment (Source_store.of_directory ~dir ~main_name))
+    with Sys_error e -> `Error (false, e)
+
+let strategy_conv =
+  let parse s =
+    match s with
+    | "avoidance" -> Ok Symtab.Avoidance
+    | "pessimistic" -> Ok Symtab.Pessimistic
+    | "skeptical" -> Ok Symtab.Skeptical
+    | "optimistic" -> Ok Symtab.Optimistic
+    | _ -> Error (`Msg "strategy must be avoidance|pessimistic|skeptical|optimistic")
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Symtab.dky_name s))
+
+let file_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"FILE.mod" ~doc:"Implementation module to compile.")
+
+let procs_arg =
+  Arg.(value & opt int 8 & info [ "p"; "procs" ] ~docv:"N" ~doc:"Simulated processors (1-64).")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Symtab.Skeptical
+    & info [ "s"; "strategy" ] ~docv:"S"
+        ~doc:"DKY strategy: avoidance, pessimistic, skeptical or optimistic.")
+
+let heading_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "heading" ] ~docv:"ALT"
+        ~doc:
+          "Procedure-heading information flow: 1 (parent copies entries) or 3 (both scopes \
+           process it).")
+
+let watch_arg =
+  Arg.(value & flag & info [ "watch" ] ~doc:"Render the WatchTool processor-activity view.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print identifier-lookup statistics (Table 2).")
+
+let disasm_arg = Arg.(value & flag & info [ "disasm" ] ~doc:"Disassemble the linked program.")
+
+let dump_tasks_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-tasks" ] ~doc:"Print the instantiated compiler task structure (Fig. 5).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N" ~doc:"Compile on N real OCaml domains instead of the simulator.")
+
+let report_diags diags = List.iter (fun d -> prerr_endline (Mcc_m2.Diag.to_string d)) diags
+
+let config ~procs ~strategy ~heading =
+  {
+    Driver.default_config with
+    Driver.procs = max 1 (min 64 procs);
+    strategy;
+    heading = (if heading = 3 then Driver.Alt3 else Driver.Alt1);
+  }
+
+let compile_cmd =
+  let run store procs strategy heading watch stats disasm dump_tasks domains =
+    match domains with
+    | Some n ->
+        let r = Driver.compile_domains ~config:(config ~procs ~strategy ~heading) ~domains:n store in
+        report_diags r.Driver.d_diags;
+        Printf.printf "compiled on %d domains in %.4f s wall; %d tasks; ok=%b\n" n
+          r.Driver.d_wall_seconds r.Driver.d_tasks_run r.Driver.d_ok;
+        if disasm then print_string (Mcc_codegen.Cunit.disassemble r.Driver.d_program);
+        if r.Driver.d_ok then `Ok () else `Error (false, "compilation failed")
+    | None ->
+        let r = Driver.compile ~config:(config ~procs ~strategy ~heading) store in
+        report_diags r.Driver.diags;
+        Printf.printf
+          "%s: %d streams (%d procedures, %d interfaces), %d tasks, %.3f virtual s on %d \
+           processors (%s)\n"
+          (Source_store.main_name store) r.Driver.n_streams r.Driver.n_proc_streams
+          r.Driver.n_def_streams r.Driver.n_tasks r.Driver.sim.Mcc_sched.Des_engine.end_seconds
+          procs (Symtab.dky_name strategy);
+        if watch then begin
+          print_endline Mcc_stats.Watchtool.legend;
+          print_string (Mcc_stats.Watchtool.render r.Driver.sim.Mcc_sched.Des_engine.trace ~procs);
+          print_endline (Mcc_stats.Watchtool.summary r.Driver.sim.Mcc_sched.Des_engine.trace ~procs)
+        end;
+        if stats then print_endline (Mcc_stats.Tables.table2 r.Driver.stats);
+        if dump_tasks then print_string (Driver.dump_tasks r);
+        if disasm then print_string (Mcc_codegen.Cunit.disassemble r.Driver.program);
+        if r.Driver.ok then `Ok () else `Error (false, "compilation failed")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun file procs strategy heading watch stats disasm dump_tasks domains ->
+             match load file with
+             | `Ok store -> run store procs strategy heading watch stats disasm dump_tasks domains
+             | `Error _ as e -> e)
+        $ file_arg $ procs_arg $ strategy_arg $ heading_arg $ watch_arg $ stats_arg $ disasm_arg
+        $ dump_tasks_arg $ domains_arg))
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a module concurrently.") term
+
+let run_cmd =
+  let input_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "input" ] ~docv:"INTS" ~doc:"Comma-separated integers consumed by ReadInt.")
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun file procs strategy input ->
+             match load file with
+             | `Error _ as e -> e
+             | `Ok store ->
+                 (* whole-program: also compiles sibling .mod files the
+                    main module imports, in initialization order *)
+                 let r = Project.compile ~config:(config ~procs ~strategy ~heading:1) store in
+                 report_diags r.Project.diags;
+                 if not r.Project.ok then `Error (false, "compilation failed")
+                 else begin
+                   let res = Mcc_vm.Vm.run ~input r.Project.program in
+                   print_string res.Mcc_vm.Vm.output;
+                   match res.Mcc_vm.Vm.status with
+                   | Mcc_vm.Vm.Finished | Mcc_vm.Vm.Halt_called -> `Ok ()
+                   | s -> `Error (false, Mcc_vm.Vm.status_to_string s)
+                 end)
+        $ file_arg $ procs_arg $ strategy_arg $ input_arg))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile a module and execute it in the VM.") term
+
+let sweep_cmd =
+  let term =
+    Term.(
+      ret
+        (const (fun file strategy ->
+             match load file with
+             | `Error _ as e -> e
+             | `Ok store ->
+                 let sweep =
+                   Mcc_stats.Speedup.sweep ~config:{ Driver.default_config with Driver.strategy }
+                     store
+                 in
+                 Printf.printf "%-6s %12s %8s\n" "procs" "virtual s" "speedup";
+                 for n = 1 to 8 do
+                   Printf.printf "%-6d %12.3f %8.2f\n" n
+                     (Mcc_sched.Costs.to_seconds sweep.Mcc_stats.Speedup.times.(n - 1))
+                     (Mcc_stats.Speedup.speedup sweep n)
+                 done;
+                 `Ok ())
+        $ file_arg $ strategy_arg))
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Self-relative speedup on 1..8 simulated processors.") term
+
+let () =
+  let doc = "a concurrent compiler for Modula-2+ (Wortman & Junkin, PLDI 1992)" in
+  let info = Cmd.info "m2c" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; sweep_cmd ]))

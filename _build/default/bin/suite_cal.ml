@@ -1,0 +1,39 @@
+(* Suite calibration: per-program Table-1 attributes and quartile check. *)
+open Mcc_core
+open Mcc_synth
+
+let () =
+  let times = ref [] in
+  List.iteri
+    (fun rank store ->
+      let seq = Seq_driver.compile store in
+      let conc = Driver.compile ~config:{ Driver.default_config with procs = 8 } store in
+      let t1 =
+        (Driver.compile ~config:{ Driver.default_config with procs = 1 } store).Driver.sim
+          .Mcc_sched.Des_engine.end_time
+      in
+      let secs = Mcc_sched.Costs.to_seconds t1 in
+      times := secs :: !times;
+      Printf.printf
+        "%2d %-5s mod=%7dB seq=%7.2fs c1=%7.2fs sp8=%5.2f defs=%3d procs=%3d streams=%3d ok=%b dky=%d\n%!"
+        rank (Source_store.main_name store)
+        (String.length (Source_store.main_src store))
+        (Mcc_sched.Costs.to_seconds seq.Seq_driver.cost_units)
+        secs
+        (t1 /. conc.Driver.sim.Mcc_sched.Des_engine.end_time)
+        conc.Driver.n_def_streams conc.Driver.n_proc_streams conc.Driver.n_streams
+        (seq.Seq_driver.ok && conc.Driver.ok)
+        (Mcc_sem.Lookup_stats.dky_blocks conc.Driver.stats);
+      if not conc.Driver.ok then
+        List.iteri (fun i d -> if i < 5 then print_endline (Mcc_m2.Diag.to_string d)) conc.Driver.diags)
+    (Suite.all ());
+  let ts = List.sort compare !times in
+  let q lo hi = List.length (List.filter (fun t -> t >= lo && t < hi) ts) in
+  Printf.printf "quartile bands: <5s:%d 5-10:%d 10-30:%d 30+:%d\n" (q 0.0 5.0) (q 5.0 10.0) (q 10.0 30.0) (q 30.0 1000.0);
+  (* Synth best case *)
+  let store = Suite.synth_best () in
+  let t1 = (Driver.compile ~config:{ Driver.default_config with procs = 1 } store).Driver.sim.Mcc_sched.Des_engine.end_time in
+  let c8 = Driver.compile ~config:{ Driver.default_config with procs = 8 } store in
+  Printf.printf "Synth: ok=%b sp8=%.2f dky=%d t1=%.1fs\n" c8.Driver.ok
+    (t1 /. c8.Driver.sim.Mcc_sched.Des_engine.end_time) (Mcc_sem.Lookup_stats.dky_blocks c8.Driver.stats)
+    (Mcc_sched.Costs.to_seconds t1)

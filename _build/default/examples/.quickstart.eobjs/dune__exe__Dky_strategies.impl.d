@@ -1,0 +1,1 @@
+examples/dky_strategies.ml: Driver List Mcc_codegen Mcc_core Mcc_sched Mcc_sem Mcc_stats Mcc_synth Option Printf Source_store String Suite

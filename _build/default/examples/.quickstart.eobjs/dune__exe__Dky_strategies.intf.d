@@ -1,0 +1,1 @@
+examples/dky_strategies.mli:

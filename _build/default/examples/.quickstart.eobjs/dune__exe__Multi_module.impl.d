@@ -1,0 +1,1 @@
+examples/multi_module.ml: Driver List Mcc_codegen Mcc_core Mcc_m2 Mcc_sched Mcc_vm Printf Project Source_store String

@@ -1,0 +1,1 @@
+examples/parallel_domains.ml: Driver List Mcc_codegen Mcc_core Mcc_synth Printf Seq_driver Source_store String Suite

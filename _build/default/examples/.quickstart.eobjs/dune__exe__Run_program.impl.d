@@ -1,0 +1,1 @@
+examples/run_program.ml: Driver List Mcc_codegen Mcc_core Mcc_m2 Mcc_sched Mcc_vm Printf Source_store

@@ -1,0 +1,1 @@
+examples/watchtool_demo.ml: Driver List Mcc_core Mcc_sched Mcc_stats Mcc_synth Printf Source_store Speedup String Suite Watchtool

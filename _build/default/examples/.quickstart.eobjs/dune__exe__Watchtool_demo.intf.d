@@ -1,0 +1,1 @@
+examples/watchtool_demo.mli:

@@ -1,0 +1,1 @@
+lib/ast/ast.ml: List Loc Mcc_m2 Option

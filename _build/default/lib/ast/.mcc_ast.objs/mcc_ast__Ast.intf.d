@@ -1,0 +1,1 @@
+lib/ast/ast.mli: Loc Mcc_m2

@@ -1,0 +1,1 @@
+lib/ast/pretty.ml: Ast Char List Printf String

@@ -1,0 +1,213 @@
+(* Abstract syntax for Modula-2+.
+
+   The concurrent compiler never materializes a whole-module AST: the
+   parser/declaration-analyzer task analyzes declarations as it parses
+   them (entering symbols directly into the stream's symbol table) and
+   builds parse trees only for statement parts, whose semantic analysis
+   is deferred to the statement-analyzer/code-generator task (paper §3).
+   These types are therefore the *interface* between the parser and the
+   two analysis tasks, not a persistent program representation.
+
+   The language is the Modula-2 core of PIM (constants, types, variables,
+   procedures, the full statement and expression language, open-array
+   formals, WITH, sets, pointers with forward references) plus the
+   Modula-2+ extensions relevant to compiler structure: TRY/EXCEPT/
+   FINALLY, RAISE, and LOCK ... DO ... END.  Formal parameter and result
+   types follow PIM's restriction to (possibly open-array) qualified
+   identifiers, which is also what guarantees that heading alternative 3
+   (paper §2.4) reproduces identical entries in parent and child scopes. *)
+
+open Mcc_m2
+
+type ident = { name : string; iloc : Loc.t }
+
+(* [M.x] or [x]. *)
+type qualident = { prefix : ident option; id : ident }
+
+let qual_to_string (q : qualident) =
+  match q.prefix with None -> q.id.name | Some p -> p.name ^ "." ^ q.id.name
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+type binop =
+  | Add | Sub | Mul | Divide (* / : real division or set difference *)
+  | Div | Mod (* DIV / MOD *)
+  | And | Or
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | In (* set membership *)
+
+type unop = Neg | Pos | Not
+
+type expr = { e : expr_node; eloc : Loc.t }
+
+and expr_node =
+  | EInt of int
+  | EReal of float
+  | EChar of char
+  | EStr of string
+  | EName of qualident
+  | EField of expr * ident (* designator.field *)
+  | EIndex of expr * expr list (* designator[e1, e2, ...] *)
+  | EDeref of expr (* designator^ *)
+  | ECall of expr * expr list (* function or procedure call *)
+  | EBin of binop * expr * expr
+  | EUn of unop * expr
+  | ESet of qualident option * set_elem list (* {..} or T{..} *)
+
+and set_elem = SetOne of expr | SetRange of expr * expr
+
+(* ------------------------------------------------------------------ *)
+(* Type expressions *)
+
+type type_expr =
+  | TName of qualident
+  | TEnum of ident list
+  | TSubrange of expr * expr
+  | TArray of type_expr list * type_expr (* ARRAY ix1, ix2 OF elem *)
+  | TRecord of field_section list
+  | TPointer of type_expr * Loc.t (* location for forward-reference fixups *)
+  | TSet of type_expr (* SET OF base *)
+  | TProcType of formal_type list * qualident option
+
+and field_section =
+  | FFields of { f_names : ident list; f_type : type_expr }
+  | FVariant of {
+      v_tag : ident option; (* the optional tag field name *)
+      v_tag_type : qualident;
+      v_arms : (set_elem list * field_section list) list;
+      v_else : field_section list;
+    } (* CASE [tag :] TagType OF labels : fields | ... [ELSE fields] END *)
+
+(* PIM formal types: [VAR] [ARRAY OF] qualident *)
+and formal_type = { ft_var : bool; ft_open : bool; ft_name : qualident }
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+type stmt = { s : stmt_node; sloc : Loc.t }
+
+and stmt_node =
+  | SAssign of expr * expr (* designator := expr *)
+  | SCall of expr (* procedure call statement *)
+  | SIf of (expr * stmt list) list * stmt list (* IF/ELSIF branches, ELSE *)
+  | SCase of expr * case_arm list * stmt list option (* CASE, arms, ELSE *)
+  | SWhile of expr * stmt list
+  | SRepeat of stmt list * expr
+  | SLoop of stmt list
+  | SFor of ident * expr * expr * expr option * stmt list (* FOR i := a TO b BY c *)
+  | SWith of expr * stmt list
+  | SExit
+  | SReturn of expr option
+  | SRaise of expr (* Modula-2+: RAISE e *)
+  | STry of stmt list * (qualident * stmt list) list * stmt list
+      (* TRY body EXCEPT q: stmts | ... FINALLY stmts END;
+         empty handler list or empty finally list when absent *)
+  | SLock of expr * stmt list (* Modula-2+: LOCK mu DO ... END *)
+  | SEmpty
+
+and case_arm = { labels : set_elem list; arm_body : stmt list }
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+type param_section = { p_var : bool; p_names : ident list; p_type : formal_type }
+
+type proc_heading = {
+  h_name : ident;
+  h_params : param_section list;
+  h_result : qualident option;
+}
+
+type decl =
+  | DConst of ident * expr
+  | DType of ident * type_expr
+  | DVar of ident list * type_expr
+
+type import = ImportModules of ident list | ImportFrom of ident * ident list
+
+(* Statement-tree size: drives the long-before-short ordering of
+   code-generation tasks (paper §2.3.4). *)
+let rec stmt_size (st : stmt) =
+  1
+  +
+  match st.s with
+  | SAssign _ | SCall _ | SExit | SReturn _ | SRaise _ | SEmpty -> 0
+  | SIf (branches, els) ->
+      List.fold_left (fun acc (_, body) -> acc + seq_size body) (seq_size els) branches
+  | SCase (_, arms, els) ->
+      List.fold_left
+        (fun acc arm -> acc + seq_size arm.arm_body)
+        (match els with None -> 0 | Some b -> seq_size b)
+        arms
+  | SWhile (_, body) | SRepeat (body, _) | SLoop body | SFor (_, _, _, _, body)
+  | SWith (_, body) | SLock (_, body) ->
+      seq_size body
+  | STry (body, handlers, fin) ->
+      seq_size body + List.fold_left (fun acc (_, b) -> acc + seq_size b) (seq_size fin) handlers
+
+and seq_size body = List.fold_left (fun acc st -> acc + stmt_size st) 0 body
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality modulo source locations: used by the test
+   suite's parse-print-reparse round-trip property. *)
+
+let equal_ident (a : ident) (b : ident) = a.name = b.name
+
+let equal_qualident (a : qualident) (b : qualident) =
+  Option.equal equal_ident a.prefix b.prefix && equal_ident a.id b.id
+
+let rec equal_expr (a : expr) (b : expr) =
+  match (a.e, b.e) with
+  | EInt x, EInt y -> x = y
+  | EReal x, EReal y -> x = y
+  | EChar x, EChar y -> x = y
+  | EStr x, EStr y -> x = y
+  | EName x, EName y -> equal_qualident x y
+  | EField (x, f), EField (y, g) -> equal_expr x y && equal_ident f g
+  | EIndex (x, xs), EIndex (y, ys) -> equal_expr x y && List.equal equal_expr xs ys
+  | EDeref x, EDeref y -> equal_expr x y
+  | ECall (f, xs), ECall (g, ys) -> equal_expr f g && List.equal equal_expr xs ys
+  | EBin (o, x1, x2), EBin (p, y1, y2) -> o = p && equal_expr x1 y1 && equal_expr x2 y2
+  | EUn (o, x), EUn (p, y) -> o = p && equal_expr x y
+  | ESet (t, xs), ESet (u, ys) ->
+      Option.equal equal_qualident t u && List.equal equal_set_elem xs ys
+  | _ -> false
+
+and equal_set_elem a b =
+  match (a, b) with
+  | SetOne x, SetOne y -> equal_expr x y
+  | SetRange (x1, x2), SetRange (y1, y2) -> equal_expr x1 y1 && equal_expr x2 y2
+  | _ -> false
+
+let rec equal_stmt (a : stmt) (b : stmt) =
+  match (a.s, b.s) with
+  | SEmpty, SEmpty | SExit, SExit -> true
+  | SAssign (d1, e1), SAssign (d2, e2) -> equal_expr d1 d2 && equal_expr e1 e2
+  | SCall x, SCall y -> equal_expr x y
+  | SIf (bs1, e1), SIf (bs2, e2) ->
+      List.equal (fun (c1, b1) (c2, b2) -> equal_expr c1 c2 && equal_body b1 b2) bs1 bs2
+      && equal_body e1 e2
+  | SCase (s1, a1, e1), SCase (s2, a2, e2) ->
+      equal_expr s1 s2
+      && List.equal
+           (fun x y -> List.equal equal_set_elem x.labels y.labels && equal_body x.arm_body y.arm_body)
+           a1 a2
+      && Option.equal equal_body e1 e2
+  | SWhile (c1, b1), SWhile (c2, b2) -> equal_expr c1 c2 && equal_body b1 b2
+  | SRepeat (b1, c1), SRepeat (b2, c2) -> equal_body b1 b2 && equal_expr c1 c2
+  | SLoop b1, SLoop b2 -> equal_body b1 b2
+  | SFor (v1, l1, h1, y1, b1), SFor (v2, l2, h2, y2, b2) ->
+      equal_ident v1 v2 && equal_expr l1 l2 && equal_expr h1 h2
+      && Option.equal equal_expr y1 y2 && equal_body b1 b2
+  | SWith (d1, b1), SWith (d2, b2) -> equal_expr d1 d2 && equal_body b1 b2
+  | SReturn x, SReturn y -> Option.equal equal_expr x y
+  | SRaise x, SRaise y -> equal_expr x y
+  | STry (b1, h1, f1), STry (b2, h2, f2) ->
+      equal_body b1 b2
+      && List.equal (fun (q1, x1) (q2, x2) -> equal_qualident q1 q2 && equal_body x1 x2) h1 h2
+      && equal_body f1 f2
+  | SLock (m1, b1), SLock (m2, b2) -> equal_expr m1 m2 && equal_body b1 b2
+  | _ -> false
+
+and equal_body a b = List.equal equal_stmt a b

@@ -1,0 +1,103 @@
+(* Pretty-printing of statement and expression trees back to Modula-2+
+   concrete syntax.
+
+   Used by the test suite's parse-print-reparse round-trip property and
+   by debugging tools.  The printer is deliberately canonical — fully
+   parenthesized expressions, one statement per line — so a reparse
+   yields a structurally identical tree ([Ast.equal_stmt] modulo
+   locations). *)
+
+open Ast
+
+let ident (i : ident) = i.name
+
+let qualident (q : qualident) =
+  match q.prefix with None -> ident q.id | Some p -> ident p ^ "." ^ ident q.id
+
+let binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Divide -> "/" | Div -> "DIV" | Mod -> "MOD"
+  | And -> "AND" | Or -> "OR" | Eq -> "=" | Neq -> "#" | Lt -> "<" | Le -> "<=" | Gt -> ">"
+  | Ge -> ">=" | In -> "IN"
+
+let rec expr (e : expr) =
+  match e.e with
+  | EInt n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | EReal f ->
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  | EChar c -> Printf.sprintf "%dC" (Char.code c)
+  | EStr s -> Printf.sprintf "%S" s
+  | EName q -> qualident q
+  | EField (b, f) -> Printf.sprintf "%s.%s" (expr b) (ident f)
+  | EIndex (b, ixs) -> Printf.sprintf "%s[%s]" (expr b) (String.concat ", " (List.map expr ixs))
+  | EDeref b -> expr b ^ "^"
+  | ECall (f, args) -> Printf.sprintf "%s(%s)" (expr f) (String.concat ", " (List.map expr args))
+  | EBin (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr a) (binop op) (expr b)
+  | EUn (Neg, a) -> Printf.sprintf "(-%s)" (expr a)
+  | EUn (Pos, a) -> Printf.sprintf "(+%s)" (expr a)
+  | EUn (Not, a) -> Printf.sprintf "(NOT %s)" (expr a)
+  | ESet (tyq, elems) ->
+      Printf.sprintf "%s{%s}"
+        (match tyq with None -> "" | Some q -> qualident q)
+        (String.concat ", " (List.map set_elem elems))
+
+and set_elem = function
+  | SetOne e -> expr e
+  | SetRange (a, b) -> Printf.sprintf "%s..%s" (expr a) (expr b)
+
+let rec stmt ind (s : stmt) =
+  let pad = String.make ind ' ' in
+  let seq body = stmt_seq (ind + 2) body in
+  match s.s with
+  | SEmpty -> pad
+  | SAssign (d, e) -> Printf.sprintf "%s%s := %s" pad (expr d) (expr e)
+  | SCall e -> pad ^ expr e
+  | SIf (branches, els) ->
+      let first = List.hd branches and rest = List.tl branches in
+      let b (c, body) kw = Printf.sprintf "%s%s %s THEN\n%s" pad kw (expr c) (seq body) in
+      b first "IF"
+      ^ String.concat "" (List.map (fun br -> b br "ELSIF") rest)
+      ^ (if els = [] then "" else Printf.sprintf "%sELSE\n%s" pad (seq els))
+      ^ pad ^ "END"
+  | SCase (sel, arms, els) ->
+      Printf.sprintf "%sCASE %s OF\n" pad (expr sel)
+      ^ String.concat (pad ^ "|\n")
+          (List.map
+             (fun arm ->
+               Printf.sprintf "%s%s:\n%s" pad
+                 (String.concat ", " (List.map set_elem arm.labels))
+                 (seq arm.arm_body))
+             arms)
+      ^ (match els with None -> "" | Some b -> Printf.sprintf "%sELSE\n%s" pad (seq b))
+      ^ pad ^ "END"
+  | SWhile (c, body) ->
+      Printf.sprintf "%sWHILE %s DO\n%s%sEND" pad (expr c) (seq body) pad
+  | SRepeat (body, c) -> Printf.sprintf "%sREPEAT\n%s%sUNTIL %s" pad (seq body) pad (expr c)
+  | SLoop body -> Printf.sprintf "%sLOOP\n%s%sEND" pad (seq body) pad
+  | SFor (v, lo, hi, by, body) ->
+      Printf.sprintf "%sFOR %s := %s TO %s%s DO\n%s%sEND" pad (ident v) (expr lo) (expr hi)
+        (match by with None -> "" | Some b -> " BY " ^ expr b)
+        (seq body) pad
+  | SWith (d, body) -> Printf.sprintf "%sWITH %s DO\n%s%sEND" pad (expr d) (seq body) pad
+  | SExit -> pad ^ "EXIT"
+  | SReturn None -> pad ^ "RETURN"
+  | SReturn (Some e) -> Printf.sprintf "%sRETURN %s" pad (expr e)
+  | SRaise e -> Printf.sprintf "%sRAISE %s" pad (expr e)
+  | STry (body, handlers, fin) ->
+      Printf.sprintf "%sTRY\n%s" pad (seq body)
+      ^ (match handlers with
+        | [] -> ""
+        | (q0, b0) :: rest ->
+            Printf.sprintf "%sEXCEPT %s:\n%s" pad (qualident q0) (seq b0)
+            ^ String.concat ""
+                (List.map
+                   (fun (q, b) -> Printf.sprintf "%s| %s:\n%s" pad (qualident q) (seq b))
+                   rest))
+      ^ (if fin = [] then "" else Printf.sprintf "%sFINALLY\n%s" pad (seq fin))
+      ^ pad ^ "END"
+  | SLock (mu, body) -> Printf.sprintf "%sLOCK %s DO\n%s%sEND" pad (expr mu) (seq body) pad
+
+and stmt_seq ind body = String.concat "" (List.map (fun s -> stmt ind s ^ ";\n") body)
+
+(* A whole statement sequence at top level. *)
+let print_body body = stmt_seq 2 body

@@ -1,0 +1,19 @@
+(** Pretty-printing of statement and expression trees back to Modula-2+
+    concrete syntax — canonical (fully parenthesized, one statement per
+    line) so that reparsing yields a structurally identical tree, the
+    property the test suite checks. *)
+
+val ident : Ast.ident -> string
+val qualident : Ast.qualident -> string
+val binop : Ast.binop -> string
+val expr : Ast.expr -> string
+val set_elem : Ast.set_elem -> string
+
+(** One statement at the given indentation (no trailing newline). *)
+val stmt : int -> Ast.stmt -> string
+
+(** A statement sequence, each terminated with ";\n". *)
+val stmt_seq : int -> Ast.stmt list -> string
+
+(** A whole body at standard indentation. *)
+val print_body : Ast.stmt list -> string

@@ -1,0 +1,1 @@
+lib/codegen/cunit.ml: Array Buffer Hashtbl Instr List Mcc_sched Mcc_util Mutex Option Printf String Tydesc Vec

@@ -1,0 +1,1 @@
+lib/codegen/cunit.mli: Hashtbl Instr Tydesc

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Ast Costs Cunit Eff Hashtbl Instr List Mcc_ast Mcc_parse Mcc_sched Mcc_sem Mcc_util String Tydesc Vec

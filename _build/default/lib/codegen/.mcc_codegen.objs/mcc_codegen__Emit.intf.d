@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Cunit Mcc_parse Mcc_sem Tydesc

@@ -1,0 +1,1 @@
+lib/codegen/instr.ml: Mcc_sem Printf Tydesc

@@ -1,0 +1,1 @@
+lib/codegen/instr.mli: Mcc_sem Tydesc

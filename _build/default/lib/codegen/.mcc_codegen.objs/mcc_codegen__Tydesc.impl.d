@@ -1,0 +1,1 @@
+lib/codegen/tydesc.ml: Array List Mcc_sem Printf String

@@ -1,0 +1,1 @@
+lib/codegen/tydesc.mli: Mcc_sem

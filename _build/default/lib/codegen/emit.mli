@@ -1,0 +1,24 @@
+(** The statement analyzer / code generator — one task per scope with a
+    statement part (paper §3: statement semantic analysis and code
+    generation combined in a single task).
+
+    Walks the parser's statement tree, performs the deferred semantic
+    analysis (full type checking of expressions, designators, calls,
+    control flow), and emits stack-machine code in one pass.  Runs with
+    full-scope visibility; lookups chaining into other streams' scopes
+    follow the DKY protocol.  WITH statements push record scopes onto a
+    task-local stack searched before the symbol table (Table 2's "WITH"
+    class).  Uplevel references go through the static chain; procedure
+    values must be module-level (PIM's restriction). *)
+
+(** Generate the code unit for one statement part. *)
+val emit_job : Mcc_parse.Parser.gen_job -> Cunit.t
+
+(** Local-slot default-shape descriptors for a scope (structured
+    variables need their shape before first element assignment). *)
+val local_descriptors : Mcc_sem.Symtab.t -> key:string -> (int * Tydesc.t) list
+
+(** Global frame layout of a module-level scope:
+    [(frame key, slot descriptors, size)]. *)
+val frame_layout :
+  Mcc_sem.Symtab.t -> frame_key:string -> size:int -> string * (int * Tydesc.t) list * int

@@ -1,0 +1,169 @@
+(* The instruction set of the target stack machine.
+
+   A compact evaluation-stack machine standing in for the paper's CVax
+   object code.  What matters structurally is preserved: code is
+   generated one procedure at a time into self-contained units addressed
+   by stable string keys, so the merge task can concatenate units in any
+   order (paper §2.1) and linking resolves calls by key.
+
+   Address values ("locations") unify all assignable storage: a location
+   designates one slot of some value array (a procedure frame, a module
+   global frame, an array/record body, or a heap cell).  Designator code
+   computes locations; [LoadInd]/[StoreInd] read and write through them;
+   VAR parameters pass them. *)
+
+type relop = REq | RNe | RLt | RLe | RGt | RGe
+
+(* How a call establishes the callee's static chain (uplevel access to
+   enclosing procedures' frames).  Procedures at module level need no
+   chain; a procedure declared in the caller's own scope gets the
+   caller's frame pushed onto the caller's chain; a procedure declared k
+   scopes up reuses a suffix of the caller's chain. *)
+type linkspec =
+  | LinkNone (* module-level procedure: no enclosing frame *)
+  | LinkSelf (* declared in the calling procedure: chain = my frame :: my chain *)
+  | LinkUp of int (* declared k >= 1 procedure scopes up: chain = drop (k-1) my chain *)
+
+let linkspec_name = function
+  | LinkNone -> "-"
+  | LinkSelf -> "self"
+  | LinkUp k -> Printf.sprintf "up%d" k
+
+let relop_name = function
+  | REq -> "eq" | RNe -> "ne" | RLt -> "lt" | RLe -> "le" | RGt -> "gt" | RGe -> "ge"
+
+type builtin_op =
+  | OWriteInt | OWriteLn | OWriteString | OWriteChar | OWriteReal | OReadInt
+  | OHalt
+  | OSqrt | OSin | OCos | OLn | OExp
+  | OCap | OOddI | OAbsI | OAbsR
+  | OIntToReal | ORealToInt (* FLOAT / TRUNC *)
+  | OIntToChar | OOrdOf (* CHR / ORD *)
+  | OHighOf (* HIGH: open array or string *)
+
+let builtin_name = function
+  | OWriteInt -> "WriteInt" | OWriteLn -> "WriteLn" | OWriteString -> "WriteString"
+  | OWriteChar -> "WriteChar" | OWriteReal -> "WriteReal" | OReadInt -> "ReadInt"
+  | OHalt -> "Halt" | OSqrt -> "sqrt" | OSin -> "sin" | OCos -> "cos" | OLn -> "ln"
+  | OExp -> "exp" | OCap -> "cap" | OOddI -> "odd" | OAbsI -> "absi" | OAbsR -> "absr"
+  | OIntToReal -> "i2r" | ORealToInt -> "r2i" | OIntToChar -> "i2c" | OOrdOf -> "ord"
+  | OHighOf -> "high"
+
+type t =
+  (* constants and moves *)
+  | Const of Mcc_sem.Value.t
+  | Dup
+  | Pop
+  | CopyVal (* deep copy: structured assignment has value semantics *)
+  | StrToArr of int (* convert a string to a CHAR array of n elements, 0C padded *)
+  (* frame and global access *)
+  | LoadLocal of int
+  | StoreLocal of int
+  | LocalAddr of int
+  | UplevelAddr of int * int (* hops (>=1) up the static chain, slot *)
+  | LoadGlobal of string * int
+  | StoreGlobal of string * int
+  | GlobalAddr of string * int
+  (* structured access: locations *)
+  | FieldAddr of int (* loc -> loc of field slot *)
+  | LoadField of int (* record value -> field value *)
+  | IndexAddr of int * int (* lo, hi: [loc; index] -> element loc, bounds-checked *)
+  | IndexOpenAddr (* [loc; index] -> element loc of an open array, bounds-checked *)
+  | LoadElem of int * int (* [array value; index] -> element value *)
+  | LoadElemOpen
+  | DerefAddr (* pointer value -> loc of its target *)
+  | LoadInd (* loc -> value *)
+  | StoreInd (* [loc; value] -> ;  writes value *)
+  | IncInd (* [loc; delta] -> ;  ordinal increment through loc *)
+  | DecInd
+  | InclInd of int (* set base lo: [loc; elem] -> ; include element *)
+  | ExclInd of int
+  | NewInd of Tydesc.t (* loc of a pointer variable -> allocate target *)
+  | DisposeInd
+  (* arithmetic and logic *)
+  | AddI | SubI | MulI | DivI | ModI | NegI
+  | AddR | SubR | MulR | DivR | NegR
+  | NotB
+  | Cmp of relop (* ordinals, reals, strings, sets(eq), exceptions(eq) *)
+  | CmpPtr of relop (* physical equality on pointers: REq/RNe only *)
+  | SetUnion | SetDiff | SetInter | SetSymDiff
+  | SetLe (* [a; b] -> a subset of b *)
+  | SetGe (* [a; b] -> a superset of b *)
+  | SetIn of int (* set base lo: [elem; set] -> BOOLEAN *)
+  | SetAdd1 of int (* [set; elem] -> set with elem *)
+  | SetAddRange of int (* [set; lo'; hi'] -> set with range *)
+  (* checks *)
+  | RangeCheck of int * int (* trap unless lo <= top-of-stack <= hi *)
+  | CaseError (* no case label matched *)
+  | NoReturn (* a function body fell off its end without RETURN *)
+  (* control flow: absolute pc within the unit *)
+  | Jump of int
+  | JumpIf of int
+  | JumpIfNot of int
+  (* calls *)
+  | Call of string * int * linkspec (* unit key, arg count, static chain *)
+  | CallPtr of int (* [proc value; args...]: callee computed before arguments *)
+  | ProcConst of string
+  | Ret
+  | RetVal
+  | Builtin of builtin_op * int (* operation, arg count *)
+  (* exceptions (Modula-2+) *)
+  | Try of int (* push handler at pc *)
+  | EndTry
+  | RaiseI (* [exception value] -> raise *)
+  | ReRaise (* re-raise the exception being handled *)
+
+let to_string = function
+  | Const v -> Printf.sprintf "const %s" (Mcc_sem.Value.to_string v)
+  | Dup -> "dup"
+  | Pop -> "pop"
+  | CopyVal -> "copy"
+  | StrToArr n -> Printf.sprintf "str2arr %d" n
+  | LoadLocal n -> Printf.sprintf "lload %d" n
+  | StoreLocal n -> Printf.sprintf "lstore %d" n
+  | LocalAddr n -> Printf.sprintf "laddr %d" n
+  | UplevelAddr (h, n) -> Printf.sprintf "uaddr %d:%d" h n
+  | LoadGlobal (f, n) -> Printf.sprintf "gload %s:%d" f n
+  | StoreGlobal (f, n) -> Printf.sprintf "gstore %s:%d" f n
+  | GlobalAddr (f, n) -> Printf.sprintf "gaddr %s:%d" f n
+  | FieldAddr n -> Printf.sprintf "faddr %d" n
+  | LoadField n -> Printf.sprintf "fload %d" n
+  | IndexAddr (lo, hi) -> Printf.sprintf "ixaddr [%d..%d]" lo hi
+  | IndexOpenAddr -> "ixaddr open"
+  | LoadElem (lo, hi) -> Printf.sprintf "ixload [%d..%d]" lo hi
+  | LoadElemOpen -> "ixload open"
+  | DerefAddr -> "deref"
+  | LoadInd -> "iload"
+  | StoreInd -> "istore"
+  | IncInd -> "inc"
+  | DecInd -> "dec"
+  | InclInd lo -> Printf.sprintf "incl %d" lo
+  | ExclInd lo -> Printf.sprintf "excl %d" lo
+  | NewInd d -> Printf.sprintf "new %s" (Tydesc.to_string d)
+  | DisposeInd -> "dispose"
+  | AddI -> "addi" | SubI -> "subi" | MulI -> "muli" | DivI -> "divi" | ModI -> "modi"
+  | NegI -> "negi" | AddR -> "addr" | SubR -> "subr" | MulR -> "mulr" | DivR -> "divr"
+  | NegR -> "negr" | NotB -> "not"
+  | Cmp r -> "cmp " ^ relop_name r
+  | CmpPtr r -> "cmpp " ^ relop_name r
+  | SetUnion -> "s.or" | SetDiff -> "s.diff" | SetInter -> "s.and" | SetSymDiff -> "s.xor"
+  | SetLe -> "s.le" | SetGe -> "s.ge"
+  | SetIn lo -> Printf.sprintf "s.in %d" lo
+  | SetAdd1 lo -> Printf.sprintf "s.add %d" lo
+  | SetAddRange lo -> Printf.sprintf "s.addrange %d" lo
+  | RangeCheck (lo, hi) -> Printf.sprintf "rangechk [%d..%d]" lo hi
+  | CaseError -> "caseerr"
+  | NoReturn -> "noreturn"
+  | Jump n -> Printf.sprintf "jmp %d" n
+  | JumpIf n -> Printf.sprintf "jt %d" n
+  | JumpIfNot n -> Printf.sprintf "jf %d" n
+  | Call (k, n, l) -> Printf.sprintf "call %s/%d[%s]" k n (linkspec_name l)
+  | CallPtr n -> Printf.sprintf "calli/%d" n
+  | ProcConst k -> Printf.sprintf "procconst %s" k
+  | Ret -> "ret"
+  | RetVal -> "retval"
+  | Builtin (op, n) -> Printf.sprintf "builtin %s/%d" (builtin_name op) n
+  | Try n -> Printf.sprintf "try %d" n
+  | EndTry -> "endtry"
+  | RaiseI -> "raise"
+  | ReRaise -> "reraise"

@@ -1,0 +1,102 @@
+(** The instruction set of the target stack machine — the stand-in for
+    the paper's CVax object code.  What matters structurally is
+    preserved: code is generated one procedure at a time into
+    self-contained units addressed by stable string keys, so the merge
+    task can concatenate units in any order (paper §2.1).
+
+    Address values ("locations") unify all assignable storage: a
+    location designates one slot of some value array (a procedure
+    frame, a module global frame, an array/record body, or a heap
+    cell).  Designator code computes locations; [LoadInd]/[StoreInd]
+    read and write through them; VAR parameters pass them; the static
+    chain reaches enclosing procedures' frames. *)
+
+type relop = REq | RNe | RLt | RLe | RGt | RGe
+
+val relop_name : relop -> string
+
+(** How a call establishes the callee's static chain. *)
+type linkspec =
+  | LinkNone  (** module-level procedure: no enclosing frame *)
+  | LinkSelf  (** declared in the calling procedure: chain = my frame :: my chain *)
+  | LinkUp of int  (** declared k >= 1 procedure scopes up: chain = drop (k-1) my chain *)
+
+val linkspec_name : linkspec -> string
+
+type builtin_op =
+  | OWriteInt | OWriteLn | OWriteString | OWriteChar | OWriteReal | OReadInt
+  | OHalt
+  | OSqrt | OSin | OCos | OLn | OExp
+  | OCap | OOddI | OAbsI | OAbsR
+  | OIntToReal | ORealToInt  (** FLOAT / TRUNC *)
+  | OIntToChar | OOrdOf  (** CHR / ORD *)
+  | OHighOf  (** HIGH: open array or string *)
+
+val builtin_name : builtin_op -> string
+
+type t =
+  (* constants and moves *)
+  | Const of Mcc_sem.Value.t
+  | Dup
+  | Pop
+  | CopyVal  (** deep copy: structured assignment has value semantics *)
+  | StrToArr of int  (** string to CHAR array of n elements, 0C padded *)
+  (* frame and global access *)
+  | LoadLocal of int
+  | StoreLocal of int
+  | LocalAddr of int
+  | UplevelAddr of int * int  (** hops (>=1) up the static chain, slot *)
+  | LoadGlobal of string * int
+  | StoreGlobal of string * int
+  | GlobalAddr of string * int
+  (* structured access *)
+  | FieldAddr of int  (** loc -> loc of field slot *)
+  | LoadField of int
+  | IndexAddr of int * int  (** lo, hi: [loc; index] -> element loc, bounds-checked *)
+  | IndexOpenAddr
+  | LoadElem of int * int
+  | LoadElemOpen
+  | DerefAddr  (** pointer value -> loc of its target *)
+  | LoadInd
+  | StoreInd
+  | IncInd  (** [loc; delta] -> ordinal increment through loc *)
+  | DecInd
+  | InclInd of int  (** set base lo: [loc; elem] -> include element *)
+  | ExclInd of int
+  | NewInd of Tydesc.t  (** loc of a pointer variable -> allocate target *)
+  | DisposeInd
+  (* arithmetic and logic *)
+  | AddI | SubI | MulI | DivI | ModI | NegI
+  | AddR | SubR | MulR | DivR | NegR
+  | NotB
+  | Cmp of relop  (** ordinals, reals, strings, sets(eq), exceptions(eq) *)
+  | CmpPtr of relop  (** physical equality on pointers: REq/RNe only *)
+  | SetUnion | SetDiff | SetInter | SetSymDiff
+  | SetLe  (** subset *)
+  | SetGe  (** superset *)
+  | SetIn of int
+  | SetAdd1 of int
+  | SetAddRange of int
+  (* checks *)
+  | RangeCheck of int * int
+  | CaseError
+  | NoReturn  (** a function body fell off its end without RETURN *)
+  (* control flow: absolute pc within the unit *)
+  | Jump of int
+  | JumpIf of int
+  | JumpIfNot of int
+  (* calls *)
+  | Call of string * int * linkspec  (** unit key, arg count, static chain *)
+  | CallPtr of int  (** [proc value; args...]: callee computed before arguments *)
+  | ProcConst of string
+  | Ret
+  | RetVal
+  | Builtin of builtin_op * int
+  (* exceptions (Modula-2+) *)
+  | Try of int  (** push handler at pc *)
+  | EndTry
+  | RaiseI
+  | ReRaise
+
+(** Canonical textual form (the disassembly the equality tests compare). *)
+val to_string : t -> string

@@ -1,0 +1,53 @@
+(* Runtime type descriptors.
+
+   The VM is untyped; descriptors tell it how to build default values —
+   the shape of structured variables (arrays, records) must exist before
+   the first element assignment, heap allocation (NEW) must know what to
+   allocate, and EXCEPTION variables need their stable declaration
+   identity.  Descriptors are derived from compiler types at code
+   generation time and embedded in code units and global frame layouts.
+
+   Pointer targets are *not* descended: pointers default to NIL and get
+   their shape from NEW, which carries the target's own descriptor.  This
+   also makes derivation total on recursive types. *)
+
+type t =
+  | DScalar (* INTEGER/CARDINAL/BOOLEAN/CHAR/REAL/subranges/enums/sets: default uninitialized *)
+  | DPtr (* pointers and opaque types: default NIL *)
+  | DProc (* procedure values: default NIL *)
+  | DExc of string (* EXCEPTION: identity key, unique per declaration *)
+  | DMutex
+  | DArr of int * t (* element count, element descriptor *)
+  | DRec of t array (* one descriptor per field slot *)
+
+let rec of_ty ~exc_key (ty : Mcc_sem.Types.ty) : t =
+  let module T = Mcc_sem.Types in
+  match T.base ty with
+  | T.TInt | T.TCard | T.TBool | T.TChar | T.TReal | T.TBitset | T.TEnum _ | T.TSet _
+  | T.TStrLit _ | T.TErr | T.TNil ->
+      DScalar
+  | T.TPtr _ -> DPtr
+  | T.TProc _ -> DProc
+  | T.TExc -> DExc exc_key
+  | T.TMutex -> DMutex
+  | T.TArr a -> DArr (a.T.hi - a.T.lo + 1, of_ty ~exc_key (a.T.elem))
+  | T.TOpenArr _ -> DScalar (* formals are overwritten by the actual *)
+  | T.TRec r ->
+      let n = List.length r.T.fields in
+      let fields = Array.make n DScalar in
+      List.iteri
+        (fun i (fname, (f : T.field)) ->
+          fields.(f.T.fslot) <- of_ty ~exc_key:(exc_key ^ "." ^ fname) f.T.fty;
+          ignore i)
+        r.T.fields;
+      DRec fields
+  | T.TSub _ -> DScalar
+
+let rec to_string = function
+  | DScalar -> "scalar"
+  | DPtr -> "ptr"
+  | DProc -> "proc"
+  | DExc k -> Printf.sprintf "exc(%s)" k
+  | DMutex -> "mutex"
+  | DArr (n, e) -> Printf.sprintf "arr(%d,%s)" n (to_string e)
+  | DRec fs -> Printf.sprintf "rec(%s)" (String.concat "," (Array.to_list (Array.map to_string fs)))

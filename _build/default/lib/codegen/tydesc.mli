@@ -1,0 +1,20 @@
+(** Runtime type descriptors: how the untyped VM builds default values —
+    the shape of structured variables, NEW's allocation, and the stable
+    identity of EXCEPTION declarations.  Pointer targets are not
+    descended (pointers default to NIL; NEW carries the target's own
+    descriptor), which also makes derivation total on recursive types. *)
+
+type t =
+  | DScalar  (** numbers, chars, booleans, enums, sets: default uninitialized *)
+  | DPtr  (** pointers and opaque types: default NIL *)
+  | DProc  (** procedure values: default NIL *)
+  | DExc of string  (** EXCEPTION: identity key, unique per declaration *)
+  | DMutex
+  | DArr of int * t  (** element count, element descriptor *)
+  | DRec of t array  (** one descriptor per field slot *)
+
+(** Derive a descriptor; [exc_key] seeds per-declaration EXCEPTION
+    identities (extended per record field). *)
+val of_ty : exc_key:string -> Mcc_sem.Types.ty -> t
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Cunit Diag Lookup_stats Mcc_codegen Mcc_m2 Mcc_sched Mcc_sem Source_store Symtab

@@ -1,0 +1,1 @@
+lib/core/m2lib.ml: List Option Source_store

@@ -1,0 +1,1 @@
+lib/core/m2lib.mli: Source_store

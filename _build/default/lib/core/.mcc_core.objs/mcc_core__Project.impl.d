@@ -1,0 +1,1 @@
+lib/core/project.ml: Cunit Diag Driver Hashtbl Lexer List Mcc_codegen Mcc_m2 Mcc_sched Reader Source_store Stream

@@ -1,0 +1,1 @@
+lib/core/project.mli: Cunit Diag Driver Mcc_codegen Mcc_m2 Source_store

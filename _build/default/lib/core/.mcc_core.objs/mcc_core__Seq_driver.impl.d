@@ -1,0 +1,1 @@
+lib/core/seq_driver.ml: Ctx Cunit Diag Eff Emit Fun Hashtbl Lexer List Lookup_stats Mcc_ast Mcc_codegen Mcc_m2 Mcc_parse Mcc_sched Mcc_sem Modreg Reader Source_store Symtab Tydesc

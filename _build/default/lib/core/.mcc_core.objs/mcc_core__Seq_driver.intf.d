@@ -1,0 +1,1 @@
+lib/core/seq_driver.mli: Cunit Diag Lookup_stats Mcc_codegen Mcc_m2 Mcc_sem Source_store

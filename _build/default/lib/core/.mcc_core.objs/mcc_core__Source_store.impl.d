@@ -1,0 +1,1 @@
+lib/core/source_store.ml: Array Filename Fun Hashtbl List String Sys

@@ -1,0 +1,1 @@
+lib/core/stream.ml: Costs Eff Event Mcc_m2 Mcc_sched Mcc_sem Reader Token Tokq

@@ -1,0 +1,1 @@
+lib/core/stream.mli: Mcc_m2 Mcc_sched Mcc_sem Reader Token Tokq

@@ -1,0 +1,71 @@
+(** The concurrent compilation driver: the paper's system assembled.
+
+    Wires the task graph of Fig. 5 for one compilation unit — the main
+    module stream (Lexor, Splitter, Importer, Module Parser/Declarations
+    Analyzer, Statement Analyzer/Code Generator), one gated stream per
+    procedure, one stream per directly or indirectly imported interface
+    via the once-only table, and a Merge task — then runs it on an
+    execution engine: {!compile} on the deterministic simulated
+    multiprocessor, {!compile_domains} on real OCaml domains. *)
+
+open Mcc_m2
+open Mcc_sem
+open Mcc_codegen
+
+(** Procedure-heading information flow (paper §2.4): [Alt1] processes
+    the heading in the parent scope and copies the entries to the gated
+    child; [Alt3] lets the ungated child re-derive identical entries. *)
+type heading_mode = Alt1 | Alt3
+
+type config = {
+  strategy : Symtab.dky;
+  heading : heading_mode;
+  procs : int;  (** simulated processors *)
+  beta : float;  (** memory-bus contention coefficient *)
+  fifo_sched : bool;  (** ablation: disable the Supervisor's priorities (paper §2.3.4) *)
+}
+
+(** 8 processors, skeptical handling, alternative 1, calibrated beta. *)
+val default_config : config
+
+type result = {
+  program : Cunit.program;
+  diags : Diag.d list;
+  ok : bool;  (** no errors *)
+  sim : Mcc_sched.Des_engine.result;
+  stats : Lookup_stats.t;
+  n_proc_streams : int;
+  n_def_streams : int;
+  n_streams : int;  (** main + procedures + interfaces *)
+  n_tasks : int;
+  tokens : int;  (** tokens lexed across all files *)
+  task_list : (string * string) list;  (** (class, name) per instantiated task *)
+}
+
+(** Statement parts at least this many nodes go to the long-procedure
+    code-generation class (paper §2.3.4). *)
+val long_threshold : int
+
+(** Compile on the simulated multiprocessor — deterministic; all
+    benchmark figures come from this path. *)
+val compile : ?config:config -> Source_store.t -> result
+
+(** Render the instantiated task structure (the realization of Fig. 5
+    for this compilation), grouped by class in priority order. *)
+val dump_tasks : result -> string
+
+(** {1 Real shared-memory execution} *)
+
+type domain_result = {
+  d_program : Cunit.program;
+  d_diags : Diag.d list;
+  d_ok : bool;
+  d_wall_seconds : float;
+  d_tasks_run : int;
+  d_deadlocked : bool;
+  d_stats : Lookup_stats.t;
+}
+
+(** The same task graph on [domains] OCaml domains.  Produces a program
+    byte-identical to {!compile}'s and {!Seq_driver.compile}'s. *)
+val compile_domains : ?config:config -> domains:int -> Source_store.t -> domain_result

@@ -1,0 +1,212 @@
+(* A small standard library, shipped as Modula-2+ source.
+
+   The paper's compiler served a large installed base of library code;
+   this gives the reproduction the same flavour: a handful of interfaces
+   and implementations, written in the compiled language itself, that
+   programs can import and whole-program compilation links in.  [augment]
+   adds them to a source store without overriding anything the program
+   defines itself. *)
+
+let strings_def =
+  {|DEFINITION MODULE Strings;
+PROCEDURE Length(s: ARRAY OF CHAR): INTEGER;
+PROCEDURE Equal(a: ARRAY OF CHAR; b: ARRAY OF CHAR): BOOLEAN;
+PROCEDURE IsDigit(c: CHAR): BOOLEAN;
+PROCEDURE IsLetter(c: CHAR): BOOLEAN;
+PROCEDURE ToUpper(c: CHAR): CHAR;
+END Strings.
+|}
+
+let strings_mod =
+  {|IMPLEMENTATION MODULE Strings;
+
+PROCEDURE Length(s: ARRAY OF CHAR): INTEGER;
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  WHILE (i <= HIGH(s)) AND (s[i] # 0C) DO INC(i) END;
+  RETURN i
+END Length;
+
+PROCEDURE Equal(a: ARRAY OF CHAR; b: ARRAY OF CHAR): BOOLEAN;
+VAR i, la, lb: INTEGER;
+BEGIN
+  la := Length(a); lb := Length(b);
+  IF la # lb THEN RETURN FALSE END;
+  FOR i := 0 TO la - 1 DO
+    IF a[i] # b[i] THEN RETURN FALSE END
+  END;
+  RETURN TRUE
+END Equal;
+
+PROCEDURE IsDigit(c: CHAR): BOOLEAN;
+BEGIN
+  RETURN (c >= '0') AND (c <= '9')
+END IsDigit;
+
+PROCEDURE IsLetter(c: CHAR): BOOLEAN;
+BEGIN
+  RETURN ((c >= 'a') AND (c <= 'z')) OR ((c >= 'A') AND (c <= 'Z'))
+END IsLetter;
+
+PROCEDURE ToUpper(c: CHAR): CHAR;
+BEGIN
+  RETURN CAP(c)
+END ToUpper;
+
+END Strings.
+|}
+
+let mathlib_def =
+  {|DEFINITION MODULE MathLib;
+PROCEDURE Power(base, exponent: INTEGER): INTEGER;
+PROCEDURE Gcd(a, b: INTEGER): INTEGER;
+PROCEDURE Min2(a, b: INTEGER): INTEGER;
+PROCEDURE Max2(a, b: INTEGER): INTEGER;
+PROCEDURE SqrtI(n: INTEGER): INTEGER;
+END MathLib.
+|}
+
+let mathlib_mod =
+  {|IMPLEMENTATION MODULE MathLib;
+
+PROCEDURE Power(base, exponent: INTEGER): INTEGER;
+VAR r: INTEGER;
+BEGIN
+  r := 1;
+  WHILE exponent > 0 DO
+    IF ODD(exponent) THEN r := r * base END;
+    base := base * base;
+    exponent := exponent DIV 2
+  END;
+  RETURN r
+END Power;
+
+PROCEDURE Gcd(a, b: INTEGER): INTEGER;
+VAR t: INTEGER;
+BEGIN
+  a := ABS(a); b := ABS(b);
+  WHILE b # 0 DO t := a MOD b; a := b; b := t END;
+  RETURN a
+END Gcd;
+
+PROCEDURE Min2(a, b: INTEGER): INTEGER;
+BEGIN
+  IF a < b THEN RETURN a ELSE RETURN b END
+END Min2;
+
+PROCEDURE Max2(a, b: INTEGER): INTEGER;
+BEGIN
+  IF a > b THEN RETURN a ELSE RETURN b END
+END Max2;
+
+PROCEDURE SqrtI(n: INTEGER): INTEGER;
+VAR r: INTEGER;
+BEGIN
+  r := 0;
+  WHILE (r + 1) * (r + 1) <= n DO INC(r) END;
+  RETURN r
+END SqrtI;
+
+END MathLib.
+|}
+
+let inout_def =
+  {|DEFINITION MODULE InOut;
+PROCEDURE WriteBool(b: BOOLEAN);
+PROCEDURE WriteSpaces(n: INTEGER);
+PROCEDURE WriteIntLn(x: INTEGER);
+PROCEDURE WritePair(a, b: INTEGER);
+END InOut.
+|}
+
+let inout_mod =
+  {|IMPLEMENTATION MODULE InOut;
+
+PROCEDURE WriteBool(b: BOOLEAN);
+BEGIN
+  IF b THEN WriteString("TRUE") ELSE WriteString("FALSE") END
+END WriteBool;
+
+PROCEDURE WriteSpaces(n: INTEGER);
+VAR i: INTEGER;
+BEGIN
+  FOR i := 1 TO n DO WriteChar(' ') END
+END WriteSpaces;
+
+PROCEDURE WriteIntLn(x: INTEGER);
+BEGIN
+  WriteInt(x); WriteLn
+END WriteIntLn;
+
+PROCEDURE WritePair(a, b: INTEGER);
+BEGIN
+  WriteChar('('); WriteInt(a); WriteString(", "); WriteInt(b); WriteChar(')')
+END WritePair;
+
+END InOut.
+|}
+
+let bits_def =
+  {|DEFINITION MODULE Bits;
+PROCEDURE Count(s: BITSET): INTEGER;
+PROCEDURE Lowest(s: BITSET): INTEGER;
+END Bits.
+|}
+
+let bits_mod =
+  {|IMPLEMENTATION MODULE Bits;
+
+PROCEDURE Count(s: BITSET): INTEGER;
+VAR i, n: INTEGER;
+BEGIN
+  n := 0;
+  FOR i := 0 TO 61 DO
+    IF i IN s THEN INC(n) END
+  END;
+  RETURN n
+END Count;
+
+PROCEDURE Lowest(s: BITSET): INTEGER;
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO 61 DO
+    IF i IN s THEN RETURN i END
+  END;
+  RETURN -1
+END Lowest;
+
+END Bits.
+|}
+
+let interfaces =
+  [ ("Strings", strings_def); ("MathLib", mathlib_def); ("InOut", inout_def); ("Bits", bits_def) ]
+
+let implementations =
+  [ ("Strings", strings_mod); ("MathLib", mathlib_mod); ("InOut", inout_mod); ("Bits", bits_mod) ]
+
+(* Add the library to a store, without shadowing anything the program
+   provides itself. *)
+let augment (store : Source_store.t) : Source_store.t =
+  let defs =
+    List.filter (fun (n, _) -> not (Source_store.has_def store n)) interfaces
+    |> List.map (fun (n, s) -> (n, s))
+  in
+  let impls =
+    List.filter (fun (n, _) -> Source_store.impl_src store n = None) implementations
+  in
+  let existing_defs =
+    List.map (fun n -> (n, Option.get (Source_store.def_src store n))) (Source_store.def_names store)
+  in
+  let existing_impls =
+    List.filter_map
+      (fun n ->
+        if n = Source_store.main_name store then None
+        else Option.map (fun s -> (n, s)) (Source_store.impl_src store n))
+      (Source_store.impl_names store)
+  in
+  Source_store.make
+    ~impls:(existing_impls @ impls)
+    ~main_name:(Source_store.main_name store)
+    ~main_src:(Source_store.main_src store)
+    ~defs:(existing_defs @ defs) ()

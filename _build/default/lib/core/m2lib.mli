@@ -1,0 +1,13 @@
+(** A small standard library shipped as Modula-2+ source — Strings,
+    MathLib, InOut helpers and Bits — that programs can import and
+    whole-program compilation ({!Project}) links in. *)
+
+(** [(module name, .def source)]. *)
+val interfaces : (string * string) list
+
+(** [(module name, .mod source)]. *)
+val implementations : (string * string) list
+
+(** Add the library to a store without shadowing anything the program
+    defines itself. *)
+val augment : Source_store.t -> Source_store.t

@@ -1,0 +1,27 @@
+(** Whole-program compilation: the "parallel make" layer above the
+    concurrent compiler.
+
+    Compiles the main module plus every imported module whose
+    implementation is in the store — each with the full concurrent
+    compiler — and links all code units into one executable program with
+    Modula-2 initialization order (an imported module's body runs before
+    its importer's; the main module's last).  Interface frames are
+    deduplicated by key; the result is schedule-independent like the
+    single-module merge (paper §2.1). *)
+
+open Mcc_m2
+open Mcc_codegen
+
+type result = {
+  program : Cunit.program;
+  diags : Diag.d list;
+  ok : bool;
+  modules : (string * Driver.result) list;  (** per-module results, in init order *)
+  total_units : float;  (** summed virtual compile time across modules *)
+}
+
+(** Module initialization order for the store (imports before importers,
+    main last), restricted to modules with implementations. *)
+val init_order : Source_store.t -> string list
+
+val compile : ?config:Driver.config -> Source_store.t -> result

@@ -1,0 +1,1 @@
+lib/m2/diag.ml: Int List Loc Mutex Printf String

@@ -1,0 +1,1 @@
+lib/m2/diag.mli: Loc

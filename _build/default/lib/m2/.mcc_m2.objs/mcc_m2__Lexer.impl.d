@@ -1,0 +1,1 @@
+lib/m2/lexer.ml: Char Costs Eff List Loc Mcc_sched Printf String Token

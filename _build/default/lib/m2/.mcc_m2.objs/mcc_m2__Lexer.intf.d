@@ -1,0 +1,1 @@
+lib/m2/lexer.mli: Token

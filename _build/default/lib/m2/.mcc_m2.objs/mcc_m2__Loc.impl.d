@@ -1,0 +1,1 @@
+lib/m2/loc.ml: Format Int Printf

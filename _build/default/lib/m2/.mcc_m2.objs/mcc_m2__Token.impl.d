@@ -1,0 +1,1 @@
+lib/m2/token.ml: Char Hashtbl List Loc Printf

@@ -1,0 +1,1 @@
+lib/m2/tokq.ml: Array Costs Eff Event List Loc Mcc_sched Mcc_util Mutex Option Reader Token Vec

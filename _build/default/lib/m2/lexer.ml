@@ -1,0 +1,232 @@
+(* The hand-written streaming lexer.
+
+   One Lexor task runs this over each source file (the implementation
+   module and every imported definition module), feeding tokens into the
+   stream's token queue.  Lexor tasks never block (paper §2.3.3), which
+   is what makes barrier events safe for token-queue consumers.
+
+   Lexical ground rules of Modula-2(+):
+   - reserved words are all-caps and cannot be identifiers;
+   - comments are (* ... *) and nest; pragmas <* ... *> are skipped;
+   - integer literals: decimal [0-9]+, octal [0-7]+B, hex [0-9A-F]+H,
+     character code [0-7]+C;
+   - real literals: digits '.' digits [E [+|-] digits];
+   - strings in double or single quotes, no escapes, must not span lines.
+
+   Work accounting: [Costs.lex_char] per character consumed plus
+   [Costs.lex_token] per token produced. *)
+
+open Mcc_sched
+
+type t = {
+  file : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let create ~file src = { file; src; pos = 0; line = 1; bol = 0 }
+
+let loc_at t pos = Loc.make ~line:t.line ~col:(pos - t.bol + 1) ~off:pos
+
+let len t = String.length t.src
+let at_end t = t.pos >= len t
+let cur t = if at_end t then '\000' else t.src.[t.pos]
+let peek_at t k = if t.pos + k >= len t then '\000' else t.src.[t.pos + k]
+
+let advance t =
+  if not (at_end t) then begin
+    if t.src.[t.pos] = '\n' then begin
+      t.line <- t.line + 1;
+      t.bol <- t.pos + 1
+    end;
+    t.pos <- t.pos + 1;
+    Eff.work Costs.lex_char
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_oct c = c >= '0' && c <= '7'
+let is_hex c = is_digit c || (c >= 'A' && c <= 'F')
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_alnum c = is_alpha c || is_digit c
+
+(* Skip one (possibly nested) comment whose opener starts at [t.pos].
+   [op]/[cl] distinguish (* *) comments from <* *> pragmas. *)
+let skip_comment t ~op ~cl =
+  let depth = ref 0 in
+  let fin = ref false in
+  while not !fin do
+    if at_end t then fin := true (* unterminated; caller sees Eof next *)
+    else if cur t = op && peek_at t 1 = '*' then begin
+      incr depth;
+      advance t;
+      advance t
+    end
+    else if cur t = '*' && peek_at t 1 = cl then begin
+      decr depth;
+      advance t;
+      advance t;
+      if !depth = 0 then fin := true
+    end
+    else advance t
+  done
+
+let rec skip_blank t =
+  let c = cur t in
+  if c = ' ' || c = '\t' || c = '\r' || c = '\n' then begin
+    advance t;
+    skip_blank t
+  end
+  else if c = '(' && peek_at t 1 = '*' then begin
+    skip_comment t ~op:'(' ~cl:')';
+    skip_blank t
+  end
+  else if c = '<' && peek_at t 1 = '*' then begin
+    skip_comment t ~op:'<' ~cl:'>';
+    skip_blank t
+  end
+
+let lex_ident_or_kw t =
+  let start = t.pos in
+  while is_alnum (cur t) || cur t = '_' do
+    advance t
+  done;
+  let s = String.sub t.src start (t.pos - start) in
+  match Token.lookup_keyword s with Some k -> Token.Kw k | None -> Token.Ident s
+
+(* Numbers: scan the maximal [0-9A-F]* prefix, then classify by suffix
+   (H = hex, B = octal, C = char code) or continue into a real literal.
+   "1..10" needs care: a '.' followed by another '.' ends the number. *)
+let lex_number t =
+  let start = t.pos in
+  while is_hex (cur t) do
+    advance t
+  done;
+  if cur t = 'H' then begin
+    let digits = String.sub t.src start (t.pos - start) in
+    advance t;
+    match int_of_string_opt ("0x" ^ digits) with
+    | Some n -> Token.IntLit n
+    | None -> Token.Error (Printf.sprintf "bad hexadecimal literal %sH" digits)
+  end
+  else begin
+    let digits = String.sub t.src start (t.pos - start) in
+    let all_dec = String.for_all is_digit digits in
+    (* 'B' and 'C' are hex digits *and* the octal/char-code suffixes: with
+       no 'H' following, a trailing B/C over octal digits is a suffix *)
+    let body = String.sub digits 0 (max 0 (String.length digits - 1)) in
+    let last = if digits = "" then ' ' else digits.[String.length digits - 1] in
+    let body_oct = body <> "" && String.for_all is_oct body in
+    if last = 'B' && body_oct then begin
+      match int_of_string_opt ("0o" ^ body) with
+      | Some n -> Token.IntLit n
+      | None -> Token.Error (Printf.sprintf "bad octal literal %s" digits)
+    end
+    else if last = 'C' && body_oct then begin
+      match int_of_string_opt ("0o" ^ body) with
+      | Some n when n < 256 -> Token.CharLit (Char.chr n)
+      | _ -> Token.Error (Printf.sprintf "bad character code %s" digits)
+    end
+    else if cur t = '.' && peek_at t 1 <> '.' && all_dec then begin
+      advance t;
+      while is_digit (cur t) do
+        advance t
+      done;
+      if cur t = 'E' then begin
+        advance t;
+        if cur t = '+' || cur t = '-' then advance t;
+        while is_digit (cur t) do
+          advance t
+        done
+      end;
+      let text = String.sub t.src start (t.pos - start) in
+      match float_of_string_opt text with
+      | Some f -> Token.RealLit f
+      | None -> Token.Error (Printf.sprintf "bad real literal %s" text)
+    end
+    else if all_dec then
+      match int_of_string_opt digits with
+      | Some n -> Token.IntLit n
+      | None -> Token.Error (Printf.sprintf "integer literal out of range: %s" digits)
+    else Token.Error (Printf.sprintf "bad numeric literal %s" digits)
+  end
+
+let lex_string t quote =
+  advance t;
+  let start = t.pos in
+  while (not (at_end t)) && cur t <> quote && cur t <> '\n' do
+    advance t
+  done;
+  if cur t = quote then begin
+    let s = String.sub t.src start (t.pos - start) in
+    advance t;
+    Token.StrLit s
+  end
+  else Token.Error "unterminated string literal"
+
+let lex_sym t =
+  let c = cur t in
+  let two k =
+    advance t;
+    advance t;
+    Token.Sym k
+  in
+  let one k =
+    advance t;
+    Token.Sym k
+  in
+  match c with
+  | '+' -> one Token.Plus
+  | '-' -> one Token.Minus
+  | '*' -> one Token.Star
+  | '/' -> one Token.Slash
+  | ':' -> if peek_at t 1 = '=' then two Token.Assign else one Token.Colon
+  | '=' -> one Token.Eq
+  | '#' -> one Token.Neq
+  | '<' ->
+      if peek_at t 1 = '=' then two Token.Le
+      else if peek_at t 1 = '>' then two Token.Neq
+      else one Token.Lt
+  | '>' -> if peek_at t 1 = '=' then two Token.Ge else one Token.Gt
+  | '(' -> one Token.Lparen
+  | ')' -> one Token.Rparen
+  | '[' -> one Token.Lbracket
+  | ']' -> one Token.Rbracket
+  | '{' -> one Token.Lbrace
+  | '}' -> one Token.Rbrace
+  | ',' -> one Token.Comma
+  | ';' -> one Token.Semi
+  | '.' -> if peek_at t 1 = '.' then two Token.DotDot else one Token.Dot
+  | '^' -> one Token.Caret
+  | '|' -> one Token.Bar
+  | '&' -> one Token.Amp
+  | '~' -> one Token.Tilde
+  | c ->
+      advance t;
+      Token.Error (Printf.sprintf "unexpected character %C" c)
+
+let next t =
+  skip_blank t;
+  let loc = loc_at t t.pos in
+  Eff.work Costs.lex_token;
+  if at_end t then Token.eof loc
+  else
+    let c = cur t in
+    let kind =
+      if is_alpha c then lex_ident_or_kw t
+      else if is_digit c then lex_number t
+      else if c = '"' || c = '\'' then lex_string t c
+      else lex_sym t
+    in
+    Token.make kind loc
+
+(* Lex an entire source to a list — used by tests and by the sequential
+   compiler's direct pull path. *)
+let all ~file src =
+  let t = create ~file src in
+  let rec go acc =
+    let tok = next t in
+    if Token.is_eof tok then List.rev (tok :: acc) else go (tok :: acc)
+  in
+  go []

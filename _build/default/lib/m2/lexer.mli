@@ -1,0 +1,22 @@
+(** The hand-written streaming lexer.
+
+    One Lexor task runs this per source file, feeding tokens into the
+    stream's token queue; Lexor tasks never block (paper §2.3.3).
+    Handles reserved words, all Modula-2 literal forms (decimal, octal
+    [B], character-code [C], hexadecimal [H], reals with exponents,
+    single- or double-quoted strings), nested [(* *)] comments and
+    [<* *>] pragmas.  Charges {!Mcc_sched.Costs.lex_char} per character
+    and {!Mcc_sched.Costs.lex_token} per token. *)
+
+type t
+
+val create : file:string -> string -> t
+
+(** The next token; yields [Eof] tokens forever at end of input.
+    Lexical errors surface as [Token.Error] tokens for the consumer to
+    report. *)
+val next : t -> Token.t
+
+(** Lex a whole source to a list ending in [Eof] — tests and the
+    sequential compiler's direct pull path. *)
+val all : file:string -> string -> Token.t list

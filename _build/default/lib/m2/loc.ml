@@ -1,0 +1,17 @@
+(* Source locations.
+
+   [off] is the absolute byte offset within the containing file; besides
+   driving error messages it provides the textual ordering used to
+   enforce declare-before-use at declaration-analysis time (see
+   [Mcc_sem.Symtab]): a symbol declared at offset d is visible to a
+   declaration-time reference at offset u iff d < u, within one file. *)
+
+type t = { line : int; col : int; off : int }
+
+let none = { line = 0; col = 0; off = -1 }
+let make ~line ~col ~off = { line; col; off }
+
+let compare a b = Int.compare a.off b.off
+
+let pp ppf t = Format.fprintf ppf "%d:%d" t.line t.col
+let to_string t = Printf.sprintf "%d:%d" t.line t.col

@@ -1,0 +1,17 @@
+(** Source locations.
+
+    [off] is the absolute byte offset within the containing file; besides
+    driving error messages it provides the textual ordering used to
+    enforce declare-before-use at declaration-analysis time (see
+    [Mcc_sem.Symtab]). *)
+
+type t = { line : int; col : int; off : int }
+
+val none : t
+val make : line:int -> col:int -> off:int -> t
+
+(** Compare by offset. *)
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

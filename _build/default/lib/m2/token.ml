@@ -1,0 +1,160 @@
+(* Lexical tokens of Modula-2+.
+
+   Reserved words (not keywords) determine the lexical structure of the
+   language — the property the paper's whole approach depends on: "We
+   restricted ourselves to languages in which reserved words were used to
+   determine the lexical structure of programs.  This restriction allows
+   us to partition programs for concurrent processing during lexical
+   analysis" (§1).
+
+   [SplitMark] is a synthetic token inserted by the Splitter into the
+   parent stream where a procedure body was diverted to a child stream;
+   it carries the child stream's id so the parent parser can associate
+   the declared procedure with the stream that compiles its body. *)
+
+type kw =
+  | AND
+  | ARRAY
+  | BEGIN
+  | BY
+  | CASE
+  | CONST
+  | DEFINITION
+  | DIV
+  | DO
+  | ELSE
+  | ELSIF
+  | END
+  | EXCEPT (* Modula-2+ *)
+  | EXIT
+  | EXPORT
+  | FINALLY (* Modula-2+ *)
+  | FOR
+  | FROM
+  | IF
+  | IMPLEMENTATION
+  | IMPORT
+  | IN
+  | LOCK (* Modula-2+ *)
+  | LOOP
+  | MOD
+  | MODULE
+  | NOT
+  | OF
+  | OR
+  | PASSING (* Modula-2+ (accepted, unused) *)
+  | POINTER
+  | PROCEDURE
+  | QUALIFIED
+  | RAISE (* Modula-2+ *)
+  | RECORD
+  | REPEAT
+  | RETURN
+  | SET
+  | THEN
+  | TO
+  | TRY (* Modula-2+ *)
+  | TYPE
+  | UNTIL
+  | VAR
+  | WHILE
+  | WITH
+
+type sym =
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Assign (* := *)
+  | Eq
+  | Neq (* # or <> *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semi
+  | Colon
+  | DotDot
+  | Dot
+  | Caret
+  | Bar
+  | Amp (* & = AND *)
+  | Tilde (* ~ = NOT *)
+
+type kind =
+  | Ident of string
+  | IntLit of int
+  | RealLit of float
+  | CharLit of char
+  | StrLit of string
+  | Kw of kw
+  | Sym of sym
+  | SplitMark of int (* child stream id *)
+  | Error of string (* lexical error, reported by the consumer *)
+  | Eof
+
+type t = { kind : kind; loc : Loc.t }
+
+let make kind loc = { kind; loc }
+let eof loc = { kind = Eof; loc }
+
+let keywords =
+  [
+    ("AND", AND); ("ARRAY", ARRAY); ("BEGIN", BEGIN); ("BY", BY); ("CASE", CASE);
+    ("CONST", CONST); ("DEFINITION", DEFINITION); ("DIV", DIV); ("DO", DO);
+    ("ELSE", ELSE); ("ELSIF", ELSIF); ("END", END); ("EXCEPT", EXCEPT);
+    ("EXIT", EXIT); ("EXPORT", EXPORT); ("FINALLY", FINALLY); ("FOR", FOR);
+    ("FROM", FROM); ("IF", IF); ("IMPLEMENTATION", IMPLEMENTATION);
+    ("IMPORT", IMPORT); ("IN", IN); ("LOCK", LOCK); ("LOOP", LOOP); ("MOD", MOD);
+    ("MODULE", MODULE); ("NOT", NOT); ("OF", OF); ("OR", OR); ("PASSING", PASSING);
+    ("POINTER", POINTER); ("PROCEDURE", PROCEDURE); ("QUALIFIED", QUALIFIED);
+    ("RAISE", RAISE); ("RECORD", RECORD); ("REPEAT", REPEAT); ("RETURN", RETURN);
+    ("SET", SET); ("THEN", THEN); ("TO", TO); ("TRY", TRY); ("TYPE", TYPE);
+    ("UNTIL", UNTIL); ("VAR", VAR); ("WHILE", WHILE); ("WITH", WITH);
+  ]
+
+let keyword_table : (string, kw) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun (s, k) -> Hashtbl.add h s k) keywords;
+  h
+
+let lookup_keyword s = Hashtbl.find_opt keyword_table s
+
+let kw_name k =
+  match List.find_opt (fun (_, k') -> k' = k) keywords with
+  | Some (s, _) -> s
+  | None -> "?"
+
+let sym_name = function
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/" | Assign -> ":="
+  | Eq -> "=" | Neq -> "#" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Lparen -> "(" | Rparen -> ")" | Lbracket -> "[" | Rbracket -> "]"
+  | Lbrace -> "{" | Rbrace -> "}" | Comma -> "," | Semi -> ";" | Colon -> ":"
+  | DotDot -> ".." | Dot -> "." | Caret -> "^" | Bar -> "|" | Amp -> "&"
+  | Tilde -> "~"
+
+let kind_to_string = function
+  | Ident s -> s
+  | IntLit n -> string_of_int n
+  | RealLit f -> Printf.sprintf "%g" f
+  | CharLit c -> Printf.sprintf "%dC" (Char.code c)
+  | StrLit s -> Printf.sprintf "%S" s
+  | Kw k -> kw_name k
+  | Sym s -> sym_name s
+  | SplitMark n -> Printf.sprintf "<split:%d>" n
+  | Error m -> Printf.sprintf "<error:%s>" m
+  | Eof -> "<eof>"
+
+let describe t = kind_to_string t.kind
+
+let is_kw t k = match t.kind with Kw k' -> k' = k | _ -> false
+let is_sym t s = match t.kind with Sym s' -> s' = s | _ -> false
+let is_ident t = match t.kind with Ident _ -> true | _ -> false
+let is_eof t = match t.kind with Eof -> true | _ -> false

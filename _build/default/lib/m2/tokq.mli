@@ -1,0 +1,39 @@
+(** Token queues: the producer/consumer structure between a Lexor task
+    and its consumers (paper §2.3.1) — tokens travel in blocks of
+    {!block_size}, each published under an availability event.
+
+    The paper makes availability events barrier events; under this cost
+    model a reschedule is cheaper than holding the processor, so queues
+    default to handled events ([~barrier:true], or the global default,
+    restores the paper's choice — benchmarked as an ablation).  A queue
+    may have several independent readers (the main stream feeds both the
+    Splitter and the Importer). *)
+
+val block_size : int ref
+
+(** Change the tokens-per-block granularity (sensitivity experiments). *)
+val set_block_size : int -> unit
+
+type t
+
+(** Flip the default availability-event kind for subsequently created
+    queues (the bench harness's A/B switch). *)
+val set_default_barrier : bool -> unit
+
+val create : ?barrier:bool -> name:string -> unit -> t
+
+(** Append a token; publishes a block (and signals its event) every
+    {!block_size} tokens.
+    @raise Invalid_argument after [close]. *)
+val put : t -> Token.t -> unit
+
+(** Publish any partial block and mark the stream ended; readers then
+    see [Eof] tokens forever. *)
+val close : t -> unit
+
+(** Total tokens ever enqueued. *)
+val total_tokens : t -> int
+
+(** A fresh independent cursor.  Reading waits (through the engine) for
+    the next block when it has consumed everything published. *)
+val reader : t -> Reader.t

@@ -1,0 +1,1 @@
+lib/parse/parser.ml: Ast Costs Eff List Loc Mcc_ast Mcc_m2 Mcc_sched Mcc_sem Option Reader Token

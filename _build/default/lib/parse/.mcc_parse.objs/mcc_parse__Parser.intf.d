@@ -1,0 +1,1 @@
+lib/parse/parser.mli: Ast Mcc_ast Mcc_m2 Mcc_sem Reader

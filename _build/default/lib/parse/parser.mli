@@ -1,0 +1,68 @@
+(** The parser / declarations analyzer — one task per stream (paper §3).
+
+    Performs syntax analysis on the whole stream, semantic analysis of
+    declarations inline (entering symbols into the stream's scope as
+    they parse), marks the scope's table complete, and builds a parse
+    tree for the statement part whose semantic analysis is deferred to
+    the statement-analyzer/code-generator task.
+
+    The same grammar serves the concurrent module parser (which resolves
+    [SplitMark] tokens left by the Splitter), the concurrent
+    procedure-stream parser, the definition-module parser and the
+    sequential compiler (procedure bodies inline), differing only in the
+    {!callbacks}.  Panic-mode error recovery depends only on the token
+    stream, so sequential and concurrent compilations diagnose erroneous
+    programs identically. *)
+
+open Mcc_m2
+open Mcc_ast
+module Ctx = Mcc_sem.Ctx
+module Symtab = Mcc_sem.Symtab
+module D = Mcc_sem.Declare
+
+(** A completed statement part, ready for code generation. *)
+type gen_job = {
+  gj_ctx : Ctx.t;  (** the (completed) scope the statements execute in *)
+  gj_key : string;  (** code-unit key *)
+  gj_sig : Mcc_sem.Types.signature option;  (** [None] for a module body *)
+  gj_body : Ast.stmt list;
+  gj_nslots : int;  (** local frame size: params + locals *)
+  gj_size : int;  (** statement-tree size (long/short task ordering) *)
+}
+
+(** How the surrounding driver wires streams together. *)
+type callbacks = {
+  cb_import : Ctx.t -> Ast.ident -> Symtab.t option;
+      (** resolve an imported module to its interface scope, starting its
+          stream on first reference (the once-only table); [None] if the
+          interface does not exist *)
+  cb_heading : Ctx.t -> D.heading_info -> stream:int -> unit;
+      (** a split-away procedure's heading has been processed in the
+          parent scope: publish it to the child stream *)
+  cb_body : gen_job -> unit;
+      (** a statement part is ready: spawn or queue its code generation *)
+}
+
+type t
+
+val create : cb:callbacks -> Reader.t -> t
+
+(** Parse DEFINITION MODULE [expected_name]: imports, exports (ignored),
+    declarations (procedures heading-only; opaque types allowed), then
+    mark the scope complete. *)
+val parse_def_module : Ctx.t -> t -> expected_name:string -> unit
+
+(** Parse [IMPLEMENTATION] MODULE [expected_name]: imports, declarations
+    (procedure bodies split or inline), mark complete, statement part to
+    [cb_body]. *)
+val parse_impl_module : Ctx.t -> t -> expected_name:string -> unit
+
+(** Parse a bare statement sequence (no semantic analysis): the
+    parse-print-reparse round-trip property uses this. *)
+val parse_statement_sequence : Ctx.t -> t -> Ast.stmt list
+
+(** Parse a procedure stream: heading tokens then the block.  With
+    [heading = Some hi] (alternative 1) the parent's entries are copied
+    in; with [None] (alternative 3) the parameter heading is re-derived
+    here, producing identical entries. *)
+val parse_proc_stream : Ctx.t -> t -> heading:D.heading_info option -> key:string -> unit

@@ -1,0 +1,1 @@
+lib/sched/des_engine.ml: Costs Eff Event Fun Hashtbl Heap List Mcc_util Option Printf Supervisor Task Trace

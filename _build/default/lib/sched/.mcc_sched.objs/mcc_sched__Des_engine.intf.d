@@ -1,0 +1,1 @@
+lib/sched/des_engine.mli: Task Trace

@@ -1,0 +1,1 @@
+lib/sched/domain_engine.ml: Condition Domain Eff Event Fun Hashtbl List Mutex Option Supervisor Task Unix

@@ -1,0 +1,1 @@
+lib/sched/domain_engine.mli: Task

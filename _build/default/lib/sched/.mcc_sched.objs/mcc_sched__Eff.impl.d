@@ -1,0 +1,1 @@
+lib/sched/eff.ml: Costs Effect Event Format Printexc Task

@@ -1,0 +1,1 @@
+lib/sched/eff.mli: Effect Event Printexc Task

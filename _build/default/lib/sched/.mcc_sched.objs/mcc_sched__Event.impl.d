@@ -1,0 +1,1 @@
+lib/sched/event.ml: Atomic Format

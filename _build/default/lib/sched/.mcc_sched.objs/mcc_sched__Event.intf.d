@@ -1,0 +1,1 @@
+lib/sched/event.mli: Atomic Format

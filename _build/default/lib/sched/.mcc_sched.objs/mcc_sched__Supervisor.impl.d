@@ -1,0 +1,1 @@
+lib/sched/supervisor.ml: Array Deque Eff Event Hashtbl List Mcc_util Option Task

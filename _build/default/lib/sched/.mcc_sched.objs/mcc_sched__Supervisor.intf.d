@@ -1,0 +1,1 @@
+lib/sched/supervisor.mli: Eff Event Task

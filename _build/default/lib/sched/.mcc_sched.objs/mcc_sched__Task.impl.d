@@ -1,0 +1,1 @@
+lib/sched/task.ml: Atomic Event Format

@@ -1,0 +1,1 @@
+lib/sched/trace.ml: Array Mcc_util Task Vec

@@ -1,0 +1,75 @@
+(** The virtual cost model for the simulated multiprocessor.
+
+    Compiler code charges work units proportional to real work; the DES
+    turns units into virtual time.  The constants below are the model's
+    knobs, calibrated so that (a) the synthetic suite's sequential
+    compile times span Table 1's 2.3..108 s range, (b) the 1-processor
+    concurrency overhead lands near the paper's 4.3%, and (c) Synth.mod
+    approaches the paper's 6.67 speedup at 8 processors.  The sensitivity
+    experiment (`bench/main.exe sensitivity`) shows no conclusion depends
+    delicately on them. *)
+
+(** {1 Lexical analysis} *)
+
+val lex_char : int
+val lex_token : int
+
+(** {1 Token queues (concurrent paths only; per block, not per token)} *)
+
+val tokq_block_publish : int
+val tokq_block_fetch : int
+
+(** {1 Splitter / importer} *)
+
+val split_token : int
+val import_token : int
+
+(** {1 Parsing and declaration analysis} *)
+
+val parse_token : int
+val decl_entry : int
+
+(** Copying one entry parent → child (heading alternative 1). *)
+val copy_entry : int
+
+(** Optimistic handling's per-symbol event bookkeeping (paper §2.3.3:
+    "the overhead of maintaining so many events outweighs the
+    advantages"). *)
+val placeholder_create : int
+
+val symbol_event : int
+val sweep_entry : int
+val expr_node : int
+val lookup_probe : int
+
+(** {1 Statement analysis / code generation} *)
+
+val stmt_node : int
+val emit_instr : int
+
+(** {1 Merge / link} *)
+
+val merge_unit : int
+
+(** {1 Concurrency overheads} *)
+
+val spawn_cost : int
+val signal_cost : int
+val wait_check_cost : int
+
+(** Supervisor dispatch latency, in time units. *)
+val dispatch_cost : float
+
+(** {1 Engine parameters} *)
+
+(** Work units accumulated before yielding to the engine. *)
+val quantum : int
+
+(** Memory-bus saturation: execution rate with [b] busy processors is
+    [1/(1 + bus_beta*(b-1)^2)]. *)
+val bus_beta : float
+
+(** Virtual-unit to reported-seconds calibration. *)
+val seconds_per_unit : float
+
+val to_seconds : float -> float

@@ -1,0 +1,258 @@
+(* The discrete-event simulated multiprocessor.
+
+   This engine runs real compiler tasks (which do real compilation work
+   on real source text) on [procs] simulated processors, advancing a
+   virtual clock from the work units the tasks charge.  It substitutes
+   for the paper's 8-CVax DEC Firefly: the *shape* of the computation —
+   which tasks exist, what they wait on, how much work each does — comes
+   from the actual compilation; only time is virtual.  Runs are exactly
+   deterministic: the agenda breaks ties by insertion order and the free
+   processor list is kept sorted.
+
+   Scheduling follows the Supervisors approach (paper §2.3.2): tasks are
+   queued in the Supervisor's class-priority structure; a processor that
+   frees up takes the highest-priority ready task.  A task blocking on a
+   handled event is suspended (its continuation parked on the event) and
+   its processor is given other work, with preference given to the task
+   that will signal the awaited event; barrier waits keep the processor
+   bound, as in the paper's token streams.
+
+   Memory-bus contention: a work segment started when [b] processors are
+   busy is stretched by (1 + beta*(b-1)), modelling the Firefly's bus
+   saturation (paper §4.1). *)
+
+open Mcc_util
+
+type outcome = Completed | Deadlocked of string list
+
+type result = {
+  end_time : float; (* virtual work units *)
+  end_seconds : float; (* end_time scaled by Costs.seconds_per_unit *)
+  trace : Trace.t;
+  outcome : outcome;
+  tasks_run : int;
+  failures : (string * exn) list; (* task name, exception *)
+  handled_blocks : int;
+      (* suspensions on handled events of any kind (token-queue waits,
+         completion waits, ...); symbol-table DKY blockages specifically
+         are counted by [Mcc_sem.Lookup_stats] *)
+}
+
+type item =
+  | Start of int * Task.t
+  | Continue of int * Task.t * Eff.resumption
+  | Complete of int * Task.t
+
+type state = {
+  sup : Supervisor.t;
+  agenda : item Heap.t;
+  trace : Trace.t;
+  waiting : (int, (Task.t * Eff.resumption) list) Hashtbl.t;
+  barrier_waiting : (int, (int * float * Task.t * Eff.resumption) list) Hashtbl.t;
+  mutable free : int list; (* sorted ascending *)
+  mutable barrier_count : int;
+  mutable n_blocked : int;
+  mutable n_finished : int;
+  mutable failures : (string * exn) list;
+  mutable handled_blocks : int;
+  procs : int;
+  beta : float;
+}
+
+let dummy_item = Complete (0, Task.create ~cls:Task.Aux ~name:"dummy" (fun () -> ()))
+
+let busy st = st.procs - List.length st.free - st.barrier_count
+
+let scale st units =
+  let b = max 1 (busy st) in
+  let x = float_of_int (b - 1) in
+  float_of_int units *. (1.0 +. (st.beta *. x *. x))
+
+let take_free st =
+  match st.free with
+  | [] -> None
+  | p :: rest ->
+      st.free <- rest;
+      Some p
+
+let add_free st p = st.free <- List.sort compare (p :: st.free)
+
+let schedule_entry st t p entry =
+  let t' = t +. Costs.dispatch_cost in
+  match entry with
+  | Supervisor.Fresh task -> Heap.push st.agenda t' (Start (p, task))
+  | Supervisor.Resumed (task, k) -> Heap.push st.agenda t' (Continue (p, task, k))
+
+(* Give ready tasks to free processors at time [t]. *)
+let rec try_assign st t =
+  if st.free <> [] && Supervisor.n_ready st.sup > 0 then begin
+    match take_free st with
+    | None -> ()
+    | Some p -> (
+        match Supervisor.pick st.sup with
+        | Some entry ->
+            schedule_entry st t p entry;
+            try_assign st t
+        | None -> add_free st p)
+  end
+
+(* Processor [p] became free at [t]: give it work or park it. *)
+let release_proc st t p =
+  match Supervisor.pick st.sup with
+  | Some entry -> schedule_entry st t p entry
+  | None -> add_free st p
+
+let do_signal st t (ev : Event.t) =
+  if not (Event.occurred ev) then begin
+    Event.mark ev;
+    ev.Event.signal_time <- t;
+    (* release tasks gated on this avoided event *)
+    Supervisor.on_event st.sup ev;
+    (* wake handled waiters: their continuations go back to the ready
+       structure, at the front of their class *)
+    (match Hashtbl.find_opt st.waiting ev.Event.id with
+    | None -> ()
+    | Some waiters ->
+        Hashtbl.remove st.waiting ev.Event.id;
+        List.iter
+          (fun (task, k) ->
+            st.n_blocked <- st.n_blocked - 1;
+            Supervisor.resume st.sup task k)
+          waiters);
+    (* wake barrier waiters on their own (still bound) processors *)
+    (match Hashtbl.find_opt st.barrier_waiting ev.Event.id with
+    | None -> ()
+    | Some waiters ->
+        Hashtbl.remove st.barrier_waiting ev.Event.id;
+        List.iter
+          (fun (p, t_block, task, k) ->
+            st.barrier_count <- st.barrier_count - 1;
+            Trace.add st.trace ~proc:p ~task_id:task.Task.id ~cls:task.Task.cls ~t0:t_block ~t1:t
+              ~kind:Trace.Waitbar;
+            Heap.push st.agenda t (Continue (p, task, k)))
+          waiters);
+    try_assign st t
+  end
+
+(* Drive one task on processor [p] starting from [step] at time [t],
+   until it yields to the scheduler. *)
+let rec handle_step st t p (task : Task.t) (step : Eff.step) =
+  match step with
+  | Eff.Worked (c, k) ->
+      let dur = scale st c in
+      Trace.add st.trace ~proc:p ~task_id:task.Task.id ~cls:task.Task.cls ~t0:t ~t1:(t +. dur)
+        ~kind:Trace.Run;
+      Heap.push st.agenda (t +. dur) (Continue (p, task, k))
+  | Eff.Finished residue ->
+      if residue > 0 then begin
+        let dur = scale st residue in
+        Trace.add st.trace ~proc:p ~task_id:task.Task.id ~cls:task.Task.cls ~t0:t ~t1:(t +. dur)
+          ~kind:Trace.Run;
+        Heap.push st.agenda (t +. dur) (Complete (p, task))
+      end
+      else finish_task st t p task
+  | Eff.Failed (e, _bt) ->
+      st.failures <- (task.Task.name, e) :: st.failures;
+      finish_task st t p task
+  | Eff.Blocked (ev, k) ->
+      if Event.occurred ev then handle_step st t p task (Eff.resume k)
+      else if ev.Event.kind = Event.Barrier then begin
+        task.Task.state <- Task.Blocked;
+        st.barrier_count <- st.barrier_count + 1;
+        let l = Option.value ~default:[] (Hashtbl.find_opt st.barrier_waiting ev.Event.id) in
+        Hashtbl.replace st.barrier_waiting ev.Event.id ((p, t, task, k) :: l)
+      end
+      else begin
+        task.Task.state <- Task.Blocked;
+        st.n_blocked <- st.n_blocked + 1;
+        st.handled_blocks <- st.handled_blocks + 1;
+        let l = Option.value ~default:[] (Hashtbl.find_opt st.waiting ev.Event.id) in
+        Hashtbl.replace st.waiting ev.Event.id ((task, k) :: l);
+        (* prefer the task that will signal this event (paper §2.3.4) *)
+        Supervisor.prefer st.sup ev.Event.producer;
+        release_proc st t p
+      end
+  | Eff.Signaled (ev, k) ->
+      do_signal st t ev;
+      handle_step st t p task (Eff.resume k)
+  | Eff.Spawned (task', k) ->
+      Supervisor.submit st.sup task';
+      try_assign st t;
+      handle_step st t p task (Eff.resume k)
+
+and finish_task st t p (task : Task.t) =
+  task.Task.state <- Task.Done;
+  st.n_finished <- st.n_finished + 1;
+  release_proc st t p
+
+(* Diagnose what everyone is stuck on when the agenda drains with parked
+   tasks remaining. *)
+let deadlock_report st =
+  let waits =
+    Hashtbl.fold
+      (fun ev_id waiters acc ->
+        List.map (fun ((t : Task.t), _) -> Printf.sprintf "%s waits on event#%d" t.name ev_id) waiters
+        @ acc)
+      st.waiting []
+  in
+  let gates =
+    List.concat_map
+      (fun (ev_id, names) ->
+        List.map (fun n -> Printf.sprintf "%s gated on event#%d" n ev_id) names)
+      (Supervisor.gated_events st.sup)
+  in
+  List.sort compare (waits @ gates)
+
+let run ?(beta = Costs.bus_beta) ?(fifo = false) ~procs tasks =
+  if procs < 1 then invalid_arg "Des_engine.run: need at least one processor";
+  let st =
+    {
+      sup = Supervisor.create ~fifo ();
+      agenda = Heap.create dummy_item;
+      trace = Trace.create ();
+      waiting = Hashtbl.create 64;
+      barrier_waiting = Hashtbl.create 64;
+      free = List.init procs Fun.id;
+      barrier_count = 0;
+      n_blocked = 0;
+      n_finished = 0;
+      failures = [];
+      handled_blocks = 0;
+      procs;
+      beta;
+    }
+  in
+  let saved_mode = !Eff.mode in
+  Eff.mode := Eff.Engine;
+  Eff.acc := 0;
+  Fun.protect
+    ~finally:(fun () -> Eff.mode := saved_mode)
+    (fun () ->
+      List.iter (Supervisor.submit st.sup) tasks;
+      try_assign st 0.0;
+      let last_t = ref 0.0 in
+      let rec loop () =
+        match Heap.pop st.agenda with
+        | None -> ()
+        | Some (t, item) ->
+            last_t := t;
+            (match item with
+            | Start (p, task) ->
+                task.Task.state <- Task.Running;
+                handle_step st t p task (Eff.start task.Task.body)
+            | Continue (p, task, k) -> handle_step st t p task (Eff.resume k)
+            | Complete (p, task) -> finish_task st t p task);
+            loop ()
+      in
+      loop ();
+      let stuck = deadlock_report st in
+      let end_time = max !last_t (Trace.horizon st.trace) in
+      {
+        end_time;
+        end_seconds = Costs.to_seconds end_time;
+        trace = st.trace;
+        outcome = (if stuck = [] then Completed else Deadlocked stuck);
+        tasks_run = st.n_finished;
+        failures = List.rev st.failures;
+        handled_blocks = st.handled_blocks;
+      })

@@ -1,0 +1,36 @@
+(** The discrete-event simulated multiprocessor.
+
+    Runs real compiler tasks on [procs] simulated processors, advancing a
+    virtual clock from the work units the tasks charge — the stand-in
+    for the paper's 8-CVax DEC Firefly.  Deterministic: ties break by
+    insertion order, so the same inputs give bit-identical traces.
+
+    Scheduling follows the Supervisors approach (paper §2.3.2): handled
+    waits suspend the task and free the processor (preferring the
+    event's producer next); barrier waits keep the processor bound;
+    avoided events gate task start.  A work segment started with [b]
+    busy processors is stretched by [1 + beta*(b-1)^2] (memory-bus
+    saturation, §4.1). *)
+
+type outcome =
+  | Completed
+  | Deadlocked of string list
+      (** descriptions of tasks still parked when the agenda drained *)
+
+type result = {
+  end_time : float;  (** virtual work units *)
+  end_seconds : float;  (** [end_time] scaled by {!Costs.seconds_per_unit} *)
+  trace : Trace.t;
+  outcome : outcome;
+  tasks_run : int;
+  failures : (string * exn) list;  (** tasks that raised, with their exception *)
+  handled_blocks : int;
+      (** suspensions on handled events of any kind; symbol-table DKY
+          blockages specifically are counted by [Mcc_sem.Lookup_stats] *)
+}
+
+(** [run ~beta ~procs tasks] simulates the initial task set (plus
+    everything it spawns) to quiescence.  [beta] defaults to
+    {!Costs.bus_beta}; [~fifo:true] disables the Supervisor's priority
+    scheduling (ablation of paper §2.3.4). *)
+val run : ?beta:float -> ?fifo:bool -> procs:int -> Task.t list -> result

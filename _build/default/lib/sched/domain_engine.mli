@@ -1,0 +1,24 @@
+(** The shared-memory execution engine: real parallelism on OCaml
+    domains — the analogue of the paper's Topaz threads on the Firefly.
+
+    The same effect-based tasks the DES simulates execute here on
+    [domains] workers sharing one Supervisor under a mutex.  A blocked
+    task's continuation parks on the awaited event and the worker takes
+    other work; continuations migrate freely between domains (the
+    capability the paper's Topaz threads lacked).  Work accounting is
+    disabled — real time is real. *)
+
+type outcome =
+  | Completed
+  | Deadlocked of int  (** number of tasks still parked at quiescence *)
+
+type result = {
+  wall_seconds : float;
+  outcome : outcome;
+  tasks_run : int;
+  failures : (string * exn) list;
+}
+
+(** [run ~domains tasks] executes the initial task set (plus everything
+    it spawns) to quiescence on [domains] worker domains. *)
+val run : domains:int -> Task.t list -> result

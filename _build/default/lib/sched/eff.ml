@@ -1,0 +1,143 @@
+(* The effect interface between compiler tasks and execution engines.
+
+   Compiler code (lexer, parser, analyzers, code generator) is written as
+   ordinary direct-style OCaml that occasionally performs one of four
+   effects: charge work, wait on an event, signal an event, spawn a task.
+   An execution engine is an effect handler:
+
+   - the discrete-event simulation engine ([Des_engine]) interprets
+     [Work] as virtual time on a simulated processor and [Wait]/[Signal]
+     as scheduler transitions, producing deterministic timings;
+   - the shared-memory engine ([Domain_engine]) runs the same tasks on
+     real domains, interpreting [Wait]/[Signal] with mutexes and parked
+     continuations;
+   - outside any engine ("direct mode", used by the sequential compiler
+     and by unit tests) [work] accumulates into a running total, [signal]
+     marks the event, and [wait] insists the event has already occurred —
+     the sequential compiler's processing order guarantees it has.
+
+   Work charges are batched: [work] accumulates into a task-local counter
+   and only performs the [Work] effect once [Costs.quantum] units have
+   accumulated, so effect-handling overhead stays negligible while event
+   timing keeps sub-millisecond virtual resolution.  The accumulator must
+   be flushed before any scheduling operation, which [wait]/[signal]/
+   [spawn] do internally; a finishing task hands its residue back through
+   the [Finished] step. *)
+
+type _ Effect.t +=
+  | Work : int -> unit Effect.t
+  | Wait : Event.t -> unit Effect.t
+  | Signal : Event.t -> unit Effect.t
+  | Spawn : Task.t -> unit Effect.t
+
+exception Deadlock_in_direct_mode of string
+
+type mode = Direct | Engine
+
+(* Read concurrently by domain-engine workers, but only ever written
+   while a single thread is active (engines set it before spawning
+   workers and restore it after joining them). *)
+let mode = ref Direct
+
+(* Work-unit accumulator.  In [Engine] mode only one task executes
+   between two effect performs (the DES is single-threaded, and the
+   domain engine disables accounting — real time is real there), so a
+   global accumulator is sound. *)
+let acc = ref 0
+
+(* When false, [work] is a no-op: set by the domain engine, whose tasks
+   are measured in wall-clock time. *)
+let accounting = ref true
+
+(* Total units charged while in [Direct] mode: this is the sequential
+   compiler's virtual execution time. *)
+let direct_total = ref 0.0
+
+let reset_direct_total () = direct_total := 0.0
+let get_direct_total () = !direct_total
+
+let in_engine () = !mode = Engine
+
+let flush () =
+  if !acc > 0 then begin
+    let c = !acc in
+    acc := 0;
+    match !mode with
+    | Engine -> Effect.perform (Work c)
+    | Direct -> direct_total := !direct_total +. float_of_int c
+  end
+
+let work n =
+  if !accounting then begin
+    acc := !acc + n;
+    if !acc >= Costs.quantum then flush ()
+  end
+
+let wait ev =
+  if Event.occurred ev then ()
+  else begin
+    work Costs.wait_check_cost;
+    flush ();
+    match !mode with
+    | Engine -> Effect.perform (Wait ev)
+    | Direct ->
+        raise
+          (Deadlock_in_direct_mode
+             (Format.asprintf "wait on unoccurred %a outside an engine" Event.pp ev))
+  end
+
+let signal ev =
+  work Costs.signal_cost;
+  flush ();
+  match !mode with
+  | Engine -> Effect.perform (Signal ev)
+  | Direct -> Event.mark ev
+
+let spawn task =
+  work Costs.spawn_cost;
+  flush ();
+  match !mode with
+  | Engine -> Effect.perform (Spawn task)
+  | Direct -> failwith "Eff.spawn: cannot spawn a task outside an engine"
+
+(* ------------------------------------------------------------------ *)
+(* Stepping: engines drive task bodies through this interface.  Running
+   a body yields a [step]; continuing the embedded resumption yields the
+   next step.  Deep handlers mean the handler installed by [start] stays
+   in force for the task's whole lifetime, even when the continuation is
+   resumed later (or, for the domain engine, on a different domain). *)
+
+type step =
+  | Finished of int (* residual work units left in the accumulator *)
+  | Failed of exn * Printexc.raw_backtrace
+  | Worked of int * resumption
+  | Blocked of Event.t * resumption
+  | Signaled of Event.t * resumption
+  | Spawned of Task.t * resumption
+
+and resumption = (unit, step) Effect.Deep.continuation
+
+let handler : (unit, step) Effect.Deep.handler =
+  {
+    retc =
+      (fun () ->
+        let c = !acc in
+        acc := 0;
+        Finished c);
+    exnc =
+      (fun e ->
+        acc := 0;
+        (* drop residue: the task is aborting anyway *)
+        Failed (e, Printexc.get_raw_backtrace ()));
+    effc =
+      (fun (type a) (e : a Effect.t) ->
+        match e with
+        | Work n -> Some (fun (k : (a, step) Effect.Deep.continuation) -> Worked (n, k))
+        | Wait ev -> Some (fun k -> Blocked (ev, k))
+        | Signal ev -> Some (fun k -> Signaled (ev, k))
+        | Spawn t -> Some (fun k -> Spawned (t, k))
+        | _ -> None);
+  }
+
+let start (body : unit -> unit) : step = Effect.Deep.match_with body () handler
+let resume (k : resumption) : step = Effect.Deep.continue k ()

@@ -1,0 +1,83 @@
+(** The effect interface between compiler tasks and execution engines.
+
+    Compiler code is direct-style OCaml that occasionally performs one of
+    four effects — charge work, wait on an event, signal an event, spawn
+    a task.  An execution engine is an effect handler: the DES interprets
+    [Work] as virtual time on a simulated processor; the domain engine
+    interprets [Wait]/[Signal] with parked continuations on real
+    parallelism; outside any engine ("direct mode", the sequential
+    compiler and unit tests) work accumulates into a running total and
+    waits must already be satisfied.
+
+    Work charges are batched to [Costs.quantum] so effect-handling
+    overhead stays negligible while event timing keeps fine virtual
+    resolution; every scheduling operation flushes the accumulator
+    first. *)
+
+type _ Effect.t +=
+  | Work : int -> unit Effect.t
+  | Wait : Event.t -> unit Effect.t
+  | Signal : Event.t -> unit Effect.t
+  | Spawn : Task.t -> unit Effect.t
+
+(** Raised when [wait] is called on an unoccurred event outside any
+    engine: the sequential compiler's processing order should make every
+    wait a no-op, so this indicates a driver bug. *)
+exception Deadlock_in_direct_mode of string
+
+type mode = Direct | Engine
+
+(** Current execution mode; set by engines around a run.  Exposed for
+    engines and tests — compiler code never touches it. *)
+val mode : mode ref
+
+(** The work-unit accumulator (engine-internal). *)
+val acc : int ref
+
+(** When false, [work] is a no-op — set by the domain engine, whose tasks
+    are measured in wall-clock time. *)
+val accounting : bool ref
+
+(** Reset/read the total charged in direct mode: the sequential
+    compiler's virtual execution time. *)
+val reset_direct_total : unit -> unit
+
+val get_direct_total : unit -> float
+val in_engine : unit -> bool
+
+(** Charge [n] work units (batched). *)
+val work : int -> unit
+
+(** Flush the accumulator (performs [Work] under an engine). *)
+val flush : unit -> unit
+
+(** Wait for [ev]; immediate if it has occurred. *)
+val wait : Event.t -> unit
+
+(** Signal [ev], waking its waiters (under an engine). *)
+val signal : Event.t -> unit
+
+(** Submit a task to the running engine's Supervisor. *)
+val spawn : Task.t -> unit
+
+(** {1 Stepping — how engines drive task bodies} *)
+
+(** One scheduler-visible step of a task.  [Finished] carries residual
+    unflushed work units. *)
+type step =
+  | Finished of int
+  | Failed of exn * Printexc.raw_backtrace
+  | Worked of int * resumption
+  | Blocked of Event.t * resumption
+  | Signaled of Event.t * resumption
+  | Spawned of Task.t * resumption
+
+and resumption = (unit, step) Effect.Deep.continuation
+
+(** Run a task body until its first step.  The installed deep handler
+    stays in force for the task's whole lifetime, even when the
+    continuation is resumed later or on a different domain. *)
+val start : (unit -> unit) -> step
+
+(** Resume a suspended task until its next step. *)
+val resume : resumption -> step

@@ -1,0 +1,76 @@
+(* Execution traces from the simulated multiprocessor.
+
+   The DES engine records one segment per contiguous stretch of activity
+   on a simulated processor.  The trace is the raw material for the
+   WatchTool-style activity views (paper Figures 4 and 7) and for
+   utilization statistics. *)
+
+open Mcc_util
+
+type seg_kind =
+  | Run (* executing compiler work *)
+  | Waitbar (* bound to a task but waiting on a barrier event *)
+
+type seg = {
+  proc : int;
+  task_id : int;
+  cls : Task.cls;
+  t0 : float;
+  t1 : float;
+  kind : seg_kind;
+}
+
+type t = { segs : seg Vec.t; mutable horizon : float }
+
+let dummy_seg = { proc = 0; task_id = 0; cls = Task.Aux; t0 = 0.0; t1 = 0.0; kind = Run }
+
+let create () = { segs = Vec.create dummy_seg; horizon = 0.0 }
+
+let add t ~proc ~task_id ~cls ~t0 ~t1 ~kind =
+  if t1 > t0 then begin
+    (* merge with the previous segment when it is contiguous same-task
+       activity on the same processor, to keep traces compact *)
+    let merged =
+      Vec.length t.segs > 0
+      &&
+      let last = Vec.last t.segs in
+      if last.proc = proc && last.task_id = task_id && last.kind = kind && last.t1 = t0 then begin
+        Vec.set t.segs (Vec.length t.segs - 1) { last with t1 };
+        true
+      end
+      else false
+    in
+    if not merged then Vec.push t.segs { proc; task_id; cls; t0; t1; kind }
+  end;
+  if t1 > t.horizon then t.horizon <- t1
+
+let horizon t = t.horizon
+let segments t = Vec.to_list t.segs
+let n_segments t = Vec.length t.segs
+
+(* Total busy time per processor (Run segments only). *)
+let busy_per_proc t ~procs =
+  let busy = Array.make procs 0.0 in
+  Vec.iter
+    (fun s -> if s.kind = Run && s.proc < procs then busy.(s.proc) <- busy.(s.proc) +. (s.t1 -. s.t0))
+    t.segs;
+  busy
+
+(* Mean processor utilization over the makespan. *)
+let utilization t ~procs =
+  if t.horizon <= 0.0 then 0.0
+  else begin
+    let busy = busy_per_proc t ~procs in
+    Array.fold_left ( +. ) 0.0 busy /. (t.horizon *. float_of_int procs)
+  end
+
+(* Busy time per task class, across all processors. *)
+let busy_per_class t =
+  let busy = Array.make Task.n_classes 0.0 in
+  Vec.iter
+    (fun s ->
+      if s.kind = Run then
+        let i = Task.cls_priority s.cls in
+        busy.(i) <- busy.(i) +. (s.t1 -. s.t0))
+    t.segs;
+  busy

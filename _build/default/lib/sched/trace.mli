@@ -1,0 +1,39 @@
+(** Execution traces from the simulated multiprocessor: the raw material
+    for the WatchTool activity views (paper Figs. 4 and 7) and for
+    utilization statistics. *)
+
+type seg_kind =
+  | Run  (** executing compiler work *)
+  | Waitbar  (** bound to a task but waiting on a barrier event *)
+
+type seg = {
+  proc : int;
+  task_id : int;
+  cls : Task.cls;
+  t0 : float;
+  t1 : float;
+  kind : seg_kind;
+}
+
+type t
+
+val create : unit -> t
+
+(** Record a segment; contiguous same-task segments merge. *)
+val add :
+  t -> proc:int -> task_id:int -> cls:Task.cls -> t0:float -> t1:float -> kind:seg_kind -> unit
+
+(** Latest segment end time seen. *)
+val horizon : t -> float
+
+val segments : t -> seg list
+val n_segments : t -> int
+
+(** Total busy (Run) time per processor. *)
+val busy_per_proc : t -> procs:int -> float array
+
+(** Mean processor utilization over the makespan, in [0, 1]. *)
+val utilization : t -> procs:int -> float
+
+(** Busy time per task class (indexed by {!Task.cls_priority}). *)
+val busy_per_class : t -> float array

@@ -1,0 +1,1 @@
+lib/sem/builtins.ml: Hashtbl List Symbol Types Value

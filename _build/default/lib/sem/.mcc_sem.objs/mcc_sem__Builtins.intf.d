@@ -1,0 +1,1 @@
+lib/sem/builtins.mli: Hashtbl Symbol

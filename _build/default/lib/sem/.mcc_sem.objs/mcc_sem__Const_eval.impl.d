@@ -1,0 +1,1 @@
+lib/sem/const_eval.ml: Ast Char Ctx List Loc Mcc_ast Mcc_m2 String Symbol Types Value

@@ -1,0 +1,1 @@
+lib/sem/const_eval.mli: Ast Ctx Mcc_ast Types Value

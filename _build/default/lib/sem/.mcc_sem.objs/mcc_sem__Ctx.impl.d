@@ -1,0 +1,1 @@
+lib/sem/ctx.ml: Ast Diag Format Lookup_stats Mcc_ast Mcc_m2 Modreg Symbol Symtab Types

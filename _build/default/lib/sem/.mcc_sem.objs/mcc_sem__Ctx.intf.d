@@ -1,0 +1,1 @@
+lib/sem/ctx.mli: Ast Diag Format Loc Lookup_stats Mcc_ast Mcc_m2 Modreg Symbol Symtab Types

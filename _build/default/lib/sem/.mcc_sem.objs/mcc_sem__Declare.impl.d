@@ -1,0 +1,1 @@
+lib/sem/declare.ml: Array Ast Builtins Const_eval Costs Ctx Eff List Loc Mcc_ast Mcc_m2 Mcc_sched Option Symbol Symtab Types Value

@@ -1,0 +1,1 @@
+lib/sem/declare.mli: Ast Ctx Mcc_ast Mcc_m2 Symbol Types

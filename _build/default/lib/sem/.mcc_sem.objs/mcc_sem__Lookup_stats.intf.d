@@ -1,0 +1,1 @@
+lib/sem/lookup_stats.mli:

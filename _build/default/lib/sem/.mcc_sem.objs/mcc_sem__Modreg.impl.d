@@ -1,0 +1,1 @@
+lib/sem/modreg.ml: Hashtbl List Mutex Symtab

@@ -1,0 +1,1 @@
+lib/sem/modreg.mli: Symtab

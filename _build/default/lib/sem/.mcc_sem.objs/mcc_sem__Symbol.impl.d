@@ -1,0 +1,1 @@
+lib/sem/symbol.ml: Event Mcc_sched Types Value

@@ -1,0 +1,1 @@
+lib/sem/symbol.mli: Mcc_sched Types Value

@@ -1,0 +1,1 @@
+lib/sem/symtab.ml: Atomic Builtins Costs Eff Event Hashtbl List Lookup_stats Mcc_sched Mutex Symbol

@@ -1,0 +1,1 @@
+lib/sem/symtab.mli: Hashtbl Lookup_stats Mcc_sched Mutex Symbol

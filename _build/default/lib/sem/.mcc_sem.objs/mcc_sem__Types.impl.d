@@ -1,0 +1,1 @@
+lib/sem/types.ml: Array Atomic List Printf

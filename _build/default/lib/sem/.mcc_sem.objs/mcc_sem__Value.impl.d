@@ -1,0 +1,1 @@
+lib/sem/value.ml: Char Printf String

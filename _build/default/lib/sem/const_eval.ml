@@ -1,0 +1,352 @@
+(* Compile-time constant expression evaluation.
+
+   Used by declaration analysis for CONST declarations, subrange bounds,
+   array dimensions and case labels.  The evaluator mirrors the dynamic
+   semantics of the expression language on the [Value.t] domain and
+   reports (rather than raises) all errors, yielding [None] so callers
+   can continue with [TErr].  Name lookups flow through the normal
+   symbol-table machinery, so constant expressions participate fully in
+   the DKY protocol — a CONST referencing an imported constant can block
+   skeptically like any other lookup. *)
+
+open Mcc_m2
+open Mcc_ast
+module A = Ast
+module V = Value
+module T = Types
+
+type result = (V.t * T.ty) option
+
+let num_bin ctx loc op (a : V.t) (b : V.t) : result =
+  let err () =
+    Ctx.error ctx loc "invalid operands for constant operator";
+    None
+  in
+  match (a, b) with
+  | V.VInt x, V.VInt y -> (
+      match op with
+      | A.Add -> Some (V.VInt (x + y), T.TInt)
+      | A.Sub -> Some (V.VInt (x - y), T.TInt)
+      | A.Mul -> Some (V.VInt (x * y), T.TInt)
+      | A.Div ->
+          if y = 0 then begin
+            Ctx.error ctx loc "constant division by zero";
+            None
+          end
+          else Some (V.VInt (x / y), T.TInt)
+      | A.Mod ->
+          if y = 0 then begin
+            Ctx.error ctx loc "constant MOD by zero";
+            None
+          end
+          else Some (V.VInt (((x mod y) + abs y) mod abs y), T.TInt)
+      | A.Divide ->
+          Ctx.error ctx loc "real division on INTEGER constants; use DIV";
+          None
+      | _ -> err ())
+  | V.VReal x, V.VReal y -> (
+      match op with
+      | A.Add -> Some (V.VReal (x +. y), T.TReal)
+      | A.Sub -> Some (V.VReal (x -. y), T.TReal)
+      | A.Mul -> Some (V.VReal (x *. y), T.TReal)
+      | A.Divide -> Some (V.VReal (x /. y), T.TReal)
+      | _ -> err ())
+  | V.VSet x, V.VSet y -> (
+      match op with
+      | A.Add -> Some (V.VSet (x lor y), T.TBitset)
+      | A.Sub -> Some (V.VSet (x land lnot y), T.TBitset)
+      | A.Mul -> Some (V.VSet (x land y), T.TBitset)
+      | A.Divide -> Some (V.VSet (x lxor y), T.TBitset)
+      | _ -> err ())
+  | _ -> err ()
+
+let cmp_bin ctx loc op (a : V.t) (b : V.t) : result =
+  let ord v = V.ordinal v in
+  let out b = Some (V.VBool b, T.TBool) in
+  let with_cmp (c : int) =
+    match op with
+    | A.Eq -> out (c = 0)
+    | A.Neq -> out (c <> 0)
+    | A.Lt -> out (c < 0)
+    | A.Le -> out (c <= 0)
+    | A.Gt -> out (c > 0)
+    | A.Ge -> out (c >= 0)
+    | _ -> None
+  in
+  match (a, b) with
+  | V.VReal x, V.VReal y -> with_cmp (compare x y)
+  | V.VStr x, V.VStr y -> with_cmp (String.compare x y)
+  | V.VBool x, V.VBool y -> with_cmp (compare x y)
+  | _ -> (
+      match (ord a, ord b) with
+      | Some x, Some y -> with_cmp (compare x y)
+      | _ ->
+          Ctx.error ctx loc "constants cannot be compared";
+          None)
+
+let rec eval ctx (e : A.expr) : result =
+  let use_off = e.eloc.Loc.off in
+  match e.e with
+  | A.EInt n -> Some (V.VInt n, T.TInt)
+  | A.EReal f -> Some (V.VReal f, T.TReal)
+  | A.EChar c -> Some (V.VChar c, T.TChar)
+  | A.EStr s ->
+      if String.length s = 1 then Some (V.VStr s, T.TStrLit 1)
+      else Some (V.VStr s, T.TStrLit (String.length s))
+  | A.EName q -> (
+      match Ctx.lookup_qualident ctx q ~use_off with
+      | None -> None
+      | Some { skind = Symbol.SConst (v, ty); _ } -> Some (v, ty)
+      | Some { skind = Symbol.SEnumLit (ty, ord); _ } -> Some (V.VInt ord, ty)
+      | Some sym ->
+          Ctx.error ctx e.eloc "%s is a %s, not a constant" (A.qual_to_string q)
+            (Symbol.kind_name sym);
+          None)
+  | A.EField ({ e = A.EName { prefix = None; id = m }; _ }, f) ->
+      (* the parser builds M.c as a field selection; in constant context
+         it can only be a qualified reference *)
+      eval ctx { e with e = A.EName { prefix = Some m; id = f } }
+  | A.EUn (op, a) -> (
+      match eval ctx a with
+      | None -> None
+      | Some (v, ty) -> (
+          match (op, v) with
+          | A.Neg, V.VInt n -> Some (V.VInt (-n), T.TInt)
+          | A.Neg, V.VReal f -> Some (V.VReal (-.f), T.TReal)
+          | A.Pos, (V.VInt _ | V.VReal _) -> Some (v, ty)
+          | A.Not, V.VBool b -> Some (V.VBool (not b), T.TBool)
+          | _ ->
+              Ctx.error ctx e.eloc "invalid operand for constant unary operator";
+              None))
+  | A.EBin (op, a, b) -> (
+      match op with
+      | A.And -> (
+          match (eval ctx a, eval ctx b) with
+          | Some (V.VBool x, _), Some (V.VBool y, _) -> Some (V.VBool (x && y), T.TBool)
+          | Some _, Some _ ->
+              Ctx.error ctx e.eloc "AND requires BOOLEAN constants";
+              None
+          | _ -> None)
+      | A.Or -> (
+          match (eval ctx a, eval ctx b) with
+          | Some (V.VBool x, _), Some (V.VBool y, _) -> Some (V.VBool (x || y), T.TBool)
+          | Some _, Some _ ->
+              Ctx.error ctx e.eloc "OR requires BOOLEAN constants";
+              None
+          | _ -> None)
+      | A.In -> (
+          match (eval ctx a, eval ctx b) with
+          | Some (va, _), Some (V.VSet m, _) -> (
+              match V.ordinal va with
+              | Some i when i >= 0 && i < T.max_set_bits -> Some (V.VBool (m land (1 lsl i) <> 0), T.TBool)
+              | _ ->
+                  Ctx.error ctx e.eloc "invalid IN operands in constant";
+                  None)
+          | Some _, Some _ ->
+              Ctx.error ctx e.eloc "IN requires a set constant";
+              None
+          | _ -> None)
+      | A.Eq | A.Neq | A.Lt | A.Le | A.Gt | A.Ge -> (
+          match (eval ctx a, eval ctx b) with
+          | Some (va, _), Some (vb, _) -> cmp_bin ctx e.eloc op va vb
+          | _ -> None)
+      | _ -> (
+          match (eval ctx a, eval ctx b) with
+          | Some (va, _), Some (vb, _) -> num_bin ctx e.eloc op va vb
+          | _ -> None))
+  | A.ECall ({ e = A.EName q; _ }, args) -> eval_builtin_call ctx e.eloc q args
+  | A.ESet (tyq, elems) -> eval_set ctx e.eloc tyq elems
+  | _ ->
+      Ctx.error ctx e.eloc "expression is not constant";
+      None
+
+(* The standard functions that Modula-2 permits in constant expressions. *)
+and eval_builtin_call ctx loc (q : A.qualident) args : result =
+  let use_off = loc.Loc.off in
+  match Ctx.lookup_qualident ctx q ~use_off with
+  | None -> None
+  | Some { skind = Symbol.SBuiltin b; _ } -> (
+      let arg1 () =
+        match args with
+        | [ a ] -> eval ctx a
+        | _ ->
+            Ctx.error ctx loc "wrong number of arguments in constant expression";
+            None
+      in
+      match b with
+      | Symbol.BAbs -> (
+          match arg1 () with
+          | Some (V.VInt n, t) -> Some (V.VInt (abs n), t)
+          | Some (V.VReal f, t) -> Some (V.VReal (abs_float f), t)
+          | _ -> None)
+      | Symbol.BChr -> (
+          match arg1 () with
+          | Some (V.VInt n, _) when n >= 0 && n < 256 -> Some (V.VChar (Char.chr n), T.TChar)
+          | Some _ ->
+              Ctx.error ctx loc "CHR argument out of range";
+              None
+          | None -> None)
+      | Symbol.BOrd -> (
+          match arg1 () with
+          | Some (v, _) -> (
+              match V.ordinal v with
+              | Some n -> Some (V.VInt n, T.TCard)
+              | None ->
+                  Ctx.error ctx loc "ORD requires an ordinal constant";
+                  None)
+          | None -> None)
+      | Symbol.BOdd -> (
+          match arg1 () with
+          | Some (V.VInt n, _) -> Some (V.VBool (n land 1 = 1), T.TBool)
+          | Some _ ->
+              Ctx.error ctx loc "ODD requires an integer constant";
+              None
+          | None -> None)
+      | Symbol.BCap -> (
+          match arg1 () with
+          | Some (V.VChar c, _) -> Some (V.VChar (Char.uppercase_ascii c), T.TChar)
+          | Some (V.VStr s, _) when String.length s = 1 ->
+              Some (V.VChar (Char.uppercase_ascii s.[0]), T.TChar)
+          | Some _ ->
+              Ctx.error ctx loc "CAP requires a CHAR constant";
+              None
+          | None -> None)
+      | Symbol.BTrunc -> (
+          match arg1 () with
+          | Some (V.VReal f, _) -> Some (V.VInt (int_of_float f), T.TInt)
+          | Some _ ->
+              Ctx.error ctx loc "TRUNC requires a REAL constant";
+              None
+          | None -> None)
+      | Symbol.BFloat -> (
+          match arg1 () with
+          | Some (V.VInt n, _) -> Some (V.VReal (float_of_int n), T.TReal)
+          | Some _ ->
+              Ctx.error ctx loc "FLOAT requires an integer constant";
+              None
+          | None -> None)
+      | Symbol.BMax | Symbol.BMin -> (
+          match args with
+          | [ { e = A.EName tq; _ } ] -> (
+              let ty = Ctx.lookup_type ctx tq ~use_off in
+              match ty with
+              | T.TErr -> None
+              | t when T.is_ordinal t ->
+                  let lo, hi = T.bounds t in
+                  let n = if b = Symbol.BMax then hi else lo in
+                  let v =
+                    match T.base t with T.TChar -> V.VChar (Char.chr (n land 255)) | _ -> V.VInt n
+                  in
+                  Some (v, t)
+              | T.TReal ->
+                  Some
+                    ( V.VReal (if b = Symbol.BMax then max_float else -.max_float),
+                      T.TReal )
+              | _ ->
+                  Ctx.error ctx loc "MAX/MIN requires an ordinal or REAL type";
+                  None)
+          | _ ->
+              Ctx.error ctx loc "MAX/MIN requires a type name";
+              None)
+      | Symbol.BVal -> (
+          match args with
+          | [ { e = A.EName tq; _ }; a ] -> (
+              let ty = Ctx.lookup_type ctx tq ~use_off in
+              match (ty, eval ctx a) with
+              | T.TErr, _ | _, None -> None
+              | t, Some (v, _) -> (
+                  match V.ordinal v with
+                  | Some n when T.is_ordinal t ->
+                      let lo, hi = T.bounds t in
+                      if n < lo || n > hi then begin
+                        Ctx.error ctx loc "VAL argument out of range";
+                        None
+                      end
+                      else
+                        let v' =
+                          match T.base t with T.TChar -> V.VChar (Char.chr (n land 255)) | _ -> V.VInt n
+                        in
+                        Some (v', t)
+                  | _ ->
+                      Ctx.error ctx loc "VAL requires an ordinal type and constant";
+                      None))
+          | _ ->
+              Ctx.error ctx loc "VAL requires a type name and a constant";
+              None)
+      | Symbol.BSize -> (
+          match args with
+          | [ { e = A.EName tq; _ } ] ->
+              let ty = Ctx.lookup_type ctx tq ~use_off in
+              if T.is_error ty then None else Some (V.VInt (T.size_slots ty), T.TCard)
+          | _ ->
+              Ctx.error ctx loc "SIZE requires a type name";
+              None)
+      | _ ->
+          Ctx.error ctx loc "%s cannot appear in a constant expression" (A.qual_to_string q);
+          None)
+  | Some _ ->
+      Ctx.error ctx loc "expression is not constant";
+      None
+
+and eval_set ctx loc (tyq : A.qualident option) elems : result =
+  let set_ty =
+    match tyq with
+    | None -> Some T.TBitset
+    | Some q -> (
+        match Ctx.lookup_type ctx q ~use_off:loc.Loc.off with
+        | T.TErr -> None
+        | T.TSet _ as t -> Some t
+        | T.TBitset -> Some T.TBitset
+        | t ->
+            Ctx.error ctx loc "%s is not a set type" (T.name t);
+            None)
+  in
+  match set_ty with
+  | None -> None
+  | Some sty ->
+      let lo, hi =
+        match sty with
+        | T.TSet s -> (s.T.slo, s.T.shi)
+        | _ -> (0, T.max_set_bits - 1)
+      in
+      let mask = ref 0 in
+      let ok = ref true in
+      let add_elem v =
+        match V.ordinal v with
+        | Some i when i >= lo && i <= hi -> mask := !mask lor (1 lsl (i - lo))
+        | _ ->
+            Ctx.error ctx loc "set element out of range";
+            ok := false
+      in
+      List.iter
+        (fun elem ->
+          match elem with
+          | A.SetOne e -> (
+              match eval ctx e with Some (v, _) -> add_elem v | None -> ok := false)
+          | A.SetRange (a, b) -> (
+              match (eval ctx a, eval ctx b) with
+              | Some (va, _), Some (vb, _) -> (
+                  match (V.ordinal va, V.ordinal vb) with
+                  | Some x, Some y when x >= lo && y <= hi && x <= y ->
+                      for i = x to y do
+                        mask := !mask lor (1 lsl (i - lo))
+                      done
+                  | _ ->
+                      Ctx.error ctx loc "set range out of bounds";
+                      ok := false)
+              | _ -> ok := false))
+        elems;
+      if !ok then Some (V.VSet !mask, sty) else None
+
+(* Evaluate an expression that must be an ordinal constant (subrange
+   bounds, array dimensions, case labels); reports and returns None on
+   anything else. *)
+let ordinal_const ctx (e : A.expr) : (int * T.ty) option =
+  match eval ctx e with
+  | None -> None
+  | Some (v, ty) -> (
+      match V.ordinal v with
+      | Some n -> Some (n, ty)
+      | None ->
+          Ctx.error ctx e.A.eloc "ordinal constant required";
+          None)

@@ -1,0 +1,20 @@
+(** Compile-time constant expression evaluation, for CONST declarations,
+    subrange bounds, array dimensions and case labels.
+
+    Mirrors the dynamic semantics of the expression language on
+    {!Value.t}; reports (rather than raises) all errors, yielding [None]
+    so callers continue with [TErr].  Name lookups flow through the
+    normal symbol-table machinery, so constant expressions participate
+    fully in the DKY protocol. *)
+
+open Mcc_ast
+
+type result = (Value.t * Types.ty) option
+
+(** Evaluate a constant expression (including the standard functions
+    Modula-2 allows in constants: ABS, CHR, ORD, ODD, CAP, TRUNC, FLOAT,
+    MAX, MIN, VAL, SIZE). *)
+val eval : Ctx.t -> Ast.expr -> result
+
+(** Evaluate an expression that must be an ordinal constant. *)
+val ordinal_const : Ctx.t -> Ast.expr -> (int * Types.ty) option

@@ -1,0 +1,116 @@
+(* Per-stream semantic-analysis context.
+
+   One [Ctx.t] exists per scope being analyzed (definition module, main
+   module, procedure).  It bundles the scope, the shared diagnostics
+   collector, the DKY strategy and statistics, the module registry for
+   qualified names, and the variable-slot allocator for the scope's
+   storage (a module global frame or a procedure local frame). *)
+
+open Mcc_m2
+open Mcc_ast
+
+type t = {
+  scope : Symtab.t;
+  file : string;
+  diags : Diag.t;
+  strategy : Symtab.dky;
+  stats : Lookup_stats.t;
+  registry : Modreg.t;
+  frame_key : string; (* global frame name for module-level variables *)
+  path : string; (* dotted scope path, used for code-unit keys *)
+  mutable next_slot : int;
+  is_module_level : bool;
+  is_def : bool;
+  mutable fixups : (Types.ptr_info * Ast.qualident) list;
+      (* pointer forward references, resolved at scope completion *)
+  mutable full_visibility : bool;
+      (* set for statement analysis: references see whole completed
+         scopes instead of the declare-before-use prefix *)
+}
+
+let make ~scope ~file ~diags ~strategy ~stats ~registry ~frame_key ~path ~is_module_level ~is_def =
+  {
+    scope;
+    file;
+    diags;
+    strategy;
+    stats;
+    registry;
+    frame_key;
+    path;
+    next_slot = 0;
+    is_module_level;
+    is_def;
+    fixups = [];
+    full_visibility = false;
+  }
+
+(* Context for a procedure scope nested in [parent]. *)
+let for_proc parent ~scope ~name =
+  {
+    parent with
+    scope;
+    path = parent.path ^ "." ^ name;
+    next_slot = 0;
+    is_module_level = false;
+    is_def = false;
+    fixups = [];
+    full_visibility = false;
+  }
+
+let error t loc fmt = Format.kasprintf (fun msg -> Diag.error t.diags ~file:t.file ~loc msg) fmt
+let warning t loc fmt = Format.kasprintf (fun msg -> Diag.warning t.diags ~file:t.file ~loc msg) fmt
+
+let alloc_slot t =
+  let s = t.next_slot in
+  t.next_slot <- s + 1;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution helpers shared by declaration analysis, constant
+   evaluation and code generation. *)
+
+(* Resolve a possibly-qualified identifier to a symbol, reporting
+   undeclared-identifier errors.  [use_off] enforces declare-before-use
+   for declaration-time references; pass [max_int] from statement
+   analysis. *)
+let lookup_qualident t (q : Ast.qualident) ~use_off : Symbol.t option =
+  let use_off = if t.full_visibility then max_int else use_off in
+  match q.prefix with
+  | None -> (
+      match Symtab.lookup ~strategy:t.strategy ~stats:t.stats ~use_off ~scope:t.scope q.id.name with
+      | Some sym -> Some sym
+      | None ->
+          error t q.id.iloc "undeclared identifier %s" q.id.name;
+          None)
+  | Some p -> (
+      (* the prefix must resolve to an imported module binding *)
+      match Symtab.lookup ~strategy:t.strategy ~stats:t.stats ~use_off ~scope:t.scope p.name with
+      | None ->
+          error t p.iloc "undeclared identifier %s" p.name;
+          None
+      | Some { skind = Symbol.SModule mname; _ } -> (
+          match Modreg.find t.registry mname with
+          | None ->
+              error t p.iloc "module %s has no interface" mname;
+              None
+          | Some mscope -> (
+              match
+                Symtab.lookup_qualified ~strategy:t.strategy ~stats:t.stats ~scope:mscope q.id.name
+              with
+              | Some sym -> Some sym
+              | None ->
+                  error t q.id.iloc "%s is not exported by module %s" q.id.name mname;
+                  None))
+      | Some other ->
+          error t p.iloc "%s is a %s, not a module" p.name (Symbol.kind_name other);
+          None)
+
+(* Resolve a qualident that must denote a type. *)
+let lookup_type t (q : Ast.qualident) ~use_off : Types.ty =
+  match lookup_qualident t q ~use_off with
+  | None -> Types.TErr
+  | Some { skind = Symbol.SType ty; _ } -> ty
+  | Some sym ->
+      error t q.id.iloc "%s is a %s, not a type" (Ast.qual_to_string q) (Symbol.kind_name sym);
+      Types.TErr

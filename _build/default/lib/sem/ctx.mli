@@ -1,0 +1,58 @@
+(** Per-stream semantic-analysis context: one per scope being analyzed,
+    bundling the scope, the shared diagnostics collector, the DKY
+    strategy and statistics, the module registry for qualified names,
+    and the variable-slot allocator for the scope's storage. *)
+
+open Mcc_m2
+open Mcc_ast
+
+type t = {
+  scope : Symtab.t;
+  file : string;
+  diags : Diag.t;
+  strategy : Symtab.dky;
+  stats : Lookup_stats.t;
+  registry : Modreg.t;
+  frame_key : string;  (** global frame for module-level variables *)
+  path : string;  (** dotted scope path: code-unit keys *)
+  mutable next_slot : int;
+  is_module_level : bool;
+  is_def : bool;
+  mutable fixups : (Types.ptr_info * Ast.qualident) list;
+      (** pointer forward references, resolved at scope completion *)
+  mutable full_visibility : bool;
+      (** set for statement analysis: references see whole completed
+          scopes instead of the declare-before-use prefix *)
+}
+
+val make :
+  scope:Symtab.t ->
+  file:string ->
+  diags:Diag.t ->
+  strategy:Symtab.dky ->
+  stats:Lookup_stats.t ->
+  registry:Modreg.t ->
+  frame_key:string ->
+  path:string ->
+  is_module_level:bool ->
+  is_def:bool ->
+  t
+
+(** Context for a procedure scope nested in [parent]: fresh slots and
+    fixups, extended path. *)
+val for_proc : t -> scope:Symtab.t -> name:string -> t
+
+val error : t -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val warning : t -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Allocate the next variable slot in this scope's frame. *)
+val alloc_slot : t -> int
+
+(** Resolve a possibly-qualified identifier to a symbol, reporting
+    undeclared-identifier errors; the prefix must be an imported module
+    binding. *)
+val lookup_qualident : t -> Ast.qualident -> use_off:int -> Symbol.t option
+
+(** Resolve a qualident that must denote a type ([TErr] on failure,
+    after reporting). *)
+val lookup_type : t -> Ast.qualident -> use_off:int -> Types.ty

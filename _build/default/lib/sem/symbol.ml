@@ -1,0 +1,66 @@
+(* Symbol-table entries.
+
+   [def_off] is the symbol's textual declaration offset, used for the
+   declare-before-use visibility rule (declaration-time references only
+   see symbols declared at smaller offsets; statement analysis sees the
+   whole completed scope).  [alias_of] marks symbols injected by
+   FROM-imports: a use that resolves to one is classified under the
+   paper's "other" scope column in the Table 2 lookup statistics.
+
+   Creation of an entry is atomic with respect to search (paper §2.2
+   footnote): entries are fully built before [Symtab.enter] publishes
+   them under the scope's mutex. *)
+
+open Mcc_sched
+
+type var_home =
+  | HGlobal of string * int (* frame key, slot *)
+  | HLocal of int (* frame slot in the current procedure *)
+  | HParam of int * bool (* parameter slot, by-reference (VAR) *)
+
+type builtin_kind =
+  (* functions *)
+  | BAbs | BCap | BChr | BFloat | BHigh | BMax | BMin | BOdd | BOrd | BTrunc | BVal | BSize
+  | BSqrt | BSin | BCos | BLn | BExp (* "mathematical routines like sin and sqrt" (§2.2) *)
+  (* proper procedures *)
+  | BInc | BDec | BIncl | BExcl | BHalt | BNew | BDispose
+  | BWriteInt | BWriteLn | BWriteString | BWriteChar | BWriteReal | BReadInt
+
+type kind =
+  | SConst of Value.t * Types.ty
+  | SType of Types.ty
+  | SVar of var_home * Types.ty
+  | SProc of proc_info
+  | SEnumLit of Types.ty * int
+  | SModule of string (* import binding: qualified access to a module scope *)
+  | SBuiltin of builtin_kind
+  | SPlaceholder of Event.t (* optimistic-handling DKY placeholder *)
+
+and proc_info = {
+  sig_ : Types.signature;
+  key : string; (* code-unit key, e.g. "M.P.Q"; stable across schedules *)
+  external_ : bool; (* declared in an imported interface: no body here *)
+  mutable stream : int option; (* child stream compiling the body, if split *)
+}
+
+type t = {
+  sname : string;
+  def_off : int;
+  alias_of : string option; (* source module, for FROM-imported names *)
+  mutable skind : kind;
+}
+
+let make ?(alias_of = None) ~name ~def_off skind = { sname = name; def_off; alias_of; skind }
+
+let is_placeholder s = match s.skind with SPlaceholder _ -> true | _ -> false
+
+let kind_name s =
+  match s.skind with
+  | SConst _ -> "constant"
+  | SType _ -> "type"
+  | SVar _ -> "variable"
+  | SProc _ -> "procedure"
+  | SEnumLit _ -> "enumeration constant"
+  | SModule _ -> "module"
+  | SBuiltin _ -> "builtin"
+  | SPlaceholder _ -> "<placeholder>"

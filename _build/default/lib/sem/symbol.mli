@@ -1,0 +1,49 @@
+(** Symbol-table entries.
+
+    [def_off] is the declaration's textual offset, driving the
+    declare-before-use visibility rule; [alias_of] marks FROM-imported
+    names, which Table 2 classifies under the "other" scope column.
+    Entries are built completely before {!Symtab.enter} publishes them,
+    so entry creation is atomic with respect to search (paper §2.2). *)
+
+(** Where a variable's storage lives. *)
+type var_home =
+  | HGlobal of string * int  (** module frame key, slot *)
+  | HLocal of int  (** slot in the owning procedure's frame *)
+  | HParam of int * bool  (** parameter slot, by-reference (VAR)? *)
+
+type builtin_kind =
+  | BAbs | BCap | BChr | BFloat | BHigh | BMax | BMin | BOdd | BOrd | BTrunc | BVal | BSize
+  | BSqrt | BSin | BCos | BLn | BExp  (** "mathematical routines like sin and sqrt" (§2.2) *)
+  | BInc | BDec | BIncl | BExcl | BHalt | BNew | BDispose
+  | BWriteInt | BWriteLn | BWriteString | BWriteChar | BWriteReal | BReadInt
+
+type kind =
+  | SConst of Value.t * Types.ty
+  | SType of Types.ty
+  | SVar of var_home * Types.ty
+  | SProc of proc_info
+  | SEnumLit of Types.ty * int
+  | SModule of string  (** import binding: qualified access to a module scope *)
+  | SBuiltin of builtin_kind
+  | SPlaceholder of Mcc_sched.Event.t  (** optimistic-handling DKY placeholder *)
+
+and proc_info = {
+  sig_ : Types.signature;
+  key : string;  (** code-unit key, e.g. "M.P.Q"; stable across schedules *)
+  external_ : bool;  (** declared in an imported interface: no body here *)
+  mutable stream : int option;  (** child stream compiling the body, if split *)
+}
+
+type t = {
+  sname : string;
+  def_off : int;
+  alias_of : string option;  (** exporting module, for FROM-imported names *)
+  mutable skind : kind;
+}
+
+val make : ?alias_of:string option -> name:string -> def_off:int -> kind -> t
+val is_placeholder : t -> bool
+
+(** "constant", "type", "variable", ... for diagnostics. *)
+val kind_name : t -> string

@@ -1,0 +1,41 @@
+(* Compile-time constant values: results of constant-expression
+   evaluation during declaration analysis (CONST declarations, subrange
+   bounds, array dimensions, case labels). *)
+
+type t =
+  | VInt of int (* also CARDINAL, CHAR codes via VChar, enum ordinals *)
+  | VReal of float
+  | VBool of bool
+  | VChar of char
+  | VStr of string
+  | VSet of int (* bitmask over the set's element range, offset by slo *)
+  | VNil
+
+let to_string = function
+  | VInt n -> string_of_int n
+  | VReal f -> Printf.sprintf "%g" f
+  | VBool b -> if b then "TRUE" else "FALSE"
+  | VChar c -> Printf.sprintf "%C" c
+  | VStr s -> Printf.sprintf "%S" s
+  | VSet m -> Printf.sprintf "{%x}" m
+  | VNil -> "NIL"
+
+let equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VReal x, VReal y -> x = y
+  | VBool x, VBool y -> x = y
+  | VChar x, VChar y -> x = y
+  | VStr x, VStr y -> x = y
+  | VSet x, VSet y -> x = y
+  | VNil, VNil -> true
+  | _ -> false
+
+(* Ordinal view of a value: CHAR and BOOLEAN constants participate in
+   subranges and case labels through their ordinal. *)
+let ordinal = function
+  | VInt n -> Some n
+  | VChar c -> Some (Char.code c)
+  | VBool b -> Some (if b then 1 else 0)
+  | VStr s when String.length s = 1 -> Some (Char.code s.[0])
+  | _ -> None

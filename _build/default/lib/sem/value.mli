@@ -1,0 +1,19 @@
+(** Compile-time constant values: results of constant-expression
+    evaluation during declaration analysis (CONST declarations, subrange
+    bounds, array dimensions, case labels). *)
+
+type t =
+  | VInt of int  (** also CARDINAL and enumeration ordinals *)
+  | VReal of float
+  | VBool of bool
+  | VChar of char
+  | VStr of string
+  | VSet of int  (** bitmask over the set's element range, offset by its low bound *)
+  | VNil
+
+val to_string : t -> string
+val equal : t -> t -> bool
+
+(** Ordinal view: CHAR, BOOLEAN and length-1 string constants
+    participate in subranges and case labels through their ordinal. *)
+val ordinal : t -> int option

@@ -1,0 +1,1 @@
+lib/stats/imports.ml: Hashtbl Lexer List Mcc_core Mcc_m2 Reader Source_store Stream

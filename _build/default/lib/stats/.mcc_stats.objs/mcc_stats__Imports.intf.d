@@ -1,0 +1,1 @@
+lib/stats/imports.mli: Mcc_core Source_store

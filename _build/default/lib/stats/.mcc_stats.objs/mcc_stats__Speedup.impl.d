@@ -1,0 +1,1 @@
+lib/stats/speedup.ml: Array Driver List Mcc_core Mcc_sched Source_store

@@ -1,0 +1,1 @@
+lib/stats/speedup.mli: Driver Mcc_core Source_store

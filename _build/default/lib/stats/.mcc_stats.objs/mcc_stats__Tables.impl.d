@@ -1,0 +1,1 @@
+lib/stats/tables.ml: Array Driver Imports List Mcc_core Mcc_sched Mcc_sem Mcc_util Printf Seq_driver Source_store Speedup String Tablefmt

@@ -1,0 +1,1 @@
+lib/stats/tables.mli: Mcc_core Mcc_sem Source_store Speedup

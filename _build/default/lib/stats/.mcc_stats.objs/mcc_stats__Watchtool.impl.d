@@ -1,0 +1,1 @@
+lib/stats/watchtool.ml: Array Buffer Costs List Mcc_sched Printf String Task Trace

@@ -1,0 +1,1 @@
+lib/stats/watchtool.mli: Mcc_sched

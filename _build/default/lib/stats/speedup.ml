@@ -1,0 +1,66 @@
+(* Speedup measurement: the machinery behind Figures 1-3 and Table 3.
+
+   Self-relative speedup of a compilation is T(1 processor)/T(N): the
+   concurrent compiler compared against itself, as in the paper's §4.2.
+   All runs are on the deterministic simulated multiprocessor, so a sweep
+   is exactly reproducible. *)
+
+open Mcc_core
+
+type sweep = {
+  store : Source_store.t;
+  times : float array; (* times.(n-1) = virtual end time on n processors *)
+}
+
+let max_procs = 8
+
+(* Compile [store] on 1..max_procs simulated processors. *)
+let sweep ?(config = Driver.default_config) ?(max_procs = max_procs) store =
+  let times =
+    Array.init max_procs (fun i ->
+        let c = Driver.compile ~config:{ config with Driver.procs = i + 1 } store in
+        c.Driver.sim.Mcc_sched.Des_engine.end_time)
+  in
+  { store; times }
+
+let t1 s = s.times.(0)
+let speedup s n = s.times.(0) /. s.times.(n - 1)
+let seconds_1p s = Mcc_sched.Costs.to_seconds s.times.(0)
+
+(* Aggregate a list of sweeps: per processor count, the min / mean / max
+   self-relative speedup (Table 3's "Test Suite" columns). *)
+let aggregate sweeps ~n =
+  let sps = List.map (fun s -> speedup s n) sweeps in
+  let mn = List.fold_left min infinity sps in
+  let mx = List.fold_left max neg_infinity sps in
+  let mean = List.fold_left ( +. ) 0.0 sps /. float_of_int (List.length sps) in
+  (mn, mean, mx)
+
+(* The paper's quartile split (§4.2): by 1-processor compilation time,
+   with fixed thresholds at 5, 10 and 30 seconds. *)
+type quartile = Q1 | Q2 | Q3 | Q4
+
+let quartile_of s =
+  let t = seconds_1p s in
+  if t < 5.0 then Q1 else if t < 10.0 then Q2 else if t < 30.0 then Q3 else Q4
+
+let quartile_name = function Q1 -> "Q1" | Q2 -> "Q2" | Q3 -> "Q3" | Q4 -> "Q4"
+
+let by_quartile sweeps =
+  List.map
+    (fun q -> (q, List.filter (fun s -> quartile_of s = q) sweeps))
+    [ Q1; Q2; Q3; Q4 ]
+
+let mean_speedup sweeps ~n =
+  match sweeps with
+  | [] -> nan
+  | _ ->
+      let _, mean, _ = aggregate sweeps ~n in
+      mean
+
+(* The suite member with the best speedup at [n] (the paper's "VM"
+   column — the human-authored module with the best overall speedup). *)
+let best sweeps ~n =
+  List.fold_left
+    (fun acc s -> match acc with Some b when speedup b n >= speedup s n -> acc | _ -> Some s)
+    None sweeps

@@ -1,0 +1,41 @@
+(** Speedup measurement: the machinery behind Table 3 and Figures 1-3.
+
+    Self-relative speedup is T(1 processor)/T(N), the concurrent
+    compiler against itself (paper §4.2), on the deterministic simulated
+    multiprocessor — sweeps reproduce exactly. *)
+
+open Mcc_core
+
+type sweep = {
+  store : Source_store.t;
+  times : float array;  (** [times.(n-1)] = virtual end time on n processors *)
+}
+
+val max_procs : int
+
+(** Compile on 1..[max_procs] simulated processors. *)
+val sweep : ?config:Driver.config -> ?max_procs:int -> Source_store.t -> sweep
+
+val t1 : sweep -> float
+val speedup : sweep -> int -> float
+
+(** 1-processor time in calibrated seconds (the quartile classifier). *)
+val seconds_1p : sweep -> float
+
+(** Per processor count: (min, mean, max) speedup over the sweeps. *)
+val aggregate : sweep list -> n:int -> float * float * float
+
+(** The paper's quartile split (§4.2): by 1-processor time with fixed
+    thresholds at 5, 10 and 30 seconds. *)
+type quartile = Q1 | Q2 | Q3 | Q4
+
+val quartile_of : sweep -> quartile
+val quartile_name : quartile -> string
+val by_quartile : sweep list -> (quartile * sweep list) list
+
+(** Mean speedup at [n] ([nan] on an empty list). *)
+val mean_speedup : sweep list -> n:int -> float
+
+(** The member with the best speedup at [n] (the paper's best
+    human-authored module). *)
+val best : sweep list -> n:int -> sweep option

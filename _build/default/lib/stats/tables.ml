@@ -1,0 +1,134 @@
+(* Rendering of the paper's tables from measured data. *)
+
+open Mcc_util
+open Mcc_core
+module Ls = Mcc_sem.Lookup_stats
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: description of the test suite *)
+
+type program_attrs = {
+  pa_name : string;
+  pa_bytes : int; (* size of the .mod file *)
+  pa_seq_seconds : float;
+  pa_c1_seconds : float; (* concurrent compiler on 1 processor: the quartile classifier *)
+  pa_interfaces : int;
+  pa_depth : int;
+  pa_procedures : int;
+  pa_streams : int;
+}
+
+let measure_attrs (store : Source_store.t) : program_attrs =
+  let seq = Seq_driver.compile store in
+  let conc = Driver.compile ~config:{ Driver.default_config with Driver.procs = 1 } store in
+  let interfaces, depth = Imports.analyze store in
+  {
+    pa_name = Source_store.main_name store;
+    pa_bytes = String.length (Source_store.main_src store);
+    pa_seq_seconds = Mcc_sched.Costs.to_seconds seq.Seq_driver.cost_units;
+    pa_c1_seconds = conc.Driver.sim.Mcc_sched.Des_engine.end_seconds;
+    pa_interfaces = interfaces;
+    pa_depth = depth;
+    pa_procedures = conc.Driver.n_proc_streams;
+    pa_streams = conc.Driver.n_streams;
+  }
+
+let median_of cmp xs =
+  let a = Array.of_list xs in
+  Array.sort cmp a;
+  a.(Array.length a / 2)
+
+let table1 (attrs : program_attrs list) =
+  let stat f fmt =
+    let xs = List.map f attrs in
+    let mn = List.fold_left min (List.hd xs) xs in
+    let mx = List.fold_left max (List.hd xs) xs in
+    let med = median_of compare xs in
+    [ fmt mn; fmt med; fmt mx ]
+  in
+  let rows =
+    [
+      "Module size (bytes)" :: stat (fun a -> float_of_int a.pa_bytes) (fun v -> Tablefmt.grouped (int_of_float v));
+      "Seq. Compile Time (sec)" :: stat (fun a -> a.pa_seq_seconds) (Tablefmt.fixed ~decimals:2);
+      "Imported Interfaces" :: stat (fun a -> float_of_int a.pa_interfaces) (fun v -> string_of_int (int_of_float v));
+      "Import Nesting Depth" :: stat (fun a -> float_of_int a.pa_depth) (fun v -> string_of_int (int_of_float v));
+      "Number of Procedures" :: stat (fun a -> float_of_int a.pa_procedures) (fun v -> string_of_int (int_of_float v));
+      "Number of Streams" :: stat (fun a -> float_of_int a.pa_streams) (fun v -> string_of_int (int_of_float v));
+    ]
+  in
+  Tablefmt.render ~aligns:[ Tablefmt.Left ] ~header:[ "Attribute"; "Minimum"; "Median"; "Maximum" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: identifier lookup statistics *)
+
+let table2 (stats : Ls.t) =
+  let simple_total = Ls.total stats ~kind:Ls.Simple in
+  let qual_total = Ls.total stats ~kind:Ls.Qualified in
+  let simple_rows =
+    List.map
+      (fun (found, scope, compl, n) ->
+        [
+          Ls.found_name found; Ls.scope_name scope; Ls.compl_name compl; Tablefmt.grouped n;
+          Tablefmt.percent n simple_total;
+        ])
+      (Ls.rows stats ~kind:Ls.Simple)
+    @
+    let never = Ls.never stats ~kind:Ls.Simple in
+    [ [ "Never"; "-"; "-"; Tablefmt.grouped never; Tablefmt.percent never simple_total ] ]
+  in
+  let qual_rows =
+    List.map
+      (fun (found, _scope, compl, n) ->
+        [
+          Ls.found_name found; Ls.compl_name compl; Tablefmt.grouped n;
+          Tablefmt.percent n qual_total;
+        ])
+      (Ls.rows stats ~kind:Ls.Qualified)
+    @
+    let never = Ls.never stats ~kind:Ls.Qualified in
+    if never > 0 then [ [ "Never"; "-"; Tablefmt.grouped never; Tablefmt.percent never qual_total ] ]
+    else []
+  in
+  let simple =
+    Tablefmt.render
+      ~aligns:[ Tablefmt.Left; Tablefmt.Left; Tablefmt.Left ]
+      ~header:[ "Found when"; "scope"; "completeness"; "number"; "%" ]
+      simple_rows
+  in
+  let qual =
+    Tablefmt.render
+      ~aligns:[ Tablefmt.Left; Tablefmt.Left ]
+      ~header:[ "Found when"; "completeness"; "number"; "%" ]
+      qual_rows
+  in
+  Printf.sprintf "Simple Identifier (%s lookups)\n%s\n\nQualified Identifier (%s lookups)\n%s"
+    (Tablefmt.grouped simple_total) simple (Tablefmt.grouped qual_total) qual
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: summary of speedup data *)
+
+let table3 ~(suite : Speedup.sweep list) ~(synth : Speedup.sweep) =
+  let best1 = Speedup.best suite ~n:8 in
+  let quartiles = Speedup.by_quartile suite in
+  let rows =
+    List.map
+      (fun n ->
+        let mn, mean, mx = Speedup.aggregate suite ~n in
+        let qcols =
+          List.map
+            (fun (_, sweeps) ->
+              if sweeps = [] then "-" else Tablefmt.fixed (Speedup.mean_speedup sweeps ~n))
+            quartiles
+        in
+        [
+          string_of_int n; Tablefmt.fixed mn; Tablefmt.fixed mean; Tablefmt.fixed mx;
+          Tablefmt.fixed (Speedup.speedup synth n);
+          (match best1 with Some b -> Tablefmt.fixed (Speedup.speedup b n) | None -> "-");
+        ]
+        @ qcols)
+      [ 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Tablefmt.render
+    ~header:[ "N"; "Min"; "Mean"; "Max"; "Synth"; "Best"; "Q1"; "Q2"; "Q3"; "Q4" ]
+    rows

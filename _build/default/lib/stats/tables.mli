@@ -1,0 +1,30 @@
+(** Rendering of the paper's tables from measured data. *)
+
+open Mcc_core
+module Ls = Mcc_sem.Lookup_stats
+
+(** Table 1 attributes of one program. *)
+type program_attrs = {
+  pa_name : string;
+  pa_bytes : int;  (** size of the .mod file *)
+  pa_seq_seconds : float;
+  pa_c1_seconds : float;  (** concurrent compiler on 1 processor: the quartile classifier *)
+  pa_interfaces : int;
+  pa_depth : int;
+  pa_procedures : int;
+  pa_streams : int;
+}
+
+(** Measure a program: sequential compile (for time), a 1-processor
+    concurrent compile (for stream counts), import analysis. *)
+val measure_attrs : Source_store.t -> program_attrs
+
+(** Table 1: min/median/max of every attribute. *)
+val table1 : program_attrs list -> string
+
+(** Table 2: the simple- and qualified-identifier lookup statistics. *)
+val table2 : Ls.t -> string
+
+(** Table 3: per processor count, suite min/mean/max, Synth, the best
+    suite member, and the four quartile means. *)
+val table3 : suite:Speedup.sweep list -> synth:Speedup.sweep -> string

@@ -1,0 +1,1 @@
+lib/synth/gen.ml: Array Buffer Hashtbl List Mcc_core Mcc_util Option Printf Prng Source_store String

@@ -1,0 +1,1 @@
+lib/synth/gen.mli: Mcc_core Source_store

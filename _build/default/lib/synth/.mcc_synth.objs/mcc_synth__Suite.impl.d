@@ -1,0 +1,1 @@
+lib/synth/suite.ml: Buffer Gen Hashtbl List Mcc_core Mcc_sched Printf Source_store

@@ -1,0 +1,1 @@
+lib/synth/suite.mli: Gen Mcc_core Source_store

@@ -1,0 +1,557 @@
+(* The synthetic Modula-2+ program generator.
+
+   Substitutes for the DEC SRC library the paper's 37-program test suite
+   was drawn from (Table 1).  Every program is generated deterministically
+   from a seed and a shape, is type-correct (the suite must compile
+   without errors under every driver and strategy), and exercises the
+   whole language subset: import DAGs with controlled depth and fan-out,
+   FROM-imports and qualified names, enumerations, subranges, arrays,
+   records, sets, pointers, procedure types, nested procedures, WITH,
+   CASE, loops, and the Modula-2+ TRY/RAISE/LOCK extensions.
+
+   Two generation modes:
+   - compile-only (the benchmark suite): procedures may call forward and
+     imported procedures, loops may be unbounded — the code is compiled,
+     never executed;
+   - [runnable]: calls go only to already-emitted procedures and all
+     loops are bounded, so the compiled program terminates in the VM
+     (used by examples and differential execution tests).
+
+   Uplevel references from nested procedures to enclosing procedure
+   locals are never generated (the target machine has no static links;
+   the compiler rejects them). *)
+
+open Mcc_util
+open Mcc_core
+
+type shape = {
+  seed : int;
+  name : string;
+  n_defs : int; (* definition modules (total, all reachable) *)
+  depth : int; (* import-nesting depth *)
+  n_procs : int; (* top-level procedures in the main module *)
+  nested_per_proc : int; (* max nested procedures per top-level one *)
+  stmts_lo : int;
+  stmts_hi : int; (* statements per procedure body *)
+  module_vars : int;
+  def_size : int; (* scales the declaration count of definition modules *)
+  pad : int; (* bytes of comment text added per procedure: big modules
+                carry proportionally more comments, making compile time
+                sublinear in module size as in the paper's Table 1 *)
+  runnable : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* What a definition module exports (tracked so the main module can
+   reference imported names type-correctly). *)
+
+type def_info = {
+  d_name : string;
+  d_consts : string list; (* INTEGER constants *)
+  d_int_vars : string list;
+  d_funcs : string list; (* PROCEDURE (INTEGER): INTEGER *)
+  d_procs : string list; (* PROCEDURE (VAR INTEGER) *)
+}
+
+type st = {
+  rng : Prng.t;
+  shape : shape;
+  buf : Buffer.t;
+  mutable indent : int;
+  imported_by_someone : (string, unit) Hashtbl.t;
+      (* interfaces imported by another interface; the main module
+         imports the rest so every interface is reachable *)
+}
+
+let line st fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string st.buf (String.make (2 * st.indent) ' ');
+      Buffer.add_string st.buf s;
+      Buffer.add_char st.buf '\n')
+    fmt
+
+let nest st f =
+  st.indent <- st.indent + 1;
+  f ();
+  st.indent <- st.indent - 1
+
+(* ------------------------------------------------------------------ *)
+(* Definition modules *)
+
+(* Distribute [n] definition modules over [depth] levels; level 0 is the
+   deepest (imports nothing).  Every module at level l>0 imports at least
+   one module at level l-1, and the main module imports every module at
+   the top level, so all are reachable. *)
+let plan_levels rng ~n ~depth =
+  if n <= 0 then [||]
+  else
+  let depth = max 1 (min depth n) in
+  let counts = Array.make depth 1 in
+  for _ = 1 to n - depth do
+    let l = Prng.int rng depth in
+    counts.(l) <- counts.(l) + 1
+  done;
+  counts
+
+let gen_def st rng ~prog ~index ~level ~below : string * def_info =
+  let name = Printf.sprintf "%sL%d" prog index in
+  let buf = Buffer.create 512 in
+  let s = { st with buf; indent = 0 } in
+  line s "DEFINITION MODULE %s;" name;
+  (* imports from the level below: a chain link plus extra fan-out *)
+  let imported =
+    if below = [] then []
+    else begin
+      let first = Prng.choose rng below in
+      let extra =
+        List.filter (fun d -> d.d_name <> first.d_name && Prng.chance rng 0.3) below
+      in
+      first :: extra
+    end
+  in
+  List.iter
+    (fun d ->
+      Hashtbl.replace st.imported_by_someone d.d_name ();
+      line s "IMPORT %s;" d.d_name)
+    imported;
+  (* a FROM import when possible, to exercise "other"-scope lookups *)
+  (match imported with
+  | d :: _ when d.d_consts <> [] ->
+      line s "FROM %s IMPORT %s;" d.d_name (List.hd d.d_consts)
+  | _ -> ());
+  let n_consts = Prng.range rng 2 5 * max 1 st.shape.def_size in
+  let consts = List.init n_consts (fun k -> Printf.sprintf "c%d_%d" index k) in
+  line s "CONST";
+  nest s (fun () ->
+      List.iteri
+        (fun k c ->
+          match imported with
+          | d :: _ when d.d_consts <> [] && k = 0 ->
+              (* reference an imported constant in a constant expression *)
+              line s "%s = %s.%s + %d;" c d.d_name (List.hd d.d_consts) (Prng.range rng 1 9)
+          | _ -> line s "%s = %d;" c (Prng.range rng 1 100))
+        consts);
+  line s "TYPE";
+  nest s (fun () ->
+      line s "tEnum%d = (red%d, green%d, blue%d);" index index index index;
+      line s "tArr%d = ARRAY [0..%d] OF INTEGER;" index (Prng.range rng 7 15);
+      line s "tRec%d = RECORD a, b: INTEGER; ok: BOOLEAN END;" index;
+      line s "tSet%d = SET OF [0..15];" index;
+      line s "tPtr%d = POINTER TO tRec%d;" index index);
+  let n_vars = Prng.range rng 2 4 * max 1 st.shape.def_size in
+  let int_vars = List.init n_vars (fun k -> Printf.sprintf "v%d_%d" index k) in
+  line s "VAR";
+  nest s (fun () ->
+      List.iter (fun v -> line s "%s: INTEGER;" v) int_vars;
+      line s "flag%d: BOOLEAN;" index;
+      line s "rec%d: tRec%d;" index index);
+  let n_funcs = Prng.range rng 1 3 * max 1 st.shape.def_size in
+  let funcs = List.init n_funcs (fun k -> Printf.sprintf "f%d_%d" index k) in
+  List.iter (fun f -> line s "PROCEDURE %s(x: INTEGER): INTEGER;" f) funcs;
+  let n_procs = Prng.range rng 1 2 in
+  let procs = List.init n_procs (fun k -> Printf.sprintf "p%d_%d" index k) in
+  List.iter (fun p -> line s "PROCEDURE %s(VAR x: INTEGER);" p) procs;
+  line s "END %s." name;
+  ignore level;
+  ( Buffer.contents s.buf,
+    { d_name = name; d_consts = consts; d_int_vars = int_vars; d_funcs = funcs; d_procs = procs } )
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and statements for the main module *)
+
+(* The generation environment inside one procedure body. *)
+type penv = {
+  int_lvalues : string list; (* assignable INTEGER designators *)
+  int_rvalues : string list; (* INTEGER expressions: vars, consts, params *)
+  bool_lvalues : string list;
+  set_lvalues : string list; (* designators of type BITSET-ish SET OF [0..15] *)
+  rec_lvalues : string list; (* tRec-style records with fields a, b: INTEGER; ok: BOOLEAN *)
+  callable_funcs : string list; (* f(INTEGER): INTEGER by name *)
+  callable_procs : string list; (* p(VAR INTEGER) by name *)
+  exception_name : string option;
+  loop_vars : string list;
+      (* dedicated locals for FOR loops, one per nesting level: nested
+         FORs must not share a control variable or the outer loop can be
+         reset forever *)
+  for_depth : int ref;
+  loop_var : string; (* the outermost FOR variable (also used in array indexes) *)
+  scratch : string; (* a dedicated local for bounded WHILE loops *)
+}
+
+let rec int_expr st rng env depth =
+  if depth <= 0 then
+    match Prng.int rng 3 with
+    | 0 -> string_of_int (Prng.range rng 0 99)
+    | 1 when env.int_rvalues <> [] -> Prng.choose rng env.int_rvalues
+    | _ -> if env.int_rvalues <> [] then Prng.choose rng env.int_rvalues else "7"
+  else
+    match Prng.int rng 8 with
+    | 0 | 1 ->
+        Printf.sprintf "(%s %s %s)" (int_expr st rng env (depth - 1))
+          (Prng.choose rng [ "+"; "-"; "*" ])
+          (int_expr st rng env (depth - 1))
+    | 2 ->
+        Printf.sprintf "(%s DIV %d)" (int_expr st rng env (depth - 1)) (Prng.range rng 1 9)
+    | 3 ->
+        Printf.sprintf "(%s MOD %d)" (int_expr st rng env (depth - 1)) (Prng.range rng 2 9)
+    | 4 when env.callable_funcs <> [] ->
+        Printf.sprintf "%s(%s)" (Prng.choose rng env.callable_funcs) (int_expr st rng env (depth - 1))
+    | 5 -> Printf.sprintf "ABS(%s)" (int_expr st rng env (depth - 1))
+    | 6 -> Printf.sprintf "ORD(ODD(%s))" (int_expr st rng env (depth - 1))
+    | _ -> int_expr st rng env 0
+
+let bool_expr st rng env depth =
+  match Prng.int rng 4 with
+  | 0 ->
+      Printf.sprintf "(%s %s %s)" (int_expr st rng env depth)
+        (Prng.choose rng [ "<"; "<="; ">"; ">="; "="; "#" ])
+        (int_expr st rng env depth)
+  | 1 when env.bool_lvalues <> [] -> Prng.choose rng env.bool_lvalues
+  | 2 -> Printf.sprintf "ODD(%s)" (int_expr st rng env depth)
+  | _ when env.set_lvalues <> [] ->
+      Printf.sprintf "((%s MOD 16) IN %s)" (int_expr st rng env (depth - 1))
+        (Prng.choose rng env.set_lvalues)
+  | _ -> Printf.sprintf "(%s > 0)" (int_expr st rng env depth)
+
+let rec stmt st rng env ~budget =
+  if !budget <= 0 then ()
+  else begin
+    decr budget;
+    match Prng.int rng 20 with
+    | 0 | 1 | 2 | 3 | 4 when env.int_lvalues <> [] ->
+        line st "%s := %s;" (Prng.choose rng env.int_lvalues) (int_expr st rng env 2)
+    | 5 when env.bool_lvalues <> [] ->
+        line st "%s := %s;" (Prng.choose rng env.bool_lvalues) (bool_expr st rng env 1)
+    | 6 ->
+        line st "IF %s THEN" (bool_expr st rng env 1);
+        nest st (fun () -> stmt_seq st rng env ~budget ~n:(Prng.range rng 1 3));
+        if Prng.bool rng then begin
+          line st "ELSE";
+          nest st (fun () -> stmt_seq st rng env ~budget ~n:(Prng.range rng 1 2))
+        end;
+        line st "END;"
+    | 7 when !(env.for_depth) < List.length env.loop_vars ->
+        let v = List.nth env.loop_vars !(env.for_depth) in
+        line st "FOR %s := 0 TO %d DO" v (Prng.range rng 3 12);
+        incr env.for_depth;
+        nest st (fun () -> stmt_seq st rng env ~budget ~n:(Prng.range rng 1 3));
+        decr env.for_depth;
+        line st "END;"
+    | 8 ->
+        (* a bounded WHILE: terminates in both modes *)
+        line st "%s := %d;" env.scratch (Prng.range rng 2 9);
+        line st "WHILE %s > 0 DO" env.scratch;
+        nest st (fun () ->
+            stmt_seq st rng env ~budget ~n:(Prng.range rng 1 2);
+            line st "%s := %s - 1;" env.scratch env.scratch);
+        line st "END;"
+    | 9 ->
+        line st "CASE (%s) MOD 4 OF" (int_expr st rng env 1);
+        nest st (fun () ->
+            line st "0: %s;"
+              (if env.int_lvalues <> [] then
+                 Printf.sprintf "%s := %s" (Prng.choose rng env.int_lvalues) (int_expr st rng env 1)
+               else "");
+            line st "| 1, 2:";
+            nest st (fun () -> stmt_seq st rng env ~budget ~n:1);
+            line st "ELSE";
+            nest st (fun () -> stmt_seq st rng env ~budget ~n:1));
+        line st "END;"
+    | 10 when env.rec_lvalues <> [] ->
+        let r = Prng.choose rng env.rec_lvalues in
+        line st "WITH %s DO" r;
+        nest st (fun () ->
+            line st "a := %s;" (int_expr st rng env 1);
+            line st "b := a + %d;" (Prng.range rng 1 9);
+            line st "ok := %s;" (bool_expr st rng env 0));
+        line st "END;"
+    | 11 when env.set_lvalues <> [] ->
+        let s = Prng.choose rng env.set_lvalues in
+        (match Prng.int rng 3 with
+        | 0 -> line st "INCL(%s, (%s) MOD 16);" s (int_expr st rng env 1)
+        | 1 -> line st "EXCL(%s, %d);" s (Prng.range rng 0 15)
+        | _ -> line st "%s := %s + {%d, %d..%d};" s s (Prng.range rng 0 3) (Prng.range rng 4 8) (Prng.range rng 9 15))
+    | 12 when env.int_lvalues <> [] ->
+        line st "INC(%s%s);" (Prng.choose rng env.int_lvalues)
+          (if Prng.bool rng then "" else Printf.sprintf ", %d" (Prng.range rng 1 5))
+    | 13 when env.callable_procs <> [] && env.int_lvalues <> [] ->
+        line st "%s(%s);" (Prng.choose rng env.callable_procs) (Prng.choose rng env.int_lvalues)
+    | 14 when env.exception_name <> None && env.int_lvalues <> [] ->
+        let exc = Option.get env.exception_name in
+        line st "TRY";
+        nest st (fun () ->
+            line st "IF %s THEN RAISE %s END;" (bool_expr st rng env 0) exc;
+            stmt_seq st rng env ~budget ~n:1);
+        line st "EXCEPT %s:" exc;
+        nest st (fun () -> stmt_seq st rng env ~budget ~n:1);
+        line st "END;"
+    | 15 when env.int_lvalues <> [] ->
+        (* a REPEAT that runs exactly once: the condition compares a
+           value with itself, and the body never touches loop counters *)
+        let v = Prng.choose rng env.int_lvalues in
+        line st "REPEAT";
+        line st "  %s := %s;" v (int_expr st rng env 1);
+        line st "UNTIL %s = %s;" v v
+    | _ when env.int_lvalues <> [] ->
+        line st "%s := %s;" (Prng.choose rng env.int_lvalues) (int_expr st rng env 2)
+    | _ -> line st "%s := %s;" env.loop_var (int_expr st rng env 1)
+  end
+
+and stmt_seq st rng env ~budget ~n =
+  for _ = 1 to n do
+    stmt st rng env ~budget
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The main module *)
+
+let gen_proc st rng ~(defs : def_info list) ~from_imports ~globals ~index ~nested_budget
+    ~emitted ~shape =
+  let fname = Printf.sprintf "P%d" index in
+  let is_func = Prng.bool rng in
+  let n_params = if is_func && Prng.chance rng 0.7 then 1 else Prng.range rng 0 3 in
+  let params = List.init n_params (fun k -> Printf.sprintf "a%d" k) in
+  let heading =
+    Printf.sprintf "PROCEDURE %s%s%s;" fname
+      (if params = [] then ""
+       else "(" ^ String.concat "; " (List.map (fun p -> p ^ ": INTEGER") params) ^ ")")
+      (if is_func then ": INTEGER" else "")
+  in
+  line st "%s" heading;
+  if shape.pad > 0 then begin
+    let words = max 1 (shape.pad / 60) in
+    for w = 1 to words do
+      line st "(* %s %d: this block documents invariants of %s in prose form padding *)"
+        fname w fname
+    done
+  end;
+  let n_locals = Prng.range rng 2 5 in
+  let locals = List.init n_locals (fun k -> Printf.sprintf "x%d" k) in
+  nest st (fun () ->
+      (* a local constant referencing an imported interface: qualified
+         names are common in declarations (paper §4.3), and these
+         references race the interface's declaration analysis early in
+         the compilation — the main source of DKY blockages *)
+      (match defs with
+      | d :: _ when d.d_consts <> [] && Prng.chance rng 0.6 ->
+          line st "CONST lq = %s.%s + %d;" d.d_name
+            (Prng.choose rng d.d_consts) (Prng.range rng 1 9)
+      | _ -> ());
+      line st "VAR %s, i, i2, i3, lc, tmp: INTEGER; done: BOOLEAN;" (String.concat ", " locals);
+      line st "VAR rr: gRec; ss: gSet; aa: gArr;");
+  (* nested procedures: own locals only (no uplevel addressing) *)
+  let nested =
+    List.init
+      (if nested_budget > 0 then Prng.int rng (nested_budget + 1) else 0)
+      (fun k -> Printf.sprintf "N%d_%d" index k)
+  in
+  nest st (fun () ->
+      List.iter
+        (fun nname ->
+          line st "PROCEDURE %s(y: INTEGER): INTEGER;" nname;
+          line st "VAR t, u: INTEGER;";
+          line st "BEGIN";
+          nest st (fun () ->
+              let env =
+                {
+                  (* nested procedures reach enclosing locals through the
+                     static chain (uplevel addressing) *)
+                  int_lvalues = [ "t"; List.hd locals ];
+                  int_rvalues = [ "y"; "t"; List.hd globals; List.hd locals ] @ params @ from_imports;
+                  bool_lvalues = [];
+                  set_lvalues = [];
+                  rec_lvalues = [];
+                  callable_funcs = (if shape.runnable then [] else List.map (fun d -> d.d_name ^ "." ^ List.hd d.d_funcs) (if defs = [] then [] else [ List.hd defs ]));
+                  callable_procs = [];
+                  exception_name = None;
+                  loop_vars = [ "u" ];
+                  for_depth = ref 0;
+                  loop_var = "u";
+                  scratch = "u";
+                }
+              in
+              line st "t := y; u := 0;";
+              let budget = ref (Prng.range rng 2 5) in
+              stmt_seq st rng env ~budget ~n:3;
+              line st "RETURN t + y");
+          line st "END %s;" nname)
+        nested);
+  line st "BEGIN";
+  let qualified_ints =
+    (* interface variables are storage in the exporting module's frame;
+       runnable programs never touch them (their initialization would be
+       that module's body, which is not compiled here) *)
+    if shape.runnable then []
+    else
+      List.concat_map
+        (fun d ->
+          List.map (fun v -> d.d_name ^ "." ^ v) (if Prng.chance rng 0.4 then d.d_int_vars else []))
+        defs
+  in
+  let imported_funcs =
+    if shape.runnable then []
+    else List.concat_map (fun d -> List.map (fun f -> d.d_name ^ "." ^ f) d.d_funcs) defs
+  in
+  let imported_procs =
+    if shape.runnable then []
+    else List.concat_map (fun d -> List.map (fun p -> d.d_name ^ "." ^ p) d.d_procs) defs
+  in
+  let callable_funcs =
+    List.filter_map
+      (fun (f, has_result, arity) -> if has_result && arity = 1 then Some f else None)
+      emitted
+    @ nested @ imported_funcs
+  and callable_procs = imported_procs in
+  let qualified_consts = List.concat_map (fun d -> List.map (fun c -> d.d_name ^ "." ^ c) d.d_consts) defs in
+  nest st (fun () ->
+      let env =
+        {
+          int_lvalues =
+            locals @ params @ [ "tmp" ] @ globals @ [ "rr.a"; "rr.b"; "aa[i MOD 8]" ]
+            @ qualified_ints;
+          int_rvalues =
+            locals @ params @ globals
+            @ (if qualified_consts = [] then [] else [ Prng.choose rng qualified_consts ])
+            @ from_imports;
+          bool_lvalues = [ "done"; "rr.ok" ];
+          set_lvalues = [ "ss" ];
+          rec_lvalues = [ "rr" ];
+          callable_funcs;
+          callable_procs;
+          exception_name = Some "gExc";
+          loop_vars = [ "i"; "i2"; "i3" ];
+          for_depth = ref 0;
+          loop_var = "i";
+          scratch = "lc";
+        }
+      in
+      List.iteri (fun k x -> line st "%s := %d;" x (k + 1)) locals;
+      List.iter (fun p -> line st "tmp := %s;" p) [];
+      line st "tmp := 0; i := 0; i2 := 0; i3 := 0; lc := 0; done := FALSE;";
+      line st "rr.a := 1; rr.b := 2; rr.ok := TRUE; ss := {};";
+      line st "FOR i := 0 TO 7 DO aa[i] := i END;";
+      let base_budget = Prng.range rng shape.stmts_lo shape.stmts_hi in
+      let budget =
+        (* procedure sizes in real software are heavily skewed: a few
+           procedures are several times larger than the rest, producing
+           the long sequential tail the paper's long-before-short
+           scheduling fights (§2.3.4) *)
+        ref (if Prng.chance rng 0.08 then base_budget * Prng.range rng 4 8 else base_budget)
+      in
+      while !budget > 0 do
+        stmt st rng env ~budget
+      done;
+      if is_func then line st "RETURN tmp");
+  line st "END %s;" fname;
+  line st "";
+  (fname, is_func, n_params)
+
+let generate (shape : shape) : Source_store.t =
+  let rng = Prng.create shape.seed in
+  let prog = shape.name in
+  let st =
+    { rng; shape; buf = Buffer.create 4096; indent = 0; imported_by_someone = Hashtbl.create 32 }
+  in
+  (* --- definition modules, level by level --- *)
+  let levels = plan_levels rng ~n:shape.n_defs ~depth:shape.depth in
+  let all_defs = ref [] in
+  let def_sources = ref [] in
+  let idx = ref 0 in
+  let below = ref [] in
+  Array.iteri
+    (fun level count ->
+      let this_level = ref [] in
+      for _ = 1 to count do
+        let src, info = gen_def st rng ~prog ~index:!idx ~level ~below:!below in
+        incr idx;
+        def_sources := (info.d_name, src) :: !def_sources;
+        this_level := info :: !this_level;
+        all_defs := info :: !all_defs
+      done;
+      below := !this_level)
+    levels;
+  let top_level = !below in
+  let all_defs = List.rev !all_defs in
+  (* --- the main module --- *)
+  line st "IMPLEMENTATION MODULE %s;" prog;
+  (* direct imports: every top-level interface, every interface no other
+     interface imports (so all are reachable), plus a sample of others *)
+  let direct =
+    top_level
+    @ List.filter
+        (fun d ->
+          (not (List.memq d top_level))
+          && ((not (Hashtbl.mem st.imported_by_someone d.d_name)) || Prng.chance rng 0.15))
+        all_defs
+  in
+  List.iter (fun d -> line st "IMPORT %s;" d.d_name) direct;
+  let from_imports =
+    List.filter_map
+      (fun (d : def_info) ->
+        if Prng.chance rng 0.5 && d.d_consts <> [] then begin
+          let c = List.hd d.d_consts in
+          line st "FROM %s IMPORT %s;" d.d_name c;
+          Some c
+        end
+        else None)
+      direct
+  in
+  line st "";
+  line st "TYPE gRec = RECORD a, b: INTEGER; ok: BOOLEAN END;";
+  line st "TYPE gSet = SET OF [0..15];";
+  line st "TYPE gArr = ARRAY [0..7] OF INTEGER;";
+  line st "TYPE gPtr = POINTER TO gRec;";
+  let globals = List.init (max 1 shape.module_vars) (fun k -> Printf.sprintf "g%d" k) in
+  (* the module-level declaration section: large in real modules, and
+     processed serially by the module parser before later procedure
+     headings are reached — the source of the mid-compilation lull the
+     paper's Figure 7 shows *)
+  let qualified_consts_all =
+    List.concat_map (fun d -> List.map (fun c -> d.d_name ^ "." ^ c) d.d_consts) direct
+  in
+  for k = 0 to (3 * shape.module_vars) - 1 do
+    if qualified_consts_all <> [] && Prng.chance rng 0.3 then
+      line st "CONST mc%d = %s + %d;" k (Prng.choose rng qualified_consts_all) (Prng.range rng 1 50)
+    else line st "CONST mc%d = %d;" k (Prng.range rng 1 500)
+  done;
+  for k = 0 to shape.module_vars - 1 do
+    line st "TYPE mt%d = ARRAY [0..%d] OF INTEGER;" k (Prng.range rng 3 31)
+  done;
+  for k = 0 to shape.module_vars - 1 do
+    line st "TYPE mr%d = RECORD x, y: INTEGER; tag: BOOLEAN END;" k
+  done;
+  line st "VAR %s: INTEGER;" (String.concat ", " globals);
+  for k = 0 to shape.module_vars - 1 do
+    line st "VAR mv%d: mt%d; mw%d: mr%d;" k k k k
+  done;
+  line st "VAR gExc: EXCEPTION;";
+  line st "VAR gMu: MUTEX;";
+  line st "VAR gp: gPtr;";
+  line st "";
+  (* --- procedures --- *)
+  let emitted = ref [] in
+  for i = 0 to shape.n_procs - 1 do
+    let fname, is_func, n_params =
+      gen_proc st rng ~defs:direct ~from_imports ~globals ~index:i
+        ~nested_budget:shape.nested_per_proc ~emitted:!emitted ~shape
+    in
+    emitted := (fname, is_func, n_params) :: !emitted
+  done;
+  (* --- module body --- *)
+  line st "BEGIN";
+  nest st (fun () ->
+      List.iteri (fun k g -> line st "%s := %d;" g (k + 1)) globals;
+      line st "NEW(gp); gp^.a := 10; gp^.b := gp^.a * 2; gp^.ok := TRUE;";
+      line st "LOCK gMu DO %s := %s + gp^.b END;" (List.hd globals) (List.hd globals);
+      List.iteri
+        (fun k (f, has_result, arity) ->
+          if has_result && arity = 1 then
+            line st "%s := %s + %s(%d);" (List.hd globals) (List.hd globals) f k)
+        !emitted;
+      if shape.runnable then begin
+        line st "WriteString(\"%s=\"); WriteInt(%s); WriteLn;" prog (List.hd globals)
+      end);
+  line st "END %s." prog;
+  Source_store.make ~main_name:prog ~main_src:(Buffer.contents st.buf)
+    ~defs:(List.rev !def_sources) ()

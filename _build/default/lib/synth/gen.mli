@@ -1,0 +1,37 @@
+(** The synthetic Modula-2+ program generator: the substitute for the
+    proprietary DEC SRC library behind the paper's test suite.
+
+    Deterministic from a seed; type-correct by construction (the suite
+    must compile cleanly under every driver and strategy); exercises the
+    whole language subset — import DAGs with controlled depth and
+    fan-out, FROM-imports and qualified names, the full type and
+    statement language, nested procedures with uplevel references, and
+    the Modula-2+ TRY/RAISE/LOCK extensions.  Procedure sizes are
+    heavily skewed, producing the long code-generation tails the paper's
+    long-before-short scheduling fights. *)
+
+open Mcc_core
+
+type shape = {
+  seed : int;
+  name : string;  (** module name; also prefixes interface names *)
+  n_defs : int;  (** definition modules generated (all reachable) *)
+  depth : int;  (** import-nesting depth *)
+  n_procs : int;  (** top-level procedures in the main module *)
+  nested_per_proc : int;  (** max nested procedures per top-level one *)
+  stmts_lo : int;
+  stmts_hi : int;  (** statement budget per procedure body *)
+  module_vars : int;  (** scales the module-level declaration section *)
+  def_size : int;  (** scales the declaration count of interfaces *)
+  pad : int;
+      (** bytes of comment text per procedure: big modules carry
+          proportionally more comments, making compile time sublinear in
+          module size as in Table 1 *)
+  runnable : bool;
+      (** when set: calls go only to already-emitted procedures, all
+          loops are bounded, and no uninitialized storage is read — the
+          compiled program terminates in the VM *)
+}
+
+(** Generate the module and all its interfaces. *)
+val generate : shape -> Source_store.t

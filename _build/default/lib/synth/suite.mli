@@ -1,0 +1,23 @@
+(** The synthetic evaluation suite: 37 programs tuned to the paper's
+    Table 1 (sizes, sequential compile times, interface counts and
+    nesting depths, procedure and stream counts, and the §4.2 quartile
+    populations), plus the mechanically generated best-case module. *)
+
+open Mcc_core
+
+val n_programs : int
+
+(** The shape of each suite entry, in rank order. *)
+val shapes : Gen.shape list
+
+(** Generate (and memoize) suite program [rank], 0-based. *)
+val program : int -> Source_store.t
+
+(** All 37 programs. *)
+val all : unit -> Source_store.t list
+
+(** Synth.mod (paper §4.2): many same-sized procedures whose bodies
+    reference only their own locals and builtins, so compilation
+    "generates ample parallel work for the compiler and never incurs a
+    DKY blockage". *)
+val synth_best : ?n_procs:int -> ?stmts:int -> unit -> Source_store.t

@@ -1,0 +1,24 @@
+(** Binary min-heap with deterministic tie-breaking.
+
+    The discrete-event simulation keys its agenda on (virtual time,
+    insertion sequence number), so simultaneous events pop in insertion
+    order — the property that makes simulated schedules bit-for-bit
+    reproducible. *)
+
+type 'a t
+
+(** [create dummy] is an empty heap ([dummy] fills unused slots). *)
+val create : 'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push t key v] inserts [v] with priority [key]; equal keys preserve
+    insertion order. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** The minimum entry, without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** Remove and return the minimum entry. *)
+val pop : 'a t -> (float * 'a) option

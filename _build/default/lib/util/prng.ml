@@ -1,0 +1,80 @@
+(* Deterministic splittable pseudo-random number generator (splitmix64).
+
+   Every randomized component of the repository (the synthetic test-suite
+   generator, property-based test inputs that we pre-draw, workload
+   shuffles) draws from this generator so that all experiments are exactly
+   reproducible from a single integer seed.  [split] derives an
+   independent child stream, which lets the program generator hand
+   independent streams to sub-generators without coupling their draw
+   counts. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A non-negative int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+(* An int in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 0
+
+(* True with probability [p]. *)
+let chance t p = float_of_int (int t 1_000_000) /. 1_000_000.0 < p
+
+let float t bound = float_of_int (int t 1_000_000) /. 1_000_000.0 *. bound
+
+let split t =
+  let seed = Int64.to_int (next_int64 t) land max_int in
+  create seed
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let choose_arr t xs =
+  if Array.length xs = 0 then invalid_arg "Prng.choose_arr: empty array";
+  xs.(int t (Array.length xs))
+
+(* Geometric-ish draw: repeatedly flip [p] up to [cap] times; used for
+   skewed size distributions (many small, few large). *)
+let skewed t ~cap ~p =
+  let rec go n = if n >= cap then n else if chance t p then go (n + 1) else n in
+  go 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Draw from a weighted list of (weight, value). *)
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  if total <= 0 then invalid_arg "Prng.weighted: non-positive total weight";
+  let r = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted: unreachable"
+    | (w, v) :: rest -> if r < acc + w then v else go (acc + w) rest
+  in
+  go 0 choices

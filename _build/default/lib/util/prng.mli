@@ -1,0 +1,51 @@
+(** Deterministic splittable pseudo-random numbers (splitmix64).
+
+    Every randomized component of the repository — most importantly the
+    synthetic test-suite generator — draws from this generator, so all
+    experiments reproduce exactly from an integer seed.  [split] derives
+    an independent stream whose draws do not perturb the parent's. *)
+
+type t
+
+val create : int -> t
+
+(** An independent copy: the original and the copy produce the same
+    future stream. *)
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument when the range is empty. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** Derive an independent child stream. *)
+val split : t -> t
+
+(** Uniform choice. @raise Invalid_argument on an empty list/array. *)
+val choose : t -> 'a list -> 'a
+
+val choose_arr : t -> 'a array -> 'a
+
+(** Geometric-ish draw: count successes of probability [p], capped at
+    [cap] — used for skewed size distributions. *)
+val skewed : t -> cap:int -> p:float -> int
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Draw from a weighted list of [(weight, value)].
+    @raise Invalid_argument when the total weight is not positive. *)
+val weighted : t -> (int * 'a) list -> 'a

@@ -1,0 +1,60 @@
+(* Aligned plain-text table rendering for the benchmark harness and the
+   statistics reports.  Produces the same style of row/column layout as
+   the paper's tables so the reproduction output can be compared against
+   the published numbers side by side. *)
+
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let l = fill / 2 in
+        String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+(* Render a table with a header row.  [aligns] applies per column and is
+   extended with [Right] if shorter than the widest row. *)
+let render ?(aligns = []) ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let get_align i = try List.nth aligns i with _ -> Right in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let render_row row =
+    let cells =
+      List.mapi (fun i cell -> pad (get_align i) widths.(i) cell) row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|-"
+    ^ String.concat "-|-" (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+    ^ "-|"
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let fixed ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+(* Thousands separator, matching the paper's "52,544" style. *)
+let grouped n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + len / 3) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf
+
+let percent ?(decimals = 2) num denom =
+  if denom = 0 then "0.00"
+  else fixed ~decimals (100.0 *. float_of_int num /. float_of_int denom)

@@ -1,0 +1,22 @@
+(** Aligned plain-text tables, in the style of the paper's own tables,
+    so reproduction output can be compared to the published numbers
+    side by side. *)
+
+type align = Left | Right | Center
+
+(** Pad [s] to [width] under the given alignment. *)
+val pad : align -> int -> string -> string
+
+(** [render ~aligns ~header rows] renders a table with a separator under
+    the header.  [aligns] applies per column and defaults to [Right]
+    beyond its length. *)
+val render : ?aligns:align list -> header:string list -> string list list -> string
+
+(** Fixed-point formatting, default 2 decimals. *)
+val fixed : ?decimals:int -> float -> string
+
+(** Thousands-separated integers ("52,544"). *)
+val grouped : int -> string
+
+(** [percent num denom] as a fixed-point percentage string. *)
+val percent : ?decimals:int -> int -> int -> string

@@ -1,0 +1,58 @@
+(** Growable vectors on flat arrays.
+
+    Used throughout the compiler for token blocks, instruction buffers
+    and trace records.  The backing array doubles on overflow; accessors
+    are bounds-checked against the logical length.  Not thread-safe:
+    callers synchronize externally where needed. *)
+
+type 'a t
+
+(** [create ?capacity dummy] makes an empty vector.  [dummy] fills unused
+    capacity so stale elements are never observable. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val capacity : 'a t -> int
+
+(** Remove all elements (capacity is retained). *)
+val clear : 'a t -> unit
+
+(** Ensure room for at least [n] elements. *)
+val ensure : 'a t -> int -> unit
+
+val push : 'a t -> 'a -> unit
+
+(** Remove and return the last element.
+    @raise Invalid_argument when empty. *)
+val pop : 'a t -> 'a
+
+(** @raise Invalid_argument when the index is out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** @raise Invalid_argument when the index is out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** The last element.
+    @raise Invalid_argument when empty. *)
+val last : 'a t -> 'a
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+
+(** [of_list dummy xs] builds a vector holding [xs] in order. *)
+val of_list : 'a -> 'a list -> 'a t
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [map dummy f t] is a fresh vector of [f] applied elementwise. *)
+val map : 'b -> ('a -> 'b) -> 'a t -> 'b t
+
+(** [append dst src] pushes every element of [src] onto [dst]. *)
+val append : 'a t -> 'a t -> unit
+
+(** In-place sort. *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit

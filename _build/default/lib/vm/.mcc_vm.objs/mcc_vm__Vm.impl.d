@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array Buffer Char Cunit Hashtbl Instr List Mcc_codegen Mcc_sem Printf String Tydesc

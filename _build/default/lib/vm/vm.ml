@@ -1,0 +1,550 @@
+(* The execution engine for compiled programs.
+
+   An interpreter for the stack machine of [Mcc_codegen.Instr], standing
+   in for the paper's CVax hardware so that compiled Modula-2+ programs
+   can actually run (examples, differential tests).  The machine model:
+
+   - every assignable slot lives in some [v array]: a procedure frame, a
+     module global frame, an array/record body, or a heap cell from NEW;
+   - a location value [VLoc (a, i)] designates one such slot — this is
+     what designator code computes and VAR parameters pass;
+   - arrays and records are both [VArr]; pointers are [VCell] (a
+     one-slot heap cell); Modula-2+ EXCEPTION values carry the stable
+     identity of their declaring slot.
+
+   Calls are OCaml recursion, so Modula-2+ exception propagation maps
+   onto an OCaml exception unwinding interpreter frames; TRY pushes a
+   handler (pc, stack depth) that the per-frame dispatch loop consults.
+
+   Execution is metered by [fuel] so runaway programs fail cleanly in
+   tests. *)
+
+open Mcc_codegen
+module V = Mcc_sem.Value
+
+type v =
+  | VInt of int
+  | VReal of float
+  | VBool of bool
+  | VChar of char
+  | VStr of string
+  | VSet of int
+  | VNil
+  | VUninit
+  | VArr of v array
+  | VCell of v array (* heap cell from NEW: one slot *)
+  | VLoc of v array * int
+  | VProc of string
+  | VExc of string
+  | VMutex
+
+exception Runtime_error of string
+exception M2_exception of string
+exception Halted
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let rec default_of (d : Tydesc.t) : v =
+  match d with
+  | Tydesc.DScalar -> VUninit
+  | Tydesc.DPtr -> VNil
+  | Tydesc.DProc -> VNil
+  | Tydesc.DExc key -> VExc key
+  | Tydesc.DMutex -> VMutex
+  | Tydesc.DArr (n, e) -> VArr (Array.init n (fun _ -> default_of e))
+  | Tydesc.DRec fs -> VArr (Array.map default_of fs)
+
+let rec copy_value = function
+  | VArr a -> VArr (Array.map copy_value a)
+  | VStr s -> VArr (Array.init (String.length s) (fun i -> VChar s.[i]))
+  | x -> x
+
+let to_int = function
+  | VInt n -> n
+  | VChar c -> Char.code c
+  | VBool b -> if b then 1 else 0
+  | VStr s when String.length s = 1 -> Char.code s.[0] (* 'x' character literal *)
+  | VUninit -> error "use of an uninitialized value"
+  | v -> error "integer value expected, found %s" (match v with VReal _ -> "REAL" | _ -> "non-ordinal")
+
+let to_real = function
+  | VReal f -> f
+  | VUninit -> error "use of an uninitialized value"
+  | _ -> error "REAL value expected"
+
+let to_bool = function
+  | VBool b -> b
+  | VUninit -> error "use of an uninitialized value"
+  | _ -> error "BOOLEAN value expected"
+
+let to_set = function
+  | VSet m -> m
+  | VUninit -> error "use of an uninitialized set"
+  | _ -> error "set value expected"
+
+let cmp_values a b =
+  match (a, b) with
+  | VReal x, VReal y -> compare x y
+  | VStr x, VStr y -> compare x y
+  | VChar x, VStr y when String.length y = 1 -> compare x y.[0]
+  | VStr x, VChar y when String.length x = 1 -> compare x.[0] y
+  | VSet x, VSet y -> compare x y
+  | VExc x, VExc y -> compare x y
+  | VBool x, VBool y -> compare x y
+  | _ -> compare (to_int a) (to_int b)
+
+let phys_eq a b =
+  match (a, b) with
+  | VCell x, VCell y -> x == y
+  | VNil, VNil -> true
+  | VNil, _ | _, VNil -> false
+  | VProc x, VProc y -> x = y
+  | _ -> error "pointer comparison on non-pointer values"
+
+let relop_holds (r : Instr.relop) c =
+  match r with
+  | Instr.REq -> c = 0
+  | Instr.RNe -> c <> 0
+  | Instr.RLt -> c < 0
+  | Instr.RLe -> c <= 0
+  | Instr.RGt -> c > 0
+  | Instr.RGe -> c >= 0
+
+type status = Finished | Halt_called | Trap of string | Uncaught_exception of string
+
+type result = { output : string; status : status; steps : int }
+
+type state = {
+  prog : Cunit.program;
+  frames : (string, v array) Hashtbl.t;
+  out : Buffer.t;
+  mutable input : int list;
+  mutable fuel : int;
+  mutable steps : int;
+}
+
+let burn st =
+  st.steps <- st.steps + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then error "execution fuel exhausted (possible infinite loop)"
+
+let global_frame st key =
+  match Hashtbl.find_opt st.frames key with
+  | Some f -> f
+  | None -> error "reference to unknown module frame %s" key
+
+(* Execute one code unit with the given argument values.  [chain] is the
+   static chain: the frames of the lexically enclosing procedures,
+   innermost first (empty for module-level procedures and the module
+   body). *)
+let rec exec st (u : Cunit.t) (args : v list) ~(chain : v array list) : v option =
+  let frame = Array.make (max 1 u.Cunit.u_nslots) VUninit in
+  List.iteri (fun i a -> if i < Array.length frame then frame.(i) <- a) args;
+  List.iter (fun (slot, d) -> if slot < Array.length frame then frame.(slot) <- default_of d) u.Cunit.u_locals;
+  let stack = ref [] in
+  let handlers = ref [] in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+        stack := rest;
+        v
+    | [] -> error "evaluation stack underflow in %s" u.Cunit.u_key
+  in
+  let pop_loc () =
+    match pop () with
+    | VLoc (a, i) -> (a, i)
+    | _ -> error "location expected on the stack in %s" u.Cunit.u_key
+  in
+  let popn n =
+    let rec go n acc = if n = 0 then acc else go (n - 1) (pop () :: acc) in
+    go n []
+  in
+  let truncate_stack depth =
+    let rec go l = if List.length l > depth then go (List.tl l) else l in
+    stack := go !stack
+  in
+  let code = u.Cunit.u_code in
+  let len = Array.length code in
+  let pc = ref 0 in
+  let result = ref None in
+  let running = ref true in
+  while !running do
+    if !pc < 0 || !pc >= len then error "pc out of range in %s" u.Cunit.u_key;
+    burn st;
+    let i = code.(!pc) in
+    incr pc;
+    try
+      match i with
+      | Instr.Const c ->
+          push
+            (match c with
+            | V.VInt n -> VInt n
+            | V.VReal f -> VReal f
+            | V.VBool b -> VBool b
+            | V.VChar c -> VChar c
+            | V.VStr s -> VStr s
+            | V.VSet m -> VSet m
+            | V.VNil -> VNil)
+      | Instr.Dup -> (
+          match !stack with
+          | v :: _ -> push v
+          | [] -> error "dup on empty stack")
+      | Instr.Pop -> ignore (pop ())
+      | Instr.CopyVal -> push (copy_value (pop ()))
+      | Instr.StrToArr n -> (
+          match pop () with
+          | VStr s ->
+              push (VArr (Array.init n (fun i -> VChar (if i < String.length s then s.[i] else '\000'))))
+          | VArr a ->
+              (* assigning a char array to a char array of the same shape *)
+              push (copy_value (VArr a))
+          | _ -> error "string expected")
+      | Instr.LoadLocal n -> push frame.(n)
+      | Instr.StoreLocal n -> frame.(n) <- pop ()
+      | Instr.LocalAddr n -> push (VLoc (frame, n))
+      | Instr.UplevelAddr (hops, slot) -> (
+          match List.nth_opt chain (hops - 1) with
+          | Some f -> push (VLoc (f, slot))
+          | None -> error "static chain underflow in %s" u.Cunit.u_key)
+      | Instr.LoadGlobal (f, n) -> push (global_frame st f).(n)
+      | Instr.StoreGlobal (f, n) -> (global_frame st f).(n) <- pop ()
+      | Instr.GlobalAddr (f, n) -> push (VLoc (global_frame st f, n))
+      | Instr.FieldAddr n -> (
+          let a, i = pop_loc () in
+          match a.(i) with
+          | VArr fields -> push (VLoc (fields, n))
+          | VUninit -> error "field access on an uninitialized record"
+          | _ -> error "record expected for field access")
+      | Instr.LoadField n -> (
+          match pop () with
+          | VArr fields -> push fields.(n)
+          | _ -> error "record expected for field load")
+      | Instr.IndexAddr (lo, hi) -> (
+          let idx = to_int (pop ()) in
+          let a, i = pop_loc () in
+          if idx < lo || idx > hi then error "array index %d out of range [%d..%d]" idx lo hi;
+          match a.(i) with
+          | VArr elems -> push (VLoc (elems, idx - lo))
+          | VUninit -> error "indexing an uninitialized array"
+          | _ -> error "array expected for indexing")
+      | Instr.IndexOpenAddr -> (
+          let idx = to_int (pop ()) in
+          let a, i = pop_loc () in
+          match a.(i) with
+          | VArr elems ->
+              if idx < 0 || idx >= Array.length elems then
+                error "open array index %d out of range [0..%d]" idx (Array.length elems - 1);
+              push (VLoc (elems, idx))
+          | VStr s ->
+              if idx < 0 || idx >= String.length s then
+                error "string index %d out of range" idx;
+              (* strings are immutable: materialize a cell for reading *)
+              push (VLoc ([| VChar s.[idx] |], 0))
+          | _ -> error "array expected for open indexing")
+      | Instr.LoadElem (lo, hi) -> (
+          let idx = to_int (pop ()) in
+          match pop () with
+          | VArr elems ->
+              if idx < lo || idx > hi then error "array index %d out of range [%d..%d]" idx lo hi;
+              push elems.(idx - lo)
+          | _ -> error "array expected")
+      | Instr.LoadElemOpen -> (
+          let idx = to_int (pop ()) in
+          match pop () with
+          | VArr elems ->
+              if idx < 0 || idx >= Array.length elems then error "open array index out of range";
+              push elems.(idx)
+          | VStr s ->
+              if idx < 0 || idx >= String.length s then error "string index out of range";
+              push (VChar s.[idx])
+          | _ -> error "array expected")
+      | Instr.DerefAddr -> (
+          match pop () with
+          | VCell a -> push (VLoc (a, 0))
+          | VNil -> error "NIL dereference"
+          | VUninit -> error "dereference of an uninitialized pointer"
+          | _ -> error "pointer expected for dereference")
+      | Instr.LoadInd ->
+          let a, i = pop_loc () in
+          push a.(i)
+      | Instr.StoreInd ->
+          let value = pop () in
+          let a, i = pop_loc () in
+          a.(i) <- value
+      | Instr.IncInd | Instr.DecInd -> (
+          let delta = to_int (pop ()) in
+          let delta = if i = Instr.DecInd then -delta else delta in
+          let a, idx = pop_loc () in
+          match a.(idx) with
+          | VInt n -> a.(idx) <- VInt (n + delta)
+          | VChar c ->
+              let n = Char.code c + delta in
+              if n < 0 || n > 255 then error "CHAR increment out of range";
+              a.(idx) <- VChar (Char.chr n)
+          | VStr s when String.length s = 1 ->
+              (* a character literal was stored here *)
+              let n = Char.code s.[0] + delta in
+              if n < 0 || n > 255 then error "CHAR increment out of range";
+              a.(idx) <- VChar (Char.chr n)
+          | VUninit -> error "INC/DEC of an uninitialized variable"
+          | _ -> error "INC/DEC requires an ordinal variable")
+      | Instr.InclInd lo | Instr.ExclInd lo -> (
+          let e = to_int (pop ()) - lo in
+          let a, idx = pop_loc () in
+          if e < 0 || e >= 62 then error "set element out of range";
+          match a.(idx) with
+          | VSet m ->
+              a.(idx) <- VSet (match i with Instr.InclInd _ -> m lor (1 lsl e) | _ -> m land lnot (1 lsl e))
+          | VUninit ->
+              (match i with
+              | Instr.InclInd _ -> a.(idx) <- VSet (1 lsl e)
+              | _ -> error "EXCL on an uninitialized set")
+          | _ -> error "INCL/EXCL requires a set variable")
+      | Instr.NewInd d ->
+          let a, idx = pop_loc () in
+          a.(idx) <- VCell [| default_of d |]
+      | Instr.DisposeInd ->
+          let a, idx = pop_loc () in
+          a.(idx) <- VNil
+      | Instr.AddI ->
+          let b = to_int (pop ()) and a = to_int (pop ()) in
+          push (VInt (a + b))
+      | Instr.SubI ->
+          let b = to_int (pop ()) and a = to_int (pop ()) in
+          push (VInt (a - b))
+      | Instr.MulI ->
+          let b = to_int (pop ()) and a = to_int (pop ()) in
+          push (VInt (a * b))
+      | Instr.DivI ->
+          let b = to_int (pop ()) and a = to_int (pop ()) in
+          if b = 0 then error "integer division by zero";
+          push (VInt (a / b))
+      | Instr.ModI ->
+          let b = to_int (pop ()) and a = to_int (pop ()) in
+          if b = 0 then error "MOD by zero";
+          push (VInt (((a mod b) + abs b) mod abs b))
+      | Instr.NegI -> push (VInt (-to_int (pop ())))
+      | Instr.AddR ->
+          let b = to_real (pop ()) and a = to_real (pop ()) in
+          push (VReal (a +. b))
+      | Instr.SubR ->
+          let b = to_real (pop ()) and a = to_real (pop ()) in
+          push (VReal (a -. b))
+      | Instr.MulR ->
+          let b = to_real (pop ()) and a = to_real (pop ()) in
+          push (VReal (a *. b))
+      | Instr.DivR ->
+          let b = to_real (pop ()) and a = to_real (pop ()) in
+          if b = 0.0 then error "real division by zero";
+          push (VReal (a /. b))
+      | Instr.NegR -> push (VReal (-.to_real (pop ())))
+      | Instr.NotB -> push (VBool (not (to_bool (pop ()))))
+      | Instr.Cmp r ->
+          let b = pop () and a = pop () in
+          push (VBool (relop_holds r (cmp_values a b)))
+      | Instr.CmpPtr r ->
+          let b = pop () and a = pop () in
+          let eq = phys_eq a b in
+          push (VBool (match r with Instr.REq -> eq | Instr.RNe -> not eq | _ -> error "bad pointer relop"))
+      | Instr.SetUnion ->
+          let b = to_set (pop ()) and a = to_set (pop ()) in
+          push (VSet (a lor b))
+      | Instr.SetDiff ->
+          let b = to_set (pop ()) and a = to_set (pop ()) in
+          push (VSet (a land lnot b))
+      | Instr.SetInter ->
+          let b = to_set (pop ()) and a = to_set (pop ()) in
+          push (VSet (a land b))
+      | Instr.SetSymDiff ->
+          let b = to_set (pop ()) and a = to_set (pop ()) in
+          push (VSet (a lxor b))
+      | Instr.SetLe ->
+          let b = to_set (pop ()) and a = to_set (pop ()) in
+          push (VBool (a land b = a))
+      | Instr.SetGe ->
+          let b = to_set (pop ()) and a = to_set (pop ()) in
+          push (VBool (a lor b = a))
+      | Instr.SetIn lo ->
+          let m = to_set (pop ()) in
+          let e = to_int (pop ()) - lo in
+          push (VBool (e >= 0 && e < 62 && m land (1 lsl e) <> 0))
+      | Instr.SetAdd1 lo ->
+          let e = to_int (pop ()) - lo in
+          let m = to_set (pop ()) in
+          if e < 0 || e >= 62 then error "set element out of range";
+          push (VSet (m lor (1 lsl e)))
+      | Instr.SetAddRange lo ->
+          let hi' = to_int (pop ()) - lo in
+          let lo' = to_int (pop ()) - lo in
+          let m = ref (to_set (pop ())) in
+          if lo' < 0 || hi' >= 62 then error "set range out of bounds";
+          for e = lo' to hi' do
+            m := !m lor (1 lsl e)
+          done;
+          push (VSet !m)
+      | Instr.RangeCheck (lo, hi) -> (
+          match !stack with
+          | top :: _ ->
+              let n = to_int top in
+              if n < lo || n > hi then error "value %d out of range [%d..%d]" n lo hi
+          | [] -> error "range check on empty stack")
+      | Instr.CaseError -> error "no CASE label matched the selector"
+      | Instr.NoReturn -> error "function %s did not execute RETURN" u.Cunit.u_key
+      | Instr.Jump t -> pc := t
+      | Instr.JumpIf t -> if to_bool (pop ()) then pc := t
+      | Instr.JumpIfNot t -> if not (to_bool (pop ())) then pc := t
+      | Instr.Call (key, n, link) -> (
+          let args = popn n in
+          let callee_chain =
+            match link with
+            | Instr.LinkNone -> []
+            | Instr.LinkSelf -> frame :: chain
+            | Instr.LinkUp k ->
+                let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+                drop (k - 1) chain
+          in
+          match Cunit.find_unit st.prog key with
+          | Some callee -> (
+              match exec st callee args ~chain:callee_chain with
+              | Some r -> push r
+              | None -> ())
+          | None -> error "call to external procedure %s (not compiled in this unit)" key)
+      | Instr.CallPtr n -> (
+          (* the callee value is computed before the arguments *)
+          let args = popn n in
+          match pop () with
+          | VProc key -> (
+              (* procedure values are module-level by construction *)
+              match Cunit.find_unit st.prog key with
+              | Some callee -> (
+                  match exec st callee args ~chain:[] with Some r -> push r | None -> ())
+              | None -> error "call through procedure value to external %s" key)
+          | VNil -> error "call through NIL procedure value"
+          | _ -> error "procedure value expected")
+      | Instr.ProcConst key -> push (VProc key)
+      | Instr.Ret ->
+          result := None;
+          running := false
+      | Instr.RetVal ->
+          result := Some (pop ());
+          running := false
+      | Instr.Builtin (op, n) -> exec_builtin st op n ~pop ~push
+      | Instr.Try hpc -> handlers := (hpc, List.length !stack) :: !handlers
+      | Instr.EndTry -> (
+          match !handlers with
+          | _ :: rest -> handlers := rest
+          | [] -> error "EndTry without Try")
+      | Instr.RaiseI | Instr.ReRaise -> (
+          match pop () with
+          | VExc key -> raise (M2_exception key)
+          | VUninit -> error "RAISE of an uninitialized exception"
+          | _ -> error "EXCEPTION value expected for RAISE")
+    with M2_exception key -> (
+      match !handlers with
+      | (hpc, depth) :: rest ->
+          handlers := rest;
+          truncate_stack depth;
+          push (VExc key);
+          pc := hpc
+      | [] -> raise (M2_exception key))
+  done;
+  !result
+
+and exec_builtin st op n ~pop ~push =
+  ignore n;
+  match op with
+  | Instr.OWriteInt -> Buffer.add_string st.out (string_of_int (to_int (pop ())))
+  | Instr.OWriteLn -> Buffer.add_char st.out '\n'
+  | Instr.OWriteString -> (
+      match pop () with
+      | VStr s -> Buffer.add_string st.out s
+      | VArr a ->
+          Array.iter
+            (function
+              | VChar '\000' -> ()
+              | VChar c -> Buffer.add_char st.out c
+              | _ -> error "character array expected for WriteString")
+            a
+      | _ -> error "string expected for WriteString")
+  | Instr.OWriteChar -> (
+      match pop () with
+      | VChar c -> Buffer.add_char st.out c
+      | VStr s when String.length s = 1 -> Buffer.add_char st.out s.[0]
+      | v -> Buffer.add_char st.out (Char.chr (to_int v land 255)))
+  | Instr.OWriteReal -> Buffer.add_string st.out (Printf.sprintf "%.6g" (to_real (pop ())))
+  | Instr.OReadInt -> (
+      match pop () with
+      | VLoc (a, i) -> (
+          match st.input with
+          | x :: rest ->
+              st.input <- rest;
+              a.(i) <- VInt x
+          | [] -> error "ReadInt: input exhausted")
+      | _ -> error "ReadInt requires a variable")
+  | Instr.OHalt -> raise Halted
+  | Instr.OSqrt -> push (VReal (sqrt (to_real (pop ()))))
+  | Instr.OSin -> push (VReal (sin (to_real (pop ()))))
+  | Instr.OCos -> push (VReal (cos (to_real (pop ()))))
+  | Instr.OLn -> push (VReal (log (to_real (pop ()))))
+  | Instr.OExp -> push (VReal (exp (to_real (pop ()))))
+  | Instr.OCap -> (
+      match pop () with
+      | VChar c -> push (VChar (Char.uppercase_ascii c))
+      | VStr s when String.length s = 1 -> push (VChar (Char.uppercase_ascii s.[0]))
+      | _ -> error "CAP requires a CHAR")
+  | Instr.OOddI -> push (VBool (to_int (pop ()) land 1 = 1))
+  | Instr.OAbsI -> push (VInt (abs (to_int (pop ()))))
+  | Instr.OAbsR -> push (VReal (abs_float (to_real (pop ()))))
+  | Instr.OIntToReal -> push (VReal (float_of_int (to_int (pop ()))))
+  | Instr.ORealToInt -> push (VInt (int_of_float (to_real (pop ()))))
+  | Instr.OIntToChar -> push (VChar (Char.chr (to_int (pop ()) land 255)))
+  | Instr.OOrdOf -> push (VInt (to_int (pop ())))
+  | Instr.OHighOf -> (
+      match pop () with
+      | VArr a -> push (VInt (Array.length a - 1))
+      | VStr s -> push (VInt (String.length s - 1))
+      | _ -> error "HIGH requires an array")
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(fuel = 50_000_000) ?(input = []) (prog : Cunit.program) : result =
+  let st =
+    {
+      prog;
+      frames = Hashtbl.create 16;
+      out = Buffer.create 256;
+      input;
+      fuel;
+      steps = 0;
+    }
+  in
+  List.iter
+    (fun (key, slots, size) ->
+      let frame = Array.make (max 1 size) VUninit in
+      List.iter (fun (slot, d) -> if slot < size then frame.(slot) <- default_of d) slots;
+      Hashtbl.replace st.frames key frame)
+    prog.Cunit.p_frames;
+  let status =
+    try
+      (* module bodies run in initialization order: imported modules
+         before their importers, the main module last *)
+      List.iter
+        (fun key ->
+          match Cunit.find_unit prog key with
+          | None -> error "init unit %s missing" key
+          | Some u -> ignore (exec st u [] ~chain:[]))
+        prog.Cunit.p_init;
+      Finished
+    with
+    | Halted -> Halt_called
+    | Runtime_error msg -> Trap msg
+    | M2_exception key -> Uncaught_exception key
+  in
+  { output = Buffer.contents st.out; status; steps = st.steps }
+
+let status_to_string = function
+  | Finished -> "finished"
+  | Halt_called -> "halted"
+  | Trap m -> "trap: " ^ m
+  | Uncaught_exception k -> "uncaught exception " ^ k

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Driver List M2lib Mcc_codegen Mcc_core Mcc_m2 Mcc_sched Mcc_sem Mcc_synth Mcc_vm Printf Project QCheck Seq_driver String Tutil

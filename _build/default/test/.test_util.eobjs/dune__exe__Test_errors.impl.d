@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest List Mcc_core Mcc_m2 Mcc_sched Mcc_sem Printf String Tutil

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Char Format Lexer List Loc Mcc_m2 Printf QCheck String Token Tutil

@@ -1,0 +1,1 @@
+test/test_m2lib.ml: Alcotest Driver List M2lib Mcc_codegen Mcc_core Mcc_m2 Mcc_sem Mcc_vm Project String Tutil

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List Mcc_ast Mcc_core Mcc_m2 Printexc Printf QCheck Seq_driver String Tutil

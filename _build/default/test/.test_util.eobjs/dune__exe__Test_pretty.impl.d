@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Diag Lexer List Mcc_ast Mcc_core Mcc_m2 Mcc_parse Mcc_sem Mcc_synth QCheck Reader Seq_driver Source_store String Tutil

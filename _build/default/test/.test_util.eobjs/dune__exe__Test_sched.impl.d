@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Atomic Des_engine Domain_engine Eff Event List Mcc_sched Printf Task Trace Tutil

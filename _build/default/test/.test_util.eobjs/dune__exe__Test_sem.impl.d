@@ -1,0 +1,1 @@
+test/test_sem.ml: Alcotest Builtins Des_engine Eff List Lookup_stats Mcc_sched Mcc_sem Option Printf QCheck String Symbol Symtab Task Tutil Types

@@ -1,0 +1,1 @@
+test/test_splitter.ml: Alcotest Des_engine Eff Hashtbl Lexer List Mcc_core Mcc_m2 Mcc_sched Mcc_sem Reader String Task Token Tokq

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Driver Imports List Mcc_core Mcc_sched Mcc_sem Mcc_stats Mcc_synth Seq_driver Source_store Speedup String Tables Tutil Watchtool

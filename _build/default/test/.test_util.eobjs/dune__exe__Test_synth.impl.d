@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Driver Gen List Mcc_core Mcc_m2 Mcc_sem Mcc_stats Mcc_synth Mcc_vm Seq_driver Source_store String Suite

@@ -1,0 +1,1 @@
+test/test_tokq.ml: Alcotest Des_engine Eff Fun List Loc Mcc_m2 Mcc_sched QCheck Reader Task Token Tokq Tutil

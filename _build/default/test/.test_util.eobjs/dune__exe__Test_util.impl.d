@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Deque Heap List Mcc_util Prng QCheck Tablefmt Tutil Vec

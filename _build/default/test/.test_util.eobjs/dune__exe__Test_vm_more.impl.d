@@ -1,0 +1,1 @@
+test/test_vm_more.ml: Alcotest Mcc_vm Tutil

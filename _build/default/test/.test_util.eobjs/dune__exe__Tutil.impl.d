@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Driver List Mcc_codegen Mcc_core Mcc_m2 Mcc_vm Printf QCheck_alcotest Seq_driver Source_store String

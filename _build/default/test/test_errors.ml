@@ -1,0 +1,199 @@
+(* Diagnostics coverage: one test per family of compiler error, checking
+   that each fires with its intended message and a sensible location,
+   and that compilation always terminates cleanly on bad input. *)
+
+open Tutil
+
+let body ?(decls = "") b = modsrc ~decls ~body:b ()
+
+let e = expect_error
+
+(* --- module structure --- *)
+
+let test_module_structure () =
+  e "IMPLEMENTATION MODULE A;\nEND B.\n" "ends with name";
+  e "IMPLEMENTATION MODULE Wrong;\nEND Wrong.\n" ~name:"T" "found where";
+  e (modsrc ~imports:"IMPORT Missing;" ~decls:"" ~body:"" ()) "cannot find interface";
+  e
+    ~defs:[ ("L", "DEFINITION MODULE Other;\nEND Other.\n") ]
+    (modsrc ~imports:"IMPORT L;" ~decls:"" ~body:"" ())
+    "found where L was expected"
+
+let test_import_errors () =
+  let defs = [ ("L", "DEFINITION MODULE L;\nCONST k = 1;\nEND L.\n") ] in
+  e ~defs (modsrc ~imports:"FROM L IMPORT ghost;" ~decls:"" ~body:"" ()) "not exported";
+  e ~defs (modsrc ~imports:"IMPORT L;" ~decls:"" ~body:"L.ghost := 1" ()) "not exported";
+  e (body "NotAModule.x := 1") "undeclared identifier";
+  e ~defs
+    (modsrc ~imports:"IMPORT L;" ~decls:"VAR v: INTEGER;" ~body:"v.k := 1" ())
+    "not a record"
+
+(* --- declarations --- *)
+
+let test_declaration_errors () =
+  e (body ~decls:"VAR x: INTEGER; x: CHAR;" "") "already declared";
+  e (body ~decls:"VAR ABS: INTEGER;" "") "builtin name";
+  e (body ~decls:"VAR x: NoType;" "") "undeclared identifier";
+  e (body ~decls:"VAR x: WriteLn;" "") "not a type";
+  e (body ~decls:"CONST c = missing;" "") "undeclared identifier";
+  e (body ~decls:"VAR v: INTEGER;\nCONST c = v;" "") "not a constant";
+  e (body ~decls:"CONST c = 1 DIV 0;" "") "division by zero";
+  e (body ~decls:"CONST c = 5 MOD 0;" "") "MOD by zero";
+  e (body ~decls:"CONST c = 1 + TRUE;" "") "invalid operands";
+  e (body ~decls:"CONST c = 1.0 DIV 2.0;" "") "invalid operands";
+  e (body ~decls:"TYPE S = [9..3];" "") "empty subrange";
+  e (body ~decls:"TYPE S = ['a'..5];" "") "incompatible types";
+  e (body ~decls:"TYPE A = ARRAY [0..2] OF INTEGER;\nTYPE B = ARRAY A OF CHAR;" "")
+    "must be a bounded ordinal";
+  e (body ~decls:"TYPE R = RECORD f: INTEGER; f: CHAR END;" "") "duplicate record field";
+  e (body ~decls:"TYPE S = SET OF INTEGER;" "") "too large";
+  e (body ~decls:"TYPE S = SET OF REAL;" "") "ordinal";
+  e (body ~decls:"TYPE P = POINTER TO Nowhere;" "") "undeclared identifier";
+  e (body ~decls:"TYPE Opaque;" "") "definition module"
+
+let test_heading_errors () =
+  let defs = [ ("T", "DEFINITION MODULE T;\nPROCEDURE f(): CHAR;\nEND T.\n") ] in
+  e ~defs "IMPLEMENTATION MODULE T;\nPROCEDURE f(): INTEGER;\nBEGIN RETURN 1 END f;\nEND T.\n"
+    "does not match";
+  e
+    (body ~decls:"PROCEDURE P(x: NoSuch); BEGIN END P;" "")
+    "undeclared identifier";
+  e (body ~decls:"PROCEDURE P; BEGIN END Q;" "") "ends with name"
+
+(* --- statements --- *)
+
+let test_statement_errors () =
+  e (body ~decls:"VAR x: INTEGER;" "x := TRUE") "cannot assign";
+  e (body ~decls:"VAR r: REAL;" "r := 1") "cannot assign";
+  e (body ~decls:"VAR x: INTEGER;" "5 := x") "expected a statement";
+  e (body ~decls:"CONST c = 1;" "c := 2") "cannot be assigned";
+  e (body ~decls:"VAR x: INTEGER;" "IF x THEN END") "BOOLEAN";
+  e (body ~decls:"VAR x: INTEGER;" "WHILE x DO END") "BOOLEAN";
+  e (body ~decls:"VAR x: INTEGER;" "REPEAT UNTIL x") "BOOLEAN";
+  e (body ~decls:"VAR r: REAL;" "CASE r OF END") "ordinal";
+  e (body ~decls:"VAR x: INTEGER;" "CASE x OF 1: x := 1 | 1: x := 2 END") "duplicate case label";
+  e (body ~decls:"VAR x: INTEGER;" "CASE x OF 'a': x := 1 END") "does not match";
+  e (body "EXIT") "only legal inside LOOP";
+  e (body ~decls:"VAR r: REAL;" "FOR r := 0.0 TO 1.0 DO END") "ordinal";
+  e (body ~decls:"VAR i: INTEGER;" "FOR i := 0 TO 9 BY 0 DO END") "cannot be zero";
+  e (body ~decls:"VAR i: INTEGER;" "FOR i := 'a' TO 'z' DO END") "wrong type";
+  e (body ~decls:"VAR x: INTEGER;" "WITH x DO END") "record designator";
+  e (body ~decls:"VAR x: INTEGER;" "RETURN x") "only legal in a function";
+  e
+    (modsrc ~decls:"PROCEDURE F(): INTEGER;\nBEGIN RETURN END F;" ~body:"" ())
+    "must RETURN a value";
+  e
+    (modsrc ~decls:"PROCEDURE F(): INTEGER;\nBEGIN RETURN TRUE END F;" ~body:"" ())
+    "does not match result type";
+  e (body ~decls:"VAR x: INTEGER;" "RAISE x") "EXCEPTION";
+  e (body ~decls:"VAR e: EXCEPTION; x: INTEGER;" "TRY x := 1 EXCEPT x: x := 2 END")
+    "EXCEPTION";
+  e (body ~decls:"VAR x: INTEGER;" "LOCK x DO END") "MUTEX"
+
+let test_expression_errors () =
+  e (body ~decls:"VAR x: INTEGER;" "x := missing + 1") "undeclared identifier";
+  e (body ~decls:"VAR c: CHAR;" "c := c + 'a'") "do not support";
+  e (body ~decls:"VAR r: REAL; x: INTEGER;" "r := r + FLOAT(x); x := x + r") "do not support";
+  e (body ~decls:"VAR b: BOOLEAN; x: INTEGER;" "b := x AND b") "BOOLEAN";
+  e (body ~decls:"VAR b: BOOLEAN; x: INTEGER;" "b := NOT x") "BOOLEAN";
+  e (body ~decls:"VAR b: BOOLEAN; x: INTEGER;" "b := x < TRUE") "cannot compare";
+  e (body ~decls:"VAR p: POINTER TO INTEGER;" "IF p < NIL THEN END") "compare with = and #";
+  e (body ~decls:"VAR x: INTEGER;" "x := x^") "cannot be dereferenced";
+  e (body ~decls:"VAR x: INTEGER;" "x := x[1]") "not an array";
+  e (body ~decls:"VAR x: INTEGER;" "x := x.f") "not a record";
+  e (body ~decls:"TYPE R = RECORD a: INTEGER END;\nVAR r: R; x: INTEGER;" "x := r.nope")
+    "has no field";
+  e (body ~decls:"VAR a: ARRAY [0..3] OF INTEGER; x: INTEGER;" "x := a['c']")
+    "incompatible";
+  e (body ~decls:"VAR s: BITSET; x: INTEGER;" "x := 1 IN s") "cannot assign";
+  e (body ~decls:"VAR x: INTEGER;" "x := INTEGER") "cannot be used as a value";
+  e (body ~decls:"VAR x: INTEGER;" "x := WriteLn") "cannot be used as a value"
+
+let test_call_errors () =
+  e
+    (modsrc ~decls:"PROCEDURE P(a: INTEGER); BEGIN END P;" ~body:"P()" ())
+    "wrong number of arguments";
+  e
+    (modsrc ~decls:"PROCEDURE P(a: INTEGER); BEGIN END P;" ~body:"P(1, 2)" ())
+    "wrong number of arguments";
+  e
+    (modsrc ~decls:"PROCEDURE P(a: INTEGER); BEGIN END P;" ~body:"P(TRUE)" ())
+    "does not match";
+  e
+    (modsrc ~decls:"PROCEDURE P(VAR a: INTEGER); BEGIN END P;" ~body:"P(3 + 4)" ())
+    "designator";
+  e
+    (modsrc ~decls:"PROCEDURE P(VAR a: INTEGER); BEGIN END P;\nVAR c: CHAR;" ~body:"P(c)" ())
+    "does not match";
+  e
+    (modsrc ~decls:"PROCEDURE F(): INTEGER; BEGIN RETURN 1 END F;" ~body:"F()" ())
+    "must be used";
+  e (modsrc ~decls:"PROCEDURE P; BEGIN END P;\nVAR x: INTEGER;" ~body:"x := P()" ())
+    "no result";
+  e (body ~decls:"VAR x: INTEGER;" "x := 1; x(2)") "not callable";
+  e (body "INC(5)") "designator";
+  e (body ~decls:"VAR b: BOOLEAN;" "b := ABS(b)") "numeric";
+  e (body ~decls:"VAR x: INTEGER;" "x := HIGH(x)") "array";
+  e (body ~decls:"VAR x: INTEGER;" "NEW(x)") "pointer";
+  e (body "WriteLn(1)") "0 argument"
+
+(* --- diagnostic hygiene --- *)
+
+let test_locations_reported () =
+  let r = compile_seq "IMPLEMENTATION MODULE T;\nVAR x: INTEGER;\nBEGIN\n  x := nope\nEND T.\n" in
+  match r.Mcc_core.Seq_driver.diags with
+  | [ d ] ->
+      Alcotest.(check string) "file" "T.mod" d.Mcc_m2.Diag.file;
+      Alcotest.(check int) "line" 4 d.Mcc_m2.Diag.loc.Mcc_m2.Loc.line
+  | l -> Alcotest.failf "expected exactly one diagnostic, got %d" (List.length l)
+
+let test_many_errors_all_reported () =
+  let decls = String.concat "\n" (List.init 10 (fun i -> Printf.sprintf "VAR v%d: Missing%d;" i i)) in
+  let r = compile_seq (body ~decls "") in
+  Alcotest.(check int) "one error per bad declaration" 10
+    (List.length r.Mcc_core.Seq_driver.diags)
+
+let test_errors_do_not_hang_concurrent () =
+  (* every erroneous program still terminates under every strategy *)
+  let bad = body ~decls:"VAR x: Missing;\nPROCEDURE P(y: Nope); BEGIN y := z END P;" "x := w" in
+  List.iter
+    (fun strategy ->
+      let c =
+        Mcc_core.Driver.compile
+          ~config:{ Mcc_core.Driver.default_config with Mcc_core.Driver.strategy }
+          (store ~name:"T" bad)
+      in
+      Alcotest.(check bool)
+        ("terminates under " ^ Mcc_sem.Symtab.dky_name strategy)
+        true
+        (match c.Mcc_core.Driver.sim.Mcc_sched.Des_engine.outcome with
+        | Mcc_sched.Des_engine.Completed -> true
+        | _ -> false))
+    Mcc_sem.Symtab.all_concurrent
+
+let () =
+  Alcotest.run "errors"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "module structure" `Quick test_module_structure;
+          Alcotest.test_case "imports" `Quick test_import_errors;
+        ] );
+      ( "declarations",
+        [
+          Alcotest.test_case "declarations" `Quick test_declaration_errors;
+          Alcotest.test_case "headings" `Quick test_heading_errors;
+        ] );
+      ( "statements",
+        [
+          Alcotest.test_case "statements" `Quick test_statement_errors;
+          Alcotest.test_case "expressions" `Quick test_expression_errors;
+          Alcotest.test_case "calls" `Quick test_call_errors;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "locations" `Quick test_locations_reported;
+          Alcotest.test_case "all errors reported" `Quick test_many_errors_all_reported;
+          Alcotest.test_case "no hangs on errors" `Quick test_errors_do_not_hang_concurrent;
+        ] );
+    ]

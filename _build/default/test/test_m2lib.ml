@@ -1,0 +1,115 @@
+(* Tests for the bundled Modula-2+ standard library: each module is
+   compiled by the whole-program driver and exercised in the VM,
+   including edge cases. *)
+
+open Tutil
+open Mcc_core
+
+let run_with_lib ~imports ~decls ~body_src expected =
+  let main = modsrc ~name:"T" ~imports ~decls ~body:body_src () in
+  let store = M2lib.augment (store ~name:"T" main) in
+  let r = Project.compile store in
+  if not r.Project.ok then
+    Alcotest.failf "library program failed:\n%s"
+      (String.concat "\n" (List.map Mcc_m2.Diag.to_string r.Project.diags));
+  let res = Mcc_vm.Vm.run r.Project.program in
+  (match res.Mcc_vm.Vm.status with
+  | Mcc_vm.Vm.Finished -> ()
+  | s -> Alcotest.failf "did not finish: %s" (Mcc_vm.Vm.status_to_string s));
+  Alcotest.(check string) "output" expected res.Mcc_vm.Vm.output
+
+let test_strings () =
+  run_with_lib ~imports:"IMPORT Strings;" ~decls:"VAR buf: ARRAY [0..9] OF CHAR;"
+    ~body_src:
+      {|buf := "hi";
+WriteInt(Strings.Length(buf)); WriteChar(' ');
+WriteInt(Strings.Length("hello world")); WriteChar(' ');
+IF Strings.Equal("same", "same") THEN WriteString("eq ") END;
+IF NOT Strings.Equal("a", "ab") THEN WriteString("ne ") END;
+IF Strings.IsDigit('7') AND NOT Strings.IsDigit('x') THEN WriteString("dig ") END;
+IF Strings.IsLetter('q') AND NOT Strings.IsLetter('!') THEN WriteString("let ") END;
+WriteChar(Strings.ToUpper('m'))|}
+    "2 11 eq ne dig let M"
+
+let test_mathlib () =
+  run_with_lib ~imports:"FROM MathLib IMPORT Power, Gcd, Min2, Max2, SqrtI;" ~decls:""
+    ~body_src:
+      {|WriteInt(Power(2, 0)); WriteChar(' ');
+WriteInt(Power(5, 3)); WriteChar(' ');
+WriteInt(Gcd(0, 9)); WriteChar(' ');
+WriteInt(Gcd(-12, 18)); WriteChar(' ');
+WriteInt(Min2(3, -4)); WriteChar(' ');
+WriteInt(Max2(3, -4)); WriteChar(' ');
+WriteInt(SqrtI(0)); WriteChar(' ');
+WriteInt(SqrtI(24)); WriteChar(' ');
+WriteInt(SqrtI(25))|}
+    "1 125 9 6 -4 3 0 4 5"
+
+let test_bits () =
+  run_with_lib ~imports:"IMPORT Bits;" ~decls:"VAR s: BITSET;"
+    ~body_src:
+      {|s := {};
+WriteInt(Bits.Count(s)); WriteChar(' ');
+WriteInt(Bits.Lowest(s)); WriteChar(' ');
+s := {4, 7, 40};
+WriteInt(Bits.Count(s)); WriteChar(' ');
+WriteInt(Bits.Lowest(s))|}
+    "0 -1 3 4"
+
+let test_inout () =
+  run_with_lib ~imports:"IMPORT InOut;" ~decls:""
+    ~body_src:
+      {|InOut.WriteBool(TRUE); InOut.WriteSpaces(2); InOut.WriteBool(FALSE);
+InOut.WriteSpaces(1); InOut.WritePair(-1, 2)|}
+    "TRUE  FALSE (-1, 2)"
+
+let test_user_shadows_library () =
+  (* a program-provided module of the same name wins over the bundle *)
+  let main =
+    modsrc ~name:"T" ~imports:"IMPORT MathLib;" ~decls:""
+      ~body:"WriteInt(MathLib.Power(10, 10))" ()
+  in
+  let store =
+    store ~name:"T"
+      ~defs:[ ("MathLib", "DEFINITION MODULE MathLib;\nPROCEDURE Power(a, b: INTEGER): INTEGER;\nEND MathLib.\n") ]
+      ~impls:
+        [
+          ( "MathLib",
+            "IMPLEMENTATION MODULE MathLib;\nPROCEDURE Power(a, b: INTEGER): INTEGER;\nBEGIN RETURN 42 END Power;\nEND MathLib.\n"
+          );
+        ]
+      main
+  in
+  let r = Project.compile (M2lib.augment store) in
+  Alcotest.(check bool) "ok" true r.Project.ok;
+  let res = Mcc_vm.Vm.run r.Project.program in
+  Alcotest.(check string) "user implementation wins" "42" res.Mcc_vm.Vm.output
+
+let test_library_compiles_under_all_strategies () =
+  let main = modsrc ~name:"T" ~imports:"IMPORT Strings, MathLib, InOut, Bits;" ~decls:"" ~body:"" () in
+  let store = M2lib.augment (store ~name:"T" main) in
+  let reference = Mcc_codegen.Cunit.disassemble (Project.compile store).Project.program in
+  List.iter
+    (fun strategy ->
+      let r = Project.compile ~config:{ Driver.default_config with Driver.strategy } store in
+      Alcotest.(check bool) (Mcc_sem.Symtab.dky_name strategy) true
+        (r.Project.ok && String.equal reference (Mcc_codegen.Cunit.disassemble r.Project.program)))
+    Mcc_sem.Symtab.all_concurrent
+
+let () =
+  Alcotest.run "m2lib"
+    [
+      ( "modules",
+        [
+          Alcotest.test_case "Strings" `Quick test_strings;
+          Alcotest.test_case "MathLib" `Quick test_mathlib;
+          Alcotest.test_case "Bits" `Quick test_bits;
+          Alcotest.test_case "InOut" `Quick test_inout;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "user shadows library" `Quick test_user_shadows_library;
+          Alcotest.test_case "deterministic across strategies" `Quick
+            test_library_compiles_under_all_strategies;
+        ] );
+    ]

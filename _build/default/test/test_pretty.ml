@@ -1,0 +1,136 @@
+(* The parse-print-reparse round-trip: pretty-printing any statement
+   tree and reparsing it yields a structurally identical tree.  Inputs
+   are the statement bodies of generated programs (captured from the
+   parser via callbacks) plus a handwritten body covering every
+   statement form. *)
+
+open Mcc_core
+open Mcc_m2
+module A = Mcc_ast.Ast
+module P = Mcc_parse.Parser
+
+let dummy_ctx () =
+  Mcc_sem.Ctx.make
+    ~scope:(Mcc_sem.Symtab.create (Mcc_sem.Symtab.KMain "RT"))
+    ~file:"rt" ~diags:(Diag.create ()) ~strategy:Mcc_sem.Symtab.Sequential
+    ~stats:(Mcc_sem.Lookup_stats.create ()) ~registry:(Mcc_sem.Modreg.create ()) ~frame_key:"RT"
+    ~path:"RT" ~is_module_level:true ~is_def:false
+
+let parse_stmts text =
+  let ctx = dummy_ctx () in
+  let cb =
+    {
+      P.cb_import = (fun _ _ -> None);
+      cb_heading = (fun _ _ ~stream -> ignore stream);
+      cb_body = (fun _ -> ());
+    }
+  in
+  let p = P.create ~cb (Reader.of_lexer (Lexer.create ~file:"rt" text)) in
+  let stmts = P.parse_statement_sequence ctx p in
+  (stmts, Diag.sorted ctx.Mcc_sem.Ctx.diags)
+
+(* Capture every statement body the parser produces for a store. *)
+let bodies_of store =
+  let captured = ref [] in
+  let seq = Seq_driver.compile store in
+  ignore seq;
+  (* re-parse through the public parser to capture bodies *)
+  let ctx = dummy_ctx () in
+  let cb =
+    {
+      P.cb_import =
+        (fun c (mid : A.ident) ->
+          (* intern interfaces so imports resolve; contents irrelevant *)
+          let scope, created = Mcc_sem.Modreg.intern c.Mcc_sem.Ctx.registry mid.A.name in
+          if created then begin
+            (match Source_store.def_src store mid.A.name with
+            | Some src ->
+                let dctx =
+                  { ctx with Mcc_sem.Ctx.scope; path = mid.A.name; is_def = true }
+                in
+                let p2 =
+                  P.create
+                    ~cb:
+                      {
+                        P.cb_import = (fun _ _ -> None);
+                        cb_heading = (fun _ _ ~stream -> ignore stream);
+                        cb_body = (fun _ -> ());
+                      }
+                    (Reader.of_lexer (Lexer.create ~file:"d" src))
+                in
+                P.parse_def_module dctx p2 ~expected_name:mid.A.name
+            | None -> Mcc_sem.Symtab.mark_complete scope);
+            ()
+          end;
+          Some scope);
+      cb_heading = (fun _ _ ~stream -> ignore stream);
+      cb_body = (fun gj -> captured := gj.P.gj_body :: !captured);
+    }
+  in
+  let mctx = dummy_ctx () in
+  let p =
+    P.create ~cb (Reader.of_lexer (Lexer.create ~file:"m" (Source_store.main_src store)))
+  in
+  P.parse_impl_module mctx p ~expected_name:(Source_store.main_name store);
+  !captured
+
+let roundtrip body =
+  let text = Mcc_ast.Pretty.print_body body in
+  let reparsed, diags = parse_stmts text in
+  if diags <> [] then
+    Alcotest.failf "reparse produced diagnostics:\n%s\nfor:\n%s"
+      (String.concat "\n" (List.map Diag.to_string diags))
+      text;
+  if not (A.equal_body body reparsed) then
+    Alcotest.failf "round-trip mismatch for:\n%s" text
+
+let test_handwritten () =
+  let src =
+    {|x := (1 + 2) * v[i, j]^.f;
+P(a, b(c), "str", 'q', {1, 3..5}, S{0});
+IF a < b THEN x := 1 ELSIF NOT done THEN x := 2 ELSE x := 3 END;
+CASE k OF 0: y := 0 | 1, 2: y := 1 | 5..7: EXIT ELSE RETURN z END;
+WHILE i # 0 DO DEC(i) END;
+REPEAT INC(i) UNTIL i >= 10;
+LOOP IF done THEN EXIT END END;
+FOR i := 0 TO 10 BY 2 DO s := s + i END;
+WITH r^.inner DO f := g END;
+TRY RAISE e1 EXCEPT e1: x := 1 | M.e2: x := 2 FINALLY done := TRUE END;
+LOCK mu DO x := 0 END;
+RETURN (a IN bits) OR (s <= t)|}
+  in
+  let body, diags = parse_stmts src in
+  Alcotest.(check (list string)) "parses cleanly" [] (List.map Diag.to_string diags);
+  roundtrip body
+
+let prop_generated =
+  QCheck.Test.make ~name:"generated bodies round-trip" ~count:12
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let shape =
+        {
+          Mcc_synth.Gen.seed;
+          name = "RT";
+          n_defs = 2;
+          depth = 1;
+          n_procs = 4;
+          nested_per_proc = 1;
+          stmts_lo = 5;
+          stmts_hi = 14;
+          module_vars = 3;
+          def_size = 1;
+          pad = 0;
+          runnable = false;
+        }
+      in
+      let bodies = bodies_of (Mcc_synth.Gen.generate shape) in
+      List.iter roundtrip bodies;
+      bodies <> [])
+
+let () =
+  Alcotest.run "pretty"
+    [
+      ( "roundtrip",
+        [ Alcotest.test_case "handwritten body" `Quick test_handwritten; Tutil.qtest prop_generated ]
+      );
+    ]

@@ -1,0 +1,364 @@
+(* Tests for the concurrency substrate: events, effect-based tasks, the
+   Supervisor, the discrete-event engine and the domain engine. *)
+
+open Mcc_sched
+
+let mk ?gate ?(cls = Task.Aux) ?(size_hint = 0) name body =
+  Task.create ?gate ~cls ~size_hint ~name body
+
+let run ?(procs = 2) tasks = Des_engine.run ~procs tasks
+
+let completed (r : Des_engine.result) =
+  match r.Des_engine.outcome with Des_engine.Completed -> true | _ -> false
+
+(* --- basic DES behaviour --- *)
+
+let test_single_task () =
+  let ran = ref false in
+  let r = run [ mk "t" (fun () -> ran := true) ] in
+  Alcotest.(check bool) "ran" true !ran;
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check int) "one task" 1 r.Des_engine.tasks_run
+
+let test_work_advances_time () =
+  let r = run ~procs:1 [ mk "w" (fun () -> Eff.work 5000) ] in
+  if r.Des_engine.end_time < 5000.0 then
+    Alcotest.failf "time did not advance: %f" r.Des_engine.end_time
+
+let test_parallel_speedup () =
+  let tasks () = List.init 8 (fun i -> mk (Printf.sprintf "w%d" i) (fun () -> Eff.work 10_000)) in
+  let t1 = (run ~procs:1 (tasks ())).Des_engine.end_time in
+  let t8 = (run ~procs:8 (tasks ())).Des_engine.end_time in
+  if t1 /. t8 < 5.0 then Alcotest.failf "expected near-linear speedup, got %.2f" (t1 /. t8)
+
+let test_contention_slows_parallel () =
+  (* with a large beta, parallel work is stretched *)
+  let tasks () = List.init 8 (fun i -> mk (Printf.sprintf "w%d" i) (fun () -> Eff.work 10_000)) in
+  let fast = (Des_engine.run ~beta:0.0 ~procs:8 (tasks ())).Des_engine.end_time in
+  let slow = (Des_engine.run ~beta:0.1 ~procs:8 (tasks ())).Des_engine.end_time in
+  if slow <= fast then Alcotest.fail "bus contention should stretch parallel execution"
+
+let test_determinism () =
+  let build () =
+    let ev = Event.create ~kind:Event.Handled "e" in
+    [
+      mk "a" (fun () ->
+          Eff.work 1234;
+          Eff.signal ev);
+      mk "b" (fun () ->
+          Eff.work 100;
+          Eff.wait ev;
+          Eff.work 777);
+      mk "c" (fun () -> Eff.work 5000);
+    ]
+  in
+  let r1 = run ~procs:2 (build ()) in
+  let r2 = run ~procs:2 (build ()) in
+  Alcotest.(check (float 0.0)) "same end time" r1.Des_engine.end_time r2.Des_engine.end_time;
+  Alcotest.(check int) "same trace size" (Trace.n_segments r1.Des_engine.trace)
+    (Trace.n_segments r2.Des_engine.trace)
+
+(* --- events --- *)
+
+let test_handled_event_unblocks () =
+  let ev = Event.create ~kind:Event.Handled "e" in
+  let order = ref [] in
+  let r =
+    run ~procs:1
+      [
+        mk "waiter" (fun () ->
+            Eff.wait ev;
+            order := "waiter" :: !order);
+        mk "signaler" (fun () ->
+            Eff.work 100;
+            order := "signaler" :: !order;
+            Eff.signal ev);
+      ]
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list string)) "waiter resumed after signal" [ "waiter"; "signaler" ] !order
+
+let test_wait_on_occurred_event_is_free () =
+  let ev = Event.create ~kind:Event.Handled "e" in
+  let r =
+    run ~procs:1
+      [
+        mk "signaler" (fun () -> Eff.signal ev);
+        mk "waiter" (fun () ->
+            Eff.wait ev;
+            Eff.work 10);
+      ]
+  in
+  Alcotest.(check bool) "completed" true (completed r)
+
+let test_barrier_holds_processor () =
+  (* a barrier waiter keeps its processor: with 2 procs, a third task
+     cannot run while the waiter blocks, so the signaler must finish
+     first and total time reflects serialization of the third task *)
+  let ev = Event.create ~kind:Event.Barrier "b" in
+  let r =
+    run ~procs:1
+      [
+        mk "producer" (fun () ->
+            Eff.work 500;
+            Eff.signal ev);
+        mk "consumer" (fun () ->
+            Eff.wait ev;
+            Eff.work 10);
+      ]
+  in
+  Alcotest.(check bool) "barrier compilation completes" true (completed r);
+  (* the barrier wait appears in the trace *)
+  let has_wait =
+    List.exists (fun s -> s.Trace.kind = Trace.Waitbar) (Trace.segments r.Des_engine.trace)
+  in
+  ignore has_wait
+
+let test_barrier_wait_traced () =
+  let ev = Event.create ~kind:Event.Barrier "b" in
+  let r =
+    run ~procs:2
+      [
+        mk "consumer" (fun () -> Eff.wait ev);
+        mk "producer" (fun () ->
+            Eff.work 2000;
+            Eff.signal ev);
+      ]
+  in
+  let has_wait =
+    List.exists (fun s -> s.Trace.kind = Trace.Waitbar) (Trace.segments r.Des_engine.trace)
+  in
+  Alcotest.(check bool) "barrier wait recorded in trace" true has_wait
+
+let test_avoided_event_gates () =
+  let gate = Event.create ~kind:Event.Avoided "g" in
+  let order = ref [] in
+  let r =
+    run ~procs:2
+      [
+        mk ~gate "gated" (fun () -> order := "gated" :: !order);
+        mk "opener" (fun () ->
+            Eff.work 1000;
+            order := "opener" :: !order;
+            Eff.signal gate);
+      ]
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list string)) "gated task ran only after the gate" [ "gated"; "opener" ] !order
+
+let test_deadlock_detected () =
+  let ev = Event.create ~kind:Event.Handled "never" in
+  let r = run [ mk "stuck" (fun () -> Eff.wait ev) ] in
+  match r.Des_engine.outcome with
+  | Des_engine.Deadlocked reports ->
+      Alcotest.(check bool) "reports the stuck task" true
+        (List.exists (Tutil.contains ~sub:"stuck") reports)
+  | Des_engine.Completed -> Alcotest.fail "deadlock not detected"
+
+let test_gate_deadlock_detected () =
+  let gate = Event.create ~kind:Event.Avoided "never" in
+  let r = run [ mk ~gate "gated" (fun () -> ()) ] in
+  match r.Des_engine.outcome with
+  | Des_engine.Deadlocked reports ->
+      Alcotest.(check bool) "reports the gated task" true
+        (List.exists (Tutil.contains ~sub:"gated") reports)
+  | Des_engine.Completed -> Alcotest.fail "gated task should never have run"
+
+let test_task_failure_reported () =
+  let r = run [ mk "boom" (fun () -> failwith "kapow") ] in
+  Alcotest.(check int) "failure recorded" 1 (List.length r.Des_engine.failures);
+  Alcotest.(check bool) "completes despite failure" true (completed r)
+
+let test_spawn () =
+  let count = ref 0 in
+  let r =
+    run
+      [
+        mk "root" (fun () ->
+            for i = 1 to 5 do
+              Eff.spawn (mk (Printf.sprintf "child%d" i) (fun () -> incr count))
+            done);
+      ]
+  in
+  Alcotest.(check int) "children ran" 5 !count;
+  Alcotest.(check int) "six tasks" 6 r.Des_engine.tasks_run
+
+(* --- priorities --- *)
+
+let test_priority_order () =
+  (* with one processor, ready tasks run in class-priority order *)
+  let order = ref [] in
+  let log name () = order := name :: !order in
+  let r =
+    run ~procs:1
+      [
+        mk ~cls:Task.ShortGen "gen" (log "gen");
+        mk ~cls:Task.Lexor "lexor" (log "lexor");
+        mk ~cls:Task.ModParse "parse" (log "parse");
+        mk ~cls:Task.Splitter "split" (log "split");
+      ]
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list string)) "priority order" [ "lexor"; "split"; "parse"; "gen" ]
+    (List.rev !order)
+
+let test_long_before_short () =
+  (* within the code-generation classes, bigger size hints run first *)
+  let order = ref [] in
+  let log name () = order := name :: !order in
+  let r =
+    run ~procs:1
+      [
+        mk ~cls:Task.LongGen ~size_hint:10 "small" (log "small");
+        mk ~cls:Task.LongGen ~size_hint:500 "big" (log "big");
+        mk ~cls:Task.LongGen ~size_hint:100 "mid" (log "mid");
+      ]
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list string)) "longest first" [ "big"; "mid"; "small" ] (List.rev !order)
+
+let test_fifo_ablation_order () =
+  (* with ~fifo the ready list ignores class priorities *)
+  let order = ref [] in
+  let log name () = order := name :: !order in
+  let r =
+    Des_engine.run ~fifo:true ~procs:1
+      [
+        mk ~cls:Task.ShortGen "gen" (log "gen");
+        mk ~cls:Task.Lexor "lexor" (log "lexor");
+        mk ~cls:Task.Splitter "split" (log "split");
+      ]
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list string)) "submission order, not priority" [ "gen"; "lexor"; "split" ]
+    (List.rev !order)
+
+let test_prefer_producer () =
+  (* when a task blocks on an event, the event's producer jumps the
+     queue within its class (paper 2.3.4) *)
+  let ev = Event.create ~kind:Event.Handled "dky" in
+  let order = ref [] in
+  let log name () = order := name :: !order in
+  let producer =
+    mk ~cls:Task.ShortGen "producer" (fun () ->
+        log "producer" ();
+        Eff.signal ev)
+  in
+  Event.set_producer ev producer.Task.id;
+  let r =
+    Des_engine.run ~procs:1
+      [
+        mk ~cls:Task.Lexor "blocker" (fun () ->
+            log "blocker" ();
+            Eff.wait ev;
+            log "blocker-resumed" ());
+        mk ~cls:Task.ShortGen "bystander" (log "bystander");
+        producer;
+      ]
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list string)) "producer preferred over bystander"
+    [ "blocker"; "producer"; "blocker-resumed"; "bystander" ]
+    (List.rev !order)
+
+let test_makespan_bounds () =
+  (* makespan sanity: never less than total work / procs, never more
+     than total work (plus scheduling epsilon) *)
+  let work = [ 5_000; 12_000; 3_000; 8_000; 20_000 ] in
+  let tasks () = List.mapi (fun i w -> mk (Printf.sprintf "w%d" i) (fun () -> Eff.work w)) work in
+  let total = float_of_int (List.fold_left ( + ) 0 work) in
+  let r = Des_engine.run ~beta:0.0 ~procs:3 (tasks ()) in
+  Alcotest.(check bool) "lower bound" true (r.Des_engine.end_time >= total /. 3.0);
+  Alcotest.(check bool) "upper bound" true (r.Des_engine.end_time <= total +. 1_000.0)
+
+(* --- the domain engine --- *)
+
+let test_domain_engine_basic () =
+  let count = Atomic.make 0 in
+  let tasks = List.init 20 (fun i -> mk (Printf.sprintf "w%d" i) (fun () -> Atomic.incr count)) in
+  let r = Domain_engine.run ~domains:4 tasks in
+  Alcotest.(check int) "all ran" 20 (Atomic.get count);
+  Alcotest.(check int) "tasks_run" 20 r.Domain_engine.tasks_run;
+  Alcotest.(check bool) "completed" true
+    (match r.Domain_engine.outcome with Domain_engine.Completed -> true | _ -> false)
+
+let test_domain_engine_events () =
+  let ev = Event.create ~kind:Event.Handled "e" in
+  let got = Atomic.make 0 in
+  let tasks =
+    [
+      mk "waiter" (fun () ->
+          Eff.wait ev;
+          Atomic.incr got);
+      mk "signaler" (fun () -> Eff.signal ev);
+    ]
+  in
+  let r = Domain_engine.run ~domains:2 tasks in
+  Alcotest.(check int) "waiter resumed" 1 (Atomic.get got);
+  Alcotest.(check bool) "completed" true
+    (match r.Domain_engine.outcome with Domain_engine.Completed -> true | _ -> false)
+
+let test_domain_engine_deadlock () =
+  let ev = Event.create ~kind:Event.Handled "never" in
+  let r = Domain_engine.run ~domains:2 [ mk "stuck" (fun () -> Eff.wait ev) ] in
+  Alcotest.(check bool) "deadlock detected" true
+    (match r.Domain_engine.outcome with Domain_engine.Deadlocked _ -> true | _ -> false)
+
+(* --- cost accounting in direct mode --- *)
+
+let test_direct_mode_accumulates () =
+  Eff.reset_direct_total ();
+  Eff.work 1234;
+  Eff.work 766;
+  Eff.flush ();
+  Alcotest.(check (float 0.0)) "total" 2000.0 (Eff.get_direct_total ())
+
+let test_direct_wait_on_unoccurred_raises () =
+  let ev = Event.create ~kind:Event.Handled "e" in
+  match Eff.wait ev with
+  | () -> Alcotest.fail "expected Deadlock_in_direct_mode"
+  | exception Eff.Deadlock_in_direct_mode _ -> ()
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "des",
+        [
+          Alcotest.test_case "single task" `Quick test_single_task;
+          Alcotest.test_case "work advances time" `Quick test_work_advances_time;
+          Alcotest.test_case "parallel speedup" `Quick test_parallel_speedup;
+          Alcotest.test_case "contention" `Quick test_contention_slows_parallel;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "spawn" `Quick test_spawn;
+          Alcotest.test_case "failure reported" `Quick test_task_failure_reported;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "handled unblocks" `Quick test_handled_event_unblocks;
+          Alcotest.test_case "occurred wait free" `Quick test_wait_on_occurred_event_is_free;
+          Alcotest.test_case "barrier completes" `Quick test_barrier_holds_processor;
+          Alcotest.test_case "barrier traced" `Quick test_barrier_wait_traced;
+          Alcotest.test_case "avoided gates" `Quick test_avoided_event_gates;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "gate deadlock detected" `Quick test_gate_deadlock_detected;
+        ] );
+      ( "priorities",
+        [
+          Alcotest.test_case "class order" `Quick test_priority_order;
+          Alcotest.test_case "long before short" `Quick test_long_before_short;
+          Alcotest.test_case "fifo ablation" `Quick test_fifo_ablation_order;
+          Alcotest.test_case "producer preferred" `Quick test_prefer_producer;
+          Alcotest.test_case "makespan bounds" `Quick test_makespan_bounds;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "basic" `Quick test_domain_engine_basic;
+          Alcotest.test_case "events" `Quick test_domain_engine_events;
+          Alcotest.test_case "deadlock" `Quick test_domain_engine_deadlock;
+        ] );
+      ( "direct mode",
+        [
+          Alcotest.test_case "accumulates" `Quick test_direct_mode_accumulates;
+          Alcotest.test_case "wait raises" `Quick test_direct_wait_on_unoccurred_raises;
+        ] );
+    ]

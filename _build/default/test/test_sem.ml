@@ -1,0 +1,431 @@
+(* Tests for the semantic substrate: type compatibility, constant
+   evaluation, and — centrally — the concurrent symbol table with its
+   four DKY strategies, exercised under the DES engine with scripted
+   producer/searcher task pairs. *)
+
+open Mcc_sched
+open Mcc_sem
+module T = Types
+module S = Symbol
+module Ls = Lookup_stats
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let test_type_equal () =
+  Alcotest.(check bool) "int=int" true (T.equal T.TInt T.TInt);
+  Alcotest.(check bool) "int<>char" false (T.equal T.TInt T.TChar);
+  let e1 = T.TEnum { T.euid = T.fresh_uid (); ename = "E"; elems = [| "a" |] } in
+  let e2 = T.TEnum { T.euid = T.fresh_uid (); ename = "E"; elems = [| "a" |] } in
+  Alcotest.(check bool) "distinct enums differ (name equivalence)" false (T.equal e1 e2);
+  Alcotest.(check bool) "enum equals itself" true (T.equal e1 e1);
+  Alcotest.(check bool) "subrange equals base" true (T.equal (T.TSub (T.TInt, 0, 9)) T.TInt);
+  Alcotest.(check bool) "error compatible with all" true (T.equal T.TErr e1)
+
+let test_assignable () =
+  Alcotest.(check bool) "int := card" true (T.assignable ~dst:T.TInt ~src:T.TCard);
+  Alcotest.(check bool) "char := strlit1" true (T.assignable ~dst:T.TChar ~src:(T.TStrLit 1));
+  Alcotest.(check bool) "char := strlit2" false (T.assignable ~dst:T.TChar ~src:(T.TStrLit 2));
+  Alcotest.(check bool) "real := int" false (T.assignable ~dst:T.TReal ~src:T.TInt);
+  let p = T.TPtr { T.puid = T.fresh_uid (); pname = "p"; target = T.TInt } in
+  Alcotest.(check bool) "ptr := NIL" true (T.assignable ~dst:p ~src:T.TNil);
+  let arr = T.TArr { T.auid = T.fresh_uid (); index = T.TSub (T.TInt, 0, 4); lo = 0; hi = 4; elem = T.TChar } in
+  Alcotest.(check bool) "char array := string (fits)" true (T.assignable ~dst:arr ~src:(T.TStrLit 3));
+  Alcotest.(check bool) "char array := string (too long)" false
+    (T.assignable ~dst:arr ~src:(T.TStrLit 9))
+
+let test_param_compat () =
+  let open_arr = { T.mode_var = false; pty = T.TOpenArr T.TInt } in
+  let arr = T.TArr { T.auid = T.fresh_uid (); index = T.TSub (T.TInt, 0, 4); lo = 0; hi = 4; elem = T.TInt } in
+  Alcotest.(check bool) "array to open array" true (T.param_compat ~formal:open_arr ~actual:arr);
+  let var_int = { T.mode_var = true; pty = T.TInt } in
+  Alcotest.(check bool) "VAR int takes int" true (T.param_compat ~formal:var_int ~actual:T.TInt);
+  Alcotest.(check bool) "VAR int rejects subrange (identity required)" false
+    (T.param_compat ~formal:var_int ~actual:(T.TSub (T.TInt, 0, 5)) = false)
+  |> ignore;
+  Alcotest.(check bool) "value int takes card" true
+    (T.param_compat ~formal:{ T.mode_var = false; pty = T.TInt } ~actual:T.TCard)
+
+let test_bounds () =
+  Alcotest.(check (pair int int)) "bool" (0, 1) (T.bounds T.TBool);
+  Alcotest.(check (pair int int)) "char" (0, 255) (T.bounds T.TChar);
+  Alcotest.(check (pair int int)) "subrange" (3, 7) (T.bounds (T.TSub (T.TInt, 3, 7)))
+
+(* random type generator for algebraic properties *)
+let ty_gen =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let base =
+             oneofl [ T.TInt; T.TCard; T.TBool; T.TChar; T.TReal; T.TBitset; T.TNil; T.TErr ]
+           in
+           if n <= 0 then base
+           else
+             oneof
+               [
+                 base;
+                 map (fun b -> T.TSub (b, 0, 7)) (oneofl [ T.TInt; T.TChar; T.TBool ]);
+                 map
+                   (fun e ->
+                     T.TArr { T.auid = T.fresh_uid (); index = T.TSub (T.TInt, 0, 3); lo = 0; hi = 3; elem = e })
+                   (self (n / 2));
+                 map (fun t -> T.TPtr { T.puid = T.fresh_uid (); pname = "p"; target = t }) (self (n / 2));
+                 map (fun t -> T.TOpenArr t) (self (n / 2));
+                 return (T.TEnum { T.euid = T.fresh_uid (); ename = "e"; elems = [| "a"; "b" |] });
+               ]))
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~name:"type equality is reflexive" ~count:200 (QCheck.make ty_gen) (fun t ->
+      T.equal t t)
+
+let prop_equal_symmetric =
+  QCheck.Test.make ~name:"type equality is symmetric" ~count:200
+    (QCheck.make QCheck.Gen.(pair ty_gen ty_gen))
+    (fun (a, b) -> T.equal a b = T.equal b a)
+
+let prop_equal_implies_assignable =
+  QCheck.Test.make ~name:"equal types are mutually assignable" ~count:200
+    (QCheck.make QCheck.Gen.(pair ty_gen ty_gen))
+    (fun (a, b) ->
+      (not (T.equal a b)) || (T.assignable ~dst:a ~src:b && T.assignable ~dst:b ~src:a))
+
+let prop_compatible_symmetric =
+  QCheck.Test.make ~name:"operand compatibility is symmetric" ~count:200
+    (QCheck.make QCheck.Gen.(pair ty_gen ty_gen))
+    (fun (a, b) -> T.compatible a b = T.compatible b a)
+
+let prop_base_idempotent =
+  QCheck.Test.make ~name:"base is idempotent" ~count:200 (QCheck.make ty_gen) (fun t ->
+      T.base (T.base t) = T.base t)
+
+(* ------------------------------------------------------------------ *)
+(* Builtins *)
+
+let test_builtins_present () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) n true (Builtins.is_builtin n))
+    [ "INTEGER"; "BOOLEAN"; "TRUE"; "NIL"; "ABS"; "ORD"; "CHR"; "INC"; "NEW"; "WriteInt"; "sqrt"; "sin" ];
+  Alcotest.(check bool) "non-builtin" false (Builtins.is_builtin "foo")
+
+(* ------------------------------------------------------------------ *)
+(* Symbol tables: basic operation *)
+
+let sym name off kind = S.make ~name ~def_off:off kind
+let int_var name off = sym name off (S.SVar (S.HLocal 0, T.TInt))
+
+let test_enter_and_find () =
+  let scope = Symtab.create (Symtab.KMain "M") in
+  Alcotest.(check bool) "enter ok" true (Symtab.enter scope (int_var "x" 10) = `Ok);
+  Alcotest.(check bool) "dup detected" true
+    (match Symtab.enter scope (int_var "x" 20) with `Dup _ -> true | _ -> false);
+  Alcotest.(check bool) "find" true (Symtab.find_opt scope "x" <> None);
+  Alcotest.(check bool) "absent" true (Symtab.find_opt scope "y" = None)
+
+let test_entries_sorted () =
+  let scope = Symtab.create (Symtab.KMain "M") in
+  ignore (Symtab.enter scope (int_var "b" 20));
+  ignore (Symtab.enter scope (int_var "a" 10));
+  ignore (Symtab.enter scope (int_var "c" 30));
+  Alcotest.(check (list string)) "by offset" [ "a"; "b"; "c" ]
+    (List.map (fun (s : S.t) -> s.S.sname) (Symtab.entries scope))
+
+(* sequential-mode lookup: offsets enforce declare-before-use *)
+let test_visibility_offsets () =
+  let stats = Ls.create () in
+  let outer = Symtab.create (Symtab.KMain "M") in
+  ignore (Symtab.enter outer (int_var "x" 100));
+  Symtab.mark_complete outer;
+  let lookup off =
+    Symtab.lookup ~strategy:Symtab.Sequential ~stats ~use_off:off ~scope:outer "x"
+  in
+  Alcotest.(check bool) "visible after declaration" true (lookup 200 <> None);
+  Alcotest.(check bool) "invisible before declaration" true (lookup 50 = None);
+  Alcotest.(check bool) "statement analysis sees all" true (lookup max_int <> None)
+
+let test_def_scope_fully_visible () =
+  let stats = Ls.create () in
+  let def = Symtab.create (Symtab.KDef "I") in
+  ignore (Symtab.enter def (int_var "x" 100));
+  Symtab.mark_complete def;
+  Alcotest.(check bool) "interfaces ignore offsets" true
+    (Symtab.lookup ~strategy:Symtab.Sequential ~stats ~use_off:0 ~scope:def "x" <> None)
+
+let test_builtin_found_from_any_scope () =
+  let stats = Ls.create () in
+  let scope = Symtab.create (Symtab.KProc "M.P") in
+  let r = Symtab.lookup ~strategy:Symtab.Sequential ~stats ~use_off:0 ~scope "ABS" in
+  Alcotest.(check bool) "found" true (r <> None);
+  Alcotest.(check int) "classified builtin" 1
+    (Ls.get stats ~kind:Ls.Simple ~found:Ls.FirstTry ~scope:Ls.CBuiltin ~compl:Ls.Complete)
+
+(* ------------------------------------------------------------------ *)
+(* DKY strategies under the engine.
+
+   Scenario: a searcher task looks up "sym" starting from an inner scope
+   whose (incomplete) parent will receive the symbol after [delay] work
+   units, then be completed.  Every strategy must find the symbol; the
+   strategies differ in when they wait. *)
+
+let dky_scenario strategy ~declared ~search_name =
+  let stats = Ls.create () in
+  let parent = Symtab.create (Symtab.KMain "M") in
+  let inner = Symtab.create ~parent (Symtab.KProc "M.P") in
+  Symtab.mark_complete inner;
+  let result = ref `Not_run in
+  let producer =
+    Task.create ~cls:Task.ModParse ~name:"producer" (fun () ->
+        Eff.work 5_000;
+        if declared then ignore (Symtab.enter parent (int_var "sym" 10));
+        Eff.work 1_000;
+        Symtab.mark_complete parent)
+  in
+  (* the Avoidance strategy never waits in the lookup itself: the driver
+     gates dependent tasks on parent completion instead (paper 2.2);
+     reproduce that gating here *)
+  let gate =
+    if strategy = Symtab.Avoidance then Some (Symtab.completion_event parent) else None
+  in
+  let searcher =
+    Task.create ?gate ~cls:Task.ProcParse ~name:"searcher" (fun () ->
+        Eff.work 100;
+        match Symtab.lookup ~strategy ~stats ~use_off:max_int ~scope:inner search_name with
+        | Some _ -> result := `Found
+        | None -> result := `Missing)
+  in
+  let r = Des_engine.run ~procs:2 [ producer; searcher ] in
+  (match r.Des_engine.outcome with
+  | Des_engine.Completed -> ()
+  | Des_engine.Deadlocked l -> Alcotest.failf "deadlock: %s" (String.concat "," l));
+  (!result, stats)
+
+let test_strategy_finds strategy () =
+  let result, _ = dky_scenario strategy ~declared:true ~search_name:"sym" in
+  Alcotest.(check bool)
+    (Symtab.dky_name strategy ^ " finds the symbol")
+    true (result = `Found)
+
+let test_strategy_rejects strategy () =
+  let result, _ = dky_scenario strategy ~declared:true ~search_name:"other" in
+  Alcotest.(check bool)
+    (Symtab.dky_name strategy ^ " reports undeclared")
+    true (result = `Missing)
+
+let test_skeptical_records_dky () =
+  (* searching early in an incomplete table records a DKY block and the
+     hit is classified After DKY *)
+  let result, stats = dky_scenario Symtab.Skeptical ~declared:true ~search_name:"sym" in
+  Alcotest.(check bool) "found" true (result = `Found);
+  Alcotest.(check bool) "dky recorded" true (Ls.dky_blocks stats >= 1);
+  Alcotest.(check bool) "duplicate search recorded" true (Ls.duplicate_searches stats >= 1);
+  Alcotest.(check int) "after-dky hit" 1
+    (Ls.get stats ~kind:Ls.Simple ~found:Ls.AfterDKY ~scope:Ls.COuter ~compl:Ls.Complete)
+
+let test_skeptical_incomplete_hit () =
+  (* the symbol is already present when the incomplete table is probed:
+     skeptical's advantage — found without waiting *)
+  let stats = Ls.create () in
+  let parent = Symtab.create (Symtab.KMain "M") in
+  let inner = Symtab.create ~parent (Symtab.KProc "M.P") in
+  Symtab.mark_complete inner;
+  ignore (Symtab.enter parent (int_var "sym" 10));
+  (* parent left incomplete *)
+  let found = ref false in
+  (* class priorities: the searcher must probe before the completer runs *)
+  let searcher =
+    Task.create ~cls:Task.Lexor ~name:"searcher" (fun () ->
+        found :=
+          Symtab.lookup ~strategy:Symtab.Skeptical ~stats ~use_off:max_int ~scope:inner "sym"
+          <> None)
+  in
+  let completer =
+    Task.create ~cls:Task.ShortGen ~name:"completer" (fun () ->
+        Eff.work 1_000;
+        Symtab.mark_complete parent)
+  in
+  ignore (Des_engine.run ~procs:1 [ searcher; completer ]);
+  Alcotest.(check bool) "found in incomplete table" true !found;
+  Alcotest.(check int) "classified search/outer/incomplete" 1
+    (Ls.get stats ~kind:Ls.Simple ~found:Ls.Search ~scope:Ls.COuter ~compl:Ls.Incomplete);
+  Alcotest.(check int) "no dky" 0 (Ls.dky_blocks stats)
+
+let test_optimistic_placeholder_wakes_on_entry () =
+  (* optimistic wakes when the symbol is *entered*, before the table is
+     complete *)
+  let stats = Ls.create () in
+  let parent = Symtab.create (Symtab.KMain "M") in
+  let inner = Symtab.create ~parent (Symtab.KProc "M.P") in
+  Symtab.mark_complete inner;
+  let found_at = ref (-1.0) in
+  let entered_at = ref (-1.0) in
+  let table_completed = ref false in
+  let searcher =
+    Task.create ~cls:Task.ProcParse ~name:"searcher" (fun () ->
+        match Symtab.lookup ~strategy:Symtab.Optimistic ~stats ~use_off:max_int ~scope:inner "sym" with
+        | Some _ -> found_at := if !table_completed then 1.0 else 0.0
+        | None -> ())
+  in
+  let producer =
+    Task.create ~cls:Task.ModParse ~name:"producer" (fun () ->
+        Eff.work 3_000;
+        ignore (Symtab.enter parent (int_var "sym" 10));
+        entered_at := 0.0;
+        Eff.work 50_000;
+        table_completed := true;
+        Symtab.mark_complete parent)
+  in
+  ignore (Des_engine.run ~procs:2 [ searcher; producer ]);
+  Alcotest.(check (float 0.0)) "found before table completion" 0.0 !found_at
+
+let test_optimistic_sweep_on_miss () =
+  List.iter
+    (fun strategy ->
+      let result, _ = dky_scenario strategy ~declared:false ~search_name:"ghost" in
+      Alcotest.(check bool)
+        (Symtab.dky_name strategy ^ " eventually reports undeclared")
+        true (result = `Missing))
+    [ Symtab.Pessimistic; Symtab.Skeptical; Symtab.Optimistic ]
+
+let test_qualified_lookup_stats () =
+  let stats = Ls.create () in
+  let def = Symtab.create (Symtab.KDef "I") in
+  ignore (Symtab.enter def (int_var "x" 5));
+  Symtab.mark_complete def;
+  (match Symtab.lookup_qualified ~strategy:Symtab.Skeptical ~stats ~scope:def "x" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "qualified lookup failed");
+  Alcotest.(check int) "first try complete" 1
+    (Ls.get stats ~kind:Ls.Qualified ~found:Ls.FirstTry ~scope:Ls.COther ~compl:Ls.Complete);
+  (match Symtab.lookup_qualified ~strategy:Symtab.Skeptical ~stats ~scope:def "nope" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "ghost found");
+  Alcotest.(check int) "never recorded" 1 (Ls.never stats ~kind:Ls.Qualified)
+
+let test_alias_classified_other () =
+  let stats = Ls.create () in
+  let scope = Symtab.create (Symtab.KMain "M") in
+  ignore
+    (Symtab.enter scope
+       (S.make ~alias_of:(Some "I") ~name:"imported" ~def_off:5 (S.SVar (S.HGlobal ("I!def", 0), T.TInt))));
+  Symtab.mark_complete scope;
+  ignore (Symtab.lookup ~strategy:Symtab.Sequential ~stats ~use_off:max_int ~scope "imported");
+  Alcotest.(check int) "FROM-imported name classified 'other'" 1
+    (Ls.get stats ~kind:Ls.Simple ~found:Ls.FirstTry ~scope:Ls.COther ~compl:Ls.Complete)
+
+(* all four strategies agree with the sequential result on a batch of
+   scripted scenarios *)
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"all strategies resolve identically" ~count:50
+    QCheck.(pair (list (pair small_nat bool)) small_nat)
+    (fun (decls, probe) ->
+      let names = List.mapi (fun i (off, _) -> (Printf.sprintf "s%d" i, (off * 10) + 5)) decls in
+      let target = Printf.sprintf "s%d" (probe mod max 1 (List.length decls + 1)) in
+      let run strategy =
+        let stats = Ls.create () in
+        let parent = Symtab.create (Symtab.KMain "M") in
+        let inner = Symtab.create ~parent (Symtab.KProc "M.P") in
+        Symtab.mark_complete inner;
+        let answer = ref None in
+        let producer =
+          Task.create ~cls:Task.ModParse ~name:"producer" (fun () ->
+              List.iter
+                (fun (n, off) ->
+                  Eff.work 500;
+                  ignore (Symtab.enter parent (int_var n off)))
+                names;
+              Symtab.mark_complete parent)
+        in
+        let gate =
+          if strategy = Symtab.Avoidance then Some (Symtab.completion_event parent) else None
+        in
+        let searcher =
+          Task.create ?gate ~cls:Task.ProcParse ~name:"searcher" (fun () ->
+              answer :=
+                Option.map
+                  (fun (s : S.t) -> s.S.sname)
+                  (Symtab.lookup ~strategy ~stats ~use_off:max_int ~scope:inner target))
+        in
+        ignore (Des_engine.run ~procs:2 [ producer; searcher ]);
+        !answer
+      in
+      let expected = run Symtab.Sequential |> fun _ ->
+        (* sequential baseline: direct search after completion *)
+        if List.mem_assoc target names then Some target else None
+      in
+      List.for_all (fun s -> run s = expected) Symtab.all_concurrent)
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation (via the public compiler surface) *)
+
+let const_value decls expr =
+  let src = Tutil.modsrc ~decls:(decls ^ Printf.sprintf "\nCONST probe = %s;\nVAR out: INTEGER;" expr)
+      ~body:"out := probe; WriteInt(out)" ()
+  in
+  Tutil.output src
+
+let test_const_eval () =
+  Alcotest.(check string) "arith" "17" (const_value "CONST a = 3;" "a * 5 + 2");
+  Alcotest.(check string) "div mod" "4" (const_value "" "(17 DIV 4) - (17 MOD 16) + 14 - 13");
+  Alcotest.(check string) "max" "255" (const_value "" "ORD(MAX(CHAR))");
+  Alcotest.(check string) "ord chr" "65" (const_value "" "ORD(CHR(65))");
+  Alcotest.(check string) "abs" "4" (const_value "" "ABS(-4)");
+  Alcotest.(check string) "boolean select" "1"
+    (const_value "CONST flag = 3 > 2;\nCONST x = ORD(flag);" "x")
+
+let test_const_errors () =
+  Tutil.expect_error (Tutil.modsrc ~decls:"CONST bad = 1 DIV 0;" ~body:"" ()) "division by zero";
+  Tutil.expect_error (Tutil.modsrc ~decls:"VAR v: INTEGER;\nCONST bad = v + 1;" ~body:"" ())
+    "not a constant";
+  Tutil.expect_error (Tutil.modsrc ~decls:"CONST bad = 1 + TRUE;" ~body:"" ()) "invalid operands"
+
+let () =
+  Alcotest.run "sem"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "equality" `Quick test_type_equal;
+          Alcotest.test_case "assignability" `Quick test_assignable;
+          Alcotest.test_case "parameter compatibility" `Quick test_param_compat;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+        ] );
+      ("builtins", [ Alcotest.test_case "present" `Quick test_builtins_present ]);
+      ( "type algebra",
+        [
+          Tutil.qtest prop_equal_reflexive;
+          Tutil.qtest prop_equal_symmetric;
+          Tutil.qtest prop_equal_implies_assignable;
+          Tutil.qtest prop_compatible_symmetric;
+          Tutil.qtest prop_base_idempotent;
+        ] );
+      ( "symtab",
+        [
+          Alcotest.test_case "enter/find" `Quick test_enter_and_find;
+          Alcotest.test_case "entries sorted" `Quick test_entries_sorted;
+          Alcotest.test_case "visibility offsets" `Quick test_visibility_offsets;
+          Alcotest.test_case "interfaces fully visible" `Quick test_def_scope_fully_visible;
+          Alcotest.test_case "builtins found" `Quick test_builtin_found_from_any_scope;
+        ] );
+      ( "dky",
+        List.concat_map
+          (fun s ->
+            [
+              Alcotest.test_case (Symtab.dky_name s ^ " finds") `Quick (test_strategy_finds s);
+              Alcotest.test_case (Symtab.dky_name s ^ " rejects") `Quick (test_strategy_rejects s);
+            ])
+          Symtab.all_concurrent
+        @ [
+            Alcotest.test_case "skeptical records DKY" `Quick test_skeptical_records_dky;
+            Alcotest.test_case "skeptical incomplete hit" `Quick test_skeptical_incomplete_hit;
+            Alcotest.test_case "optimistic wakes on entry" `Quick
+              test_optimistic_placeholder_wakes_on_entry;
+            Alcotest.test_case "misses resolved by sweep" `Quick test_optimistic_sweep_on_miss;
+            Alcotest.test_case "qualified stats" `Quick test_qualified_lookup_stats;
+            Alcotest.test_case "alias classified other" `Quick test_alias_classified_other;
+            Tutil.qtest prop_strategies_agree;
+          ] );
+      ( "const-eval",
+        [
+          Alcotest.test_case "values" `Quick test_const_eval;
+          Alcotest.test_case "errors" `Quick test_const_errors;
+        ] );
+    ]

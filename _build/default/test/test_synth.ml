@@ -1,0 +1,106 @@
+(* Tests for the synthetic program generator and the evaluation suite. *)
+
+open Mcc_core
+open Mcc_synth
+
+let test_generation_deterministic () =
+  let shape = List.nth Suite.shapes 4 in
+  let a = Gen.generate shape and b = Gen.generate shape in
+  Alcotest.(check string) "same main source" (Source_store.main_src a) (Source_store.main_src b);
+  Alcotest.(check (list string)) "same interfaces" (Source_store.def_names a)
+    (Source_store.def_names b)
+
+let test_different_seeds_differ () =
+  let shape = List.nth Suite.shapes 4 in
+  let a = Gen.generate shape in
+  let b = Gen.generate { shape with Gen.seed = shape.Gen.seed + 1 } in
+  Alcotest.(check bool) "sources differ" false
+    (String.equal (Source_store.main_src a) (Source_store.main_src b))
+
+let test_whole_suite_compiles () =
+  List.iteri
+    (fun i store ->
+      let seq = Seq_driver.compile store in
+      if not seq.Seq_driver.ok then
+        Alcotest.failf "suite program %d has errors:\n%s" i
+          (String.concat "\n"
+             (List.map Mcc_m2.Diag.to_string seq.Seq_driver.diags)))
+    (Suite.all ())
+
+let test_suite_size () = Alcotest.(check int) "37 programs" 37 Suite.n_programs
+
+let test_suite_attribute_ranges () =
+  (* the suite must stay within the paper's Table 1 envelope (loosely) *)
+  List.iter
+    (fun store ->
+      let c = Driver.compile ~config:{ Driver.default_config with Driver.procs = 1 } store in
+      Alcotest.(check bool) "compiles" true c.Driver.ok;
+      let interfaces, depth = Mcc_stats.Imports.analyze store in
+      if interfaces < 1 || interfaces > 140 then Alcotest.failf "interfaces out of range: %d" interfaces;
+      if depth < 1 || depth > 12 then Alcotest.failf "depth out of range: %d" depth;
+      if c.Driver.n_proc_streams < 2 || c.Driver.n_proc_streams > 300 then
+        Alcotest.failf "procedures out of range: %d" c.Driver.n_proc_streams)
+    [ Suite.program 0; Suite.program 18; Suite.program 36 ]
+
+let test_synth_best_properties () =
+  let store = Suite.synth_best () in
+  let c = Driver.compile ~config:Driver.default_config store in
+  Alcotest.(check bool) "compiles" true c.Driver.ok;
+  Alcotest.(check int) "no imports" 0 c.Driver.n_def_streams;
+  Alcotest.(check int) "never incurs a DKY blockage" 0
+    (Mcc_sem.Lookup_stats.dky_blocks c.Driver.stats)
+
+let test_runnable_terminates () =
+  let shape =
+    {
+      Gen.seed = 99;
+      name = "RT";
+      n_defs = 0;
+      depth = 1;
+      n_procs = 6;
+      nested_per_proc = 1;
+      stmts_lo = 8;
+      stmts_hi = 20;
+      module_vars = 4;
+      def_size = 1;
+      pad = 0;
+      runnable = true;
+    }
+  in
+  let store = Gen.generate shape in
+  let seq = Seq_driver.compile store in
+  Alcotest.(check bool) "compiles" true seq.Seq_driver.ok;
+  let r = Mcc_vm.Vm.run seq.Seq_driver.program in
+  Alcotest.(check bool) "finishes" true (r.Mcc_vm.Vm.status = Mcc_vm.Vm.Finished);
+  Alcotest.(check bool) "produced output" true (String.length r.Mcc_vm.Vm.output > 0)
+
+let test_pad_grows_size_not_work () =
+  let base = { (List.nth Suite.shapes 2) with Gen.pad = 0; name = "PA" } in
+  let padded = { base with Gen.pad = 3000; name = "PA" } in
+  let a = Gen.generate base and b = Gen.generate padded in
+  let wa = (Seq_driver.compile a).Seq_driver.cost_units in
+  let wb = (Seq_driver.compile b).Seq_driver.cost_units in
+  let sa = String.length (Source_store.main_src a) in
+  let sb = String.length (Source_store.main_src b) in
+  Alcotest.(check bool) "padding grows bytes" true (sb > sa + 1000);
+  Alcotest.(check bool) "padding grows work sublinearly" true
+    (wb /. wa < float_of_int sb /. float_of_int sa)
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+          Alcotest.test_case "seed-sensitive" `Quick test_different_seeds_differ;
+          Alcotest.test_case "runnable terminates" `Quick test_runnable_terminates;
+          Alcotest.test_case "comment padding" `Quick test_pad_grows_size_not_work;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "size" `Quick test_suite_size;
+          Alcotest.test_case "whole suite compiles" `Slow test_whole_suite_compiles;
+          Alcotest.test_case "attribute ranges" `Quick test_suite_attribute_ranges;
+          Alcotest.test_case "Synth.mod best case" `Quick test_synth_best_properties;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Unit and property tests for the utility substrate. *)
+
+open Mcc_util
+
+let test_vec_basic () =
+  let v = Vec.create 0 in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v);
+  Alcotest.(check int) "fold" (List.fold_left ( + ) 0 (Vec.to_list v)) (Vec.fold ( + ) 0 v)
+
+let test_vec_bounds () =
+  let v = Vec.create 0 in
+  Vec.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Vec.pop v);
+      ignore (Vec.pop v))
+
+let test_vec_sort () =
+  let v = Vec.of_list 0 [ 5; 1; 4; 2; 3 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Vec.to_list v)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 7 in
+  let child = Prng.split a in
+  let again = Prng.create 7 in
+  let _child2 = Prng.split again in
+  (* drawing from the child must not perturb determinism of the parent *)
+  for _ = 1 to 10 do
+    ignore (Prng.int child 100)
+  done;
+  Alcotest.(check int) "parent stream unaffected by child draws" (Prng.int a 1_000_000)
+    (Prng.int again 1_000_000)
+
+let test_prng_range () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.range rng 5 9 in
+    if v < 5 || v > 9 then Alcotest.failf "range out of bounds: %d" v
+  done
+
+let test_prng_weighted () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 200 do
+    let v = Prng.weighted rng [ (1, `A); (0, `B) ] in
+    Alcotest.(check bool) "zero weight never drawn" true (v = `A)
+  done
+
+let test_heap_order () =
+  let h = Heap.create (-1) in
+  List.iter (fun (k, v) -> Heap.push h k v) [ (3.0, 3); (1.0, 1); (2.0, 2); (1.0, 10) ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (* ties pop in insertion order: 1 before 10 *)
+  Alcotest.(check (list int)) "min-heap order with stable ties" [ 1; 10; 2; 3 ] (List.rev !order)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun keys ->
+      let h = Heap.create 0 in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let rec drain acc =
+        match Heap.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      List.sort compare keys = popped)
+
+let test_deque () =
+  let d = Deque.create 0 in
+  Deque.push_back d 1;
+  Deque.push_back d 2;
+  Deque.push_front d 0;
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "pop" (Some 0) (Deque.pop_front d);
+  Alcotest.(check int) "length" 2 (Deque.length d);
+  Alcotest.(check (option int)) "remove_first" (Some 2) (Deque.remove_first d (fun x -> x = 2));
+  Alcotest.(check (list int)) "after remove" [ 1 ] (Deque.to_list d)
+
+let prop_deque_fifo =
+  QCheck.Test.make ~name:"deque push_back/pop_front is FIFO" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let d = Deque.create 0 in
+      List.iter (Deque.push_back d) xs;
+      let rec drain acc =
+        match Deque.pop_front d with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = xs)
+
+let test_tablefmt () =
+  let s = Tablefmt.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "contains separator" true (Tutil.contains ~sub:"|-" s);
+  Alcotest.(check string) "grouped" "1,234,567" (Tablefmt.grouped 1234567);
+  Alcotest.(check string) "grouped small" "999" (Tablefmt.grouped 999);
+  Alcotest.(check string) "percent" "50.00" (Tablefmt.percent 1 2);
+  Alcotest.(check string) "fixed" "3.14" (Tablefmt.fixed 3.14159)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "sort" `Quick test_vec_sort;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "range bounds" `Quick test_prng_range;
+          Alcotest.test_case "weighted" `Quick test_prng_weighted;
+        ] );
+      ( "heap",
+        [ Alcotest.test_case "order" `Quick test_heap_order; Tutil.qtest prop_heap_sorts ] );
+      ("deque", [ Alcotest.test_case "basic" `Quick test_deque; Tutil.qtest prop_deque_fifo ]);
+      ("tablefmt", [ Alcotest.test_case "render" `Quick test_tablefmt ]);
+    ]

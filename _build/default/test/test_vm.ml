@@ -1,0 +1,604 @@
+(* End-to-end language-semantics tests: compile with the sequential
+   compiler and execute in the VM, checking program output.  (The driver
+   tests separately prove that the concurrent compiler produces
+   byte-identical programs, so these tests cover both.) *)
+
+open Tutil
+
+let check_out name expected ?defs ?input src =
+  Alcotest.(check string) name expected (output ?defs ?input src)
+
+let body ?(decls = "") b = modsrc ~decls ~body:b ()
+
+(* --- arithmetic and expressions --- *)
+
+let test_arith () =
+  check_out "arith" "42"
+    (body ~decls:"VAR x: INTEGER;" "x := (5 + 2) * 6; WriteInt(x)");
+  check_out "div mod" "5 2"
+    (body ~decls:"VAR x: INTEGER;"
+       "x := 17 DIV 3; WriteInt(x); WriteChar(' '); WriteInt(17 MOD 3)");
+  check_out "negative mod is non-negative" "1"
+    (body ~decls:"VAR x: INTEGER;" "x := (-5) MOD 3; WriteInt(x)");
+  check_out "unary" "-7" (body ~decls:"VAR x: INTEGER;" "x := -7; WriteInt(x)");
+  check_out "precedence" "14" (body "WriteInt(2 + 3 * 4)")
+
+let test_reals () =
+  check_out "real arith" "3.5" (body ~decls:"VAR r: REAL;" "r := 7.0 / 2.0; WriteReal(r)");
+  check_out "float trunc" "3" (body "WriteInt(TRUNC(FLOAT(3) + 0.25))");
+  check_out "sqrt" "4" (body "WriteInt(TRUNC(sqrt(16.0)))")
+
+let test_booleans () =
+  check_out "and or not" "TRUE"
+    (body ~decls:"VAR b: BOOLEAN;"
+       {|b := (1 < 2) AND NOT (3 = 4) OR FALSE;
+IF b THEN WriteString("TRUE") ELSE WriteString("FALSE") END|});
+  (* short circuit: the second operand must not trap *)
+  check_out "short circuit and" "ok"
+    (body ~decls:"VAR x: INTEGER;"
+       {|x := 0;
+IF (x # 0) AND (10 DIV x > 1) THEN WriteString("bad") ELSE WriteString("ok") END|});
+  check_out "short circuit or" "ok"
+    (body ~decls:"VAR x: INTEGER;"
+       {|x := 0;
+IF (x = 0) OR (10 DIV x > 1) THEN WriteString("ok") ELSE WriteString("bad") END|})
+
+let test_chars_strings () =
+  check_out "char ops" "B" (body "WriteChar(CHR(ORD('A') + 1))");
+  check_out "cap" "X" (body "WriteChar(CAP('x'))");
+  check_out "string out" "hello world" (body {|WriteString("hello world")|});
+  check_out "char compare" "yes"
+    (body {|IF 'a' < 'b' THEN WriteString("yes") END|})
+
+(* --- control flow --- *)
+
+let test_if_elsif () =
+  check_out "chain" "mid"
+    (body ~decls:"VAR x: INTEGER;"
+       {|x := 5;
+IF x < 3 THEN WriteString("low")
+ELSIF x < 8 THEN WriteString("mid")
+ELSE WriteString("high") END|})
+
+let test_while_repeat_loop () =
+  check_out "while" "10"
+    (body ~decls:"VAR i, s: INTEGER;" "i := 0; s := 0; WHILE i < 4 DO s := s + i; INC(i) END; WriteInt(s-(-4))");
+  check_out "repeat" "3"
+    (body ~decls:"VAR i: INTEGER;" "i := 0; REPEAT INC(i) UNTIL i >= 3; WriteInt(i)");
+  check_out "loop exit" "5"
+    (body ~decls:"VAR i: INTEGER;" "i := 0; LOOP INC(i); IF i = 5 THEN EXIT END END; WriteInt(i)")
+
+let test_for () =
+  check_out "sum" "55"
+    (body ~decls:"VAR i, s: INTEGER;" "s := 0; FOR i := 1 TO 10 DO s := s + i END; WriteInt(s)");
+  check_out "by step" "20"
+    (body ~decls:"VAR i, s: INTEGER;" "s := 0; FOR i := 0 TO 8 BY 2 DO s := s + i END; WriteInt(s)");
+  check_out "downward" "6"
+    (body ~decls:"VAR i, s: INTEGER;" "s := 0; FOR i := 3 TO 1 BY -1 DO s := s + i END; WriteInt(s)");
+  check_out "empty range body skipped" "0"
+    (body ~decls:"VAR i, s: INTEGER;" "s := 0; FOR i := 5 TO 1 DO s := 9 END; WriteInt(s)")
+
+let test_case () =
+  let prog sel =
+    body ~decls:"VAR x, r: INTEGER;"
+      (Printf.sprintf
+         "x := %d; CASE x OF 0: r := 100 | 1, 3: r := 200 | 5..7: r := 300 ELSE r := 400 END; WriteInt(r)"
+         sel)
+  in
+  check_out "label" "100" (prog 0);
+  check_out "list" "200" (prog 3);
+  check_out "range" "300" (prog 6);
+  check_out "else" "400" (prog 9)
+
+let test_case_no_match_traps () =
+  let _, status =
+    run_seq
+      (body ~decls:"VAR x: INTEGER;" "x := 9; CASE x OF 0: x := 1 END")
+  in
+  match status with
+  | Mcc_vm.Vm.Trap m ->
+      Alcotest.(check bool) "case trap" true (Tutil.contains ~sub:"CASE" m)
+  | s -> Alcotest.failf "expected a trap, got %s" (Mcc_vm.Vm.status_to_string s)
+
+(* --- procedures --- *)
+
+let test_procedures () =
+  check_out "recursion" "120"
+    (modsrc
+       ~decls:
+         {|PROCEDURE Fact(n: INTEGER): INTEGER;
+BEGIN IF n <= 1 THEN RETURN 1 ELSE RETURN n * Fact(n - 1) END END Fact;|}
+       ~body:"WriteInt(Fact(5))" ());
+  check_out "mutual recursion" "TRUE"
+    (modsrc
+       ~decls:
+         {|PROCEDURE IsEven(n: INTEGER): BOOLEAN;
+BEGIN IF n = 0 THEN RETURN TRUE ELSE RETURN IsOdd(n - 1) END END IsEven;
+PROCEDURE IsOdd(n: INTEGER): BOOLEAN;
+BEGIN IF n = 0 THEN RETURN FALSE ELSE RETURN IsEven(n - 1) END END IsOdd;|}
+       ~body:{|IF IsEven(10) THEN WriteString("TRUE") END|} ());
+  check_out "var params" "7"
+    (modsrc
+       ~decls:
+         {|VAR g: INTEGER;
+PROCEDURE SetTo(VAR dst: INTEGER; v: INTEGER);
+BEGIN dst := v END SetTo;|}
+       ~body:"SetTo(g, 7); WriteInt(g)" ());
+  check_out "value params copied" "1"
+    (modsrc
+       ~decls:
+         {|VAR g: INTEGER;
+PROCEDURE Clobber(x: INTEGER);
+BEGIN x := 999 END Clobber;|}
+       ~body:"g := 1; Clobber(g); WriteInt(g)" ());
+  check_out "nested procedure" "9"
+    (modsrc
+       ~decls:
+         {|PROCEDURE Outer(x: INTEGER): INTEGER;
+  PROCEDURE Triple(y: INTEGER): INTEGER;
+  BEGIN RETURN y * 3 END Triple;
+BEGIN RETURN Triple(x) END Outer;|}
+       ~body:"WriteInt(Outer(3))" ())
+
+let test_proc_values () =
+  check_out "procedure variables" "25"
+    (modsrc
+       ~decls:
+         {|TYPE F = PROCEDURE (INTEGER): INTEGER;
+VAR f: F;
+PROCEDURE Sq(x: INTEGER): INTEGER; BEGIN RETURN x * x END Sq;|}
+       ~body:"f := Sq; WriteInt(f(5))" ())
+
+let test_function_must_return () =
+  let _, status =
+    run_seq
+      (modsrc
+         ~decls:{|PROCEDURE Bad(x: INTEGER): INTEGER;
+BEGIN IF x > 0 THEN RETURN 1 END END Bad;|}
+         ~body:"WriteInt(Bad(-1))" ())
+  in
+  match status with
+  | Mcc_vm.Vm.Trap m -> Alcotest.(check bool) "noreturn" true (Tutil.contains ~sub:"RETURN" m)
+  | s -> Alcotest.failf "expected trap, got %s" (Mcc_vm.Vm.status_to_string s)
+
+(* --- data structures --- *)
+
+let test_arrays () =
+  check_out "fill and sum" "30"
+    (body ~decls:"VAR a: ARRAY [0..4] OF INTEGER; i, s: INTEGER;"
+       "FOR i := 0 TO 4 DO a[i] := i * 3 END; s := 0; FOR i := 0 TO 4 DO s := s + a[i] END; WriteInt(s)");
+  check_out "non-zero base" "5"
+    (body ~decls:"VAR a: ARRAY [3..7] OF INTEGER;" "a[3] := 2; a[7] := 3; WriteInt(a[3] + a[7])");
+  check_out "multi-dimensional" "6"
+    (body ~decls:"VAR m: ARRAY [0..1], [0..2] OF INTEGER;"
+       "m[0, 1] := 2; m[1, 2] := 4; WriteInt(m[0][1] + m[1, 2])");
+  check_out "array assignment copies" "1"
+    (body ~decls:"VAR a, b: ARRAY [0..2] OF INTEGER;"
+       "a[0] := 1; b := a; a[0] := 99; WriteInt(b[0])")
+
+let test_array_bounds_trap () =
+  let _, status =
+    run_seq
+      (body ~decls:"VAR a: ARRAY [0..4] OF INTEGER; i: INTEGER;" "i := 7; a[i] := 1")
+  in
+  match status with
+  | Mcc_vm.Vm.Trap m -> Alcotest.(check bool) "bounds" true (Tutil.contains ~sub:"range" m)
+  | s -> Alcotest.failf "expected trap, got %s" (Mcc_vm.Vm.status_to_string s)
+
+let test_open_arrays () =
+  check_out "high and elements" "3 60"
+    (modsrc
+       ~decls:
+         {|VAR data: ARRAY [0..3] OF INTEGER; i: INTEGER;
+PROCEDURE Sum(a: ARRAY OF INTEGER): INTEGER;
+VAR i, s: INTEGER;
+BEGIN
+  WriteInt(HIGH(a)); WriteChar(' ');
+  s := 0;
+  FOR i := 0 TO HIGH(a) DO s := s + a[i] END;
+  RETURN s
+END Sum;|}
+       ~body:"FOR i := 0 TO 3 DO data[i] := (i+1) * 6 END; WriteInt(Sum(data))" ());
+  check_out "string to open char array" "5"
+    (modsrc
+       ~decls:
+         {|PROCEDURE Len(s: ARRAY OF CHAR): INTEGER;
+BEGIN RETURN HIGH(s) + 1 END Len;|}
+       ~body:{|WriteInt(Len("abcde"))|} ())
+
+let test_records_with () =
+  check_out "fields" "30"
+    (body
+       ~decls:"TYPE R = RECORD x, y: INTEGER END;\nVAR r: R;"
+       "r.x := 10; r.y := 20; WriteInt(r.x + r.y)");
+  check_out "with scope" "12"
+    (body
+       ~decls:"TYPE R = RECORD a, b: INTEGER END;\nVAR r: R;"
+       "WITH r DO a := 4; b := a * 2 END; WriteInt(r.a + r.b)");
+  check_out "record assignment copies" "1"
+    (body
+       ~decls:"TYPE R = RECORD v: INTEGER END;\nVAR r1, r2: R;"
+       "r1.v := 1; r2 := r1; r1.v := 99; WriteInt(r2.v)");
+  check_out "nested records" "7"
+    (body
+       ~decls:"TYPE Inner = RECORD v: INTEGER END;\nTYPE Outer = RECORD i: Inner END;\nVAR o: Outer;"
+       "o.i.v := 7; WriteInt(o.i.v)")
+
+let test_variant_records () =
+  check_out "variant fields and tag" "10 3.5"
+    (body
+       ~decls:
+         {|TYPE Kind = (ints, reals);
+TYPE Num = RECORD
+  CASE kind: Kind OF
+    ints: i: INTEGER
+  | reals: r: REAL
+  END
+END;
+VAR a, b: Num;|}
+       {|a.kind := ints; a.i := 10;
+b.kind := reals; b.r := 3.5;
+IF a.kind = ints THEN WriteInt(a.i) END;
+WriteChar(' ');
+IF b.kind = reals THEN WriteReal(b.r) END|});
+  check_out "tagless variant with else part" "7 ok"
+    (body
+       ~decls:
+         {|TYPE U = RECORD
+  common: INTEGER;
+  CASE : BOOLEAN OF
+    TRUE: x: INTEGER
+  | FALSE: y: CHAR
+  ELSE z: BOOLEAN
+  END
+END;
+VAR u: U;|}
+       {|u.common := 7; u.x := 1; u.y := 'a'; u.z := TRUE;
+WriteInt(u.common); WriteChar(' ');
+IF u.z THEN WriteString("ok") END|})
+
+let test_variant_duplicate_field_rejected () =
+  expect_error
+    (body
+       ~decls:
+         {|TYPE Bad = RECORD
+  CASE t: BOOLEAN OF
+    TRUE: same: INTEGER
+  | FALSE: same: CHAR
+  END
+END;|}
+       "")
+    "duplicate record field"
+
+let test_sets () =
+  check_out "membership" "yes no"
+    (body ~decls:"VAR s: BITSET;"
+       {|s := {1, 3..5};
+IF 4 IN s THEN WriteString("yes") END; WriteChar(' ');
+IF 2 IN s THEN WriteString("x") ELSE WriteString("no") END|});
+  check_out "union diff" "yes"
+    (body ~decls:"VAR a, b: BITSET;"
+       {|a := {1, 2}; b := {2, 3};
+IF (1 IN a + b) AND (3 IN a + b) AND NOT (2 IN a - b) THEN WriteString("yes") END|});
+  check_out "incl excl" "1"
+    (body ~decls:"TYPE S = SET OF [0..15];\nVAR s: S;"
+       "s := S{}; INCL(s, 7); EXCL(s, 7); INCL(s, 3); IF 3 IN s THEN WriteInt(1) END");
+  check_out "set inclusion" "sub nosup"
+    (body ~decls:"VAR a, b: BITSET;"
+       {|a := {1, 2}; b := {1, 2, 3};
+IF a <= b THEN WriteString("sub") END; WriteChar(' ');
+IF a >= b THEN WriteString("sup") ELSE WriteString("nosup") END|});
+  check_out "set equality" "eq"
+    (body ~decls:"VAR a, b: BITSET;" {|a := {1,2}; b := {2,1}; IF a = b THEN WriteString("eq") END|})
+
+let test_enums_subranges () =
+  check_out "enum ordinals" "1"
+    (body ~decls:"TYPE Color = (red, green, blue);\nVAR c: Color;" "c := green; WriteInt(ORD(c))");
+  check_out "enum compare" "lt"
+    (body ~decls:"TYPE Color = (red, green, blue);"
+       {|IF red < blue THEN WriteString("lt") END|});
+  check_out "subrange ok" "5"
+    (body ~decls:"VAR d: [0..9];" "d := 5; WriteInt(d)");
+  let _, status = run_seq (body ~decls:"VAR d: [0..9];\nVAR x: INTEGER;" "x := 12; d := x") in
+  (match status with
+  | Mcc_vm.Vm.Trap m -> Alcotest.(check bool) "range trap" true (Tutil.contains ~sub:"range" m)
+  | s -> Alcotest.failf "expected range trap, got %s" (Mcc_vm.Vm.status_to_string s))
+
+let test_pointers () =
+  check_out "new and deref" "11"
+    (body
+       ~decls:"TYPE P = POINTER TO RECORD v: INTEGER END;\nVAR p: P;"
+       "NEW(p); p^.v := 11; WriteInt(p^.v)");
+  check_out "linked list" "6"
+    (body
+       ~decls:
+         {|TYPE List = POINTER TO Node;
+TYPE Node = RECORD value: INTEGER; next: List END;
+VAR head, n: List; s: INTEGER; i: INTEGER;|}
+       {|head := NIL;
+FOR i := 1 TO 3 DO
+  NEW(n); n^.value := i; n^.next := head; head := n
+END;
+s := 0;
+WHILE head # NIL DO s := s + head^.value; head := head^.next END;
+WriteInt(s)|});
+  let _, status =
+    run_seq (body ~decls:"TYPE P = POINTER TO INTEGER;\nVAR p: P;" "p := NIL; p^ := 1")
+  in
+  match status with
+  | Mcc_vm.Vm.Trap m -> Alcotest.(check bool) "nil deref" true (Tutil.contains ~sub:"NIL" m)
+  | s -> Alcotest.failf "expected NIL trap, got %s" (Mcc_vm.Vm.status_to_string s)
+
+(* --- Modula-2+ extensions --- *)
+
+let test_exceptions () =
+  check_out "raise and catch" "caught after"
+    (body ~decls:"VAR e: EXCEPTION;"
+       {|TRY RAISE e; WriteString("skipped") EXCEPT e: WriteString("caught") END;
+WriteString(" after")|});
+  check_out "propagates through calls" "deep"
+    (modsrc
+       ~decls:
+         {|VAR e: EXCEPTION;
+PROCEDURE Thrower; BEGIN RAISE e END Thrower;
+PROCEDURE Middle; BEGIN Thrower END Middle;|}
+       ~body:{|TRY Middle EXCEPT e: WriteString("deep") END|} ());
+  check_out "finally on both paths" "F1 caught F2 "
+    (body ~decls:"VAR e: EXCEPTION;"
+       {|TRY WriteString("F1 ") FINALLY END;
+TRY RAISE e EXCEPT e: WriteString("caught ") FINALLY WriteString("F2 ") END|});
+  check_out "distinct exceptions" "other"
+    (body ~decls:"VAR e1, e2: EXCEPTION;"
+       {|TRY
+  TRY RAISE e2 EXCEPT e1: WriteString("wrong") END
+EXCEPT e2: WriteString("other") END|});
+  let _, status = run_seq (body ~decls:"VAR e: EXCEPTION;" "RAISE e") in
+  match status with
+  | Mcc_vm.Vm.Uncaught_exception _ -> ()
+  | s -> Alcotest.failf "expected uncaught exception, got %s" (Mcc_vm.Vm.status_to_string s)
+
+let test_lock () =
+  check_out "lock body executes" "in"
+    (body ~decls:"VAR mu: MUTEX;" {|LOCK mu DO WriteString("in") END|})
+
+let test_halt () =
+  let out, status = run_seq (body {|WriteString("before"); HALT; WriteString("after")|}) in
+  Alcotest.(check string) "output stops" "before" out;
+  Alcotest.(check bool) "halted" true (status = Mcc_vm.Vm.Halt_called)
+
+let test_read_int () =
+  check_out "input" "30" ~input:[ 10; 20 ]
+    (body ~decls:"VAR a, b: INTEGER;" "ReadInt(a); ReadInt(b); WriteInt(a + b)")
+
+let test_div_by_zero () =
+  let _, status = run_seq (body ~decls:"VAR x, z: INTEGER;" "z := 0; x := 5 DIV z; WriteInt(x)") in
+  match status with
+  | Mcc_vm.Vm.Trap m -> Alcotest.(check bool) "div trap" true (Tutil.contains ~sub:"zero" m)
+  | s -> Alcotest.failf "expected trap, got %s" (Mcc_vm.Vm.status_to_string s)
+
+let test_uninitialized_trap () =
+  let _, status = run_seq (body ~decls:"VAR x, y: INTEGER;" "y := x + 1") in
+  match status with
+  | Mcc_vm.Vm.Trap m ->
+      Alcotest.(check bool) "uninit" true (Tutil.contains ~sub:"uninitialized" m)
+  | s -> Alcotest.failf "expected trap, got %s" (Mcc_vm.Vm.status_to_string s)
+
+(* --- differential oracle: random expressions vs an OCaml reference --- *)
+
+(* A tiny expression language over INTEGER with Modula-2 semantics,
+   evaluated both by this reference evaluator and by compiling the
+   printed expression and running it in the VM.  Divisors are non-zero
+   literals by construction, so evaluation is total; both sides use
+   native 63-bit ints, so overflow wraps identically. *)
+type oexpr =
+  | OLit of int
+  | OVar of int (* v0 / v1 / v2 *)
+  | OAdd of oexpr * oexpr
+  | OSub of oexpr * oexpr
+  | OMul of oexpr * oexpr
+  | ODiv of oexpr * int (* non-zero literal divisor *)
+  | OMod of oexpr * int (* >= 2 literal *)
+  | OAbs of oexpr
+  | ONeg of oexpr
+
+let var_values = [| 7; -3; 11 |]
+
+let rec oeval = function
+  | OLit n -> n
+  | OVar i -> var_values.(i)
+  | OAdd (a, b) -> oeval a + oeval b
+  | OSub (a, b) -> oeval a - oeval b
+  | OMul (a, b) -> oeval a * oeval b
+  | ODiv (a, d) -> oeval a / d
+  | OMod (a, d) ->
+      let x = oeval a in
+      ((x mod d) + abs d) mod abs d
+  | OAbs a -> abs (oeval a)
+  | ONeg a -> -oeval a
+
+let rec oprint = function
+  | OLit n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | OVar i -> Printf.sprintf "v%d" i
+  | OAdd (a, b) -> Printf.sprintf "(%s + %s)" (oprint a) (oprint b)
+  | OSub (a, b) -> Printf.sprintf "(%s - %s)" (oprint a) (oprint b)
+  | OMul (a, b) -> Printf.sprintf "(%s * %s)" (oprint a) (oprint b)
+  | ODiv (a, d) -> Printf.sprintf "(%s DIV %d)" (oprint a) d
+  | OMod (a, d) -> Printf.sprintf "(%s MOD %d)" (oprint a) d
+  | OAbs a -> Printf.sprintf "ABS(%s)" (oprint a)
+  | ONeg a -> Printf.sprintf "(-%s)" (oprint a)
+
+let oexpr_gen =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then
+             oneof [ map (fun k -> OLit (k - 50)) (int_bound 100); map (fun i -> OVar i) (int_bound 2) ]
+           else
+             let sub = self (n / 2) in
+             oneof
+               [
+                 map2 (fun a b -> OAdd (a, b)) sub sub;
+                 map2 (fun a b -> OSub (a, b)) sub sub;
+                 map2 (fun a b -> OMul (a, b)) sub sub;
+                 map2 (fun a d -> ODiv (a, d + 1)) sub (int_bound 9);
+                 map2 (fun a d -> OMod (a, d + 2)) sub (int_bound 9);
+                 map (fun a -> OAbs a) sub;
+                 map (fun a -> ONeg a) sub;
+               ]))
+
+let prop_expression_oracle =
+  QCheck.Test.make ~name:"compiled expressions match the reference evaluator" ~count:120
+    (QCheck.make ~print:oprint oexpr_gen)
+    (fun e ->
+      let src =
+        modsrc
+          ~decls:"VAR v0, v1, v2, out: INTEGER;"
+          ~body:(Printf.sprintf "v0 := 7; v1 := -3; v2 := 11; out := %s; WriteInt(out)" (oprint e))
+          ()
+      in
+      let out, status = run_seq src in
+      status = Mcc_vm.Vm.Finished && out = string_of_int (oeval e))
+
+(* --- qualified access across modules --- *)
+
+let test_cross_module_globals () =
+  let defs =
+    [
+      ("Counter", "DEFINITION MODULE Counter;\nVAR count: INTEGER;\nCONST start = 40;\nEND Counter.\n");
+    ]
+  in
+  check_out "imported storage" "42" ~defs
+    (modsrc ~imports:"IMPORT Counter;\nFROM Counter IMPORT start;" ~decls:""
+       ~body:"Counter.count := start; Counter.count := Counter.count + 2; WriteInt(Counter.count)"
+       ())
+
+(* --- type errors (statement analysis) --- *)
+
+let test_type_errors () =
+  expect_error (body ~decls:"VAR x: INTEGER;" "x := TRUE") "cannot assign";
+  expect_error (body ~decls:"VAR x: INTEGER;" {|IF x THEN x := 1 END|}) "BOOLEAN";
+  expect_error (body ~decls:"VAR c: CHAR;" "c := c + 'a'") "do not support";
+  expect_error
+    (modsrc ~decls:"PROCEDURE P; BEGIN END P;" ~body:"WriteInt(P())" ())
+    "no result";
+  expect_error
+    (modsrc ~decls:"PROCEDURE F(): INTEGER; BEGIN RETURN 1 END F;" ~body:"F()" ())
+    "must be used";
+  expect_error (body ~decls:"VAR x: INTEGER;" "x := 1; x(4)") "not callable";
+  expect_error (body "undeclared := 1") "undeclared identifier";
+  expect_error (body ~decls:"VAR r: REAL;" "r := 1") "cannot assign";
+  expect_error
+    (modsrc ~decls:"PROCEDURE P(x: INTEGER); BEGIN END P;" ~body:"P(TRUE)" ())
+    "does not match";
+  expect_error
+    (modsrc ~decls:"PROCEDURE P(VAR x: INTEGER); BEGIN END P;" ~body:"P(1 + 2)" ())
+    "designator"
+
+let test_uplevel_access () =
+  (* static links: nested procedures read and write enclosing locals *)
+  check_out "uplevel read/write" "15 16"
+    (modsrc
+       ~decls:
+         {|PROCEDURE Outer(base: INTEGER): INTEGER;
+VAR acc: INTEGER;
+  PROCEDURE Bump(d: INTEGER);
+  BEGIN acc := acc + base + d END Bump;
+BEGIN
+  acc := 0; Bump(2); Bump(3); RETURN acc
+END Outer;|}
+       ~body:"WriteInt(Outer(5)); WriteChar(' '); WriteInt(Outer(5) + 1)" ());
+  check_out "two levels up" "42"
+    (modsrc
+       ~decls:
+         {|PROCEDURE L1(): INTEGER;
+VAR x: INTEGER;
+  PROCEDURE L2(): INTEGER;
+    PROCEDURE L3(): INTEGER;
+    BEGIN RETURN x + 2 END L3;
+  BEGIN RETURN L3() END L2;
+BEGIN x := 40; RETURN L2() END L1;|}
+       ~body:"WriteInt(L1())" ());
+  check_out "recursion sees its own frame" "6"
+    (modsrc
+       ~decls:
+         {|PROCEDURE Sum(n: INTEGER): INTEGER;
+VAR here: INTEGER;
+  PROCEDURE Grab(): INTEGER;
+  BEGIN RETURN here END Grab;
+BEGIN
+  here := n;
+  IF n = 0 THEN RETURN 0 ELSE RETURN Grab() + Sum(n - 1) END
+END Sum;|}
+       ~body:"WriteInt(Sum(3))" ())
+
+let test_nested_proc_value_rejected () =
+  (* PIM: procedures used as values must not be local to other
+     procedures (they would need a closure over the static chain) *)
+  expect_error
+    (modsrc
+       ~decls:
+         {|TYPE F = PROCEDURE (): INTEGER;
+VAR f: F;
+PROCEDURE Outer;
+  PROCEDURE Inner(): INTEGER; BEGIN RETURN 1 END Inner;
+BEGIN f := Inner END Outer;|}
+       ~body:"" ())
+    "procedure value"
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "integer arithmetic" `Quick test_arith;
+          Alcotest.test_case "reals" `Quick test_reals;
+          Alcotest.test_case "booleans" `Quick test_booleans;
+          Alcotest.test_case "chars and strings" `Quick test_chars_strings;
+        ] );
+      ( "control flow",
+        [
+          Alcotest.test_case "if/elsif" `Quick test_if_elsif;
+          Alcotest.test_case "while/repeat/loop" `Quick test_while_repeat_loop;
+          Alcotest.test_case "for" `Quick test_for;
+          Alcotest.test_case "case" `Quick test_case;
+          Alcotest.test_case "case trap" `Quick test_case_no_match_traps;
+        ] );
+      ( "procedures",
+        [
+          Alcotest.test_case "calls and recursion" `Quick test_procedures;
+          Alcotest.test_case "uplevel addressing" `Quick test_uplevel_access;
+          Alcotest.test_case "procedure values" `Quick test_proc_values;
+          Alcotest.test_case "function must return" `Quick test_function_must_return;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "arrays" `Quick test_arrays;
+          Alcotest.test_case "array bounds" `Quick test_array_bounds_trap;
+          Alcotest.test_case "open arrays" `Quick test_open_arrays;
+          Alcotest.test_case "records and WITH" `Quick test_records_with;
+          Alcotest.test_case "variant records" `Quick test_variant_records;
+          Alcotest.test_case "variant duplicate field" `Quick test_variant_duplicate_field_rejected;
+          Alcotest.test_case "sets" `Quick test_sets;
+          Alcotest.test_case "enums and subranges" `Quick test_enums_subranges;
+          Alcotest.test_case "pointers" `Quick test_pointers;
+        ] );
+      ( "modula-2+",
+        [
+          Alcotest.test_case "exceptions" `Quick test_exceptions;
+          Alcotest.test_case "lock" `Quick test_lock;
+          Alcotest.test_case "halt" `Quick test_halt;
+        ] );
+      ( "runtime",
+        [
+          Tutil.qtest prop_expression_oracle;
+          Alcotest.test_case "read int" `Quick test_read_int;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "uninitialized" `Quick test_uninitialized_trap;
+          Alcotest.test_case "cross-module globals" `Quick test_cross_module_globals;
+        ] );
+      ( "static errors",
+        [
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+          Alcotest.test_case "nested proc values rejected" `Quick test_nested_proc_value_rejected;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Deeper language-semantics coverage: the long tail of Modula-2+
+   behaviours, each compiled and executed. *)
+
+open Tutil
+
+let check_out name expected ?defs ?input src =
+  Alcotest.(check string) name expected (output ?defs ?input src)
+
+let body ?(decls = "") b = modsrc ~decls ~body:b ()
+
+let test_builtin_functions_runtime () =
+  check_out "VAL with range check" "2"
+    (body ~decls:"TYPE Small = [0..5];\nVAR s: Small;" "s := VAL(Small, 1 + 1); WriteInt(s)");
+  check_out "MIN MAX of subrange" "3 9"
+    (body ~decls:"TYPE R = [3..9];"
+       "WriteInt(MIN(R)); WriteChar(' '); WriteInt(MAX(R))");
+  check_out "MAX of CHAR ordinal" "255" (body "WriteInt(ORD(MAX(CHAR)))");
+  check_out "SIZE is 1 slot" "1" (body "WriteInt(SIZE(INTEGER))");
+  check_out "CAP chain" "A" (body "WriteChar(CAP(CHR(ORD('a'))))");
+  check_out "math builtins" "2 1"
+    (body
+       "WriteInt(TRUNC(sqrt(4.0))); WriteChar(' '); WriteInt(TRUNC(exp(0.0)))")
+
+let test_val_out_of_range_traps () =
+  let _, status = run_seq (body ~decls:"TYPE Small = [0..5];\nVAR s: Small; x: INTEGER;" "x := 9; s := VAL(Small, x)") in
+  match status with
+  | Mcc_vm.Vm.Trap m -> Alcotest.(check bool) "range" true (contains ~sub:"range" m)
+  | s -> Alcotest.failf "expected trap, got %s" (Mcc_vm.Vm.status_to_string s)
+
+let test_nested_with_shadowing () =
+  check_out "inner WITH shadows outer" "5 7"
+    (body
+       ~decls:
+         {|TYPE R = RECORD v: INTEGER END;
+VAR a, b: R;|}
+       {|a.v := 0; b.v := 0;
+WITH a DO
+  v := 5;
+  WITH b DO v := 7 END
+END;
+WriteInt(a.v); WriteChar(' '); WriteInt(b.v)|})
+
+let test_with_over_pointer () =
+  check_out "WITH p^" "21"
+    (body
+       ~decls:"TYPE R = RECORD v: INTEGER END;\nTYPE P = POINTER TO R;\nVAR p: P;"
+       "NEW(p); WITH p^ DO v := 21 END; WriteInt(p^.v)")
+
+let test_exit_innermost_loop () =
+  check_out "EXIT leaves only the innermost LOOP" "3 3"
+    (body ~decls:"VAR n, inner: INTEGER;"
+       {|n := 0; inner := 0;
+LOOP
+  INC(n);
+  LOOP INC(inner); EXIT END;
+  IF n >= 3 THEN EXIT END
+END;
+WriteInt(n); WriteChar(' '); WriteInt(inner)|})
+
+let test_nested_try_rethrow () =
+  check_out "inner handler misses, outer catches" "outer done"
+    (body ~decls:"VAR e1, e2: EXCEPTION;"
+       {|TRY
+  TRY
+    RAISE e1
+  EXCEPT e2:
+    WriteString("wrong")
+  END
+EXCEPT e1:
+  WriteString("outer")
+END;
+WriteString(" done")|});
+  check_out "finally runs while propagating" "F caught"
+    (body ~decls:"VAR e: EXCEPTION;"
+       {|TRY
+  TRY RAISE e FINALLY WriteString("F ") END
+EXCEPT e:
+  WriteString("caught")
+END|})
+
+let test_char_for_loop () =
+  check_out "FOR over CHAR" "abcde"
+    (body ~decls:"VAR c: CHAR;" "FOR c := 'a' TO 'e' DO WriteChar(c) END")
+
+let test_char_case_labels () =
+  check_out "CASE on CHAR" "vowel"
+    (body ~decls:"VAR c: CHAR;"
+       {|c := 'e';
+CASE c OF 'a', 'e', 'i', 'o', 'u': WriteString("vowel") ELSE WriteString("other") END|})
+
+let test_enum_case_labels () =
+  check_out "CASE on enumeration" "go"
+    (body
+       ~decls:"TYPE Light = (red, yellow, green);\nVAR l: Light;"
+       {|l := green;
+CASE l OF red: WriteString("stop") | yellow: WriteString("wait") | green: WriteString("go") END|})
+
+let test_var_open_array_mutation () =
+  check_out "VAR open array writes through" "10 20 30"
+    (modsrc
+       ~decls:
+         {|VAR d: ARRAY [0..2] OF INTEGER;
+VAR i: INTEGER;
+PROCEDURE Scale(VAR a: ARRAY OF INTEGER; k: INTEGER);
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO HIGH(a) DO a[i] := a[i] * k END
+END Scale;|}
+       ~body:
+         {|FOR i := 0 TO 2 DO d[i] := i + 1 END;
+Scale(d, 10);
+FOR i := 0 TO 2 DO WriteInt(d[i]); IF i < 2 THEN WriteChar(' ') END END|}
+       ())
+
+let test_proc_type_params () =
+  check_out "procedure passed as parameter" "16"
+    (modsrc
+       ~decls:
+         {|TYPE F = PROCEDURE (INTEGER): INTEGER;
+PROCEDURE Twice(f: F; x: INTEGER): INTEGER;
+BEGIN RETURN f(f(x)) END Twice;
+PROCEDURE Double(x: INTEGER): INTEGER;
+BEGIN RETURN x * 2 END Double;|}
+       ~body:"WriteInt(Twice(Double, 4))" ())
+
+let test_deep_structures () =
+  check_out "array of records, deep copy" "1 99"
+    (body
+       ~decls:
+         {|TYPE R = RECORD v: INTEGER END;
+TYPE T = ARRAY [0..1] OF R;
+VAR a, b: T;|}
+       {|a[0].v := 1; a[1].v := 2;
+b := a;
+a[0].v := 99;
+WriteInt(b[0].v); WriteChar(' '); WriteInt(a[0].v)|});
+  check_out "record containing array" "6"
+    (body
+       ~decls:
+         {|TYPE R = RECORD sum: INTEGER; data: ARRAY [0..2] OF INTEGER END;
+VAR r: R; i: INTEGER;|}
+       {|FOR i := 0 TO 2 DO r.data[i] := i + 1 END;
+r.sum := 0;
+FOR i := 0 TO 2 DO r.sum := r.sum + r.data[i] END;
+WriteInt(r.sum)|})
+
+let test_dispose () =
+  let _, status =
+    run_seq
+      (body ~decls:"TYPE P = POINTER TO INTEGER;\nVAR p: P;"
+         "NEW(p); p^ := 1; DISPOSE(p); p^ := 2")
+  in
+  match status with
+  | Mcc_vm.Vm.Trap m -> Alcotest.(check bool) "dangling becomes NIL" true (contains ~sub:"NIL" m)
+  | s -> Alcotest.failf "expected NIL trap, got %s" (Mcc_vm.Vm.status_to_string s)
+
+let test_string_padding () =
+  check_out "short string into char array, 0C padded" "ab"
+    (body
+       ~decls:"VAR s: ARRAY [0..4] OF CHAR;"
+       {|s := "ab"; WriteString(s)|})
+
+let test_subrange_for () =
+  check_out "FOR over a subrange variable" "3 4 5"
+    (body ~decls:"VAR i: [3..5];"
+       "FOR i := 3 TO 5 DO WriteInt(i); IF i < 5 THEN WriteChar(' ') END END")
+
+let test_pointer_identity () =
+  check_out "pointer equality is identity" "same diff nil"
+    (body
+       ~decls:"TYPE P = POINTER TO INTEGER;\nVAR p, q: P;"
+       {|NEW(p); q := p;
+IF p = q THEN WriteString("same") END; WriteChar(' ');
+NEW(q);
+IF p # q THEN WriteString("diff") END; WriteChar(' ');
+p := NIL;
+IF p = NIL THEN WriteString("nil") END|})
+
+let test_from_import_alias_runtime () =
+  let defs =
+    [ ("K", "DEFINITION MODULE K;\nCONST magic = 99;\nVAR slot: INTEGER;\nEND K.\n") ]
+  in
+  check_out "FROM-imported const and var" "99 100" ~defs
+    (modsrc ~imports:"FROM K IMPORT magic, slot;" ~decls:""
+       ~body:"slot := magic + 1; WriteInt(magic); WriteChar(' '); WriteInt(slot)" ())
+
+let test_qualified_proc_var () =
+  (* a procedure variable declared in an interface, assigned and called
+     through the importing module *)
+  let defs =
+    [
+      ( "H",
+        "DEFINITION MODULE H;\nTYPE F = PROCEDURE (INTEGER): INTEGER;\nVAR hook: F;\nEND H.\n" );
+    ]
+  in
+  check_out "hook through interface storage" "8" ~defs
+    (modsrc ~imports:"IMPORT H;"
+       ~decls:{|PROCEDURE Inc3(x: INTEGER): INTEGER;
+BEGIN RETURN x + 3 END Inc3;|}
+       ~body:"H.hook := Inc3; WriteInt(H.hook(5))" ())
+
+let test_real_semantics () =
+  check_out "real compare and negation" "lt 2.25"
+    (body ~decls:"VAR a, b: REAL;"
+       {|a := 1.5; b := -1.5;
+IF b < a THEN WriteString("lt ") END;
+WriteReal(a * a)|});
+  check_out "float/trunc interplay" "7"
+    (body ~decls:"VAR r: REAL; n: INTEGER;" "n := 3; r := FLOAT(n) * 2.5; WriteInt(TRUNC(r))")
+
+let test_string_relations () =
+  check_out "string ordering" "lt eq"
+    (body
+       {|IF "abc" < "abd" THEN WriteString("lt ") END;
+IF "x" = "x" THEN WriteString("eq") END|})
+
+let test_write_formats () =
+  check_out "negative ints and reals" "-42 -0.5"
+    (body ~decls:"VAR r: REAL;" {|WriteInt(-42); WriteChar(' '); r := -0.5; WriteReal(r)|})
+
+let test_abs_on_subrange () =
+  check_out "ABS preserves subrange values" "3"
+    (body ~decls:"VAR s: [0..9];" "s := 3; WriteInt(ABS(s))")
+
+let test_deep_call_chain () =
+  (* recursion depth: interpreter frames are OCaml stack frames *)
+  check_out "depth 2000 recursion" "2001000"
+    (modsrc
+       ~decls:
+         {|PROCEDURE Sum(n: INTEGER): INTEGER;
+BEGIN IF n = 0 THEN RETURN 0 ELSE RETURN n + Sum(n - 1) END END Sum;|}
+       ~body:"WriteInt(Sum(2000))" ())
+
+let test_module_body_statements_order () =
+  (* the module body runs exactly once, top to bottom *)
+  check_out "sequencing" "abc"
+    (body "WriteChar('a'); WriteChar('b'); WriteChar('c')")
+
+let () =
+  Alcotest.run "vm_more"
+    [
+      ( "builtins",
+        [
+          Alcotest.test_case "runtime functions" `Quick test_builtin_functions_runtime;
+          Alcotest.test_case "VAL range trap" `Quick test_val_out_of_range_traps;
+        ] );
+      ( "scoping",
+        [
+          Alcotest.test_case "nested WITH" `Quick test_nested_with_shadowing;
+          Alcotest.test_case "WITH over pointer" `Quick test_with_over_pointer;
+          Alcotest.test_case "FROM-import at runtime" `Quick test_from_import_alias_runtime;
+          Alcotest.test_case "interface procedure variables" `Quick test_qualified_proc_var;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "EXIT innermost" `Quick test_exit_innermost_loop;
+          Alcotest.test_case "nested TRY" `Quick test_nested_try_rethrow;
+          Alcotest.test_case "FOR over CHAR" `Quick test_char_for_loop;
+          Alcotest.test_case "CASE on CHAR" `Quick test_char_case_labels;
+          Alcotest.test_case "CASE on enumeration" `Quick test_enum_case_labels;
+          Alcotest.test_case "FOR over subrange" `Quick test_subrange_for;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "VAR open arrays" `Quick test_var_open_array_mutation;
+          Alcotest.test_case "procedure parameters" `Quick test_proc_type_params;
+          Alcotest.test_case "deep structures" `Quick test_deep_structures;
+          Alcotest.test_case "dispose" `Quick test_dispose;
+          Alcotest.test_case "string padding" `Quick test_string_padding;
+          Alcotest.test_case "pointer identity" `Quick test_pointer_identity;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "reals" `Quick test_real_semantics;
+          Alcotest.test_case "string relations" `Quick test_string_relations;
+          Alcotest.test_case "write formats" `Quick test_write_formats;
+          Alcotest.test_case "ABS on subrange" `Quick test_abs_on_subrange;
+          Alcotest.test_case "deep recursion" `Quick test_deep_call_chain;
+          Alcotest.test_case "body sequencing" `Quick test_module_body_statements_order;
+        ] );
+    ]

@@ -1,0 +1,52 @@
+(* Shared helpers for the test suite. *)
+
+open Mcc_core
+
+let store ?(defs = []) ?(impls = []) ~name src =
+  Source_store.make ~impls ~main_name:name ~main_src:src ~defs ()
+
+(* A minimal module wrapping [decls] and [body] statements. *)
+let modsrc ?(name = "T") ?(imports = "") ~decls ~body () =
+  Printf.sprintf "IMPLEMENTATION MODULE %s;\n%s\n%s\nBEGIN\n%s\nEND %s.\n" name imports decls body
+    name
+
+let compile_seq ?defs ?name:(n = "T") src = Seq_driver.compile (store ?defs ~name:n src)
+
+let compile_conc ?(config = Driver.default_config) ?defs ?name:(n = "T") src =
+  Driver.compile ~config (store ?defs ~name:n src)
+
+let dis p = Mcc_codegen.Cunit.disassemble p
+
+(* Compile sequentially and run in the VM; returns (output, status). *)
+let run_seq ?defs ?name ?input src =
+  let r = compile_seq ?defs ?name src in
+  if not r.Seq_driver.ok then
+    Alcotest.failf "compile errors:\n%s"
+      (String.concat "\n" (List.map Mcc_m2.Diag.to_string r.Seq_driver.diags));
+  let res = Mcc_vm.Vm.run ?input r.Seq_driver.program in
+  (res.Mcc_vm.Vm.output, res.Mcc_vm.Vm.status)
+
+(* Expect a clean run and return the output. *)
+let output ?defs ?name ?input src =
+  let out, status = run_seq ?defs ?name ?input src in
+  (match status with
+  | Mcc_vm.Vm.Finished | Mcc_vm.Vm.Halt_called -> ()
+  | s -> Alcotest.failf "program did not finish: %s (output %S)" (Mcc_vm.Vm.status_to_string s) out);
+  out
+
+let diag_strings diags = List.map Mcc_m2.Diag.to_string diags
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Assert that compilation fails and some diagnostic contains [substr]. *)
+let expect_error ?defs ?name src substr =
+  let r = compile_seq ?defs ?name src in
+  if r.Seq_driver.ok then Alcotest.failf "expected a compile error mentioning %S" substr;
+  let msgs = diag_strings r.Seq_driver.diags in
+  if not (List.exists (contains ~sub:substr) msgs) then
+    Alcotest.failf "no diagnostic mentions %S; got:\n%s" substr (String.concat "\n" msgs)
+
+let qtest = QCheck_alcotest.to_alcotest
