@@ -5,6 +5,8 @@
    sequential baseline, and optionally executes the result in the VM.
 
      m2c compile Foo.mod --procs 8 --strategy skeptical --watch
+     m2c compile Foo.mod --cache .m2c-cache   # reuse interface artifacts
+     m2c build Foo.mod            # incremental whole-program build
      m2c run Foo.mod --input 1,2,3
      m2c sweep Foo.mod            # speedup on 1..8 processors *)
 
@@ -76,6 +78,22 @@ let domains_arg =
     & opt (some int) None
     & info [ "domains" ] ~docv:"N" ~doc:"Compile on N real OCaml domains instead of the simulator.")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:"Load interface artifacts from $(docv) and persist them back after compiling.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the interface/build cache.")
+
+(* a cache dir that cannot be created or written degrades to a warning:
+   the compilation itself succeeded *)
+let save_cache bc =
+  try Build_cache.save bc
+  with Sys_error e -> Printf.eprintf "m2c: warning: cache not saved: %s\n" e
+
 let report_diags diags = List.iter (fun d -> prerr_endline (Mcc_m2.Diag.to_string d)) diags
 
 let config ~procs ~strategy ~heading =
@@ -87,18 +105,37 @@ let config ~procs ~strategy ~heading =
   }
 
 let compile_cmd =
-  let run store procs strategy heading watch stats disasm dump_tasks domains =
+  let run store procs strategy heading watch stats disasm dump_tasks domains cache_dir no_cache =
+    let cache =
+      match (cache_dir, no_cache) with
+      | Some dir, false -> Some (Build_cache.create ~dir ())
+      | _ -> None
+    in
+    let finish_cache () =
+      match cache with
+      | None -> ()
+      | Some bc ->
+          save_cache bc;
+          let hits, misses, invalidated = Build_cache.counters bc in
+          Printf.printf "cache: %d interface hits, %d misses, %d invalidated (%d stored)\n" hits
+            misses invalidated
+            (List.length (Build_cache.interfaces bc))
+    in
     match domains with
     | Some n ->
-        let r = Driver.compile_domains ~config:(config ~procs ~strategy ~heading) ~domains:n store in
+        let r =
+          Driver.compile_domains ~config:(config ~procs ~strategy ~heading) ?cache ~domains:n store
+        in
         report_diags r.Driver.d_diags;
+        finish_cache ();
         Printf.printf "compiled on %d domains in %.4f s wall; %d tasks; ok=%b\n" n
           r.Driver.d_wall_seconds r.Driver.d_tasks_run r.Driver.d_ok;
         if disasm then print_string (Mcc_codegen.Cunit.disassemble r.Driver.d_program);
         if r.Driver.d_ok then `Ok () else `Error (false, "compilation failed")
     | None ->
-        let r = Driver.compile ~config:(config ~procs ~strategy ~heading) store in
+        let r = Driver.compile ~config:(config ~procs ~strategy ~heading) ?cache store in
         report_diags r.Driver.diags;
+        finish_cache ();
         Printf.printf
           "%s: %d streams (%d procedures, %d interfaces), %d tasks, %.3f virtual s on %d \
            processors (%s)\n"
@@ -118,14 +155,59 @@ let compile_cmd =
   let term =
     Term.(
       ret
-        (const (fun file procs strategy heading watch stats disasm dump_tasks domains ->
+        (const (fun file procs strategy heading watch stats disasm dump_tasks domains cache_dir
+                    no_cache ->
              match load file with
-             | `Ok store -> run store procs strategy heading watch stats disasm dump_tasks domains
+             | `Ok store ->
+                 run store procs strategy heading watch stats disasm dump_tasks domains cache_dir
+                   no_cache
              | `Error _ as e -> e)
         $ file_arg $ procs_arg $ strategy_arg $ heading_arg $ watch_arg $ stats_arg $ disasm_arg
-        $ dump_tasks_arg $ domains_arg))
+        $ dump_tasks_arg $ domains_arg $ cache_dir_arg $ no_cache_arg))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a module concurrently.") term
+
+let build_cmd =
+  let names = function [] -> "(none)" | ns -> String.concat " " ns in
+  let term =
+    Term.(
+      ret
+        (const (fun file procs strategy cache_dir no_cache ->
+             match load file with
+             | `Error _ as e -> e
+             | `Ok store ->
+                 let cache =
+                   if no_cache then None
+                   else
+                     Some (Project.cache ~dir:(Option.value cache_dir ~default:".m2c-cache") ())
+                 in
+                 let r = Project.compile ~config:(config ~procs ~strategy ~heading:1) ?cache store in
+                 report_diags r.Project.diags;
+                 (match cache with
+                 | None -> ()
+                 | Some { Project.bc; _ } ->
+                     save_cache bc;
+                     let hits, misses, invalidated = Build_cache.counters bc in
+                     Printf.printf "interfaces: %d hits, %d misses, %d invalidated (%d stored)\n"
+                       hits misses invalidated
+                       (List.length (Build_cache.interfaces bc)));
+                 Printf.printf "reused    : %s\n" (names r.Project.reused);
+                 Printf.printf "recompiled: %s\n" (names r.Project.recompiled);
+                 Printf.printf "%s: %d modules, %.0f work units (%.3f virtual s) on %d processors\n"
+                   (Source_store.main_name store)
+                   (List.length r.Project.modules)
+                   r.Project.total_units
+                   (Mcc_sched.Costs.to_seconds r.Project.total_units)
+                   (max 1 (min 64 procs));
+                 if r.Project.ok then `Ok () else `Error (false, "compilation failed"))
+        $ file_arg $ procs_arg $ strategy_arg $ cache_dir_arg $ no_cache_arg))
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Incremental whole-program build: compile the main module and every imported sibling \
+          module, reusing cached interface artifacts (default cache dir: .m2c-cache).")
+    term
 
 let run_cmd =
   let input_arg =
@@ -182,4 +264,4 @@ let sweep_cmd =
 let () =
   let doc = "a concurrent compiler for Modula-2+ (Wortman & Junkin, PLDI 1992)" in
   let info = Cmd.info "m2c" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; sweep_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; build_cmd; run_cmd; sweep_cmd ]))

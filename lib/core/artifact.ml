@@ -1,0 +1,110 @@
+(* Self-contained interface artifacts.
+
+   The paper's once-only table (§2.1) guarantees each definition module
+   is processed once *per compilation*; an artifact extends that economy
+   *across* compilations.  It packages everything a def-module stream
+   produces — the completed scope's exported symbols (types embedded
+   structurally), the interface's global frame layout, the diagnostics
+   its analysis emitted, and the direct imports its importer would have
+   discovered — keyed by a content fingerprint (Build_cache).
+
+   Installation replays exactly the externally visible effects of the
+   skipped Lexor/Importer/DefParse stream: the imports are ensured (so
+   transitively reached interfaces register and contribute their frames,
+   as they would cold), the symbols are re-entered, the frame is merged,
+   the diagnostics are replayed, and the scope's completion event — the
+   interface's avoided event — is signaled.  Explicit Costs charges keep
+   warm DES timings honest.
+
+   Artifacts are deeply immutable after capture: def-module scopes are
+   never patched once complete (opaque-pointer fixups resolve before
+   [Symtab.mark_complete]; procedure entries in interfaces carry no
+   stream), and [Symtab.entries] filters placeholders, so an artifact
+   contains no events, mutexes or closures and is Marshal-safe. *)
+
+open Mcc_m2
+open Mcc_sched
+open Mcc_sem
+open Mcc_codegen
+
+type frame = {
+  f_key : string;
+  f_slots : (int * Tydesc.t) list;
+  f_size : int;
+}
+
+type t = {
+  a_name : string;
+  a_fingerprint : string; (* content fingerprint, hex (Build_cache) *)
+  a_imports : string list; (* direct imports, in source order *)
+  a_symbols : Symbol.t list; (* exported entries, (offset, name)-sorted *)
+  a_frame : frame;
+  a_diags : Diag.d list; (* diagnostics of the interface's analysis, sorted *)
+}
+
+let capture ~name ~fingerprint ~imports ~scope ~frame ~diags =
+  {
+    a_name = name;
+    a_fingerprint = fingerprint;
+    a_imports = imports;
+    a_symbols = Symtab.export scope;
+    a_frame = frame;
+    a_diags = diags;
+  }
+
+(* Re-install into a freshly interned scope.  The caller has already
+   ensured [a_imports]; this charges the install work, re-enters the
+   symbols, merges the frame, replays the diagnostics and completes the
+   scope (signaling the avoided event). *)
+let install t ~scope ~merger ~diags =
+  Eff.work
+    ((List.length t.a_symbols * Costs.cache_install_entry) + Costs.cache_install_frame);
+  Symtab.import_export scope t.a_symbols;
+  Cunit.add_frame merger t.a_frame.f_key t.a_frame.f_slots t.a_frame.f_size;
+  List.iter (Diag.add_d diags) t.a_diags;
+  Symtab.mark_complete scope
+
+(* ------------------------------------------------------------------ *)
+(* Uid census, for on-disk persistence.
+
+   Unmarshalled types carry uids allocated by the process that wrote
+   them; the loader bumps this process's counter past the maximum so
+   fresh types can never collide (uid equality is name equivalence).
+   Pointer targets can form cycles, so visited uid-nodes are tracked. *)
+
+let rec ty_uids seen acc (ty : Types.ty) =
+  let node uid children =
+    if Hashtbl.mem seen uid then acc
+    else begin
+      Hashtbl.replace seen uid ();
+      List.fold_left (ty_uids seen) (max acc uid) children
+    end
+  in
+  match ty with
+  | Types.TEnum e -> node e.Types.euid []
+  | Types.TSub (b, _, _) -> ty_uids seen acc b
+  | Types.TArr a -> node a.Types.auid [ a.Types.index; a.Types.elem ]
+  | Types.TOpenArr e -> ty_uids seen acc e
+  | Types.TRec r -> node r.Types.ruid (List.map (fun (_, f) -> f.Types.fty) r.Types.fields)
+  | Types.TPtr p -> node p.Types.puid [ p.Types.target ]
+  | Types.TSet s -> node s.Types.suid [ s.Types.sbase ]
+  | Types.TProc sg -> signature_uids seen acc sg
+  | _ -> acc
+
+and signature_uids seen acc (sg : Types.signature) =
+  let acc = List.fold_left (fun acc p -> ty_uids seen acc p.Types.pty) acc sg.Types.params in
+  match sg.Types.result with Some r -> ty_uids seen acc r | None -> acc
+
+let max_uid t =
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc (s : Symbol.t) ->
+      match s.Symbol.skind with
+      | Symbol.SConst (_, ty)
+      | Symbol.SType ty
+      | Symbol.SVar (_, ty)
+      | Symbol.SEnumLit (ty, _) ->
+          ty_uids seen acc ty
+      | Symbol.SProc pi -> signature_uids seen acc pi.Symbol.sig_
+      | Symbol.SModule _ | Symbol.SBuiltin _ | Symbol.SPlaceholder _ -> acc)
+    0 t.a_symbols

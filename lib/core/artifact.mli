@@ -1,0 +1,50 @@
+(** Self-contained interface artifacts.
+
+    Everything a definition-module stream produces — exported symbols,
+    the interface's global frame layout, its diagnostics and its direct
+    imports — packaged under a content fingerprint so a later
+    compilation can install the interface instead of re-running its
+    Lexor/Importer/DefParse stream (the cross-compilation extension of
+    the paper's once-only table, §2.1).
+
+    Artifacts are deeply immutable after capture and contain no events,
+    mutexes or closures: they are safe to share across compilations
+    in-memory and to Marshal for on-disk persistence. *)
+
+open Mcc_m2
+open Mcc_sem
+open Mcc_codegen
+
+(** A module-level global frame: key, slot descriptors, size. *)
+type frame = { f_key : string; f_slots : (int * Tydesc.t) list; f_size : int }
+
+type t = {
+  a_name : string;
+  a_fingerprint : string;  (** content fingerprint, hex ({!Build_cache}) *)
+  a_imports : string list;  (** direct imports, in source order *)
+  a_symbols : Symbol.t list;  (** exported entries, (offset, name)-sorted *)
+  a_frame : frame;
+  a_diags : Diag.d list;  (** diagnostics of the interface's analysis, sorted *)
+}
+
+(** Capture a just-completed definition-module scope.
+    @raise Invalid_argument if the scope is incomplete. *)
+val capture :
+  name:string ->
+  fingerprint:string ->
+  imports:string list ->
+  scope:Symtab.t ->
+  frame:frame ->
+  diags:Diag.d list ->
+  t
+
+(** Replay the interface into a freshly interned scope: charge the
+    install work, re-enter the symbols, merge the frame, replay the
+    diagnostics and complete the scope (signaling its avoided event).
+    The caller must ensure [a_imports] first, so transitively reached
+    interfaces contribute their frames as they would cold. *)
+val install : t -> scope:Symtab.t -> merger:Cunit.merger -> diags:Diag.t -> unit
+
+(** The largest type uid reachable from the artifact's symbols — the
+    loader's input to {!Types.bump_uid_floor}. *)
+val max_uid : t -> int

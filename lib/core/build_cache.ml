@@ -1,0 +1,358 @@
+(* The content-addressed build cache.
+
+   Two stores, shared across compilations:
+
+   - the *interface* store maps content fingerprints to interface
+     artifacts (Artifact.t).  A fingerprint is a digest of the artifact
+     format version, the definition module's source text, and the
+     fingerprints of its direct imports — hence transitively of every
+     interface it depends on.  Driver.config is deliberately excluded:
+     compiler output is strategy/schedule/processor-independent (a
+     property the test suite checks), so one artifact serves every
+     configuration.
+   - the *module memo* maps whole-module keys to per-module compilation
+     results (Project's incremental layer).  A module key additionally
+     digests the implementation source and a configuration tag, because
+     a cached Driver.result embeds simulated timings that do depend on
+     the configuration.
+
+   Fingerprinting must run inside engine tasks without yielding (the
+   caller holds a memo lock, and a cooperative-engine yield under a lock
+   would block every other task on it), so this module never calls
+   Eff.work: the hashing work is returned as units for the caller to
+   charge explicitly.  For the same reason the import scan used here is
+   a charge-free re-implementation of Stream.run_importer's FSM on a
+   zero-cost word scanner, memoized by source digest.
+
+   Persistence: the interface store (only) can be saved under a cache
+   directory as a single Marshal blob — one blob preserves value
+   sharing between artifacts, and the loader bumps the type-uid counter
+   past every unmarshalled uid so fresh types cannot collide. *)
+
+open Mcc_m2
+open Mcc_sched
+
+let version = "mcc-artifact-v1"
+
+(* ------------------------------------------------------------------ *)
+(* Charge-free import scan *)
+
+type tok = Word of string | Sym of char | Teof
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+
+let scan_imports src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  (* mirrors Lexer.skip_comment: only the opening delimiter nests *)
+  let skip_comment op cl =
+    let depth = ref 0 in
+    let fin = ref false in
+    while not !fin do
+      if !pos >= n then fin := true
+      else if src.[!pos] = op && peek 1 = '*' then begin
+        incr depth;
+        pos := !pos + 2
+      end
+      else if src.[!pos] = '*' && peek 1 = cl then begin
+        decr depth;
+        pos := !pos + 2;
+        if !depth = 0 then fin := true
+      end
+      else incr pos
+    done
+  in
+  let rec skip_blank () =
+    if !pos < n then
+      match src.[!pos] with
+      | ' ' | '\t' | '\r' | '\n' ->
+          incr pos;
+          skip_blank ()
+      | '(' when peek 1 = '*' ->
+          skip_comment '(' ')';
+          skip_blank ()
+      | '<' when peek 1 = '*' ->
+          skip_comment '<' '>';
+          skip_blank ()
+      | _ -> ()
+  in
+  let next () =
+    skip_blank ();
+    if !pos >= n then Teof
+    else
+      let c = src.[!pos] in
+      if is_alpha c then begin
+        let s = !pos in
+        while !pos < n && (is_alpha src.[!pos] || is_digit src.[!pos] || src.[!pos] = '_') do
+          incr pos
+        done;
+        Word (String.sub src s (!pos - s))
+      end
+      else if c = '"' || c = '\'' then begin
+        (* strings have no escapes and must not span lines (Lexer) *)
+        incr pos;
+        while !pos < n && src.[!pos] <> c && src.[!pos] <> '\n' do
+          incr pos
+        done;
+        if !pos < n then incr pos;
+        Sym c
+      end
+      else begin
+        incr pos;
+        Sym c
+      end
+  in
+  let is_ident s = Token.lookup_keyword s = None in
+  let acc = ref [] in
+  let add m = if not (List.mem m !acc) then acc := m :: !acc in
+  let fin = ref false in
+  while not !fin do
+    match next () with
+    | Teof -> fin := true
+    | Word ("CONST" | "TYPE" | "VAR" | "PROCEDURE" | "BEGIN") ->
+        (* imports precede all declarations: done *)
+        fin := true
+    | Word "FROM" -> (
+        match next () with
+        | Word m when is_ident m ->
+            add m;
+            (* skip the imported identifier list *)
+            let stop = ref false in
+            while not !stop do
+              match next () with Sym ';' | Teof -> stop := true | _ -> ()
+            done
+        | _ -> ())
+    | Word "IMPORT" ->
+        (* IMPORT A, B, C ';' *)
+        let stop = ref false in
+        while not !stop do
+          match next () with
+          | Word m when is_ident m -> add m
+          | Sym ',' -> ()
+          | _ -> stop := true
+        done
+    | _ -> ()
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* The interface store *)
+
+type t = {
+  mu : Mutex.t;
+  dir : string option;
+  defs : (string, Artifact.t) Hashtbl.t; (* fingerprint -> artifact *)
+  latest : (string, string) Hashtbl.t; (* name -> last stored fingerprint *)
+  imports_memo : (string, string list) Hashtbl.t; (* source digest -> imports *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let cache_file dir = Filename.concat dir "interfaces.bin"
+
+(* The hashing work for [len] source bytes, in virtual units. *)
+let hash_units len =
+  Costs.hash_block * ((len + Costs.hash_block_bytes - 1) / Costs.hash_block_bytes)
+
+let load t dir =
+  match open_in_bin (cache_file dir) with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match (Marshal.from_channel ic : string * (string * Artifact.t) list) with
+          | exception _ -> () (* unreadable or truncated: start empty *)
+          | v, defs when v = version ->
+              let floor = ref 0 in
+              List.iter
+                (fun (fp, a) ->
+                  Hashtbl.replace t.defs fp a;
+                  Hashtbl.replace t.latest a.Artifact.a_name fp;
+                  floor := max !floor (Artifact.max_uid a))
+                defs;
+              Mcc_sem.Types.bump_uid_floor !floor
+          | _ -> () (* format version changed: start empty *))
+
+let create ?dir () =
+  let t =
+    {
+      mu = Mutex.create ();
+      dir;
+      defs = Hashtbl.create 64;
+      latest = Hashtbl.create 64;
+      imports_memo = Hashtbl.create 64;
+      hits = 0;
+      misses = 0;
+      invalidations = 0;
+    }
+  in
+  Option.iter (load t) dir;
+  t
+
+let save t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      Mutex.lock t.mu;
+      let defs = Hashtbl.fold (fun fp a acc -> (fp, a) :: acc) t.defs [] in
+      Mutex.unlock t.mu;
+      let defs = List.sort (fun (a, _) (b, _) -> compare a b) defs in
+      let oc = open_out_bin (cache_file dir) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Marshal.to_channel oc (version, defs) [])
+
+let imports_of t src =
+  let key = Digest.to_hex (Digest.string src) in
+  Mutex.lock t.mu;
+  let memo = Hashtbl.find_opt t.imports_memo key in
+  Mutex.unlock t.mu;
+  match memo with
+  | Some imports -> imports
+  | None ->
+      let imports = scan_imports src in
+      Mutex.lock t.mu;
+      Hashtbl.replace t.imports_memo key imports;
+      Mutex.unlock t.mu;
+      imports
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints *)
+
+(* [memo] is owned by one compilation (or one Project.compile call) and
+   guarded by its owner; sources cannot change under it.  A module being
+   fingerprinted holds a provisional cycle marker so circular imports
+   terminate (such programs deadlock compilation and never produce
+   artifacts anyway).  Returns the fingerprint and the uncharged hashing
+   units this call performed. *)
+let interface_fp t ~memo ~store name =
+  let units = ref 0 in
+  let rec go name =
+    match Hashtbl.find_opt memo name with
+    | Some fp -> fp
+    | None ->
+        Hashtbl.replace memo name ("cycle:" ^ name);
+        let fp =
+          match Source_store.def_src store name with
+          | None -> Digest.to_hex (Digest.string (version ^ "|missing|" ^ name))
+          | Some src ->
+              units := !units + hash_units (String.length src);
+              let subs = List.map go (imports_of t src) in
+              Digest.to_hex
+                (Digest.string
+                   (String.concat "|"
+                      (version :: name :: Digest.to_hex (Digest.string src) :: subs)))
+        in
+        Hashtbl.replace memo name fp;
+        fp
+  in
+  let fp = go name in
+  (fp, !units)
+
+let find_interface t ~fp =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.defs fp in
+  (match r with None -> t.misses <- t.misses + 1 | Some _ -> t.hits <- t.hits + 1);
+  Mutex.unlock t.mu;
+  r
+
+let store_interface t (a : Artifact.t) =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.latest a.Artifact.a_name with
+  | Some old_fp when old_fp <> a.Artifact.a_fingerprint ->
+      (* the interface changed: the old artifact can never be hit again *)
+      t.invalidations <- t.invalidations + 1;
+      Hashtbl.remove t.defs old_fp
+  | _ -> ());
+  Hashtbl.replace t.defs a.Artifact.a_fingerprint a;
+  Hashtbl.replace t.latest a.Artifact.a_name a.Artifact.a_fingerprint;
+  Mutex.unlock t.mu
+
+let interfaces t =
+  Mutex.lock t.mu;
+  let r = Hashtbl.fold (fun _ a acc -> a :: acc) t.defs [] in
+  Mutex.unlock t.mu;
+  List.sort (fun (a : Artifact.t) b -> compare a.Artifact.a_name b.Artifact.a_name) r
+
+let counters t =
+  Mutex.lock t.mu;
+  let r = (t.hits, t.misses, t.invalidations) in
+  Mutex.unlock t.mu;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* The module-result memo *)
+
+type 'r memo = {
+  mmu : Mutex.t;
+  modules : (string, 'r) Hashtbl.t; (* module key -> result *)
+  latest_key : (string, string) Hashtbl.t; (* name -> last stored key *)
+  mutable mhits : int;
+  mutable mmisses : int;
+  mutable minvalidations : int;
+}
+
+let memo () =
+  {
+    mmu = Mutex.create ();
+    modules = Hashtbl.create 16;
+    latest_key = Hashtbl.create 16;
+    mhits = 0;
+    mmisses = 0;
+    minvalidations = 0;
+  }
+
+(* A whole-module key: configuration tag (cached results embed simulated
+   timings), module name, implementation source digest, and the
+   interface fingerprints of the module's own definition and direct
+   imports — which cover every transitive interface.  [store] is the
+   module-focused store (its main source is the implementation). *)
+let module_key t ~memo ~config_tag store =
+  let name = Source_store.main_name store in
+  let src = Source_store.main_src store in
+  let units = ref (hash_units (String.length src)) in
+  let fp m =
+    let fp, u = interface_fp t ~memo ~store m in
+    units := !units + u;
+    fp
+  in
+  let own = fp name in
+  let subs = List.map fp (imports_of t src) in
+  let key =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "|"
+            (version :: config_tag :: name
+            :: Digest.to_hex (Digest.string src)
+            :: own :: subs)))
+  in
+  (key, !units)
+
+let find_module m key =
+  Mutex.lock m.mmu;
+  let r = Hashtbl.find_opt m.modules key in
+  (match r with None -> m.mmisses <- m.mmisses + 1 | Some _ -> m.mhits <- m.mhits + 1);
+  Mutex.unlock m.mmu;
+  r
+
+let store_module m ~name ~key result =
+  Mutex.lock m.mmu;
+  (match Hashtbl.find_opt m.latest_key name with
+  | Some old_key when old_key <> key ->
+      m.minvalidations <- m.minvalidations + 1;
+      Hashtbl.remove m.modules old_key
+  | _ -> ());
+  Hashtbl.replace m.modules key result;
+  Hashtbl.replace m.latest_key name key;
+  Mutex.unlock m.mmu
+
+let memo_counters m =
+  Mutex.lock m.mmu;
+  let r = (m.mhits, m.mmisses, m.minvalidations) in
+  Mutex.unlock m.mmu;
+  r

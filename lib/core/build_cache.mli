@@ -1,0 +1,85 @@
+(** The content-addressed build cache.
+
+    The {e interface store} maps content fingerprints to interface
+    artifacts; a fingerprint digests the artifact format version, the
+    definition module's source and the fingerprints of its direct
+    imports — transitively covering every interface it depends on.
+    [Driver.config] is excluded: compiler output is strategy-,
+    schedule- and processor-independent, so one artifact serves every
+    configuration.  The {e module memo} maps whole-module keys (which
+    {e do} include a configuration tag, because cached results embed
+    simulated timings) to per-module compilation results, for
+    [Project]'s incremental layer.
+
+    No function here calls [Eff.work]: fingerprinting runs inside
+    engine tasks under the caller's memo lock, where a yield would
+    block the cooperative engine.  The hashing work is returned as
+    units for the caller to charge. *)
+
+(** {1 The interface store} *)
+
+type t
+
+(** [create ?dir ()] makes an empty cache; with [dir], previously
+    {!save}d interface artifacts are loaded from it (missing, stale or
+    unreadable files are ignored) and the type-uid counter is bumped
+    past every unmarshalled uid. *)
+val create : ?dir:string -> unit -> t
+
+(** Persist the interface store under the creation [dir] as a single
+    Marshal blob (preserving value sharing between artifacts).  No-op
+    without a [dir]. *)
+val save : t -> unit
+
+(** Direct imports of a source text, by a charge-free re-implementation
+    of the importer's scan, memoized by source digest. *)
+val imports_of : t -> string -> string list
+
+(** The hashing work for [len] source bytes, in virtual units. *)
+val hash_units : int -> int
+
+(** [interface_fp t ~memo ~store name] returns the interface's content
+    fingerprint and the uncharged hashing units this call performed.
+    [memo] (module name to fingerprint) is owned by one compilation and
+    guarded by its owner; a missing interface fingerprints as a
+    distinct "missing" marker, and circular imports terminate via a
+    provisional cycle marker. *)
+val interface_fp :
+  t -> memo:(string, string) Hashtbl.t -> store:Source_store.t -> string -> string * int
+
+(** Look up an artifact by fingerprint; counts a hit or miss. *)
+val find_interface : t -> fp:string -> Artifact.t option
+
+(** Store an artifact; if the interface's previous fingerprint differs,
+    counts an invalidation and drops the stale artifact. *)
+val store_interface : t -> Artifact.t -> unit
+
+(** All stored artifacts, sorted by module name. *)
+val interfaces : t -> Artifact.t list
+
+(** (hits, misses, invalidations) of the interface store. *)
+val counters : t -> int * int * int
+
+(** {1 The module-result memo} *)
+
+type 'r memo
+
+val memo : unit -> 'r memo
+
+(** [module_key t ~memo ~config_tag store] is the whole-module cache key
+    of [store]'s main module (the module-focused view: its main source
+    is the implementation), plus uncharged hashing units.  Digests the
+    configuration tag, the implementation source, and the interface
+    fingerprints of the module's own definition and direct imports. *)
+val module_key :
+  t -> memo:(string, string) Hashtbl.t -> config_tag:string -> Source_store.t -> string * int
+
+(** Look up a module result by key; counts a hit or miss. *)
+val find_module : 'r memo -> string -> 'r option
+
+(** Store a module result; if the module's previous key differs, counts
+    an invalidation and drops the stale result. *)
+val store_module : 'r memo -> name:string -> key:string -> 'r -> unit
+
+(** (hits, misses, invalidations) of the module memo. *)
+val memo_counters : 'r memo -> int * int * int

@@ -55,6 +55,8 @@ type result = {
   n_tasks : int;
   tokens : int; (* tokens lexed across all files *)
   task_list : (string * string) list; (* (class, name) per instantiated task, Fig. 5 *)
+  cache_hits : string list; (* interfaces installed from the build cache, sorted *)
+  cache_misses : string list; (* interfaces fingerprinted but compiled cold, sorted *)
 }
 
 (* Procedure bodies at least this big go to the long-procedure
@@ -71,6 +73,13 @@ type comp = {
   stats : Lookup_stats.t;
   registry : Modreg.t;
   merger : Cunit.merger;
+  cache : Build_cache.t option;
+  (* per-compilation fingerprint memo; [fp_mu] guards the whole recursive
+     computation (which never yields), so concurrent importers agree *)
+  fp_memo : (string, string) Hashtbl.t;
+  fp_mu : Mutex.t;
+  mutable cache_hits : string list; (* interfaces installed from the cache *)
+  mutable cache_misses : string list; (* interfaces fingerprinted but compiled *)
   missing : (string, unit) Hashtbl.t; (* interfaces with no source *)
   missing_mu : Mutex.t;
   streams : (int, Stream.proc_stream) Hashtbl.t;
@@ -148,7 +157,10 @@ let count_tokens comp q =
 (* The once-only table (paper §3): "A 'once-only' table is used to
    guarantee that each definition module referenced in a compilation is
    processed exactly once."  [Modreg.intern] is that table; the creator
-   spawns the stream. *)
+   spawns the stream — or, on a build-cache hit, installs the interface
+   artifact right here, paying only the hash + probe + install charges,
+   and signals the interface's avoided event instead of spawning its
+   Lexor/Importer/DefParse tasks. *)
 let rec ensure_def comp name : Symtab.t option =
   let scope, created = Modreg.intern comp.registry name in
   if created then begin
@@ -159,18 +171,45 @@ let rec ensure_def comp name : Symtab.t option =
         Symtab.mark_complete scope;
         None
     | Some src ->
-        Mutex.lock comp.tasks_mu;
-        comp.n_defs <- comp.n_defs + 1;
-        Mutex.unlock comp.tasks_mu;
         hold comp (* released when the interface's analysis finishes *);
-        spawn_def_stream comp name scope src;
+        (match comp.cache with
+        | None -> spawn_def_stream comp name scope src ~fp:None
+        | Some cache -> (
+            (* the fingerprint computation never yields, so holding the
+               memo lock across it cannot block the cooperative engine *)
+            Mutex.lock comp.fp_mu;
+            let fp, units =
+              Build_cache.interface_fp cache ~memo:comp.fp_memo ~store:comp.store name
+            in
+            Mutex.unlock comp.fp_mu;
+            Eff.work (units + Costs.cache_probe);
+            match Build_cache.find_interface cache ~fp with
+            | Some art ->
+                Mutex.lock comp.tasks_mu;
+                comp.cache_hits <- name :: comp.cache_hits;
+                Mutex.unlock comp.tasks_mu;
+                (* first ensure what the skipped importer would have:
+                   transitively reached interfaces must register and
+                   contribute their frames exactly as they would cold *)
+                List.iter (fun m -> ignore (ensure_def comp m)) art.Artifact.a_imports;
+                Artifact.install art ~scope ~merger:comp.merger ~diags:comp.diags;
+                release comp
+            | None ->
+                Mutex.lock comp.tasks_mu;
+                comp.cache_misses <- name :: comp.cache_misses;
+                Mutex.unlock comp.tasks_mu;
+                spawn_def_stream comp name scope src ~fp:(Some fp)));
         Some scope
   end
   else if is_missing comp name then None
   else Some scope
 
-and spawn_def_stream comp name scope src =
+and spawn_def_stream comp name scope src ~fp =
+  Mutex.lock comp.tasks_mu;
+  comp.n_defs <- comp.n_defs + 1;
+  Mutex.unlock comp.tasks_mu;
   let file = Source_store.def_file name in
+  let frame_key = name ^ "!def" in
   let q = Tokq.create ~name:("def:" ^ name) () in
   let lexor =
     Task.create ~cls:Task.Lexor ~name:("lexor:" ^ file) (fun () ->
@@ -190,18 +229,40 @@ and spawn_def_stream comp name scope src =
   in
   let parse =
     Task.create ~cls:Task.DefParse ~name:("defparse:" ^ file) (fun () ->
+        (* the interface's diagnostics are collected locally so that a
+           capture can replay them on later cache hits; they merge into
+           the compilation's collector either way (the final report is
+           sorted, so collection order is immaterial) *)
+        let local = Diag.create () in
+        let imports = ref [] in
         let ctx =
-          Ctx.make ~scope ~file ~diags:comp.diags ~strategy:comp.cfg.strategy ~stats:comp.stats
-            ~registry:comp.registry
-            ~frame_key:(name ^ "!def")
-            ~path:name ~is_module_level:true ~is_def:true
+          Ctx.make ~scope ~file ~diags:local ~strategy:comp.cfg.strategy ~stats:comp.stats
+            ~registry:comp.registry ~frame_key ~path:name ~is_module_level:true ~is_def:true
         in
-        let p = P.create ~cb:(callbacks comp) (Tokq.reader q) in
+        let cb = callbacks comp in
+        let cb =
+          {
+            cb with
+            P.cb_import =
+              (fun ctx mid ->
+                let m = mid.A.name in
+                if not (List.mem m !imports) then imports := m :: !imports;
+                cb.P.cb_import ctx mid);
+          }
+        in
+        let p = P.create ~cb (Tokq.reader q) in
         P.parse_def_module ctx p ~expected_name:name;
-        let _, slots, size =
-          Emit.frame_layout scope ~frame_key:(name ^ "!def") ~size:ctx.Ctx.next_slot
-        in
-        Cunit.add_frame comp.merger (name ^ "!def") slots size;
+        let _, slots, size = Emit.frame_layout scope ~frame_key ~size:ctx.Ctx.next_slot in
+        Cunit.add_frame comp.merger frame_key slots size;
+        let diags = Diag.sorted local in
+        List.iter (Diag.add_d comp.diags) diags;
+        (match (comp.cache, fp) with
+        | Some cache, Some fp ->
+            Build_cache.store_interface cache
+              (Artifact.capture ~name ~fingerprint:fp ~imports:(List.rev !imports) ~scope
+                 ~frame:{ Artifact.f_key = frame_key; f_slots = slots; f_size = size }
+                 ~diags)
+        | _ -> ());
         release comp)
   in
   Symtab.set_producer scope parse.Task.id;
@@ -288,7 +349,7 @@ let spawn_proc_parse comp (ps : Stream.proc_stream) =
 
 (* Build the per-compilation state and the bootstrap task that wires the
    whole task graph of Fig. 5; shared by both execution engines. *)
-let prepare config (store : Source_store.t) =
+let prepare config cache (store : Source_store.t) =
   let m = Source_store.main_name store in
   let comp =
     {
@@ -298,6 +359,11 @@ let prepare config (store : Source_store.t) =
       stats = Lookup_stats.create ();
       registry = Modreg.create ();
       merger = Cunit.merger ();
+      cache;
+      fp_memo = Hashtbl.create 16;
+      fp_mu = Mutex.create ();
+      cache_hits = [];
+      cache_misses = [];
       missing = Hashtbl.create 8;
       missing_mu = Mutex.create ();
       streams = Hashtbl.create 32;
@@ -387,9 +453,9 @@ let finish_program comp ~entry =
   | None -> Cunit.link ~entry ~frames:[] [] (* deadlock: empty program *)
 
 (* Compile on the deterministic simulated multiprocessor. *)
-let compile ?(config = default_config) (store : Source_store.t) : result =
+let compile ?(config = default_config) ?cache (store : Source_store.t) : result =
   let m = Source_store.main_name store in
-  let comp, init_tasks = prepare config store in
+  let comp, init_tasks = prepare config cache store in
   let sim = Des_engine.run ~beta:config.beta ~fifo:config.fifo_sched ~procs:config.procs init_tasks in
   (match sim.Des_engine.outcome with
   | Des_engine.Completed -> ()
@@ -416,6 +482,8 @@ let compile ?(config = default_config) (store : Source_store.t) : result =
     n_tasks = comp.n_tasks;
     tokens = comp.total_tokens;
     task_list = List.rev comp.task_names;
+    cache_hits = List.sort compare comp.cache_hits;
+    cache_misses = List.sort compare comp.cache_misses;
   }
 
 (* Render the instantiated task structure (the realization of the
@@ -449,9 +517,10 @@ type domain_result = {
   d_stats : Lookup_stats.t;
 }
 
-let compile_domains ?(config = default_config) ~domains (store : Source_store.t) : domain_result =
+let compile_domains ?(config = default_config) ?cache ~domains (store : Source_store.t) :
+    domain_result =
   let m = Source_store.main_name store in
-  let comp, init_tasks = prepare config store in
+  let comp, init_tasks = prepare config cache store in
   let r = Domain_engine.run ~domains init_tasks in
   let deadlocked = match r.Domain_engine.outcome with Domain_engine.Deadlocked _ -> true | _ -> false in
   if deadlocked then

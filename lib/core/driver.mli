@@ -40,6 +40,12 @@ type result = {
   n_tasks : int;
   tokens : int;  (** tokens lexed across all files *)
   task_list : (string * string) list;  (** (class, name) per instantiated task *)
+  cache_hits : string list;
+      (** interfaces installed from the build cache instead of spawning
+          their streams, sorted (empty without a cache) *)
+  cache_misses : string list;
+      (** interfaces fingerprinted but compiled cold (and then stored),
+          sorted (empty without a cache) *)
 }
 
 (** Statement parts at least this many nodes go to the long-procedure
@@ -47,8 +53,12 @@ type result = {
 val long_threshold : int
 
 (** Compile on the simulated multiprocessor — deterministic; all
-    benchmark figures come from this path. *)
-val compile : ?config:config -> Source_store.t -> result
+    benchmark figures come from this path.  With [cache], interfaces
+    whose content fingerprint is already stored are installed from
+    their artifacts (paying explicit hash + probe + install charges)
+    instead of spawning Lexor/Importer/DefParse streams; interfaces
+    compiled cold are captured into the cache. *)
+val compile : ?config:config -> ?cache:Build_cache.t -> Source_store.t -> result
 
 (** Render the instantiated task structure (the realization of Fig. 5
     for this compilation), grouped by class in priority order. *)
@@ -68,4 +78,5 @@ type domain_result = {
 
 (** The same task graph on [domains] OCaml domains.  Produces a program
     byte-identical to {!compile}'s and {!Seq_driver.compile}'s. *)
-val compile_domains : ?config:config -> domains:int -> Source_store.t -> domain_result
+val compile_domains :
+  ?config:config -> ?cache:Build_cache.t -> domains:int -> Source_store.t -> domain_result

@@ -12,10 +12,25 @@
    Unit keys are scope paths and interface frames have identical layouts
    no matter which compilation produced them, so cross-module linking is
    deduplication plus concatenation — the same schedule-independence
-   argument as the single-module merge (paper §2.1). *)
+   argument as the single-module merge (paper §2.1).
+
+   With a cache the layer is *incremental*: a module whose own source,
+   configuration and transitive interface fingerprints are unchanged is
+   restored from its cached per-module result (paying only the hash +
+   probe work, accounted in [reuse_units]); everything else recompiles
+   — through the same cache, so even a recompiled module installs
+   unchanged interfaces from artifacts instead of re-analyzing them.
+   Because one artifact serves every configuration but a cached
+   Driver.result embeds simulated timings, the module key includes a
+   configuration tag while interface fingerprints do not. *)
 
 open Mcc_m2
+open Mcc_sched
 open Mcc_codegen
+
+type cache = { bc : Build_cache.t; memo : Driver.result Build_cache.memo }
+
+let cache ?dir () = { bc = Build_cache.create ?dir (); memo = Build_cache.memo () }
 
 type result = {
   program : Cunit.program;
@@ -23,6 +38,9 @@ type result = {
   ok : bool;
   modules : (string * Driver.result) list; (* in initialization order *)
   total_units : float; (* summed virtual compile time across modules *)
+  reused : string list; (* modules restored from the cache, in init order *)
+  recompiled : string list; (* modules compiled this call, in init order *)
+  reuse_units : float; (* hash + probe work charged for reuse checks *)
 }
 
 let direct_imports ~file src =
@@ -50,11 +68,37 @@ let init_order (store : Source_store.t) =
   visit (Source_store.main_name store);
   List.rev !order
 
-let compile ?(config = Driver.default_config) (store : Source_store.t) : result =
+let config_tag (c : Driver.config) =
+  Printf.sprintf "%s|%s|%d|%g|%b"
+    (Mcc_sem.Symtab.dky_name c.Driver.strategy)
+    (match c.Driver.heading with Driver.Alt1 -> "alt1" | Driver.Alt3 -> "alt3")
+    c.Driver.procs c.Driver.beta c.Driver.fifo_sched
+
+let compile ?(config = Driver.default_config) ?cache (store : Source_store.t) : result =
   let names = init_order store in
-  let modules =
-    List.map (fun name -> (name, Driver.compile ~config (Source_store.focus store name))) names
+  let reuse_units = ref 0 in
+  (* one fingerprint memo for the whole call: sources are fixed *)
+  let fp_memo = Hashtbl.create 16 in
+  let tag = config_tag config in
+  let compile_one name =
+    let focused = Source_store.focus store name in
+    match cache with
+    | None -> (name, Driver.compile ~config focused, false)
+    | Some { bc; memo } -> (
+        let key, units = Build_cache.module_key bc ~memo:fp_memo ~config_tag:tag focused in
+        reuse_units := !reuse_units + units + Costs.cache_probe;
+        match Build_cache.find_module memo key with
+        | Some r -> (name, r, true)
+        | None ->
+            let r = Driver.compile ~config ~cache:bc focused in
+            (* prune per (configuration, module): an edit invalidates a
+               module's stale result without evicting the same module's
+               still-valid results under other configurations *)
+            Build_cache.store_module memo ~name:(tag ^ "|" ^ name) ~key r;
+            (name, r, false))
   in
+  let compiled = List.map compile_one names in
+  let modules = List.map (fun (name, r, _) -> (name, r)) compiled in
   (* merge: units are unique by construction (each implementation is
      compiled exactly once); interface frames repeat across compilations
      with identical layouts and are deduplicated by key *)
@@ -73,13 +117,21 @@ let compile ?(config = Driver.default_config) (store : Source_store.t) : result 
     Cunit.link ~init:names ~entry:(Source_store.main_name store) ~frames !units
   in
   let diags = List.sort Diag.compare_d (List.concat !diags) in
+  let reuse_units = float_of_int !reuse_units in
   {
     program;
     diags;
     ok = List.for_all (fun (_, (r : Driver.result)) -> r.Driver.ok) modules;
     modules;
     total_units =
+      (* reused modules are not re-simulated: they contribute only the
+         reuse check's work, not their cached end-to-end compile time *)
       List.fold_left
-        (fun acc (_, (r : Driver.result)) -> acc +. r.Driver.sim.Mcc_sched.Des_engine.end_time)
-        0.0 modules;
+        (fun acc (_, (r : Driver.result), reused) ->
+          if reused then acc else acc +. r.Driver.sim.Mcc_sched.Des_engine.end_time)
+        reuse_units compiled;
+    reused = List.filter_map (fun (n, _, reused) -> if reused then Some n else None) compiled;
+    recompiled =
+      List.filter_map (fun (n, _, reused) -> if reused then None else Some n) compiled;
+    reuse_units;
   }

@@ -7,21 +7,46 @@
     Modula-2 initialization order (an imported module's body runs before
     its importer's; the main module's last).  Interface frames are
     deduplicated by key; the result is schedule-independent like the
-    single-module merge (paper §2.1). *)
+    single-module merge (paper §2.1).
+
+    With a {!cache} the layer is incremental: modules whose own source,
+    configuration and transitive interface fingerprints are unchanged
+    are restored from cached per-module results, and recompiled modules
+    install unchanged interfaces from artifacts. *)
 
 open Mcc_m2
 open Mcc_codegen
+
+(** A project-level cache: the shared interface store plus the
+    per-module result memo. *)
+type cache = { bc : Build_cache.t; memo : Driver.result Build_cache.memo }
+
+(** [cache ?dir ()] — with [dir], persisted interface artifacts are
+    loaded now and [Build_cache.save cache.bc] writes them back.
+    Module results are in-memory only (they embed engine state). *)
+val cache : ?dir:string -> unit -> cache
 
 type result = {
   program : Cunit.program;
   diags : Diag.d list;
   ok : bool;
   modules : (string * Driver.result) list;  (** per-module results, in init order *)
-  total_units : float;  (** summed virtual compile time across modules *)
+  total_units : float;
+      (** summed virtual compile time across recompiled modules plus
+          [reuse_units] — equals the cacheless total when nothing is
+          reused *)
+  reused : string list;  (** modules restored from the cache, in init order *)
+  recompiled : string list;  (** modules compiled this call, in init order *)
+  reuse_units : float;  (** hash + probe work charged for reuse checks *)
 }
 
 (** Module initialization order for the store (imports before importers,
     main last), restricted to modules with implementations. *)
 val init_order : Source_store.t -> string list
 
-val compile : ?config:Driver.config -> Source_store.t -> result
+(** The configuration component of a module cache key (interface
+    artifacts are configuration-independent; cached module results,
+    which embed simulated timings, are not). *)
+val config_tag : Driver.config -> string
+
+val compile : ?config:Driver.config -> ?cache:cache -> Source_store.t -> result

@@ -20,6 +20,12 @@ let add t ~file ~loc ~sev msg =
   if sev = Error then t.n_errors <- t.n_errors + 1;
   Mutex.unlock t.mu
 
+let add_d t d =
+  Mutex.lock t.mu;
+  t.items <- d :: t.items;
+  if d.sev = Error then t.n_errors <- t.n_errors + 1;
+  Mutex.unlock t.mu
+
 let error t ~file ~loc msg = add t ~file ~loc ~sev:Error msg
 let warning t ~file ~loc msg = add t ~file ~loc ~sev:Warning msg
 

@@ -14,6 +14,10 @@ type t
 
 val create : unit -> t
 val add : t -> file:string -> loc:Loc.t -> sev:severity -> string -> unit
+
+(** Add an already-built diagnostic (e.g. one replayed from a cached
+    interface artifact). *)
+val add_d : t -> d -> unit
 val error : t -> file:string -> loc:Loc.t -> string -> unit
 val warning : t -> file:string -> loc:Loc.t -> string -> unit
 val has_errors : t -> bool

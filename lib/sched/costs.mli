@@ -51,6 +51,26 @@ val emit_instr : int
 
 val merge_unit : int
 
+(** {1 Interface artifact cache}
+
+    Replacing a definition-module stream with hash + fetch + install is
+    charged explicitly so warm-cache DES timings stay honest. *)
+
+(** Fingerprint hashing granularity, in source bytes. *)
+val hash_block_bytes : int
+
+(** Per [hash_block_bytes] of source fingerprinted. *)
+val hash_block : int
+
+(** One content-addressed store lookup. *)
+val cache_probe : int
+
+(** Per symbol re-installed from a cached artifact. *)
+val cache_install_entry : int
+
+(** Per global frame restored from a cached artifact. *)
+val cache_install_frame : int
+
 (** {1 Concurrency overheads} *)
 
 val spawn_cost : int

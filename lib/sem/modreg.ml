@@ -43,3 +43,9 @@ let names t =
   let r = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] in
   Mutex.unlock t.mu;
   List.sort compare r
+
+let to_list t =
+  Mutex.lock t.mu;
+  let r = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
+  Mutex.unlock t.mu;
+  List.sort (fun (a, _) (b, _) -> compare a b) r

@@ -16,3 +16,7 @@ val count : t -> int
 
 (** Registered names, sorted. *)
 val names : t -> string list
+
+(** All (name, scope) pairs, sorted by name — for harvesting completed
+    interfaces into the build cache after a compilation. *)
+val to_list : t -> (string * Symtab.t) list

@@ -124,6 +124,20 @@ let enter t (sym : Symbol.t) =
   (match r with `Replaced_placeholder ev -> Eff.signal ev | _ -> ());
   match r with `Dup e -> `Dup e | _ -> `Ok
 
+(* Export / re-import of completed scopes (interface artifacts).
+
+   [export] is just the deterministic entry list of a completed table;
+   [import_export] bulk-enters previously exported symbols into a
+   freshly interned scope.  Re-entry goes through [enter] so that any
+   optimistic placeholder installed between interning and installation
+   is replaced and signaled exactly as a real declaration would. *)
+let export t =
+  if not t.complete then invalid_arg ("Symtab.export: incomplete scope " ^ scope_name t.kind);
+  entries t
+
+let import_export t syms =
+  List.iter (fun (s : Symbol.t) -> match enter t s with `Ok | `Dup _ -> ()) syms
+
 (* Completing a table: flip the flag, signal the completion event, and
    sweep optimistic placeholders — "when the table is completed, it is
    traversed and all unsignaled events ... are signaled, allowing blocked

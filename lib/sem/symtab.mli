@@ -69,6 +69,17 @@ val entries : t -> Symbol.t list
     signals) an optimistic placeholder of the same name. *)
 val enter : t -> Symbol.t -> [ `Ok | `Dup of Symbol.t ]
 
+(** Export a completed scope's symbols for an interface artifact —
+    {!entries} plus a completeness check.
+    @raise Invalid_argument if the scope is incomplete. *)
+val export : t -> Symbol.t list
+
+(** Bulk-enter previously exported symbols into a freshly interned
+    scope (an artifact cache hit).  Goes through {!enter}, so optimistic
+    placeholders installed in the meantime are replaced and signaled;
+    the caller then calls {!mark_complete}. *)
+val import_export : t -> Symbol.t list -> unit
+
 (** Flip [complete], sweep optimistic placeholders ("all unsignaled
     events are signaled", §2.3.3) and signal the completion event. *)
 val mark_complete : t -> unit

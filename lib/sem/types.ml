@@ -40,6 +40,13 @@ and signature = { params : param list; result : ty option }
 let next_uid = Atomic.make 1
 let fresh_uid () = Atomic.fetch_and_add next_uid 1
 
+(* Unmarshalled artifacts carry uids allocated by a previous process;
+   raise the counter past them so fresh allocations cannot collide. *)
+let rec bump_uid_floor floor =
+  let cur = Atomic.get next_uid in
+  if cur <= floor && not (Atomic.compare_and_set next_uid cur (floor + 1))
+  then bump_uid_floor floor
+
 (* Maximum set element range: sets are compiled to a 62-bit mask. *)
 let max_set_bits = 62
 

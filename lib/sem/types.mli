@@ -37,6 +37,11 @@ and signature = { params : param list; result : ty option }
 
 val fresh_uid : unit -> int
 
+(** Ensure future {!fresh_uid} results exceed [floor].  Called when
+    loading interface artifacts whose uids were allocated by a previous
+    process, so fresh types cannot collide with unmarshalled ones. *)
+val bump_uid_floor : int -> unit
+
 (** Sets compile to a 62-bit mask: the maximum element range. *)
 val max_set_bits : int
 
