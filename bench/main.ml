@@ -235,7 +235,27 @@ let sched_ablation () =
       let prio = total false n and fifo = total true n in
       say "  N=%d: priorities %10.0f units, FIFO %10.0f units (FIFO %+.1f%%)" n prio fifo
         (100.0 *. (fifo -. prio) /. prio))
-    [ 2; 4; 8 ]
+    [ 2; 4; 8 ];
+  say "";
+  say "Schedule exploration: perturbed ready-queue tie-breaking, happens-before";
+  say "checked and output compared against each cell's canonical baseline";
+  say "(suite program 1, 8 perturbed schedules per cell, seed 42):";
+  let rep = Mcc_analysis.Explorer.explore ~schedules:8 ~seed:42 (Suite.program 1) in
+  List.iter
+    (fun line -> if line <> "" then say "  %s" line)
+    (String.split_on_char '\n' (Mcc_analysis.Explorer.render rep));
+  say "";
+  say "Fault-injection check: a deliberate early-publish bug (scope M01L0.def)";
+  say "must be caught by the same checker:";
+  let fault =
+    Mcc_analysis.Explorer.explore ~schedules:2 ~seed:42
+      ~strategies:[ Mcc_sem.Symtab.Skeptical ] ~procs_list:[ 4 ]
+      ~inject_early_publish:"M01L0.def" (Suite.program 1)
+  in
+  say "  %d violations across %d runs — %s" fault.Mcc_analysis.Explorer.total_violations
+    fault.Mcc_analysis.Explorer.schedules_explored
+    (if fault.Mcc_analysis.Explorer.total_violations > 0 then "DETECTED" else "MISSED (BUG)");
+  List.iter (fun s -> say "    %s" s) fault.Mcc_analysis.Explorer.violation_samples
 
 let barrier () =
   header "Extra ablation: barrier vs handled token-queue availability events";

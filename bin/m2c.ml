@@ -6,9 +6,12 @@
 
      m2c compile Foo.mod --procs 8 --strategy skeptical --watch
      m2c compile Foo.mod --cache .m2c-cache   # reuse interface artifacts
+     m2c compile Foo.mod --trace-json t.json  # Chrome trace_event export
      m2c build Foo.mod            # incremental whole-program build
      m2c run Foo.mod --input 1,2,3
-     m2c sweep Foo.mod            # speedup on 1..8 processors *)
+     m2c sweep Foo.mod            # speedup on 1..8 processors
+     m2c analyze Foo.mod --schedules 16 --seed 7   # happens-before check
+     m2c analyze --synth 1 --inject-early-publish M01L0.def *)
 
 open Cmdliner
 open Mcc_core
@@ -88,6 +91,15 @@ let cache_dir_arg =
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the interface/build cache.")
 
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"PATH"
+        ~doc:
+          "Write the simulated execution trace to $(docv) in Chrome trace_event JSON (load in \
+           chrome://tracing or ui.perfetto.dev).  Simulator only.")
+
 (* a cache dir that cannot be created or written degrades to a warning:
    the compilation itself succeeded *)
 let save_cache bc =
@@ -105,7 +117,8 @@ let config ~procs ~strategy ~heading =
   }
 
 let compile_cmd =
-  let run store procs strategy heading watch stats disasm dump_tasks domains cache_dir no_cache =
+  let run store procs strategy heading watch stats disasm dump_tasks domains cache_dir no_cache
+      trace_json =
     let cache =
       match (cache_dir, no_cache) with
       | Some dir, false -> Some (Build_cache.create ~dir ())
@@ -123,6 +136,8 @@ let compile_cmd =
     in
     match domains with
     | Some n ->
+        if trace_json <> None then
+          prerr_endline "m2c: warning: --trace-json only applies to the simulator; ignored";
         let r =
           Driver.compile_domains ~config:(config ~procs ~strategy ~heading) ?cache ~domains:n store
         in
@@ -150,20 +165,31 @@ let compile_cmd =
         if stats then print_endline (Mcc_stats.Tables.table2 r.Driver.stats);
         if dump_tasks then print_string (Driver.dump_tasks r);
         if disasm then print_string (Mcc_codegen.Cunit.disassemble r.Driver.program);
+        (match trace_json with
+        | None -> ()
+        | Some path -> (
+            let json =
+              Mcc_analysis.Trace_json.export ~names:r.Driver.task_index
+                r.Driver.sim.Mcc_sched.Des_engine.trace
+            in
+            try
+              Out_channel.with_open_text path (fun oc -> output_string oc json);
+              Printf.printf "trace: %s\n" path
+            with Sys_error e -> Printf.eprintf "m2c: warning: trace not written: %s\n" e));
         if r.Driver.ok then `Ok () else `Error (false, "compilation failed")
   in
   let term =
     Term.(
       ret
         (const (fun file procs strategy heading watch stats disasm dump_tasks domains cache_dir
-                    no_cache ->
+                    no_cache trace_json ->
              match load file with
              | `Ok store ->
                  run store procs strategy heading watch stats disasm dump_tasks domains cache_dir
-                   no_cache
+                   no_cache trace_json
              | `Error _ as e -> e)
         $ file_arg $ procs_arg $ strategy_arg $ heading_arg $ watch_arg $ stats_arg $ disasm_arg
-        $ dump_tasks_arg $ domains_arg $ cache_dir_arg $ no_cache_arg))
+        $ dump_tasks_arg $ domains_arg $ cache_dir_arg $ no_cache_arg $ trace_json_arg))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a module concurrently.") term
 
@@ -238,6 +264,100 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile a module and execute it in the VM.") term
 
+let analyze_cmd =
+  let file_opt_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE.mod" ~doc:"Implementation module to analyze (or use $(b,--synth)).")
+  in
+  let synth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "synth" ] ~docv:"RANK"
+          ~doc:"Analyze synthetic suite program $(docv) (0-based) instead of a file.")
+  in
+  let schedules_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "schedules" ] ~docv:"N"
+          ~doc:"Perturbed schedules per (strategy, procs) cell, on top of the baseline.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Master seed for schedule perturbation.")
+  in
+  let one_strategy_arg =
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "s"; "strategy" ] ~docv:"S"
+          ~doc:"Analyze only this DKY strategy (default: all four concurrent strategies).")
+  in
+  let procs_list_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "p"; "procs" ] ~docv:"N,..." ~doc:"Simulated processor counts to cover.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-early-publish" ] ~docv:"SCOPE"
+          ~doc:
+            "Arm the test-only early-publish fault in scope $(docv) (e.g. M01L0.def); the run \
+             then succeeds only if the checker detects it.")
+  in
+  let run store schedules seed strategy procs_list inject =
+    let strategies = match strategy with Some s -> [ s ] | None -> Symtab.all_concurrent in
+    let procs_list = List.filter (fun p -> p >= 1 && p <= 64) procs_list in
+    if procs_list = [] then `Error (false, "no valid processor counts")
+    else begin
+      let rep =
+        Mcc_analysis.Explorer.explore ~schedules ~seed ~strategies ~procs_list
+          ?inject_early_publish:inject store
+      in
+      print_string (Mcc_analysis.Explorer.render rep);
+      match inject with
+      | None ->
+          if Mcc_analysis.Explorer.clean rep then `Ok ()
+          else `Error (false, "happens-before violations or divergent schedules")
+      | Some scope ->
+          if rep.Mcc_analysis.Explorer.total_violations > 0 then begin
+            Printf.printf "injected early-publish fault in %s: DETECTED\n" scope;
+            `Ok ()
+          end
+          else `Error (false, "injected fault was NOT detected")
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun file synth schedules seed strategy procs_list inject ->
+             match (file, synth) with
+             | Some _, Some _ -> `Error (false, "give either FILE.mod or --synth RANK, not both")
+             | None, None -> `Error (false, "give FILE.mod or --synth RANK")
+             | None, Some rank ->
+                 if rank < 0 || rank >= Mcc_synth.Suite.n_programs then
+                   `Error
+                     (false,
+                      Printf.sprintf "--synth must be in 0..%d" (Mcc_synth.Suite.n_programs - 1))
+                 else run (Mcc_synth.Suite.program rank) schedules seed strategy procs_list inject
+             | Some f, None -> (
+                 match load f with
+                 | `Ok store -> run store schedules seed strategy procs_list inject
+                 | `Error _ as e -> e))
+        $ file_opt_arg $ synth_arg $ schedules_arg $ seed_arg $ one_strategy_arg $ procs_list_arg
+        $ inject_arg))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Explore perturbed-but-legal Supervisor schedules across the DKY strategy x processor \
+          matrix, checking every run's event log against the happens-before invariants and every \
+          run's output against the unperturbed baseline.")
+    term
+
 let sweep_cmd =
   let term =
     Term.(
@@ -264,4 +384,4 @@ let sweep_cmd =
 let () =
   let doc = "a concurrent compiler for Modula-2+ (Wortman & Junkin, PLDI 1992)" in
   let info = Cmd.info "m2c" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; build_cmd; run_cmd; sweep_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd ]))

@@ -1,0 +1,57 @@
+(** The schedule explorer.
+
+    Re-runs one compilation under many legal Supervisor schedules
+    (ready-queue tie-breaking perturbed by a seeded PRNG) across the DKY
+    strategy x processor-count matrix, and asserts per run that the
+    happens-before checker is clean and that the output (object-code
+    disassembly + sorted diagnostics) is byte-identical to the cell's
+    unperturbed baseline — the schedule-independence claim of the
+    paper's DKY design, checked mechanically. *)
+
+open Mcc_sem
+
+type run = {
+  perturb_seed : int option;  (** [None] = the canonical baseline schedule *)
+  hb : Hb.report;
+  equivalent : bool;  (** output matches the cell's baseline *)
+  deadlocked : bool;
+}
+
+type cell = {
+  strategy : Symtab.dky;
+  procs : int;
+  runs : run list;  (** baseline first, then the perturbed schedules *)
+  cell_violations : int;
+  cell_divergent : int;  (** perturbed runs whose output differed *)
+}
+
+type report = {
+  cells : cell list;
+  schedules_explored : int;  (** every run, baselines included *)
+  total_violations : int;
+  divergent_runs : int;
+  all_equivalent : bool;
+  violation_samples : string list;  (** up to 8 rendered violations *)
+}
+
+(** [explore store] compiles [store] [1 + schedules] times per
+    (strategy, procs) cell: one canonical baseline plus [schedules]
+    perturbed runs whose tie-break seeds derive from [seed].
+    [~inject_early_publish:scope_name] arms the test-only early-publish
+    fault ({!Mcc_sem.Symtab.inject_early_complete}) for every run, to
+    demonstrate detection. *)
+val explore :
+  ?schedules:int ->
+  ?seed:int ->
+  ?strategies:Symtab.dky list ->
+  ?procs_list:int list ->
+  ?inject_early_publish:string ->
+  Mcc_core.Source_store.t ->
+  report
+
+(** No violations and no divergent output. *)
+val clean : report -> bool
+
+(** The matrix, one row per (strategy, procs) cell, plus totals and
+    violation samples. *)
+val render : report -> string

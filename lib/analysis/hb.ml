@@ -1,0 +1,241 @@
+(* The happens-before checker.
+
+   Replays a structured concurrency event log (Mcc_sched.Evlog) captured
+   from a DES run and verifies the ordering invariants the paper's
+   correctness argument rests on (§2.3.3).  The DES engine is single-
+   threaded, so the log's sequence numbers are the true execution order;
+   "A happens before B" is simply "A's record precedes B's".  The checks:
+
+   - every observation of a symbol is preceded by its publication
+     (a lookup can never see a symbol its declaring task has not yet
+     entered);
+   - no scope publishes after completing, and no authoritative miss (a
+     miss in a *complete* table) is later contradicted by a publication
+     to the same scope — the early-publish family of bugs;
+   - every DKY block record is matched by a later unblock by the same
+     task (no lookup left hanging);
+   - every engine-level block is matched by a wake, wakes only follow
+     their event's signal, and a gated task never starts before its gate
+     is signaled;
+   - the instantaneous wait-for graph (blocked task -> expected producer)
+     is acyclic at every step — the deadlock detector.
+
+   The checker is a pure function of the log: it never touches the
+   compiler, so it can also be exercised on hand-built logs in tests. *)
+
+open Mcc_sched
+
+type violation =
+  | Observe_before_publish of { scope : int; scope_name : string; sym : string; observe_seq : int }
+  | Publish_after_complete of {
+      scope : int;
+      scope_name : string;
+      sym : string;
+      publish_seq : int;
+      complete_seq : int;
+    }
+  | Miss_then_publish of {
+      scope : int;
+      scope_name : string;
+      sym : string;
+      miss_seq : int;
+      publish_seq : int;
+    }
+  | Unmatched_dky_block of { task : int; scope_name : string; sym : string; ev : int; block_seq : int }
+  | Unwoken_block of { task : int; ev : int; ev_name : string; block_seq : int }
+  | Wake_before_signal of { task : int; ev : int; wake_seq : int }
+  | Start_before_gate of { task : int; gate : int; start_seq : int }
+  | Wait_cycle of { tasks : int list; seq : int }
+
+type report = {
+  violations : violation list;
+  n_records : int;
+  n_publishes : int;
+  n_observes : int;
+  n_auth_misses : int;
+  n_dky_blocks : int;
+  n_dky_unblocks : int;
+  n_signals : int;
+  n_blocks : int;
+  n_wakes : int;
+  n_spawned : int;
+  n_finished : int;
+}
+
+let violation_to_string = function
+  | Observe_before_publish { scope_name; sym; observe_seq; _ } ->
+      Printf.sprintf "observe-before-publish: %s seen in %s at #%d with no prior publish" sym
+        scope_name observe_seq
+  | Publish_after_complete { scope_name; sym; publish_seq; complete_seq; _ } ->
+      Printf.sprintf "publish-after-complete: %s published to %s at #%d, scope completed at #%d"
+        sym scope_name publish_seq complete_seq
+  | Miss_then_publish { scope_name; sym; miss_seq; publish_seq; _ } ->
+      Printf.sprintf
+        "miss-then-publish: authoritative miss of %s in %s at #%d contradicted by publish at #%d"
+        sym scope_name miss_seq publish_seq
+  | Unmatched_dky_block { task; scope_name; sym; ev; block_seq } ->
+      Printf.sprintf "unmatched DKY block: task#%d blocked on %s in %s (event#%d) at #%d, never unblocked"
+        task sym scope_name ev block_seq
+  | Unwoken_block { task; ev; ev_name; block_seq } ->
+      Printf.sprintf "unwoken block: task#%d blocked on event#%d %s at #%d, never woken" task ev
+        ev_name block_seq
+  | Wake_before_signal { task; ev; wake_seq } ->
+      Printf.sprintf "wake-before-signal: task#%d woken from event#%d at #%d before any signal" task
+        ev wake_seq
+  | Start_before_gate { task; gate; start_seq } ->
+      Printf.sprintf "start-before-gate: gated task#%d started at #%d before event#%d was signaled"
+        task start_seq gate
+  | Wait_cycle { tasks; seq } ->
+      Printf.sprintf "wait cycle at #%d: %s" seq
+        (String.concat " -> " (List.map (Printf.sprintf "task#%d") tasks))
+
+let check (log : Evlog.record array) : report =
+  let violations = ref [] in
+  let flag v = violations := v :: !violations in
+  (* first publication / completion / authoritative miss, by key *)
+  let published : (int * string, int) Hashtbl.t = Hashtbl.create 256 in
+  let completed : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let misses : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* outstanding DKY waits: (task, ev) -> stack of (seq, scope_name, sym) *)
+  let dky_pending : (int * int, (int * string * string) list) Hashtbl.t = Hashtbl.create 64 in
+  (* outstanding engine blocks: task -> (ev, ev_name, seq) *)
+  let blocked : (int, int * string * int) Hashtbl.t = Hashtbl.create 64 in
+  (* instantaneous wait-for edges: blocked task -> expected producer *)
+  let waits : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let signals : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let gates : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let n_publishes = ref 0
+  and n_observes = ref 0
+  and n_auth_misses = ref 0
+  and n_dky_blocks = ref 0
+  and n_dky_unblocks = ref 0
+  and n_signals = ref 0
+  and n_blocks = ref 0
+  and n_wakes = ref 0
+  and n_spawned = ref 0
+  and n_finished = ref 0 in
+  (* walk the wait-for graph from [start]'s producer; a path back to
+     [start] is a deadlock-shaped cycle *)
+  let detect_cycle start seq =
+    let rec follow path p steps =
+      if steps > Hashtbl.length waits + 1 then ()
+      else if p = start then flag (Wait_cycle { tasks = List.rev (start :: path); seq })
+      else
+        match Hashtbl.find_opt waits p with
+        | Some next -> follow (p :: path) next (steps + 1)
+        | None -> ()
+    in
+    match Hashtbl.find_opt waits start with
+    | Some producer -> follow [ start ] producer 0
+    | None -> ()
+  in
+  Array.iter
+    (fun (r : Evlog.record) ->
+      match r.Evlog.kind with
+      | Evlog.Task_spawn { task; gate; _ } ->
+          incr n_spawned;
+          if gate >= 0 then Hashtbl.replace gates task gate
+      | Evlog.Task_start { task } -> (
+          match Hashtbl.find_opt gates task with
+          | Some gate when not (Hashtbl.mem signals gate) ->
+              flag (Start_before_gate { task; gate; start_seq = r.Evlog.seq })
+          | _ -> ())
+      | Evlog.Task_finish _ -> incr n_finished
+      | Evlog.Ev_signal { ev; _ } ->
+          incr n_signals;
+          if not (Hashtbl.mem signals ev) then Hashtbl.replace signals ev r.Evlog.seq
+      | Evlog.Ev_block { ev; name; producer } ->
+          incr n_blocks;
+          Hashtbl.replace blocked r.Evlog.task (ev, name, r.Evlog.seq);
+          if producer >= 0 && producer <> r.Evlog.task then begin
+            Hashtbl.replace waits r.Evlog.task producer;
+            detect_cycle r.Evlog.task r.Evlog.seq
+          end
+      | Evlog.Ev_wake { ev; task } ->
+          incr n_wakes;
+          if not (Hashtbl.mem signals ev) then
+            flag (Wake_before_signal { task; ev; wake_seq = r.Evlog.seq });
+          Hashtbl.remove blocked task;
+          Hashtbl.remove waits task
+      | Evlog.Gate_release _ -> ()
+      | Evlog.Scope_intern _ -> ()
+      | Evlog.Publish { scope; scope_name; sym } ->
+          incr n_publishes;
+          let key = (scope, sym) in
+          if not (Hashtbl.mem published key) then Hashtbl.replace published key r.Evlog.seq;
+          (match Hashtbl.find_opt completed scope with
+          | Some complete_seq ->
+              flag
+                (Publish_after_complete
+                   { scope; scope_name; sym; publish_seq = r.Evlog.seq; complete_seq })
+          | None -> ());
+          (match Hashtbl.find_opt misses key with
+          | Some miss_seq ->
+              flag (Miss_then_publish { scope; scope_name; sym; miss_seq; publish_seq = r.Evlog.seq })
+          | None -> ())
+      | Evlog.Complete { scope; _ } ->
+          if not (Hashtbl.mem completed scope) then Hashtbl.replace completed scope r.Evlog.seq
+      | Evlog.Observe { scope; scope_name; sym; _ } ->
+          incr n_observes;
+          if not (Hashtbl.mem published (scope, sym)) then
+            flag (Observe_before_publish { scope; scope_name; sym; observe_seq = r.Evlog.seq })
+      | Evlog.Auth_miss { scope; sym; _ } ->
+          incr n_auth_misses;
+          let key = (scope, sym) in
+          if not (Hashtbl.mem misses key) then Hashtbl.replace misses key r.Evlog.seq
+      | Evlog.Dky_block { scope_name; sym; ev; _ } ->
+          incr n_dky_blocks;
+          let key = (r.Evlog.task, ev) in
+          let stack = Option.value ~default:[] (Hashtbl.find_opt dky_pending key) in
+          Hashtbl.replace dky_pending key ((r.Evlog.seq, scope_name, sym) :: stack)
+      | Evlog.Dky_unblock { scope_name; sym; ev; _ } -> (
+          incr n_dky_unblocks;
+          let key = (r.Evlog.task, ev) in
+          match Hashtbl.find_opt dky_pending key with
+          | Some (_ :: rest) ->
+              if rest = [] then Hashtbl.remove dky_pending key
+              else Hashtbl.replace dky_pending key rest
+          | Some [] | None ->
+              (* an unblock with no outstanding block is itself unpaired *)
+              flag
+                (Unmatched_dky_block
+                   { task = r.Evlog.task; scope_name; sym; ev; block_seq = r.Evlog.seq })))
+    log;
+  Hashtbl.iter
+    (fun (task, ev) stack ->
+      List.iter
+        (fun (block_seq, scope_name, sym) ->
+          flag (Unmatched_dky_block { task; scope_name; sym; ev; block_seq }))
+        stack)
+    dky_pending;
+  Hashtbl.iter
+    (fun task (ev, ev_name, block_seq) -> flag (Unwoken_block { task; ev; ev_name; block_seq }))
+    blocked;
+  {
+    violations =
+      List.sort
+        (fun a b -> compare (violation_to_string a) (violation_to_string b))
+        !violations;
+    n_records = Array.length log;
+    n_publishes = !n_publishes;
+    n_observes = !n_observes;
+    n_auth_misses = !n_auth_misses;
+    n_dky_blocks = !n_dky_blocks;
+    n_dky_unblocks = !n_dky_unblocks;
+    n_signals = !n_signals;
+    n_blocks = !n_blocks;
+    n_wakes = !n_wakes;
+    n_spawned = !n_spawned;
+    n_finished = !n_finished;
+  }
+
+let ok r = r.violations = []
+
+let summary r =
+  Printf.sprintf
+    "%d records: %d publish, %d observe, %d auth-miss, %d DKY block/%d unblock, %d signal, %d \
+     block/%d wake, %d spawn/%d finish — %d violation%s"
+    r.n_records r.n_publishes r.n_observes r.n_auth_misses r.n_dky_blocks r.n_dky_unblocks
+    r.n_signals r.n_blocks r.n_wakes r.n_spawned r.n_finished
+    (List.length r.violations)
+    (if List.length r.violations = 1 then "" else "s")

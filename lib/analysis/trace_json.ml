@@ -1,0 +1,67 @@
+(* Chrome trace_event export.
+
+   Renders a DES execution trace as the Chrome tracing / Perfetto JSON
+   format ("trace event format", JSON-array flavor): one "X" (complete)
+   duration event per trace segment, with the simulated processor as the
+   thread id, plus thread_name metadata rows.  Load the output in
+   chrome://tracing or ui.perfetto.dev for the WatchTool-style activity
+   view of paper Figures 4 and 7.
+
+   Timestamps are microseconds of *simulated* time (virtual work units
+   scaled by Costs.seconds_per_unit). *)
+
+open Mcc_sched
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let micros units = Costs.to_seconds units *. 1e6
+
+let export ?(names : (int * string) list = []) (trace : Trace.t) : string =
+  let name_tbl = Hashtbl.create 64 in
+  List.iter (fun (id, n) -> Hashtbl.replace name_tbl id n) names;
+  let task_name id =
+    match Hashtbl.find_opt name_tbl id with Some n -> n | None -> Printf.sprintf "task#%d" id
+  in
+  let segs = Trace.segments trace in
+  let procs = List.fold_left (fun acc (s : Trace.seg) -> max acc (s.Trace.proc + 1)) 0 segs in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  for p = 0 to procs - 1 do
+    emit
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"proc \
+          %d\"}}"
+         p p)
+  done;
+  List.iter
+    (fun (s : Trace.seg) ->
+      let kind = match s.Trace.kind with Trace.Run -> "run" | Trace.Waitbar -> "waitbar" in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"task\":%d,\"kind\":\"%s\"}}"
+           (escape (task_name s.Trace.task_id))
+           (escape (Task.cls_name s.Trace.cls))
+           (micros s.Trace.t0)
+           (micros (s.Trace.t1 -. s.Trace.t0))
+           s.Trace.proc s.Trace.task_id kind))
+    segs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf

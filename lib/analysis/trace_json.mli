@@ -1,0 +1,12 @@
+(** Chrome trace_event export of a DES execution trace.
+
+    One ["X"] (complete) duration event per trace segment — the
+    simulated processor is the thread id — plus thread_name metadata.
+    Load in chrome://tracing or ui.perfetto.dev for the WatchTool-style
+    activity view (paper Figures 4 and 7).  Timestamps are microseconds
+    of simulated time. *)
+
+(** [export ~names trace] renders the JSON document.  [names] maps task
+    ids to display names (e.g. [Mcc_core.Driver.result.task_index]);
+    unmapped ids render as ["task#N"]. *)
+val export : ?names:(int * string) list -> Mcc_sched.Trace.t -> string

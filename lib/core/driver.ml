@@ -32,6 +32,9 @@ type config = {
   procs : int;
   beta : float; (* memory-bus contention coefficient *)
   fifo_sched : bool; (* ablation: disable the Supervisor's priorities *)
+  perturb : int option;
+      (* schedule-exploration seed: randomize ready-queue tie-breaking
+         (see Supervisor.create); None = the canonical schedule *)
 }
 
 let default_config =
@@ -41,6 +44,7 @@ let default_config =
     procs = 8;
     beta = Costs.bus_beta;
     fifo_sched = false;
+    perturb = None;
   }
 
 type result = {
@@ -55,8 +59,12 @@ type result = {
   n_tasks : int;
   tokens : int; (* tokens lexed across all files *)
   task_list : (string * string) list; (* (class, name) per instantiated task, Fig. 5 *)
+  task_index : (int * string) list; (* task id -> name, for trace/log rendering *)
   cache_hits : string list; (* interfaces installed from the build cache, sorted *)
   cache_misses : string list; (* interfaces fingerprinted but compiled cold, sorted *)
+  log : Evlog.record array; (* captured event log ([||] unless ~capture:true) *)
+  events_logged : int;
+  perturb_seed : int option; (* the config's exploration seed, echoed back *)
 }
 
 (* Procedure bodies at least this big go to the long-procedure
@@ -87,7 +95,7 @@ type comp = {
   mutable next_stream : int;
   mutable n_defs : int;
   mutable n_tasks : int;
-  mutable task_names : (string * string) list; (* reversed (class, name) *)
+  mutable task_names : (int * string * string) list; (* reversed (id, class, name) *)
   tasks_mu : Mutex.t;
   (* completion accounting: splitter hold + module body + per procedure
      stream + per definition-module stream; 0 => signal all_done *)
@@ -110,11 +118,14 @@ let release comp =
   Mutex.unlock comp.pending_mu;
   if zero then Eff.signal comp.all_done
 
-let spawn comp task =
+let record_task comp (task : Task.t) =
   Mutex.lock comp.tasks_mu;
   comp.n_tasks <- comp.n_tasks + 1;
-  comp.task_names <- (Task.cls_name task.Task.cls, task.Task.name) :: comp.task_names;
-  Mutex.unlock comp.tasks_mu;
+  comp.task_names <- (task.Task.id, Task.cls_name task.Task.cls, task.Task.name) :: comp.task_names;
+  Mutex.unlock comp.tasks_mu
+
+let spawn comp task =
+  record_task comp task;
   Eff.spawn task
 
 let fresh_stream_id comp =
@@ -452,11 +463,17 @@ let finish_program comp ~entry =
   | Some p -> p
   | None -> Cunit.link ~entry ~frames:[] [] (* deadlock: empty program *)
 
-(* Compile on the deterministic simulated multiprocessor. *)
-let compile ?(config = default_config) ?cache (store : Source_store.t) : result =
+(* Compile on the deterministic simulated multiprocessor.  [~capture]
+   records the structured concurrency event log (see Mcc_sched.Evlog) for
+   the happens-before analyzer; the default path does no logging work. *)
+let compile ?(config = default_config) ?(capture = false) ?cache (store : Source_store.t) : result =
   let m = Source_store.main_name store in
   let comp, init_tasks = prepare config cache store in
-  let sim = Des_engine.run ~beta:config.beta ~fifo:config.fifo_sched ~procs:config.procs init_tasks in
+  let run () =
+    Des_engine.run ~beta:config.beta ~fifo:config.fifo_sched ?perturb:config.perturb
+      ~procs:config.procs init_tasks
+  in
+  let sim, log = if capture then Evlog.capture run else (run (), [||]) in
   (match sim.Des_engine.outcome with
   | Des_engine.Completed -> ()
   | Des_engine.Deadlocked stuck ->
@@ -481,9 +498,13 @@ let compile ?(config = default_config) ?cache (store : Source_store.t) : result 
     n_streams = 1 + n_procs + comp.n_defs;
     n_tasks = comp.n_tasks;
     tokens = comp.total_tokens;
-    task_list = List.rev comp.task_names;
+    task_list = List.rev_map (fun (_, cls, name) -> (cls, name)) comp.task_names;
+    task_index = List.rev_map (fun (id, _, name) -> (id, name)) comp.task_names;
     cache_hits = List.sort compare comp.cache_hits;
     cache_misses = List.sort compare comp.cache_misses;
+    log;
+    events_logged = Array.length log;
+    perturb_seed = config.perturb;
   }
 
 (* Render the instantiated task structure (the realization of the

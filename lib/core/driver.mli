@@ -23,6 +23,9 @@ type config = {
   procs : int;  (** simulated processors *)
   beta : float;  (** memory-bus contention coefficient *)
   fifo_sched : bool;  (** ablation: disable the Supervisor's priorities (paper §2.3.4) *)
+  perturb : int option;
+      (** schedule-exploration seed: randomize ready-queue tie-breaking
+          (see {!Mcc_sched.Supervisor.create}); [None] = canonical *)
 }
 
 (** 8 processors, skeptical handling, alternative 1, calibrated beta. *)
@@ -40,12 +43,19 @@ type result = {
   n_tasks : int;
   tokens : int;  (** tokens lexed across all files *)
   task_list : (string * string) list;  (** (class, name) per instantiated task *)
+  task_index : (int * string) list;
+      (** task id -> name for every spawned task, for trace/log rendering *)
   cache_hits : string list;
       (** interfaces installed from the build cache instead of spawning
           their streams, sorted (empty without a cache) *)
   cache_misses : string list;
       (** interfaces fingerprinted but compiled cold (and then stored),
           sorted (empty without a cache) *)
+  log : Mcc_sched.Evlog.record array;
+      (** the structured concurrency event log ([[||]] unless compiled
+          with [~capture:true]) *)
+  events_logged : int;  (** [Array.length log] *)
+  perturb_seed : int option;  (** the config's exploration seed, echoed back *)
 }
 
 (** Statement parts at least this many nodes go to the long-procedure
@@ -57,8 +67,11 @@ val long_threshold : int
     whose content fingerprint is already stored are installed from
     their artifacts (paying explicit hash + probe + install charges)
     instead of spawning Lexor/Importer/DefParse streams; interfaces
-    compiled cold are captured into the cache. *)
-val compile : ?config:config -> ?cache:Build_cache.t -> Source_store.t -> result
+    compiled cold are captured into the cache.  [~capture:true] records
+    the structured concurrency event log into [result.log] for the
+    happens-before analyzer ({!Mcc_analysis.Hb}); capture never charges
+    work, so virtual timings are unchanged. *)
+val compile : ?config:config -> ?capture:bool -> ?cache:Build_cache.t -> Source_store.t -> result
 
 (** Render the instantiated task structure (the realization of Fig. 5
     for this compilation), grouped by class in priority order. *)

@@ -106,6 +106,7 @@ let do_signal st t (ev : Event.t) =
   if not (Event.occurred ev) then begin
     Event.mark ev;
     ev.Event.signal_time <- t;
+    if Evlog.enabled () then Evlog.emit (Evlog.Ev_signal { ev = ev.Event.id; name = ev.Event.name });
     (* release tasks gated on this avoided event *)
     Supervisor.on_event st.sup ev;
     (* wake handled waiters: their continuations go back to the ready
@@ -115,8 +116,10 @@ let do_signal st t (ev : Event.t) =
     | Some waiters ->
         Hashtbl.remove st.waiting ev.Event.id;
         List.iter
-          (fun (task, k) ->
+          (fun ((task : Task.t), k) ->
             st.n_blocked <- st.n_blocked - 1;
+            if Evlog.enabled () then
+              Evlog.emit (Evlog.Ev_wake { ev = ev.Event.id; task = task.Task.id });
             Supervisor.resume st.sup task k)
           waiters);
     (* wake barrier waiters on their own (still bound) processors *)
@@ -125,8 +128,10 @@ let do_signal st t (ev : Event.t) =
     | Some waiters ->
         Hashtbl.remove st.barrier_waiting ev.Event.id;
         List.iter
-          (fun (p, t_block, task, k) ->
+          (fun (p, t_block, (task : Task.t), k) ->
             st.barrier_count <- st.barrier_count - 1;
+            if Evlog.enabled () then
+              Evlog.emit (Evlog.Ev_wake { ev = ev.Event.id; task = task.Task.id });
             Trace.add st.trace ~proc:p ~task_id:task.Task.id ~cls:task.Task.cls ~t0:t_block ~t1:t
               ~kind:Trace.Waitbar;
             Heap.push st.agenda t (Continue (p, task, k)))
@@ -157,12 +162,18 @@ let rec handle_step st t p (task : Task.t) (step : Eff.step) =
   | Eff.Blocked (ev, k) ->
       if Event.occurred ev then handle_step st t p task (Eff.resume k)
       else if ev.Event.kind = Event.Barrier then begin
+        if Evlog.enabled () then
+          Evlog.emit
+            (Evlog.Ev_block { ev = ev.Event.id; name = ev.Event.name; producer = ev.Event.producer });
         task.Task.state <- Task.Blocked;
         st.barrier_count <- st.barrier_count + 1;
         let l = Option.value ~default:[] (Hashtbl.find_opt st.barrier_waiting ev.Event.id) in
         Hashtbl.replace st.barrier_waiting ev.Event.id ((p, t, task, k) :: l)
       end
       else begin
+        if Evlog.enabled () then
+          Evlog.emit
+            (Evlog.Ev_block { ev = ev.Event.id; name = ev.Event.name; producer = ev.Event.producer });
         task.Task.state <- Task.Blocked;
         st.n_blocked <- st.n_blocked + 1;
         st.handled_blocks <- st.handled_blocks + 1;
@@ -176,11 +187,20 @@ let rec handle_step st t p (task : Task.t) (step : Eff.step) =
       do_signal st t ev;
       handle_step st t p task (Eff.resume k)
   | Eff.Spawned (task', k) ->
+      if Evlog.enabled () then
+        Evlog.emit
+          (Evlog.Task_spawn
+             {
+               task = task'.Task.id;
+               name = task'.Task.name;
+               gate = (match task'.Task.gate with Some g -> g.Event.id | None -> -1);
+             });
       Supervisor.submit st.sup task';
       try_assign st t;
       handle_step st t p task (Eff.resume k)
 
 and finish_task st t p (task : Task.t) =
+  if Evlog.enabled () then Evlog.emit (Evlog.Task_finish { task = task.Task.id });
   task.Task.state <- Task.Done;
   st.n_finished <- st.n_finished + 1;
   release_proc st t p
@@ -203,11 +223,11 @@ let deadlock_report st =
   in
   List.sort compare (waits @ gates)
 
-let run ?(beta = Costs.bus_beta) ?(fifo = false) ~procs tasks =
+let run ?(beta = Costs.bus_beta) ?(fifo = false) ?perturb ~procs tasks =
   if procs < 1 then invalid_arg "Des_engine.run: need at least one processor";
   let st =
     {
-      sup = Supervisor.create ~fifo ();
+      sup = Supervisor.create ~fifo ?perturb:(Option.map Prng.create perturb) ();
       agenda = Heap.create dummy_item;
       trace = Trace.create ();
       waiting = Hashtbl.create 64;
@@ -228,6 +248,18 @@ let run ?(beta = Costs.bus_beta) ?(fifo = false) ~procs tasks =
   Fun.protect
     ~finally:(fun () -> Eff.mode := saved_mode)
     (fun () ->
+      let logging = Evlog.enabled () in
+      if logging then
+        List.iter
+          (fun (task : Task.t) ->
+            Evlog.emit
+              (Evlog.Task_spawn
+                 {
+                   task = task.Task.id;
+                   name = task.Task.name;
+                   gate = (match task.Task.gate with Some g -> g.Event.id | None -> -1);
+                 }))
+          tasks;
       List.iter (Supervisor.submit st.sup) tasks;
       try_assign st 0.0;
       let last_t = ref 0.0 in
@@ -238,10 +270,18 @@ let run ?(beta = Costs.bus_beta) ?(fifo = false) ~procs tasks =
             last_t := t;
             (match item with
             | Start (p, task) ->
+                if logging then begin
+                  Evlog.set_task task.Task.id;
+                  Evlog.emit (Evlog.Task_start { task = task.Task.id })
+                end;
                 task.Task.state <- Task.Running;
                 handle_step st t p task (Eff.start task.Task.body)
-            | Continue (p, task, k) -> handle_step st t p task (Eff.resume k)
-            | Complete (p, task) -> finish_task st t p task);
+            | Continue (p, task, k) ->
+                if logging then Evlog.set_task task.Task.id;
+                handle_step st t p task (Eff.resume k)
+            | Complete (p, task) ->
+                if logging then Evlog.set_task task.Task.id;
+                finish_task st t p task);
             loop ()
       in
       loop ();

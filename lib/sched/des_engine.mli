@@ -32,5 +32,8 @@ type result = {
 (** [run ~beta ~procs tasks] simulates the initial task set (plus
     everything it spawns) to quiescence.  [beta] defaults to
     {!Costs.bus_beta}; [~fifo:true] disables the Supervisor's priority
-    scheduling (ablation of paper §2.3.4). *)
-val run : ?beta:float -> ?fifo:bool -> procs:int -> Task.t list -> result
+    scheduling (ablation of paper §2.3.4).  [~perturb:seed] randomizes
+    ready-queue tie-breaking with a {!Mcc_util.Prng} seeded from [seed]
+    — every perturbed run is still a legal Supervisor schedule (used by
+    the schedule explorer; see {!Supervisor.create}). *)
+val run : ?beta:float -> ?fifo:bool -> ?perturb:int -> procs:int -> Task.t list -> result

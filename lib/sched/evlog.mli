@@ -1,0 +1,53 @@
+(** The structured concurrency event log.
+
+    A globally ordered record stream of every synchronization-relevant
+    action performed while compiling on the DES engine: symbol
+    publishes, scope completions, DKY blocks/unblocks, event
+    signal/block/wake, gated-task releases, task spawn/start/finish.
+    The happens-before checker ([Mcc_analysis.Hb]) replays it to verify
+    the DKY ordering invariants of paper §2.3.3 across perturbed
+    schedules.
+
+    Capture is off by default; emission sites guard on {!enabled}
+    before allocating a record, and no record charges [Eff.work], so
+    default compile timings are unaffected.  DES-only: the single-
+    threaded engine appends records in true execution order (the domain
+    engine never enables capture). *)
+
+type kind =
+  | Task_spawn of { task : int; name : string; gate : int  (** gate event id, -1 ungated *) }
+  | Task_start of { task : int }
+  | Task_finish of { task : int }
+  | Ev_signal of { ev : int; name : string }
+  | Ev_block of { ev : int; name : string; producer : int  (** expected signaler, -1 unknown *) }
+  | Ev_wake of { ev : int; task : int  (** the woken task *) }
+  | Gate_release of { ev : int; task : int  (** the released gated task *) }
+  | Scope_intern of { scope : int; name : string }
+  | Publish of { scope : int; scope_name : string; sym : string }
+  | Complete of { scope : int; scope_name : string }
+  | Observe of { scope : int; scope_name : string; sym : string; complete : bool }
+  | Auth_miss of { scope : int; scope_name : string; sym : string }
+      (** a miss in a {e complete} table — authoritative: the symbol
+          must never be published to this scope afterwards *)
+  | Dky_block of { scope : int; scope_name : string; sym : string; ev : int }
+  | Dky_unblock of { scope : int; scope_name : string; sym : string; ev : int }
+
+type record = { seq : int; task : int  (** emitting task; -1 = scheduler *); kind : kind }
+
+val enabled : unit -> bool
+
+(** Record which task's code is currently executing (set by the DES
+    engine at every dispatch). *)
+val set_task : int -> unit
+
+(** Append a record (no-op unless capture is on).  Call sites must
+    guard with {!enabled} so the record is not even allocated on the
+    default path. *)
+val emit : kind -> unit
+
+(** [capture f] runs [f] with logging on and returns [(f (), log)].
+    Does not nest; restores the previous logging state on exit. *)
+val capture : (unit -> 'a) -> 'a * record array
+
+val kind_to_string : kind -> string
+val record_to_string : record -> string

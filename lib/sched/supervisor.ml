@@ -32,9 +32,16 @@ type t = {
   fifo : bool;
       (* ablation: ignore class priorities and size ordering, treating
          the ready list as one FIFO queue (gating still applies) *)
+  perturb : Prng.t option;
+      (* schedule exploration: when set, [pick] selects uniformly at
+         random within the highest-priority non-empty class instead of
+         using FIFO/longest-first tie-breaking.  Any entry of that class
+         is a legal choice, so every perturbed run is a schedule the
+         Supervisor could have produced; compiler output must not depend
+         on which one (the analyzer asserts it doesn't). *)
 }
 
-let create ?(fifo = false) () =
+let create ?(fifo = false) ?perturb () =
   let dummy = Fresh (Task.create ~cls:Task.Aux ~name:"dummy" (fun () -> ())) in
   {
     classes = Array.init Task.n_classes (fun _ -> Deque.create dummy);
@@ -43,6 +50,7 @@ let create ?(fifo = false) () =
     n_gated = 0;
     submitted = 0;
     fifo;
+    perturb;
   }
 
 let n_ready t = t.n_ready
@@ -85,7 +93,12 @@ let on_event t (ev : Event.t) =
       t.n_gated <- t.n_gated - List.length parked;
       (* parked lists are built by consing; reverse to preserve
          submission order *)
-      List.iter (fun task -> enqueue_ready t (Fresh task)) (List.rev parked)
+      List.iter
+        (fun (task : Task.t) ->
+          if Evlog.enabled () then
+            Evlog.emit (Evlog.Gate_release { ev = ev.Event.id; task = task.Task.id });
+          enqueue_ready t (Fresh task))
+        (List.rev parked)
 
 (* Move the pending task [task_id] to the front of its class queue: a
    blocked task is waiting for it (paper §2.3.4). *)
@@ -113,6 +126,22 @@ let pick t =
           && (i = Task.cls_priority Task.LongGen || i = Task.cls_priority Task.ShortGen)
         in
         let entry =
+          match t.perturb with
+          | Some rng when Deque.length q > 1 ->
+              let idx = Prng.int rng (Deque.length q) in
+              let j = ref 0 in
+              let chosen = ref None in
+              Deque.iter
+                (fun e ->
+                  if !j = idx then chosen := Some e;
+                  incr j)
+                q;
+              (match !chosen with
+              | Some e ->
+                  ignore (Deque.remove_first q (fun e' -> e' == e));
+                  Some e
+              | None -> Deque.pop_front q)
+          | _ ->
           if by_size then begin
             let best = ref None in
             Deque.iter

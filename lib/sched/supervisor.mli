@@ -17,8 +17,11 @@ type t
 
 (** [~fifo:true] is the scheduling ablation: one FIFO ready queue with
     no class priorities and no longest-first ordering (avoided-event
-    gating still applies). *)
-val create : ?fifo:bool -> unit -> t
+    gating still applies).  [~perturb] is schedule exploration: [pick]
+    selects uniformly at random within the highest-priority non-empty
+    class instead of FIFO/longest-first tie-breaking — every perturbed
+    run is still a legal Supervisor schedule. *)
+val create : ?fifo:bool -> ?perturb:Mcc_util.Prng.t -> unit -> t
 val n_ready : t -> int
 val n_gated : t -> int
 val total_submitted : t -> int

@@ -24,6 +24,12 @@ let intern t name =
         (scope, true)
   in
   Mutex.unlock t.mu;
+  (match r with
+  | scope, true ->
+      if Mcc_sched.Evlog.enabled () then
+        Mcc_sched.Evlog.emit
+          (Mcc_sched.Evlog.Scope_intern { scope = scope.Symtab.sid; name = scope.Symtab.sname })
+  | _ -> ());
   r
 
 let find t name =

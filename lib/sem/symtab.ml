@@ -57,6 +57,7 @@ type kind = KBuiltin | KDef of string | KMain of string | KProc of string
 type t = {
   sid : int;
   kind : kind;
+  sname : string; (* [scope_name kind], cached so logging never allocates it *)
   parent : t option;
   tbl : (string, Symbol.t) Hashtbl.t;
   completion : Event.t;
@@ -70,12 +71,14 @@ let next_sid = Atomic.make 0
 let scope_name = function KBuiltin -> "<builtin>" | KDef m -> m ^ ".def" | KMain m -> m | KProc p -> p
 
 let create ?parent kind =
+  let sname = scope_name kind in
   {
     sid = Atomic.fetch_and_add next_sid 1;
     kind;
+    sname;
     parent;
     tbl = Hashtbl.create 32;
-    completion = Event.create ~kind:Event.Handled (scope_name kind ^ ".complete");
+    completion = Event.create ~kind:Event.Handled (sname ^ ".complete");
     complete = false;
     had_placeholders = false;
     mu = Mutex.create ();
@@ -102,10 +105,46 @@ let entries t =
   Mutex.unlock t.mu;
   List.sort (fun (a : Symbol.t) b -> compare (a.def_off, a.sname) (b.def_off, b.sname)) r
 
+(* Completing a table: flip the flag, signal the completion event, and
+   sweep optimistic placeholders — "when the table is completed, it is
+   traversed and all unsignaled events ... are signaled, allowing blocked
+   tasks to continue searching" (§2.3.3).  (Defined before [enter] so the
+   fault-injection hook there can reach it.) *)
+let mark_complete t =
+  Mutex.lock t.mu;
+  let already = t.complete in
+  t.complete <- true;
+  let pending =
+    Hashtbl.fold
+      (fun _ s acc -> match s.Symbol.skind with Symbol.SPlaceholder ev -> ev :: acc | _ -> acc)
+      t.tbl []
+  in
+  let entries_to_sweep = if t.had_placeholders then Hashtbl.length t.tbl else 0 in
+  Mutex.unlock t.mu;
+  if not already then begin
+    if Evlog.enabled () then Evlog.emit (Evlog.Complete { scope = t.sid; scope_name = t.sname });
+    (* optimistic handling sweeps the whole table for unsignaled
+       per-symbol events — the bookkeeping the paper found to outweigh
+       the technique's advantages *)
+    if entries_to_sweep > 0 then Eff.work (entries_to_sweep * Costs.sweep_entry);
+    List.iter Eff.signal pending;
+    Eff.signal t.completion
+  end
+
+(* Test-only fault injection for the happens-before analyzer: when set to
+   a scope name, [enter] prematurely completes that scope as soon as it
+   already holds a symbol, so the scope publishes *after* completing — the
+   early-publish bug the checker must catch.  DES-only, like the log. *)
+let inject_early_complete : string option ref = ref None
+
 (* Enter a new symbol.  Returns the placeholder's event to signal (the
    caller signals it outside the lock) when an optimistic placeholder is
    being replaced by the real declaration. *)
 let enter t (sym : Symbol.t) =
+  (match !inject_early_complete with
+  | Some victim when victim = t.sname && (not t.complete) && Hashtbl.length t.tbl > 0 ->
+      mark_complete t
+  | _ -> ());
   Mutex.lock t.mu;
   let r =
     match Hashtbl.find_opt t.tbl sym.sname with
@@ -121,6 +160,11 @@ let enter t (sym : Symbol.t) =
         `Ok
   in
   Mutex.unlock t.mu;
+  (match r with
+  | `Dup _ -> ()
+  | _ ->
+      if Evlog.enabled () then
+        Evlog.emit (Evlog.Publish { scope = t.sid; scope_name = t.sname; sym = sym.Symbol.sname }));
   (match r with `Replaced_placeholder ev -> Eff.signal ev | _ -> ());
   match r with `Dup e -> `Dup e | _ -> `Ok
 
@@ -137,30 +181,6 @@ let export t =
 
 let import_export t syms =
   List.iter (fun (s : Symbol.t) -> match enter t s with `Ok | `Dup _ -> ()) syms
-
-(* Completing a table: flip the flag, signal the completion event, and
-   sweep optimistic placeholders — "when the table is completed, it is
-   traversed and all unsignaled events ... are signaled, allowing blocked
-   tasks to continue searching" (§2.3.3). *)
-let mark_complete t =
-  Mutex.lock t.mu;
-  let already = t.complete in
-  t.complete <- true;
-  let pending =
-    Hashtbl.fold
-      (fun _ s acc -> match s.Symbol.skind with Symbol.SPlaceholder ev -> ev :: acc | _ -> acc)
-      t.tbl []
-  in
-  let entries_to_sweep = if t.had_placeholders then Hashtbl.length t.tbl else 0 in
-  Mutex.unlock t.mu;
-  if not already then begin
-    (* optimistic handling sweeps the whole table for unsignaled
-       per-symbol events — the bookkeeping the paper found to outweigh
-       the technique's advantages *)
-    if entries_to_sweep > 0 then Eff.work (entries_to_sweep * Costs.sweep_entry);
-    List.iter Eff.signal pending;
-    Eff.signal t.completion
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Probing *)
@@ -192,6 +212,15 @@ let probe stats t name ~use_off =
         | _ -> if visible t s ~use_off then Found s else Invisible)
   in
   Mutex.unlock t.mu;
+  if Evlog.enabled () then (
+    match r with
+    | Found _ ->
+        Evlog.emit
+          (Evlog.Observe
+             { scope = t.sid; scope_name = t.sname; sym = name; complete = compl = Ls.Complete })
+    | Absent when compl = Ls.Complete ->
+        Evlog.emit (Evlog.Auth_miss { scope = t.sid; scope_name = t.sname; sym = name })
+    | _ -> ());
   (r, compl)
 
 (* Install (or join) an optimistic placeholder for [name]; no-op if the
@@ -225,6 +254,19 @@ let placeholder_event t name =
 let classify_hit ~cls (sym : Symbol.t) =
   match sym.alias_of with Some _ -> Ls.COther | None -> cls
 
+(* A DKY wait, bracketed in the event log: the block record is written
+   before the engine wait and the unblock right after, even when the
+   event has already occurred — the pairing invariant the happens-before
+   checker verifies. *)
+let dky_wait sc name (ev : Event.t) =
+  if Evlog.enabled () then
+    Evlog.emit
+      (Evlog.Dky_block { scope = sc.sid; scope_name = sc.sname; sym = name; ev = ev.Event.id });
+  Eff.wait ev;
+  if Evlog.enabled () then
+    Evlog.emit
+      (Evlog.Dky_unblock { scope = sc.sid; scope_name = sc.sname; sym = name; ev = ev.Event.id })
+
 (* Search one non-self scope under the given strategy.  [kind] tags the
    statistics rows; [first] marks whether a hit counts as "First try"
    (the initial scope of a qualified lookup) or "Search" (outward
@@ -246,7 +288,7 @@ let rec search_scope ~strategy ~stats ~kind ~use_off ~first sc name =
          incomplete table, before searching it *)
       if not (is_complete sc) then begin
         Ls.record_dky stats;
-        Eff.wait sc.completion
+        dky_wait sc name sc.completion
       end;
       match probe stats sc name ~use_off with
       | Found sym, compl -> record_hit ~found:first_found ~compl sym
@@ -260,7 +302,7 @@ let rec search_scope ~strategy ~stats ~kind ~use_off ~first sc name =
       | Absent, Ls.Complete -> None
       | Absent, Ls.Incomplete -> (
           Ls.record_dky stats;
-          Eff.wait sc.completion;
+          dky_wait sc name sc.completion;
           Ls.record_duplicate stats;
           match probe stats sc name ~use_off with
           | Found sym, compl -> record_hit ~found:Ls.AfterDKY ~compl sym
@@ -273,7 +315,7 @@ let rec search_scope ~strategy ~stats ~kind ~use_off ~first sc name =
           if compl = Ls.Complete then None
           else begin
             Ls.record_dky stats;
-            Eff.wait ev;
+            dky_wait sc name ev;
             retry_optimistic ~strategy ~stats ~kind ~use_off sc name
           end
       | Absent, Ls.Complete -> None
@@ -285,7 +327,7 @@ let rec search_scope ~strategy ~stats ~kind ~use_off ~first sc name =
           | Some ev ->
               Eff.work Costs.placeholder_create;
               Ls.record_dky stats;
-              Eff.wait ev;
+              dky_wait sc name ev;
               retry_optimistic ~strategy ~stats ~kind ~use_off sc name))
 
 and retry_optimistic ~strategy ~stats ~kind ~use_off sc name =

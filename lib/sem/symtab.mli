@@ -40,6 +40,7 @@ type kind = KBuiltin | KDef of string | KMain of string | KProc of string
 type t = {
   sid : int;
   kind : kind;
+  sname : string;  (** [scope_name kind], cached *)
   parent : t option;
   tbl : (string, Symbol.t) Hashtbl.t;
   completion : Mcc_sched.Event.t;
@@ -83,6 +84,13 @@ val import_export : t -> Symbol.t list -> unit
 (** Flip [complete], sweep optimistic placeholders ("all unsignaled
     events are signaled", §2.3.3) and signal the completion event. *)
 val mark_complete : t -> unit
+
+(** Test-only fault injection for the happens-before analyzer: while set
+    to [Some scope_name], {!enter} prematurely completes that scope as
+    soon as it already holds a symbol, so later entries publish {e after}
+    completion — the early-publish bug [Mcc_analysis.Hb] must detect.
+    DES-only; always restore to [None] (e.g. with [Fun.protect]). *)
+val inject_early_complete : string option ref
 
 (** Simple-identifier lookup starting in [scope] (the searching stream's
     own scope — probed without waiting, since only its own task searches

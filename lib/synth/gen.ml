@@ -447,8 +447,8 @@ let gen_proc st rng ~(defs : def_info list) ~from_imports ~globals ~index ~neste
   line st "";
   (fname, is_func, n_params)
 
-let generate (shape : shape) : Source_store.t =
-  let rng = Prng.create shape.seed in
+let generate ?seed (shape : shape) : Source_store.t =
+  let rng = Prng.create (Option.value ~default:shape.seed seed) in
   let prog = shape.name in
   let st =
     { rng; shape; buf = Buffer.create 4096; indent = 0; imported_by_someone = Hashtbl.create 32 }

@@ -33,5 +33,7 @@ type shape = {
           compiled program terminates in the VM *)
 }
 
-(** Generate the module and all its interfaces. *)
-val generate : shape -> Source_store.t
+(** Generate the module and all its interfaces.  [?seed] overrides
+    [shape.seed] (the suite threads one user-visible seed through every
+    shape this way). *)
+val generate : ?seed:int -> shape -> Source_store.t

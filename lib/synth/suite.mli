@@ -10,11 +10,13 @@ val n_programs : int
 (** The shape of each suite entry, in rank order. *)
 val shapes : Gen.shape list
 
-(** Generate (and memoize) suite program [rank], 0-based. *)
-val program : int -> Source_store.t
+(** Generate (and memoize) suite program [rank], 0-based.  [?seed]
+    perturbs every shape's generator seed to produce a fresh but equally
+    shaped suite; [seed = 0] (the default) is the canonical suite. *)
+val program : ?seed:int -> int -> Source_store.t
 
 (** All 37 programs. *)
-val all : unit -> Source_store.t list
+val all : ?seed:int -> unit -> Source_store.t list
 
 (** Synth.mod (paper §4.2): many same-sized procedures whose bodies
     reference only their own locals and builtins, so compilation

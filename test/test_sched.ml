@@ -304,6 +304,77 @@ let test_domain_engine_deadlock () =
   Alcotest.(check bool) "deadlock detected" true
     (match r.Domain_engine.outcome with Domain_engine.Deadlocked _ -> true | _ -> false)
 
+(* --- Supervisor unit behaviour: prefer, gated release, perturbation --- *)
+
+let test_supervisor_prefer_moves_to_front () =
+  let sup = Supervisor.create () in
+  let t1 = mk ~cls:Task.ProcParse "p1" (fun () -> ()) in
+  let t2 = mk ~cls:Task.ProcParse "p2" (fun () -> ()) in
+  let t3 = mk ~cls:Task.ProcParse "p3" (fun () -> ()) in
+  List.iter (Supervisor.submit sup) [ t1; t2; t3 ];
+  Supervisor.prefer sup t3.Task.id;
+  (match Supervisor.pick sup with
+  | Some e -> Alcotest.(check string) "preferred first" "p3" (Supervisor.entry_task e).Task.name
+  | None -> Alcotest.fail "expected a ready entry");
+  (* an unknown id is a no-op: the remaining order is untouched *)
+  Supervisor.prefer sup 999_999;
+  match Supervisor.pick sup with
+  | Some e -> Alcotest.(check string) "fifo after prefer" "p1" (Supervisor.entry_task e).Task.name
+  | None -> Alcotest.fail "expected a ready entry"
+
+let test_supervisor_gated_release_order () =
+  let sup = Supervisor.create () in
+  let gate = Event.create ~kind:Event.Avoided "gate" in
+  let names = [ "g1"; "g2"; "g3" ] in
+  List.iter (fun n -> Supervisor.submit sup (mk ~gate ~cls:Task.ProcParse n (fun () -> ()))) names;
+  Alcotest.(check int) "parked" 3 (Supervisor.n_gated sup);
+  Alcotest.(check int) "none ready" 0 (Supervisor.n_ready sup);
+  Event.mark gate;
+  Supervisor.on_event sup gate;
+  Alcotest.(check int) "released" 3 (Supervisor.n_ready sup);
+  let order =
+    List.filter_map
+      (fun _ -> Option.map (fun e -> (Supervisor.entry_task e).Task.name) (Supervisor.pick sup))
+      names
+  in
+  Alcotest.(check (list string)) "released in submission order" names order
+
+let test_gated_release_order_through_des () =
+  (* the same property end to end: released gated tasks run in
+     submission order on a single processor *)
+  let order = ref [] in
+  let gate = Event.create ~kind:Event.Avoided "gate" in
+  let worker n = mk ~gate n (fun () -> order := n :: !order) in
+  let signaler =
+    mk "sig" (fun () ->
+        Eff.work 500;
+        Eff.signal gate)
+  in
+  let r = run ~procs:1 [ worker "g1"; worker "g2"; worker "g3"; signaler ] in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check (list string)) "run order" [ "g1"; "g2"; "g3" ] (List.rev !order)
+
+let test_perturb_reproducible () =
+  let build () =
+    let ev = Event.create ~kind:Event.Handled "e" in
+    [
+      mk "a" (fun () ->
+          Eff.work 1234;
+          Eff.signal ev);
+      mk "b" (fun () ->
+          Eff.work 100;
+          Eff.wait ev;
+          Eff.work 777);
+      mk "c" (fun () -> Eff.work 5000);
+      mk "d" (fun () -> Eff.work 50);
+    ]
+  in
+  let t s = (Des_engine.run ~perturb:s ~procs:2 (build ())).Des_engine.end_time in
+  Alcotest.(check (float 0.0)) "same seed, same schedule" (t 7) (t 7);
+  let r = Des_engine.run ~perturb:3 ~procs:2 (build ()) in
+  Alcotest.(check bool) "perturbed run completes" true (completed r);
+  Alcotest.(check int) "all tasks ran" 4 r.Des_engine.tasks_run
+
 (* --- cost accounting in direct mode --- *)
 
 let test_direct_mode_accumulates () =
@@ -349,6 +420,13 @@ let () =
           Alcotest.test_case "fifo ablation" `Quick test_fifo_ablation_order;
           Alcotest.test_case "producer preferred" `Quick test_prefer_producer;
           Alcotest.test_case "makespan bounds" `Quick test_makespan_bounds;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "prefer moves to front" `Quick test_supervisor_prefer_moves_to_front;
+          Alcotest.test_case "gated release order" `Quick test_supervisor_gated_release_order;
+          Alcotest.test_case "gated order through DES" `Quick test_gated_release_order_through_des;
+          Alcotest.test_case "perturb reproducible" `Quick test_perturb_reproducible;
         ] );
       ( "domains",
         [
