@@ -7,6 +7,7 @@
      m2c compile Foo.mod --procs 8 --strategy skeptical --watch
      m2c compile Foo.mod --cache .m2c-cache   # reuse interface artifacts
      m2c compile Foo.mod --trace-json t.json  # Chrome trace_event export
+     m2c compile Foo.mod --inject task-crash@2 --fault-seed 7  # self-healing
      m2c build Foo.mod            # incremental whole-program build
      m2c run Foo.mod --input 1,2,3
      m2c sweep Foo.mod            # speedup on 1..8 processors
@@ -16,6 +17,7 @@
 open Cmdliner
 open Mcc_core
 module Symtab = Mcc_sem.Symtab
+module Fault = Mcc_sched.Fault
 
 let load path =
   let dir = Filename.dirname path in
@@ -43,6 +45,30 @@ let file_arg =
   Arg.(
     required & pos 0 (some string) None
     & info [] ~docv:"FILE.mod" ~doc:"Implementation module to compile.")
+
+let file_opt_arg =
+  Arg.(
+    value & pos 0 (some string) None
+    & info [] ~docv:"FILE.mod" ~doc:"Implementation module (or use $(b,--synth)).")
+
+let synth_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "synth" ] ~docv:"RANK"
+        ~doc:"Use synthetic suite program $(docv) (0-based) instead of a file.")
+
+(* FILE.mod / --synth selection shared by compile and analyze *)
+let with_store file synth k =
+  match (file, synth) with
+  | Some _, Some _ -> `Error (false, "give either FILE.mod or --synth RANK, not both")
+  | None, None -> `Error (false, "give FILE.mod or --synth RANK")
+  | None, Some rank ->
+      if rank < 0 || rank >= Mcc_synth.Suite.n_programs then
+        `Error
+          (false, Printf.sprintf "--synth must be in 0..%d" (Mcc_synth.Suite.n_programs - 1))
+      else k (Mcc_synth.Suite.program rank)
+  | Some f, None -> ( match load f with `Ok store -> k store | `Error _ as e -> e)
 
 let procs_arg =
   Arg.(value & opt int 8 & info [ "p"; "procs" ] ~docv:"N" ~doc:"Simulated processors (1-64).")
@@ -100,6 +126,23 @@ let trace_json_arg =
           "Write the simulated execution trace to $(docv) in Chrome trace_event JSON (load in \
            chrome://tracing or ui.perfetto.dev).  Simulator only.")
 
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPECS"
+        ~doc:
+          "Arm a deterministic fault plan: comma-separated specs of the form \
+           $(i,kind[:target][@k][%pct][!]), e.g. $(b,task-crash@2), \
+           $(b,task-crash:procparse!), $(b,dropped-wake%25), $(b,corrupt-artifact).  Kinds: \
+           task-crash, dropped-wake, stall, corrupt-artifact, source-error, poison-import, \
+           early-complete.  Simulator only.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed deriving the fault plan's firing decisions.")
+
 (* a cache dir that cannot be created or written degrades to a warning:
    the compilation itself succeeded *)
 let save_cache bc =
@@ -107,6 +150,28 @@ let save_cache bc =
   with Sys_error e -> Printf.eprintf "m2c: warning: cache not saved: %s\n" e
 
 let report_diags diags = List.iter (fun d -> prerr_endline (Mcc_m2.Diag.to_string d)) diags
+
+(* What the recovery layer did, and the engine's deadlock report when
+   the run quiesced with tasks parked (faults or a genuine cycle). *)
+let report_robustness (r : Driver.result) =
+  let rb = r.Driver.robustness in
+  if rb <> Driver.no_robustness then
+    Printf.printf
+      "faults: %d injected — %d retries, %d stalls, %d quarantined%s, %d watchdog wakes, %d \
+       corrupt rebuilds, %d source retries, %d contained%s\n"
+      rb.Driver.r_injected rb.Driver.r_retries rb.Driver.r_stalls
+      (List.length rb.Driver.r_quarantined)
+      (match rb.Driver.r_quarantined with
+      | [] -> ""
+      | qs -> Printf.sprintf " (%s)" (String.concat ", " qs))
+      rb.Driver.r_recovered_wakes rb.Driver.r_corrupt_rebuilds rb.Driver.r_source_retries
+      rb.Driver.r_contained
+      (if rb.Driver.r_seq_fallbacks > 0 then "; recovered via sequential fallback" else "");
+  match r.Driver.deadlock with
+  | [] -> ()
+  | stuck ->
+      print_endline "deadlock report:";
+      List.iter (fun l -> print_endline ("  " ^ l)) stuck
 
 let config ~procs ~strategy ~heading =
   {
@@ -118,7 +183,7 @@ let config ~procs ~strategy ~heading =
 
 let compile_cmd =
   let run store procs strategy heading watch stats disasm dump_tasks domains cache_dir no_cache
-      trace_json =
+      trace_json faults fault_seed =
     let cache =
       match (cache_dir, no_cache) with
       | Some dir, false -> Some (Build_cache.create ~dir ())
@@ -138,6 +203,8 @@ let compile_cmd =
     | Some n ->
         if trace_json <> None then
           prerr_endline "m2c: warning: --trace-json only applies to the simulator; ignored";
+        if faults <> [] then
+          prerr_endline "m2c: warning: --inject only applies to the simulator; ignored";
         let r =
           Driver.compile_domains ~config:(config ~procs ~strategy ~heading) ?cache ~domains:n store
         in
@@ -148,7 +215,10 @@ let compile_cmd =
         if disasm then print_string (Mcc_codegen.Cunit.disassemble r.Driver.d_program);
         if r.Driver.d_ok then `Ok () else `Error (false, "compilation failed")
     | None ->
-        let r = Driver.compile ~config:(config ~procs ~strategy ~heading) ?cache store in
+        let config =
+          { (config ~procs ~strategy ~heading) with Driver.faults; Driver.fault_seed }
+        in
+        let r = Driver.compile ~config ?cache store in
         report_diags r.Driver.diags;
         finish_cache ();
         Printf.printf
@@ -157,6 +227,7 @@ let compile_cmd =
           (Source_store.main_name store) r.Driver.n_streams r.Driver.n_proc_streams
           r.Driver.n_def_streams r.Driver.n_tasks r.Driver.sim.Mcc_sched.Des_engine.end_seconds
           procs (Symtab.dky_name strategy);
+        report_robustness r;
         if watch then begin
           print_endline Mcc_stats.Watchtool.legend;
           print_string (Mcc_stats.Watchtool.render r.Driver.sim.Mcc_sched.Des_engine.trace ~procs);
@@ -181,15 +252,20 @@ let compile_cmd =
   let term =
     Term.(
       ret
-        (const (fun file procs strategy heading watch stats disasm dump_tasks domains cache_dir
-                    no_cache trace_json ->
-             match load file with
-             | `Ok store ->
-                 run store procs strategy heading watch stats disasm dump_tasks domains cache_dir
-                   no_cache trace_json
-             | `Error _ as e -> e)
-        $ file_arg $ procs_arg $ strategy_arg $ heading_arg $ watch_arg $ stats_arg $ disasm_arg
-        $ dump_tasks_arg $ domains_arg $ cache_dir_arg $ no_cache_arg $ trace_json_arg))
+        (const (fun file synth procs strategy heading watch stats disasm dump_tasks domains
+                    cache_dir no_cache trace_json inject fault_seed ->
+             match
+               try Ok (match inject with None -> [] | Some s -> Fault.parse_list s)
+               with Invalid_argument e -> Error e
+             with
+             | Error e -> `Error (false, e)
+             | Ok faults ->
+                 with_store file synth (fun store ->
+                     run store procs strategy heading watch stats disasm dump_tasks domains
+                       cache_dir no_cache trace_json faults fault_seed))
+        $ file_opt_arg $ synth_arg $ procs_arg $ strategy_arg $ heading_arg $ watch_arg $ stats_arg
+        $ disasm_arg $ dump_tasks_arg $ domains_arg $ cache_dir_arg $ no_cache_arg $ trace_json_arg
+        $ inject_arg $ fault_seed_arg))
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a module concurrently.") term
 
@@ -265,18 +341,6 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile a module and execute it in the VM.") term
 
 let analyze_cmd =
-  let file_opt_arg =
-    Arg.(
-      value & pos 0 (some string) None
-      & info [] ~docv:"FILE.mod" ~doc:"Implementation module to analyze (or use $(b,--synth)).")
-  in
-  let synth_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "synth" ] ~docv:"RANK"
-          ~doc:"Analyze synthetic suite program $(docv) (0-based) instead of a file.")
-  in
   let schedules_arg =
     Arg.(
       value & opt int 8
@@ -299,13 +363,13 @@ let analyze_cmd =
       & opt (list int) [ 1; 2; 4; 8 ]
       & info [ "p"; "procs" ] ~docv:"N,..." ~doc:"Simulated processor counts to cover.")
   in
-  let inject_arg =
+  let early_publish_arg =
     Arg.(
       value
       & opt (some string) None
       & info [ "inject-early-publish" ] ~docv:"SCOPE"
           ~doc:
-            "Arm the test-only early-publish fault in scope $(docv) (e.g. M01L0.def); the run \
+            "Arm a deterministic early-publish fault in scope $(docv) (e.g. M01L0.def); the run \
              then succeeds only if the checker detects it.")
   in
   let run store schedules seed strategy procs_list inject =
@@ -334,21 +398,10 @@ let analyze_cmd =
     Term.(
       ret
         (const (fun file synth schedules seed strategy procs_list inject ->
-             match (file, synth) with
-             | Some _, Some _ -> `Error (false, "give either FILE.mod or --synth RANK, not both")
-             | None, None -> `Error (false, "give FILE.mod or --synth RANK")
-             | None, Some rank ->
-                 if rank < 0 || rank >= Mcc_synth.Suite.n_programs then
-                   `Error
-                     (false,
-                      Printf.sprintf "--synth must be in 0..%d" (Mcc_synth.Suite.n_programs - 1))
-                 else run (Mcc_synth.Suite.program rank) schedules seed strategy procs_list inject
-             | Some f, None -> (
-                 match load f with
-                 | `Ok store -> run store schedules seed strategy procs_list inject
-                 | `Error _ as e -> e))
+             with_store file synth (fun store ->
+                 run store schedules seed strategy procs_list inject))
         $ file_opt_arg $ synth_arg $ schedules_arg $ seed_arg $ one_strategy_arg $ procs_list_arg
-        $ inject_arg))
+        $ early_publish_arg))
   in
   Cmd.v
     (Cmd.info "analyze"

@@ -16,11 +16,12 @@
    that DKY synchronization makes the concurrent compiler's result
    schedule-independent.
 
-   [~inject_early_publish:scope] arms the test-only fault hook
-   (Symtab.inject_early_complete) for every run, to prove the checker
+   [~inject_early_publish:scope] arms a deterministic early-complete
+   fault plan (Mcc_sched.Fault) for every run, to prove the checker
    actually catches a seeded early-publish bug. *)
 
 open Mcc_util
+open Mcc_sched
 open Mcc_sem
 open Mcc_core
 
@@ -50,13 +51,16 @@ type report = {
 
 let sample_cap = 8
 
+(* A fresh plan per run: the occurrence counter must rewind so every
+   schedule sees the same early completion at its first matching entry. *)
 let with_injection scope_name f =
   match scope_name with
   | None -> f ()
   | Some s ->
-      let saved = !Symtab.inject_early_complete in
-      Symtab.inject_early_complete := Some s;
-      Fun.protect ~finally:(fun () -> Symtab.inject_early_complete := saved) f
+      let spec =
+        { Fault.kind = Fault.Early_complete; target = Some s; at = Some 1; rate = None; permanent = false }
+      in
+      Fault.with_plan (Fault.plan [ spec ]) f
 
 (* What "same output" means: the canonical disassembly (sorted unit keys
    and frames, so it is insertion-order independent) plus the sorted

@@ -37,8 +37,8 @@ type report = {
 (** [explore store] compiles [store] [1 + schedules] times per
     (strategy, procs) cell: one canonical baseline plus [schedules]
     perturbed runs whose tie-break seeds derive from [seed].
-    [~inject_early_publish:scope_name] arms the test-only early-publish
-    fault ({!Mcc_sem.Symtab.inject_early_complete}) for every run, to
+    [~inject_early_publish:scope_name] arms a deterministic
+    [early-complete] fault plan ({!Mcc_sched.Fault}) for every run, to
     demonstrate detection. *)
 val explore :
   ?schedules:int ->

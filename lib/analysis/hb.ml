@@ -20,6 +20,15 @@
    - the instantaneous wait-for graph (blocked task -> expected producer)
      is acyclic at every step — the deadlock detector.
 
+   Recovery invariants (fault injection, ISSUE 3): every retry record is
+   paired with a preceding un-consumed crash injection on the same task
+   (the engine never redispatches a task that did not crash), and no
+   symbol published by a quarantined task is ever observed unless its
+   scope still completed (a quarantined stream's partial publishes must
+   stay unobservable).  Watchdog re-deliveries emit an ordinary Ev_wake
+   after the Watchdog_fire marker, so a recovered dropped wake leaves the
+   block/wake pairing clean.
+
    The checker is a pure function of the log: it never touches the
    compiler, so it can also be exercised on hand-built logs in tests. *)
 
@@ -46,6 +55,14 @@ type violation =
   | Wake_before_signal of { task : int; ev : int; wake_seq : int }
   | Start_before_gate of { task : int; gate : int; start_seq : int }
   | Wait_cycle of { tasks : int list; seq : int }
+  | Retry_without_fault of { task : int; attempt : int; retry_seq : int }
+  | Quarantine_observed of {
+      scope : int;
+      scope_name : string;
+      sym : string;
+      task : int;
+      observe_seq : int;
+    }
 
 type report = {
   violations : violation list;
@@ -60,6 +77,10 @@ type report = {
   n_wakes : int;
   n_spawned : int;
   n_finished : int;
+  n_injects : int;
+  n_retries : int;
+  n_quarantines : int;
+  n_watchdog : int;
 }
 
 let violation_to_string = function
@@ -88,6 +109,14 @@ let violation_to_string = function
   | Wait_cycle { tasks; seq } ->
       Printf.sprintf "wait cycle at #%d: %s" seq
         (String.concat " -> " (List.map (Printf.sprintf "task#%d") tasks))
+  | Retry_without_fault { task; attempt; retry_seq } ->
+      Printf.sprintf "retry-without-fault: task#%d retried (attempt %d) at #%d with no prior crash injection"
+        task attempt retry_seq
+  | Quarantine_observed { scope_name; sym; task; observe_seq; _ } ->
+      Printf.sprintf
+        "quarantine-observed: %s in %s observed at #%d but its publisher task#%d was quarantined \
+         and the scope never completed"
+        sym scope_name observe_seq task
 
 let check (log : Evlog.record array) : report =
   let violations = ref [] in
@@ -104,6 +133,15 @@ let check (log : Evlog.record array) : report =
   let waits : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let signals : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let gates : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* recovery-invariant state *)
+  let task_names : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  (* un-consumed crash injections, by victim name; each is consumed by
+     the retry or quarantine the engine pairs with it *)
+  let crash_pending : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let quarantined : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* first publisher task per (scope, sym); first observation seq *)
+  let publishers : (int * string, int * string) Hashtbl.t = Hashtbl.create 256 in
+  let observed : (int * string, int) Hashtbl.t = Hashtbl.create 256 in
   let n_publishes = ref 0
   and n_observes = ref 0
   and n_auth_misses = ref 0
@@ -113,7 +151,11 @@ let check (log : Evlog.record array) : report =
   and n_blocks = ref 0
   and n_wakes = ref 0
   and n_spawned = ref 0
-  and n_finished = ref 0 in
+  and n_finished = ref 0
+  and n_injects = ref 0
+  and n_retries = ref 0
+  and n_quarantines = ref 0
+  and n_watchdog = ref 0 in
   (* walk the wait-for graph from [start]'s producer; a path back to
      [start] is a deadlock-shaped cycle *)
   let detect_cycle start seq =
@@ -132,8 +174,9 @@ let check (log : Evlog.record array) : report =
   Array.iter
     (fun (r : Evlog.record) ->
       match r.Evlog.kind with
-      | Evlog.Task_spawn { task; gate; _ } ->
+      | Evlog.Task_spawn { task; name; gate } ->
           incr n_spawned;
+          Hashtbl.replace task_names task name;
           if gate >= 0 then Hashtbl.replace gates task gate
       | Evlog.Task_start { task } -> (
           match Hashtbl.find_opt gates task with
@@ -163,6 +206,8 @@ let check (log : Evlog.record array) : report =
           incr n_publishes;
           let key = (scope, sym) in
           if not (Hashtbl.mem published key) then Hashtbl.replace published key r.Evlog.seq;
+          if not (Hashtbl.mem publishers key) then
+            Hashtbl.replace publishers key (r.Evlog.task, scope_name);
           (match Hashtbl.find_opt completed scope with
           | Some complete_seq ->
               flag
@@ -178,7 +223,9 @@ let check (log : Evlog.record array) : report =
       | Evlog.Observe { scope; scope_name; sym; _ } ->
           incr n_observes;
           if not (Hashtbl.mem published (scope, sym)) then
-            flag (Observe_before_publish { scope; scope_name; sym; observe_seq = r.Evlog.seq })
+            flag (Observe_before_publish { scope; scope_name; sym; observe_seq = r.Evlog.seq });
+          if not (Hashtbl.mem observed (scope, sym)) then
+            Hashtbl.replace observed (scope, sym) r.Evlog.seq
       | Evlog.Auth_miss { scope; sym; _ } ->
           incr n_auth_misses;
           let key = (scope, sym) in
@@ -199,8 +246,37 @@ let check (log : Evlog.record array) : report =
               (* an unblock with no outstanding block is itself unpaired *)
               flag
                 (Unmatched_dky_block
-                   { task = r.Evlog.task; scope_name; sym; ev; block_seq = r.Evlog.seq })))
+                   { task = r.Evlog.task; scope_name; sym; ev; block_seq = r.Evlog.seq }))
+      | Evlog.Fault_inject { fault; victim } ->
+          incr n_injects;
+          if fault = "task-crash" then
+            Hashtbl.replace crash_pending victim
+              (1 + Option.value ~default:0 (Hashtbl.find_opt crash_pending victim))
+      | Evlog.Task_retry { task; attempt } -> (
+          incr n_retries;
+          let name = Option.value ~default:"" (Hashtbl.find_opt task_names task) in
+          match Hashtbl.find_opt crash_pending name with
+          | Some n when n > 0 -> Hashtbl.replace crash_pending name (n - 1)
+          | _ -> flag (Retry_without_fault { task; attempt; retry_seq = r.Evlog.seq }))
+      | Evlog.Task_quarantine { task; name } ->
+          incr n_quarantines;
+          Hashtbl.replace quarantined task ();
+          (* the quarantine consumes the crash injection that exhausted
+             the retries (or the resume-point crash) *)
+          (match Hashtbl.find_opt crash_pending name with
+          | Some n when n > 0 -> Hashtbl.replace crash_pending name (n - 1)
+          | _ -> ())
+      | Evlog.Watchdog_fire _ -> incr n_watchdog)
     log;
+  (* a quarantined stream's partial publishes must never have been
+     observed — unless the scope completed anyway (its data is whole) *)
+  Hashtbl.iter
+    (fun ((scope, sym) as key) (task, scope_name) ->
+      if Hashtbl.mem quarantined task && not (Hashtbl.mem completed scope) then
+        match Hashtbl.find_opt observed key with
+        | Some observe_seq -> flag (Quarantine_observed { scope; scope_name; sym; task; observe_seq })
+        | None -> ())
+    publishers;
   Hashtbl.iter
     (fun (task, ev) stack ->
       List.iter
@@ -227,15 +303,25 @@ let check (log : Evlog.record array) : report =
     n_wakes = !n_wakes;
     n_spawned = !n_spawned;
     n_finished = !n_finished;
+    n_injects = !n_injects;
+    n_retries = !n_retries;
+    n_quarantines = !n_quarantines;
+    n_watchdog = !n_watchdog;
   }
 
 let ok r = r.violations = []
 
 let summary r =
+  let faults =
+    if r.n_injects = 0 && r.n_retries = 0 && r.n_quarantines = 0 && r.n_watchdog = 0 then ""
+    else
+      Printf.sprintf ", %d inject/%d retry/%d quarantine/%d watchdog" r.n_injects r.n_retries
+        r.n_quarantines r.n_watchdog
+  in
   Printf.sprintf
     "%d records: %d publish, %d observe, %d auth-miss, %d DKY block/%d unblock, %d signal, %d \
-     block/%d wake, %d spawn/%d finish — %d violation%s"
+     block/%d wake, %d spawn/%d finish%s — %d violation%s"
     r.n_records r.n_publishes r.n_observes r.n_auth_misses r.n_dky_blocks r.n_dky_unblocks
-    r.n_signals r.n_blocks r.n_wakes r.n_spawned r.n_finished
+    r.n_signals r.n_blocks r.n_wakes r.n_spawned r.n_finished faults
     (List.length r.violations)
     (if List.length r.violations = 1 then "" else "s")

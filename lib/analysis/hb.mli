@@ -8,6 +8,11 @@
     tasks start after their gates, and the instantaneous wait-for graph
     stays acyclic (the deadlock detector).
 
+    Recovery invariants (fault injection): every [Task_retry] pairs with
+    a preceding un-consumed crash [Fault_inject] on the same task, and
+    no symbol published by a quarantined task is observed unless its
+    scope still completed.
+
     Pure: a function of the log only, so it can be exercised on
     hand-built logs in tests. *)
 
@@ -32,6 +37,14 @@ type violation =
   | Wake_before_signal of { task : int; ev : int; wake_seq : int }
   | Start_before_gate of { task : int; gate : int; start_seq : int }
   | Wait_cycle of { tasks : int list; seq : int }
+  | Retry_without_fault of { task : int; attempt : int; retry_seq : int }
+  | Quarantine_observed of {
+      scope : int;
+      scope_name : string;
+      sym : string;
+      task : int;
+      observe_seq : int;
+    }
 
 type report = {
   violations : violation list;  (** sorted by rendering; empty = clean *)
@@ -46,6 +59,10 @@ type report = {
   n_wakes : int;
   n_spawned : int;
   n_finished : int;
+  n_injects : int;  (** [Fault_inject] records *)
+  n_retries : int;  (** [Task_retry] records *)
+  n_quarantines : int;  (** [Task_quarantine] records *)
+  n_watchdog : int;  (** [Watchdog_fire] records *)
 }
 
 val check : Mcc_sched.Evlog.record array -> report

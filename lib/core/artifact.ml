@@ -40,16 +40,33 @@ type t = {
   a_symbols : Symbol.t list; (* exported entries, (offset, name)-sorted *)
   a_frame : frame;
   a_diags : Diag.d list; (* diagnostics of the interface's analysis, sorted *)
+  a_digest : string; (* MD5 over the payload fields above, set at capture *)
 }
 
+(* Digest of everything but [a_digest] itself.  Artifacts are
+   Marshal-safe and deeply immutable, so the serialized payload is a
+   stable byte string: recomputing after an on-disk round trip (or after
+   bit-rot / truncation) either reproduces the captured digest or proves
+   corruption. *)
+let payload_digest ~name ~fingerprint ~imports ~symbols ~frame ~diags =
+  Digest.string (Marshal.to_string (name, fingerprint, imports, symbols, frame, diags) [])
+
+let digest t =
+  payload_digest ~name:t.a_name ~fingerprint:t.a_fingerprint ~imports:t.a_imports
+    ~symbols:t.a_symbols ~frame:t.a_frame ~diags:t.a_diags
+
+let verify t = String.equal t.a_digest (digest t)
+
 let capture ~name ~fingerprint ~imports ~scope ~frame ~diags =
+  let symbols = Symtab.export scope in
   {
     a_name = name;
     a_fingerprint = fingerprint;
     a_imports = imports;
-    a_symbols = Symtab.export scope;
+    a_symbols = symbols;
     a_frame = frame;
     a_diags = diags;
+    a_digest = payload_digest ~name ~fingerprint ~imports ~symbols ~frame ~diags;
   }
 
 (* Re-install into a freshly interned scope.  The caller has already

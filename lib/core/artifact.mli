@@ -25,7 +25,15 @@ type t = {
   a_symbols : Symbol.t list;  (** exported entries, (offset, name)-sorted *)
   a_frame : frame;
   a_diags : Diag.d list;  (** diagnostics of the interface's analysis, sorted *)
+  a_digest : string;  (** MD5 over the payload fields above, set at capture *)
 }
+
+(** Recompute the payload digest of [t] (everything but [a_digest]). *)
+val digest : t -> string
+
+(** [verify t] is true when [t]'s stored digest matches a recomputation
+    — false after bit-rot, truncation or tampering. *)
+val verify : t -> bool
 
 (** Capture a just-completed definition-module scope.
     @raise Invalid_argument if the scope is incomplete. *)

@@ -149,6 +149,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable corrupt : int; (* artifacts dropped by digest verification *)
 }
 
 let cache_file dir = Filename.concat dir "interfaces.bin"
@@ -170,9 +171,14 @@ let load t dir =
               let floor = ref 0 in
               List.iter
                 (fun (fp, a) ->
-                  Hashtbl.replace t.defs fp a;
-                  Hashtbl.replace t.latest a.Artifact.a_name fp;
-                  floor := max !floor (Artifact.max_uid a))
+                  (* drop artifacts whose stored digest no longer matches
+                     their payload (on-disk bit-rot / tampering) *)
+                  if not (Artifact.verify a) then t.corrupt <- t.corrupt + 1
+                  else begin
+                    Hashtbl.replace t.defs fp a;
+                    Hashtbl.replace t.latest a.Artifact.a_name fp;
+                    floor := max !floor (Artifact.max_uid a)
+                  end)
                 defs;
               Mcc_sem.Types.bump_uid_floor !floor
           | _ -> () (* format version changed: start empty *))
@@ -188,6 +194,7 @@ let create ?dir () =
       hits = 0;
       misses = 0;
       invalidations = 0;
+      corrupt = 0;
     }
   in
   Option.iter (load t) dir;
@@ -254,9 +261,34 @@ let interface_fp t ~memo ~store name =
   let fp = go name in
   (fp, !units)
 
+(* Probe, verifying before handing the artifact to the install path: the
+   store key must match the artifact's recorded fingerprint, and the
+   stored digest must match a payload recomputation (an armed Fault plan
+   can also declare the artifact corrupt).  A verification failure is
+   counted as corruption *and* an invalidation, the entry is evicted,
+   and the probe reports a miss — the caller rebuilds the interface from
+   source and re-stores it, healing the cache. *)
 let find_interface t ~fp =
   Mutex.lock t.mu;
-  let r = Hashtbl.find_opt t.defs fp in
+  let r =
+    match Hashtbl.find_opt t.defs fp with
+    | None -> None
+    | Some a ->
+        let injected = Fault.armed () && Fault.corrupt_artifact ~name:a.Artifact.a_name in
+        if injected || fp <> a.Artifact.a_fingerprint || not (Artifact.verify a) then begin
+          if injected && Evlog.enabled () then
+            Evlog.emit
+              (Evlog.Fault_inject { fault = "corrupt-artifact"; victim = a.Artifact.a_name });
+          t.corrupt <- t.corrupt + 1;
+          t.invalidations <- t.invalidations + 1;
+          Hashtbl.remove t.defs fp;
+          (match Hashtbl.find_opt t.latest a.Artifact.a_name with
+          | Some latest_fp when latest_fp = fp -> Hashtbl.remove t.latest a.Artifact.a_name
+          | _ -> ());
+          None
+        end
+        else Some a
+  in
   (match r with None -> t.misses <- t.misses + 1 | Some _ -> t.hits <- t.hits + 1);
   Mutex.unlock t.mu;
   r
@@ -282,6 +314,12 @@ let interfaces t =
 let counters t =
   Mutex.lock t.mu;
   let r = (t.hits, t.misses, t.invalidations) in
+  Mutex.unlock t.mu;
+  r
+
+let corrupt_count t =
+  Mutex.lock t.mu;
+  let r = t.corrupt in
   Mutex.unlock t.mu;
   r
 

@@ -47,7 +47,13 @@ val hash_units : int -> int
 val interface_fp :
   t -> memo:(string, string) Hashtbl.t -> store:Source_store.t -> string -> string * int
 
-(** Look up an artifact by fingerprint; counts a hit or miss. *)
+(** Look up an artifact by fingerprint; counts a hit or miss.  The
+    probe verifies before handing anything to the install path: the key
+    must equal the artifact's recorded fingerprint and the stored digest
+    must match a payload recomputation (an armed [Fault] plan can also
+    declare the artifact corrupt).  A failure evicts the entry, counts
+    corruption + an invalidation, and reports a miss, so the caller
+    rebuilds from source and heals the cache. *)
 val find_interface : t -> fp:string -> Artifact.t option
 
 (** Store an artifact; if the interface's previous fingerprint differs,
@@ -59,6 +65,11 @@ val interfaces : t -> Artifact.t list
 
 (** (hits, misses, invalidations) of the interface store. *)
 val counters : t -> int * int * int
+
+(** Artifacts dropped by digest verification (on {!find_interface}
+    probes and at load time); each probe-time drop is also counted in
+    the invalidations of {!counters}. *)
+val corrupt_count : t -> int
 
 (** {1 The module-result memo} *)
 

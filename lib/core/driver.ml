@@ -35,6 +35,10 @@ type config = {
   perturb : int option;
       (* schedule-exploration seed: randomize ready-queue tie-breaking
          (see Supervisor.create); None = the canonical schedule *)
+  faults : Fault.spec list;
+      (* fault plan armed around the engine run; [] = no injection (an
+         externally armed plan, e.g. the explorer's, is left in place) *)
+  fault_seed : int; (* seed deriving the plan's firing decisions *)
 }
 
 let default_config =
@@ -45,6 +49,37 @@ let default_config =
     beta = Costs.bus_beta;
     fifo_sched = false;
     perturb = None;
+    faults = [];
+    fault_seed = 0;
+  }
+
+(* Robustness counters: what the recovery layer did about injected (or
+   real) faults during this compilation. *)
+type robustness = {
+  r_injected : int; (* faults fired by the armed plan during the run *)
+  r_retries : int; (* crashed-at-start tasks redispatched after backoff *)
+  r_quarantined : string list; (* tasks permanently failed *)
+  r_stalls : int; (* injected stalled-worker delays *)
+  r_watchdog_fires : int; (* occurred events whose lost wakes were re-delivered *)
+  r_recovered_wakes : int; (* parked tasks the watchdog woke *)
+  r_corrupt_rebuilds : int; (* cache artifacts dropped by verification, rebuilt *)
+  r_source_retries : int; (* source-store read errors retried *)
+  r_contained : int; (* injected task failures absorbed without losing the run *)
+  r_seq_fallbacks : int; (* whole-program sequential recompiles (0 or 1) *)
+}
+
+let no_robustness =
+  {
+    r_injected = 0;
+    r_retries = 0;
+    r_quarantined = [];
+    r_stalls = 0;
+    r_watchdog_fires = 0;
+    r_recovered_wakes = 0;
+    r_corrupt_rebuilds = 0;
+    r_source_retries = 0;
+    r_contained = 0;
+    r_seq_fallbacks = 0;
   }
 
 type result = {
@@ -65,6 +100,10 @@ type result = {
   log : Evlog.record array; (* captured event log ([||] unless ~capture:true) *)
   events_logged : int;
   perturb_seed : int option; (* the config's exploration seed, echoed back *)
+  robustness : robustness;
+  deadlock : string list;
+      (* the engine's deadlock report (blocked-task wait graph) when the
+         run quiesced with tasks parked; [] on a clean run *)
 }
 
 (* Procedure bodies at least this big go to the long-procedure
@@ -104,6 +143,7 @@ type comp = {
   all_done : Event.t;
   mutable program : Cunit.program option;
   mutable total_tokens : int;
+  mutable source_retries : int; (* injected source-read errors retried *)
 }
 
 let hold comp =
@@ -172,10 +212,49 @@ let count_tokens comp q =
    artifact right here, paying only the hash + probe + install charges,
    and signals the interface's avoided event instead of spawning its
    Lexor/Importer/DefParse tasks. *)
+(* A poisoned import stream: the importer dies before its scan.  Safe to
+   contain as a plain task failure — importers are pure prefetchers (the
+   parser's own import callback re-derives every import), so the program
+   is unaffected; the failure is recorded and counted as contained. *)
+let poison_check name =
+  if Fault.armed () && Fault.poison_import ~name then begin
+    if Evlog.enabled () then
+      Evlog.emit (Evlog.Fault_inject { fault = "poison-import"; victim = name });
+    raise (Fault.Injected name)
+  end
+
+(* Read an interface's source, surviving injected source-store read
+   errors: a transient error is retried after a virtual-time backoff
+   (charged through Costs — recovery is not free), up to
+   [Costs.retry_limit] attempts; a permanent one degrades to a precise
+   diagnostic and the missing-interface path, never a hang. *)
+let read_def comp name =
+  let rec go attempt =
+    if Fault.armed () && Fault.source_error ~name then begin
+      if Evlog.enabled () then
+        Evlog.emit (Evlog.Fault_inject { fault = "source-error"; victim = name });
+      if attempt < Costs.retry_limit then begin
+        Mutex.lock comp.tasks_mu;
+        comp.source_retries <- comp.source_retries + 1;
+        Mutex.unlock comp.tasks_mu;
+        Eff.work Costs.retry_backoff;
+        go (attempt + 1)
+      end
+      else begin
+        Diag.error comp.diags ~file:(Source_store.def_file name) ~loc:Loc.none
+          (Printf.sprintf "cannot read interface %s: injected I/O error (gave up after %d attempts)"
+             name Costs.retry_limit);
+        None
+      end
+    end
+    else Source_store.def_src comp.store name
+  in
+  go 0
+
 let rec ensure_def comp name : Symtab.t option =
   let scope, created = Modreg.intern comp.registry name in
   if created then begin
-    match Source_store.def_src comp.store name with
+    match read_def comp name with
     | None ->
         mark_missing comp name;
         (* complete the empty scope so no searcher waits forever *)
@@ -236,6 +315,7 @@ and spawn_def_stream comp name scope src ~fp =
   in
   let importer =
     Task.create ~cls:Task.Importer ~name:("importer:" ^ file) (fun () ->
+        poison_check ("importer:" ^ file);
         Stream.run_importer ~rd:(Tokq.reader q) ~on_import:(fun m -> ignore (ensure_def comp m)))
   in
   let parse =
@@ -389,6 +469,7 @@ let prepare config cache (store : Source_store.t) =
       all_done = Event.create ~kind:Event.Handled "all-units-done";
       program = None;
       total_tokens = 0;
+      source_retries = 0;
     }
   in
   (* The compiler optimistically anticipates the existence of M.def
@@ -435,6 +516,7 @@ let prepare config cache (store : Source_store.t) =
     in
     let importer =
       Task.create ~cls:Task.Importer ~name:("importer:" ^ m) (fun () ->
+          poison_check ("importer:" ^ m);
           Stream.run_importer ~rd:(Tokq.reader raw_q) ~on_import:(fun name ->
               ignore (ensure_def comp name)))
     in
@@ -469,28 +551,77 @@ let finish_program comp ~entry =
 let compile ?(config = default_config) ?(capture = false) ?cache (store : Source_store.t) : result =
   let m = Source_store.main_name store in
   let comp, init_tasks = prepare config cache store in
+  let corrupt0 = match cache with Some c -> Build_cache.corrupt_count c | None -> 0 in
   let run () =
     Des_engine.run ~beta:config.beta ~fifo:config.fifo_sched ?perturb:config.perturb
       ~procs:config.procs init_tasks
   in
+  let run () =
+    (* arm the configured fault plan around the engine run only; an
+       externally armed plan (the explorer's) stays in force otherwise *)
+    if config.faults = [] then run ()
+    else Fault.with_plan (Fault.plan ~seed:config.fault_seed config.faults) run
+  in
   let sim, log = if capture then Evlog.capture run else (run (), [||]) in
-  (match sim.Des_engine.outcome with
-  | Des_engine.Completed -> ()
-  | Des_engine.Deadlocked stuck ->
-      Diag.error comp.diags ~file:(Source_store.main_file store) ~loc:Loc.none
-        (Printf.sprintf "compilation deadlocked (circular imports?): %s"
-           (String.concat "; " stuck)));
+  (* Partition task failures: injected ones are the fault plan's doing
+     and are recovered from (contained, or repaired below); real
+     exceptions keep their compiler-bug diagnostics. *)
+  let injected_failures, real_failures =
+    List.partition
+      (fun (_, e) -> match e with Fault.Injected _ -> true | _ -> false)
+      sim.Des_engine.failures
+  in
   List.iter
     (fun (name, e) ->
       Diag.error comp.diags ~file:name ~loc:Loc.none
         (Printf.sprintf "compiler task failed: %s" (Printexc.to_string e)))
-    sim.Des_engine.failures;
-  let program = finish_program comp ~entry:m in
+    real_failures;
+  (* Self-healing: when injected faults cost us the merged program (a
+     quarantined stream never released the completion count, or the
+     merge task itself was lost), degrade gracefully — recompile the
+     whole program on the sequential path, which by construction
+     produces byte-identical object code and diagnostics to a
+     fault-free concurrent run.  A deadlock with no faults in play
+     keeps its genuine diagnostic. *)
+  let fallback = comp.program = None && sim.Des_engine.injected > 0 in
+  let seq_result = if fallback then Some (Seq_driver.compile store) else None in
+  (match sim.Des_engine.outcome with
+  | Des_engine.Completed -> ()
+  | Des_engine.Deadlocked _ when fallback || sim.Des_engine.injected > 0 ->
+      (* fault debris, not a circular-import bug: the report is still
+         surfaced through [result.deadlock] *)
+      ()
+  | Des_engine.Deadlocked stuck ->
+      Diag.error comp.diags ~file:(Source_store.main_file store) ~loc:Loc.none
+        (Printf.sprintf "compilation deadlocked (circular imports?): %s"
+           (String.concat "; " stuck)));
+  let program, diags, ok =
+    match seq_result with
+    | Some (seq : Seq_driver.result) -> (seq.Seq_driver.program, seq.Seq_driver.diags, seq.Seq_driver.ok)
+    | None ->
+        let program = finish_program comp ~entry:m in
+        (program, Diag.sorted comp.diags, not (Diag.has_errors comp.diags))
+  in
+  let robustness =
+    {
+      r_injected = sim.Des_engine.injected;
+      r_retries = sim.Des_engine.retries;
+      r_quarantined = sim.Des_engine.quarantined;
+      r_stalls = sim.Des_engine.stalls;
+      r_watchdog_fires = sim.Des_engine.watchdog_fires;
+      r_recovered_wakes = sim.Des_engine.recovered_wakes;
+      r_corrupt_rebuilds =
+        (match cache with Some c -> Build_cache.corrupt_count c - corrupt0 | None -> 0);
+      r_source_retries = comp.source_retries;
+      r_contained = List.length injected_failures;
+      r_seq_fallbacks = (if fallback then 1 else 0);
+    }
+  in
   let n_procs = Hashtbl.length comp.streams in
   {
     program;
-    diags = Diag.sorted comp.diags;
-    ok = not (Diag.has_errors comp.diags);
+    diags;
+    ok;
     sim;
     stats = comp.stats;
     n_proc_streams = n_procs;
@@ -505,6 +636,11 @@ let compile ?(config = default_config) ?(capture = false) ?cache (store : Source
     log;
     events_logged = Array.length log;
     perturb_seed = config.perturb;
+    robustness;
+    deadlock =
+      (match sim.Des_engine.outcome with
+      | Des_engine.Deadlocked stuck -> stuck
+      | Des_engine.Completed -> []);
   }
 
 (* Render the instantiated task structure (the realization of the

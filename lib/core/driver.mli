@@ -26,10 +26,33 @@ type config = {
   perturb : int option;
       (** schedule-exploration seed: randomize ready-queue tie-breaking
           (see {!Mcc_sched.Supervisor.create}); [None] = canonical *)
+  faults : Mcc_sched.Fault.spec list;
+      (** fault plan armed around the engine run; [[]] = no injection
+          (an externally armed plan, e.g. the explorer's, stays armed) *)
+  fault_seed : int;  (** seed deriving the plan's firing decisions *)
 }
 
-(** 8 processors, skeptical handling, alternative 1, calibrated beta. *)
+(** 8 processors, skeptical handling, alternative 1, calibrated beta,
+    no faults. *)
 val default_config : config
+
+(** Robustness counters: what the recovery layer did about injected (or
+    real) faults during one compilation. *)
+type robustness = {
+  r_injected : int;  (** faults fired by the armed plan during the run *)
+  r_retries : int;  (** crashed-at-start tasks redispatched after backoff *)
+  r_quarantined : string list;  (** tasks permanently failed *)
+  r_stalls : int;  (** injected stalled-worker delays *)
+  r_watchdog_fires : int;  (** occurred events whose lost wakes were re-delivered *)
+  r_recovered_wakes : int;  (** parked tasks the watchdog woke *)
+  r_corrupt_rebuilds : int;  (** cache artifacts dropped by verification, rebuilt *)
+  r_source_retries : int;  (** source-store read errors retried *)
+  r_contained : int;  (** injected task failures absorbed without losing the run *)
+  r_seq_fallbacks : int;  (** whole-program sequential recompiles (0 or 1) *)
+}
+
+(** All-zero counters (what a fault-free run reports). *)
+val no_robustness : robustness
 
 type result = {
   program : Cunit.program;
@@ -56,6 +79,10 @@ type result = {
           with [~capture:true]) *)
   events_logged : int;  (** [Array.length log] *)
   perturb_seed : int option;  (** the config's exploration seed, echoed back *)
+  robustness : robustness;
+  deadlock : string list;
+      (** the engine's deadlock report (blocked-task wait graph) when
+          the run quiesced with tasks parked; [[]] on a clean run *)
 }
 
 (** Statement parts at least this many nodes go to the long-procedure
@@ -70,7 +97,17 @@ val long_threshold : int
     compiled cold are captured into the cache.  [~capture:true] records
     the structured concurrency event log into [result.log] for the
     happens-before analyzer ({!Mcc_analysis.Hb}); capture never charges
-    work, so virtual timings are unchanged. *)
+    work, so virtual timings are unchanged.
+
+    Fault injection and self-healing: with [config.faults] non-empty, a
+    deterministic {!Mcc_sched.Fault} plan (seeded by [config.fault_seed])
+    is armed around the engine run.  Transient faults recover inside the
+    pipeline (retry/backoff, watchdog wake re-delivery, corrupt-artifact
+    rebuild) and yield byte-identical output to a fault-free run;
+    permanent faults degrade gracefully — a lost stream triggers a
+    whole-program sequential recompile, an unreadable source a precise
+    diagnostic — and are never a hang or an uncaught exception.  What
+    happened is reported in [result.robustness] and [result.deadlock]. *)
 val compile : ?config:config -> ?capture:bool -> ?cache:Build_cache.t -> Source_store.t -> result
 
 (** Render the instantiated task structure (the realization of Fig. 5

@@ -69,10 +69,14 @@ let init_order (store : Source_store.t) =
   List.rev !order
 
 let config_tag (c : Driver.config) =
-  Printf.sprintf "%s|%s|%d|%g|%b"
+  (* fault specs are part of the tag: a cached result embeds robustness
+     counters and simulated timings, both of which injection changes *)
+  Printf.sprintf "%s|%s|%d|%g|%b|%s|%d"
     (Mcc_sem.Symtab.dky_name c.Driver.strategy)
     (match c.Driver.heading with Driver.Alt1 -> "alt1" | Driver.Alt3 -> "alt3")
     c.Driver.procs c.Driver.beta c.Driver.fifo_sched
+    (String.concat "," (List.map Mcc_sched.Fault.spec_to_string c.Driver.faults))
+    c.Driver.fault_seed
 
 let compile ?(config = Driver.default_config) ?cache (store : Source_store.t) : result =
   let names = init_order store in

@@ -80,6 +80,20 @@ let signal_cost = 8 (* signaling an event *)
 let wait_check_cost = 4 (* checking/queueing on an event *)
 let dispatch_cost = 15.0 (* Supervisor assigning a task to a worker (time units) *)
 
+(* --- fault recovery ---
+   A task that crashes at a scheduling point before its body ran is
+   redispatched after a virtual-time backoff, up to [retry_limit]
+   attempts, then quarantined.  An injected stalled worker is delayed by
+   [stall_penalty] per stall (also capped at [retry_limit] so a
+   permanently stalling victim still terminates).  The stall watchdog
+   runs off virtual time: when the agenda drains with tasks still parked
+   on events that have already occurred (a dropped wake), it re-delivers
+   the lost wake-ups [watchdog_interval] later. *)
+let retry_backoff = 800 (* units before redispatching a crashed task *)
+let retry_limit = 3
+let stall_penalty = 5_000 (* units of injected stalled-worker latency *)
+let watchdog_interval = 40_000.0 (* virtual time between watchdog sweeps *)
+
 (* --- engine parameters --- *)
 let quantum = 400 (* work units accumulated before yielding to the engine *)
 let bus_beta = 0.0035

@@ -80,6 +80,20 @@ val wait_check_cost : int
 (** Supervisor dispatch latency, in time units. *)
 val dispatch_cost : float
 
+(** {1 Fault recovery} *)
+
+(** Virtual-time backoff before redispatching a crashed-at-start task. *)
+val retry_backoff : int
+
+(** Crash retries (and injected stalls) per task before quarantine. *)
+val retry_limit : int
+
+(** Injected stalled-worker latency, in work units, per stall. *)
+val stall_penalty : int
+
+(** Virtual time between stall-watchdog sweeps at quiescence. *)
+val watchdog_interval : float
+
 (** {1 Engine parameters} *)
 
 (** Work units accumulated before yielding to the engine. *)

@@ -36,6 +36,12 @@ type result = {
       (* suspensions on handled events of any kind (token-queue waits,
          completion waits, ...); symbol-table DKY blockages specifically
          are counted by [Mcc_sem.Lookup_stats] *)
+  injected : int; (* faults fired by the armed Fault plan during the run *)
+  retries : int; (* crashed-at-start tasks redispatched after backoff *)
+  quarantined : string list; (* tasks permanently failed by injection *)
+  stalls : int; (* injected stalled-worker delays *)
+  watchdog_fires : int; (* occurred events whose lost wakes were re-delivered *)
+  recovered_wakes : int; (* parked tasks the watchdog woke *)
 }
 
 type item =
@@ -49,12 +55,23 @@ type state = {
   trace : Trace.t;
   waiting : (int, (Task.t * Eff.resumption) list) Hashtbl.t;
   barrier_waiting : (int, (int * float * Task.t * Eff.resumption) list) Hashtbl.t;
+  events_seen : (int, Event.t) Hashtbl.t;
+      (* every event that crossed a block or signal site, by id — lets
+         the watchdog and the deadlock report ask whether an id has
+         occurred and name it *)
+  attempts : (int, int) Hashtbl.t; (* task id -> injected start-crash count *)
+  stalled : (int, int) Hashtbl.t; (* task id -> injected stall count *)
   mutable free : int list; (* sorted ascending *)
   mutable barrier_count : int;
   mutable n_blocked : int;
   mutable n_finished : int;
   mutable failures : (string * exn) list;
   mutable handled_blocks : int;
+  mutable retries : int;
+  mutable quarantined : string list; (* reversed *)
+  mutable stalls : int;
+  mutable watchdog_fires : int;
+  mutable recovered_wakes : int;
   procs : int;
   beta : float;
 }
@@ -106,14 +123,21 @@ let do_signal st t (ev : Event.t) =
   if not (Event.occurred ev) then begin
     Event.mark ev;
     ev.Event.signal_time <- t;
+    Hashtbl.replace st.events_seen ev.Event.id ev;
     if Evlog.enabled () then Evlog.emit (Evlog.Ev_signal { ev = ev.Event.id; name = ev.Event.name });
     (* release tasks gated on this avoided event *)
     Supervisor.on_event st.sup ev;
+    (* injected dropped wake: the signal lands (the event is marked, the
+       gate opens) but the handled waiters' wake-ups are lost — they stay
+       parked in [st.waiting] for the stall watchdog to find *)
+    let dropped = Fault.armed () && Fault.drop_wake ~ev:ev.Event.name in
+    if dropped && Evlog.enabled () then
+      Evlog.emit (Evlog.Fault_inject { fault = "dropped-wake"; victim = ev.Event.name });
     (* wake handled waiters: their continuations go back to the ready
        structure, at the front of their class *)
     (match Hashtbl.find_opt st.waiting ev.Event.id with
     | None -> ()
-    | Some waiters ->
+    | Some waiters when not dropped ->
         Hashtbl.remove st.waiting ev.Event.id;
         List.iter
           (fun ((task : Task.t), k) ->
@@ -121,7 +145,8 @@ let do_signal st t (ev : Event.t) =
             if Evlog.enabled () then
               Evlog.emit (Evlog.Ev_wake { ev = ev.Event.id; task = task.Task.id });
             Supervisor.resume st.sup task k)
-          waiters);
+          waiters
+    | Some _ -> ());
     (* wake barrier waiters on their own (still bound) processors *)
     (match Hashtbl.find_opt st.barrier_waiting ev.Event.id with
     | None -> ()
@@ -160,6 +185,7 @@ let rec handle_step st t p (task : Task.t) (step : Eff.step) =
       st.failures <- (task.Task.name, e) :: st.failures;
       finish_task st t p task
   | Eff.Blocked (ev, k) ->
+      Hashtbl.replace st.events_seen ev.Event.id ev;
       if Event.occurred ev then handle_step st t p task (Eff.resume k)
       else if ev.Event.kind = Event.Barrier then begin
         if Evlog.enabled () then
@@ -205,23 +231,145 @@ and finish_task st t p (task : Task.t) =
   st.n_finished <- st.n_finished + 1;
   release_proc st t p
 
+(* Retries exhausted (or a resume-point crash, where partial effects
+   make a re-run unsafe): permanently fail the task.  It still counts as
+   finished so the engine's accounting stays uniform; the driver decides
+   what the lost stream means for the program. *)
+let quarantine st t p (task : Task.t) =
+  if Evlog.enabled () then
+    Evlog.emit (Evlog.Task_quarantine { task = task.Task.id; name = task.Task.name });
+  st.quarantined <- task.Task.name :: st.quarantined;
+  st.failures <- (task.Task.name, Fault.Injected task.Task.name) :: st.failures;
+  finish_task st t p task
+
+(* Consult the armed fault plan at a Start dispatch.  Returns true when
+   the fault consumed this dispatch (the caller skips running the body).
+   A crash before the body ran is retryable: redispatch after a
+   virtual-time backoff, up to [Costs.retry_limit] attempts, then
+   quarantine.  A stall just delays the dispatch, capped at
+   [Costs.retry_limit] stalls so a pinned victim still terminates. *)
+let inject_at_start st t p (task : Task.t) =
+  if not (Fault.armed ()) then false
+  else begin
+    let name = task.Task.name and cls = Task.cls_name task.Task.cls in
+    let count tbl = Option.value ~default:0 (Hashtbl.find_opt tbl task.Task.id) in
+    if Fault.crash ~name ~cls then begin
+      if Evlog.enabled () then
+        Evlog.emit (Evlog.Fault_inject { fault = "task-crash"; victim = name });
+      let n = 1 + count st.attempts in
+      Hashtbl.replace st.attempts task.Task.id n;
+      if n <= Costs.retry_limit then begin
+        st.retries <- st.retries + 1;
+        if Evlog.enabled () then Evlog.emit (Evlog.Task_retry { task = task.Task.id; attempt = n });
+        Heap.push st.agenda (t +. float_of_int Costs.retry_backoff) (Start (p, task))
+      end
+      else quarantine st t p task;
+      true
+    end
+    else if count st.stalled < Costs.retry_limit && Fault.stall ~name ~cls then begin
+      if Evlog.enabled () then Evlog.emit (Evlog.Fault_inject { fault = "stall"; victim = name });
+      Hashtbl.replace st.stalled task.Task.id (1 + count st.stalled);
+      st.stalls <- st.stalls + 1;
+      Heap.push st.agenda (t +. float_of_int Costs.stall_penalty) (Start (p, task));
+      true
+    end
+    else false
+  end
+
 (* Diagnose what everyone is stuck on when the agenda drains with parked
-   tasks remaining. *)
+   tasks remaining: the blocked-task wait graph, with event names and
+   expected producers where known. *)
 let deadlock_report st =
+  let ev_desc ev_id =
+    match Hashtbl.find_opt st.events_seen ev_id with
+    | Some ev ->
+        let prod =
+          if ev.Event.producer >= 0 then Printf.sprintf ", producer task#%d" ev.Event.producer
+          else ""
+        in
+        if ev.Event.name <> "" then Printf.sprintf "event#%d (%s%s)" ev_id ev.Event.name prod
+        else Printf.sprintf "event#%d" ev_id
+    | None -> Printf.sprintf "event#%d" ev_id
+  in
   let waits =
     Hashtbl.fold
       (fun ev_id waiters acc ->
-        List.map (fun ((t : Task.t), _) -> Printf.sprintf "%s waits on event#%d" t.name ev_id) waiters
+        List.map
+          (fun ((t : Task.t), _) -> Printf.sprintf "%s waits on %s" t.name (ev_desc ev_id))
+          waiters
         @ acc)
       st.waiting []
+  in
+  let bars =
+    Hashtbl.fold
+      (fun ev_id waiters acc ->
+        List.map
+          (fun (_, _, (t : Task.t), _) ->
+            Printf.sprintf "%s barrier-waits on %s" t.name (ev_desc ev_id))
+          waiters
+        @ acc)
+      st.barrier_waiting []
   in
   let gates =
     List.concat_map
       (fun (ev_id, names) ->
-        List.map (fun n -> Printf.sprintf "%s gated on event#%d" n ev_id) names)
+        List.map (fun n -> Printf.sprintf "%s gated on %s" n (ev_desc ev_id)) names)
       (Supervisor.gated_events st.sup)
   in
-  List.sort compare (waits @ gates)
+  List.sort compare (waits @ bars @ gates)
+
+(* The virtual-time stall watchdog.  Called when the agenda has drained
+   with tasks still parked: any parked task whose event has in fact
+   occurred lost its wake (an injected dropped wake, or any future bug
+   of the same shape) — re-deliver it [Costs.watchdog_interval] later
+   and let the run continue.  Returns true if anything was recovered. *)
+let watchdog_sweep st t =
+  let stale tbl =
+    Hashtbl.fold
+      (fun ev_id waiters acc ->
+        match Hashtbl.find_opt st.events_seen ev_id with
+        | Some ev when Event.occurred ev -> (ev_id, waiters) :: acc
+        | _ -> acc)
+      tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let recovered = ref false in
+  List.iter
+    (fun (ev_id, waiters) ->
+      Hashtbl.remove st.waiting ev_id;
+      st.watchdog_fires <- st.watchdog_fires + 1;
+      List.iter
+        (fun ((task : Task.t), k) ->
+          recovered := true;
+          st.n_blocked <- st.n_blocked - 1;
+          st.recovered_wakes <- st.recovered_wakes + 1;
+          if Evlog.enabled () then begin
+            Evlog.emit (Evlog.Watchdog_fire { ev = ev_id; task = task.Task.id });
+            Evlog.emit (Evlog.Ev_wake { ev = ev_id; task = task.Task.id })
+          end;
+          Supervisor.resume st.sup task k)
+        waiters)
+    (stale st.waiting);
+  List.iter
+    (fun (ev_id, waiters) ->
+      Hashtbl.remove st.barrier_waiting ev_id;
+      st.watchdog_fires <- st.watchdog_fires + 1;
+      List.iter
+        (fun (p, t_block, (task : Task.t), k) ->
+          recovered := true;
+          st.barrier_count <- st.barrier_count - 1;
+          st.recovered_wakes <- st.recovered_wakes + 1;
+          if Evlog.enabled () then begin
+            Evlog.emit (Evlog.Watchdog_fire { ev = ev_id; task = task.Task.id });
+            Evlog.emit (Evlog.Ev_wake { ev = ev_id; task = task.Task.id })
+          end;
+          Trace.add st.trace ~proc:p ~task_id:task.Task.id ~cls:task.Task.cls ~t0:t_block ~t1:t
+            ~kind:Trace.Waitbar;
+          Heap.push st.agenda t (Continue (p, task, k)))
+        waiters)
+    (stale st.barrier_waiting);
+  if !recovered then try_assign st t;
+  !recovered
 
 let run ?(beta = Costs.bus_beta) ?(fifo = false) ?perturb ~procs tasks =
   if procs < 1 then invalid_arg "Des_engine.run: need at least one processor";
@@ -232,16 +380,25 @@ let run ?(beta = Costs.bus_beta) ?(fifo = false) ?perturb ~procs tasks =
       trace = Trace.create ();
       waiting = Hashtbl.create 64;
       barrier_waiting = Hashtbl.create 64;
+      events_seen = Hashtbl.create 64;
+      attempts = Hashtbl.create 8;
+      stalled = Hashtbl.create 8;
       free = List.init procs Fun.id;
       barrier_count = 0;
       n_blocked = 0;
       n_finished = 0;
       failures = [];
       handled_blocks = 0;
+      retries = 0;
+      quarantined = [];
+      stalls = 0;
+      watchdog_fires = 0;
+      recovered_wakes = 0;
       procs;
       beta;
     }
   in
+  let fired0 = Fault.fired () in
   let saved_mode = !Eff.mode in
   Eff.mode := Eff.Engine;
   Eff.acc := 0;
@@ -270,21 +427,52 @@ let run ?(beta = Costs.bus_beta) ?(fifo = false) ?perturb ~procs tasks =
             last_t := t;
             (match item with
             | Start (p, task) ->
-                if logging then begin
-                  Evlog.set_task task.Task.id;
-                  Evlog.emit (Evlog.Task_start { task = task.Task.id })
-                end;
-                task.Task.state <- Task.Running;
-                handle_step st t p task (Eff.start task.Task.body)
+                if inject_at_start st t p task then ()
+                else begin
+                  if logging then begin
+                    Evlog.set_task task.Task.id;
+                    Evlog.emit (Evlog.Task_start { task = task.Task.id })
+                  end;
+                  task.Task.state <- Task.Running;
+                  handle_step st t p task (Eff.start task.Task.body)
+                end
             | Continue (p, task, k) ->
                 if logging then Evlog.set_task task.Task.id;
-                handle_step st t p task (Eff.resume k)
+                if
+                  Fault.armed ()
+                  && Fault.crash ~name:task.Task.name ~cls:(Task.cls_name task.Task.cls)
+                then begin
+                  (* crash at a resume point: the body already ran partway
+                     (it may have published symbols), so a re-run is
+                     unsafe — quarantine via an injected abort *)
+                  if logging then
+                    Evlog.emit
+                      (Evlog.Fault_inject { fault = "task-crash"; victim = task.Task.name });
+                  if logging then
+                    Evlog.emit
+                      (Evlog.Task_quarantine { task = task.Task.id; name = task.Task.name });
+                  st.quarantined <- task.Task.name :: st.quarantined;
+                  handle_step st t p task (Eff.discontinue k (Fault.Injected task.Task.name))
+                end
+                else handle_step st t p task (Eff.resume k)
             | Complete (p, task) ->
                 if logging then Evlog.set_task task.Task.id;
                 finish_task st t p task);
             loop ()
       in
       loop ();
+      (* quiescence with tasks still parked: give the stall watchdog a
+         chance to convert dropped wakes back into progress before
+         declaring deadlock *)
+      let rec drive () =
+        let t = !last_t +. Costs.watchdog_interval in
+        if watchdog_sweep st t then begin
+          last_t := t;
+          loop ();
+          drive ()
+        end
+      in
+      drive ();
       let stuck = deadlock_report st in
       let end_time = max !last_t (Trace.horizon st.trace) in
       {
@@ -295,4 +483,10 @@ let run ?(beta = Costs.bus_beta) ?(fifo = false) ?perturb ~procs tasks =
         tasks_run = st.n_finished;
         failures = List.rev st.failures;
         handled_blocks = st.handled_blocks;
+        injected = Fault.fired () - fired0;
+        retries = st.retries;
+        quarantined = List.rev st.quarantined;
+        stalls = st.stalls;
+        watchdog_fires = st.watchdog_fires;
+        recovered_wakes = st.recovered_wakes;
       })

@@ -27,6 +27,12 @@ type result = {
   handled_blocks : int;
       (** suspensions on handled events of any kind; symbol-table DKY
           blockages specifically are counted by [Mcc_sem.Lookup_stats] *)
+  injected : int;  (** faults fired by the armed {!Fault} plan during the run *)
+  retries : int;  (** crashed-at-start tasks redispatched after backoff *)
+  quarantined : string list;  (** tasks permanently failed by injection *)
+  stalls : int;  (** injected stalled-worker delays *)
+  watchdog_fires : int;  (** occurred events whose lost wakes were re-delivered *)
+  recovered_wakes : int;  (** parked tasks the watchdog woke *)
 }
 
 (** [run ~beta ~procs tasks] simulates the initial task set (plus
@@ -35,5 +41,12 @@ type result = {
     scheduling (ablation of paper §2.3.4).  [~perturb:seed] randomizes
     ready-queue tie-breaking with a {!Mcc_util.Prng} seeded from [seed]
     — every perturbed run is still a legal Supervisor schedule (used by
-    the schedule explorer; see {!Supervisor.create}). *)
+    the schedule explorer; see {!Supervisor.create}).
+
+    When a {!Fault} plan is armed, dispatches consult it: a crash before
+    a task's body ran retries after a virtual-time backoff (then
+    quarantines); a crash at a resume point quarantines immediately
+    (partial effects make re-runs unsafe); dropped wakes leave waiters
+    parked for the virtual-time stall watchdog, which re-delivers the
+    lost wake-ups at quiescence instead of reporting a deadlock. *)
 val run : ?beta:float -> ?fifo:bool -> ?perturb:int -> procs:int -> Task.t list -> result

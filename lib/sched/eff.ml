@@ -141,3 +141,9 @@ let handler : (unit, step) Effect.Deep.handler =
 
 let start (body : unit -> unit) : step = Effect.Deep.match_with body () handler
 let resume (k : resumption) : step = Effect.Deep.continue k ()
+
+(* Abort a suspended task by raising [e] at its suspension point: the
+   body unwinds normally (Fun.protect cleanups run) and the deep
+   handler's [exnc] converts the escape into a [Failed] step.  Used by
+   the DES engine's fault injection to crash a task mid-flight. *)
+let discontinue (k : resumption) (e : exn) : step = Effect.Deep.discontinue k e

@@ -81,3 +81,8 @@ val start : (unit -> unit) -> step
 
 (** Resume a suspended task until its next step. *)
 val resume : resumption -> step
+
+(** Abort a suspended task by raising [e] at its suspension point; the
+    body unwinds (cleanups run) and the handler yields [Failed].  Used
+    by the DES engine's fault injection. *)
+val discontinue : resumption -> exn -> step

@@ -40,6 +40,14 @@ type kind =
          never be published to this scope afterwards *)
   | Dky_block of { scope : int; scope_name : string; sym : string; ev : int }
   | Dky_unblock of { scope : int; scope_name : string; sym : string; ev : int }
+  | Fault_inject of { fault : string; victim : string }
+      (* an armed fault plan fired at an injection site *)
+  | Task_retry of { task : int; attempt : int }
+      (* a crashed-at-start task redispatched after virtual-time backoff *)
+  | Task_quarantine of { task : int; name : string }
+      (* retries exhausted (or unsafe): the task is permanently failed *)
+  | Watchdog_fire of { ev : int; task : int }
+      (* the stall watchdog re-delivered a lost wake for [task] *)
 
 type record = { seq : int; task : int (* emitting task; -1 scheduler *); kind : kind }
 
@@ -104,5 +112,10 @@ let kind_to_string = function
       Printf.sprintf "DKY-block on %s in %s (event#%d)" sym scope_name ev
   | Dky_unblock { scope_name; sym; ev; _ } ->
       Printf.sprintf "DKY-unblock on %s in %s (event#%d)" sym scope_name ev
+  | Fault_inject { fault; victim } -> Printf.sprintf "inject %s on %s" fault victim
+  | Task_retry { task; attempt } -> Printf.sprintf "retry task#%d (attempt %d)" task attempt
+  | Task_quarantine { task; name } -> Printf.sprintf "quarantine task#%d %s" task name
+  | Watchdog_fire { ev; task } ->
+      Printf.sprintf "watchdog re-delivers event#%d to task#%d" ev task
 
 let record_to_string r = Printf.sprintf "#%-6d task#%-4d %s" r.seq r.task (kind_to_string r.kind)

@@ -31,6 +31,14 @@ type kind =
           must never be published to this scope afterwards *)
   | Dky_block of { scope : int; scope_name : string; sym : string; ev : int }
   | Dky_unblock of { scope : int; scope_name : string; sym : string; ev : int }
+  | Fault_inject of { fault : string; victim : string }
+      (** an armed {!Fault} plan fired at an injection site *)
+  | Task_retry of { task : int; attempt : int }
+      (** a crashed-at-start task redispatched after virtual-time backoff *)
+  | Task_quarantine of { task : int; name : string }
+      (** retries exhausted (or resume-crash): the task is permanently failed *)
+  | Watchdog_fire of { ev : int; task : int }
+      (** the stall watchdog re-delivered a lost wake for [task] *)
 
 type record = { seq : int; task : int  (** emitting task; -1 = scheduler *); kind : kind }
 

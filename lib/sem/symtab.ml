@@ -131,20 +131,23 @@ let mark_complete t =
     Eff.signal t.completion
   end
 
-(* Test-only fault injection for the happens-before analyzer: when set to
-   a scope name, [enter] prematurely completes that scope as soon as it
-   already holds a symbol, so the scope publishes *after* completing — the
-   early-publish bug the checker must catch.  DES-only, like the log. *)
-let inject_early_complete : string option ref = ref None
-
 (* Enter a new symbol.  Returns the placeholder's event to signal (the
    caller signals it outside the lock) when an optimistic placeholder is
-   being replaced by the real declaration. *)
+   being replaced by the real declaration.
+
+   The [Fault.early_complete] consultation is the deliberate
+   early-publish bug for the happens-before analyzer: when an armed
+   plan fires on this scope while it is incomplete but already holds a
+   symbol, the scope completes prematurely, so this (and every later)
+   entry publishes *after* completion — the violation [Hb] must catch.
+   DES-only, like the log. *)
 let enter t (sym : Symbol.t) =
-  (match !inject_early_complete with
-  | Some victim when victim = t.sname && (not t.complete) && Hashtbl.length t.tbl > 0 ->
-      mark_complete t
-  | _ -> ());
+  if
+    Fault.armed ()
+    && (not t.complete)
+    && Hashtbl.length t.tbl > 0
+    && Fault.early_complete ~scope:t.sname
+  then mark_complete t;
   Mutex.lock t.mu;
   let r =
     match Hashtbl.find_opt t.tbl sym.sname with

@@ -67,7 +67,13 @@ val find_opt : t -> string -> Symbol.t option
 val entries : t -> Symbol.t list
 
 (** Enter a symbol.  Atomic with respect to search; replaces (and
-    signals) an optimistic placeholder of the same name. *)
+    signals) an optimistic placeholder of the same name.
+
+    Fault injection: when an armed [Mcc_sched.Fault] plan fires an
+    [early-complete] fault on this scope while it is incomplete but
+    already holds a symbol, the scope completes prematurely, so later
+    entries publish {e after} completion — the early-publish bug
+    [Mcc_analysis.Hb] must detect.  DES-only. *)
 val enter : t -> Symbol.t -> [ `Ok | `Dup of Symbol.t ]
 
 (** Export a completed scope's symbols for an interface artifact —
@@ -84,13 +90,6 @@ val import_export : t -> Symbol.t list -> unit
 (** Flip [complete], sweep optimistic placeholders ("all unsignaled
     events are signaled", §2.3.3) and signal the completion event. *)
 val mark_complete : t -> unit
-
-(** Test-only fault injection for the happens-before analyzer: while set
-    to [Some scope_name], {!enter} prematurely completes that scope as
-    soon as it already holds a symbol, so later entries publish {e after}
-    completion — the early-publish bug [Mcc_analysis.Hb] must detect.
-    DES-only; always restore to [None] (e.g. with [Fun.protect]). *)
-val inject_early_complete : string option ref
 
 (** Simple-identifier lookup starting in [scope] (the searching stream's
     own scope — probed without waiting, since only its own task searches

@@ -135,6 +135,65 @@ let test_hb_wait_cycle () =
   Alcotest.(check bool) "cycle detected" true
     (has_violation (function Hb.Wait_cycle _ -> true | _ -> false) log)
 
+let test_hb_retry_without_fault () =
+  let log =
+    mk_log
+      [
+        (0, Evlog.Task_spawn { task = 1; name = "victim"; gate = -1 });
+        (-1, Evlog.Task_retry { task = 1; attempt = 1 });
+      ]
+  in
+  Alcotest.(check bool) "detected" true
+    (has_violation (function Hb.Retry_without_fault { task = 1; _ } -> true | _ -> false) log);
+  (* paired with its crash injection: clean *)
+  let ok_log =
+    mk_log
+      [
+        (0, Evlog.Task_spawn { task = 1; name = "victim"; gate = -1 });
+        (-1, Evlog.Fault_inject { fault = "task-crash"; victim = "victim" });
+        (-1, Evlog.Task_retry { task = 1; attempt = 1 });
+      ]
+  in
+  Alcotest.(check int) "paired retry clean" 0 (n_violations ok_log)
+
+let test_hb_quarantine_observed () =
+  let prefix =
+    [
+      (0, Evlog.Task_spawn { task = 1; name = "defparse"; gate = -1 });
+      (1, Evlog.Publish { scope = 5; scope_name = "M.def"; sym = "x" });
+      (2, Evlog.Observe { scope = 5; scope_name = "M.def"; sym = "x"; complete = false });
+      (-1, Evlog.Fault_inject { fault = "task-crash"; victim = "defparse" });
+      (-1, Evlog.Task_quarantine { task = 1; name = "defparse" });
+    ]
+  in
+  Alcotest.(check bool) "partial publish observed: detected" true
+    (has_violation
+       (function Hb.Quarantine_observed { sym = "x"; task = 1; _ } -> true | _ -> false)
+       (mk_log prefix));
+  (* the scope completed anyway: its data is whole, no violation *)
+  let ok_log = mk_log (prefix @ [ (1, Evlog.Complete { scope = 5; scope_name = "M.def" }) ]) in
+  Alcotest.(check int) "completed scope clean" 0 (n_violations ok_log)
+
+let test_hb_watchdog_recovery_clean () =
+  (* a dropped wake recovered by the watchdog leaves the block/wake
+     pairing clean: the re-delivery emits an ordinary Ev_wake *)
+  let log =
+    mk_log
+      [
+        (2, Evlog.Ev_block { ev = 9; name = "e"; producer = -1 });
+        (1, Evlog.Ev_signal { ev = 9; name = "e" });
+        (-1, Evlog.Fault_inject { fault = "dropped-wake"; victim = "e" });
+        (-1, Evlog.Watchdog_fire { ev = 9; task = 2 });
+        (-1, Evlog.Ev_wake { ev = 9; task = 2 });
+      ]
+  in
+  let r = Hb.check log in
+  if not (Hb.ok r) then
+    Alcotest.failf "expected clean, got: %s"
+      (String.concat "; " (List.map Hb.violation_to_string r.Hb.violations));
+  Alcotest.(check int) "watchdog counted" 1 r.Hb.n_watchdog;
+  Alcotest.(check int) "injection counted" 1 r.Hb.n_injects
+
 (* --- capture through the driver --- *)
 
 let test_driver_capture () =
@@ -189,8 +248,8 @@ let test_explorer_detects_injected_fault () =
          in
          contains s "M00L0.def")
        rep.Explorer.violation_samples);
-  (* the hook is restored: a following plain run is clean again *)
-  Alcotest.(check bool) "hook restored" true (!Symtab.inject_early_complete = None);
+  (* the fault plan is disarmed on exit: a following plain run is clean *)
+  Alcotest.(check bool) "plan disarmed" true (not (Fault.armed ()));
   let clean = Driver.compile ~capture:true (Suite.program 0) in
   Alcotest.(check bool) "clean afterwards" true (Hb.ok (Hb.check clean.Driver.log))
 
@@ -244,6 +303,9 @@ let () =
           Alcotest.test_case "wake before signal" `Quick test_hb_wake_before_signal;
           Alcotest.test_case "start before gate" `Quick test_hb_start_before_gate;
           Alcotest.test_case "wait cycle" `Quick test_hb_wait_cycle;
+          Alcotest.test_case "retry without fault" `Quick test_hb_retry_without_fault;
+          Alcotest.test_case "quarantine observed" `Quick test_hb_quarantine_observed;
+          Alcotest.test_case "watchdog recovery clean" `Quick test_hb_watchdog_recovery_clean;
         ] );
       ( "capture",
         [

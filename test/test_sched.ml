@@ -375,6 +375,139 @@ let test_perturb_reproducible () =
   Alcotest.(check bool) "perturbed run completes" true (completed r);
   Alcotest.(check int) "all tasks ran" 4 r.Des_engine.tasks_run
 
+(* --- fault injection and self-healing (engine level) --- *)
+
+let with_specs ?(seed = 0) specs f =
+  Fault.with_plan (Fault.plan ~seed (List.map Fault.parse specs)) f
+
+let test_start_crash_retried () =
+  (* a crash before the body ran is retryable: the engine redispatches
+     after a virtual-time backoff and the run still completes *)
+  let ran = ref 0 in
+  let r =
+    with_specs [ "task-crash:victim@1" ] (fun () ->
+        run [ mk "victim" (fun () -> incr ran) ])
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check int) "body ran exactly once" 1 !ran;
+  Alcotest.(check int) "one injection" 1 r.Des_engine.injected;
+  Alcotest.(check int) "one retry" 1 r.Des_engine.retries;
+  Alcotest.(check (list string)) "no quarantine" [] r.Des_engine.quarantined;
+  Alcotest.(check bool) "backoff charged" true
+    (r.Des_engine.end_time >= float_of_int Costs.retry_backoff)
+
+let test_permanent_crash_quarantined () =
+  (* a pinned victim keeps crashing: retries exhaust, the task is
+     quarantined as an injected failure, everything else still runs *)
+  let ran = ref 0 and other = ref 0 in
+  let r =
+    with_specs [ "task-crash:victim@1!" ] (fun () ->
+        run [ mk "victim" (fun () -> incr ran); mk "other" (fun () -> incr other) ])
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check int) "victim never ran" 0 !ran;
+  Alcotest.(check int) "other task unaffected" 1 !other;
+  Alcotest.(check (list string)) "quarantined" [ "victim" ] r.Des_engine.quarantined;
+  Alcotest.(check int) "retried to the limit first" Costs.retry_limit r.Des_engine.retries;
+  (match r.Des_engine.failures with
+  | [ ("victim", Fault.Injected _) ] -> ()
+  | _ -> Alcotest.fail "expected exactly the injected failure");
+  Alcotest.(check int) "quarantined task still counted finished" 2 r.Des_engine.tasks_run
+
+let test_resume_crash_quarantined () =
+  (* a crash at a resume point (the body already ran partway) is not
+     retryable: the task is aborted and quarantined immediately *)
+  let stage = ref 0 in
+  let r =
+    with_specs [ "task-crash:victim@2" ] (fun () ->
+        run
+          [
+            mk "victim" (fun () ->
+                stage := 1;
+                (* above the quantum, so the body yields a resume point *)
+                Eff.work 1000;
+                stage := 2);
+          ])
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check int) "aborted mid-body" 1 !stage;
+  Alcotest.(check int) "no retry for a partial body" 0 r.Des_engine.retries;
+  Alcotest.(check (list string)) "quarantined" [ "victim" ] r.Des_engine.quarantined
+
+let test_stall_delays_dispatch () =
+  let r0 = run [ mk "victim" (fun () -> Eff.work 10) ] in
+  let r =
+    with_specs [ "stall:victim@1" ] (fun () -> run [ mk "victim" (fun () -> Eff.work 10) ])
+  in
+  Alcotest.(check bool) "completed" true (completed r);
+  Alcotest.(check int) "one stall" 1 r.Des_engine.stalls;
+  Alcotest.(check bool) "stall penalty paid" true
+    (r.Des_engine.end_time >= r0.Des_engine.end_time +. float_of_int Costs.stall_penalty)
+
+let test_dropped_wake_recovered_by_watchdog () =
+  (* the signal lands but the waiter's wake is lost; at quiescence the
+     watchdog finds the occurred event and re-delivers — never a hang *)
+  let woke = ref false in
+  let r =
+    with_specs [ "dropped-wake:e@1" ] (fun () ->
+        let ev = Event.create ~kind:Event.Handled "e" in
+        run ~procs:2
+          [
+            mk "waiter" (fun () ->
+                Eff.wait ev;
+                woke := true);
+            mk "signaler" (fun () ->
+                Eff.work 100;
+                Eff.signal ev);
+          ])
+  in
+  Alcotest.(check bool) "completed, not deadlocked" true (completed r);
+  Alcotest.(check bool) "waiter resumed" true !woke;
+  Alcotest.(check int) "watchdog fired" 1 r.Des_engine.watchdog_fires;
+  Alcotest.(check int) "one recovered wake" 1 r.Des_engine.recovered_wakes;
+  Alcotest.(check bool) "recovery cost virtual time" true
+    (r.Des_engine.end_time >= Costs.watchdog_interval)
+
+let test_watchdog_never_masks_real_deadlock () =
+  (* the watchdog only re-delivers wakes for events that occurred: a
+     task waiting on a never-signaled event is still a deadlock *)
+  let r =
+    with_specs [ "dropped-wake%100" ] (fun () ->
+        let ev = Event.create ~kind:Event.Handled "never" in
+        run [ mk "stuck" (fun () -> Eff.wait ev) ])
+  in
+  (match r.Des_engine.outcome with
+  | Des_engine.Deadlocked reports ->
+      Alcotest.(check bool) "reports the stuck task" true
+        (List.exists (Tutil.contains ~sub:"stuck") reports)
+  | Des_engine.Completed -> Alcotest.fail "genuine deadlock masked by the watchdog");
+  Alcotest.(check int) "nothing recovered" 0 r.Des_engine.recovered_wakes
+
+let test_engine_fault_replay_deterministic () =
+  let build () =
+    let ev = Event.create ~kind:Event.Handled "e" in
+    [
+      mk "a" (fun () ->
+          Eff.work 1234;
+          Eff.signal ev);
+      mk "b" (fun () ->
+          Eff.work 100;
+          Eff.wait ev;
+          Eff.work 777);
+      mk "c" (fun () -> Eff.work 5000);
+    ]
+  in
+  let go () =
+    with_specs ~seed:9 [ "task-crash:a@1"; "dropped-wake%50"; "stall:c@1" ] (fun () ->
+        run ~procs:2 (build ()))
+  in
+  let r1 = go () and r2 = go () in
+  Alcotest.(check (float 0.0)) "same end time" r1.Des_engine.end_time r2.Des_engine.end_time;
+  Alcotest.(check int) "same injections" r1.Des_engine.injected r2.Des_engine.injected;
+  Alcotest.(check int) "same retries" r1.Des_engine.retries r2.Des_engine.retries;
+  Alcotest.(check int) "same recovered wakes" r1.Des_engine.recovered_wakes
+    r2.Des_engine.recovered_wakes
+
 (* --- cost accounting in direct mode --- *)
 
 let test_direct_mode_accumulates () =
@@ -427,6 +560,19 @@ let () =
           Alcotest.test_case "gated release order" `Quick test_supervisor_gated_release_order;
           Alcotest.test_case "gated order through DES" `Quick test_gated_release_order_through_des;
           Alcotest.test_case "perturb reproducible" `Quick test_perturb_reproducible;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "start crash retried" `Quick test_start_crash_retried;
+          Alcotest.test_case "permanent crash quarantined" `Quick test_permanent_crash_quarantined;
+          Alcotest.test_case "resume crash quarantined" `Quick test_resume_crash_quarantined;
+          Alcotest.test_case "stall delays dispatch" `Quick test_stall_delays_dispatch;
+          Alcotest.test_case "dropped wake recovered" `Quick
+            test_dropped_wake_recovered_by_watchdog;
+          Alcotest.test_case "real deadlock not masked" `Quick
+            test_watchdog_never_masks_real_deadlock;
+          Alcotest.test_case "fault replay deterministic" `Quick
+            test_engine_fault_replay_deterministic;
         ] );
       ( "domains",
         [
