@@ -559,12 +559,87 @@ let micro () =
         results)
     tests
 
+(* Machine-readable artifacts for CI: the suite speedup summary and the
+   critical-path profile of the best-case program, as validated JSON.
+   BENCH_SAMPLE=n truncates the suite to its first n programs (the CI
+   reduced configuration); the truncation is reported, never silent.
+   Schema or invariant failures exit nonzero so CI fails loudly. *)
+let speedup_artifacts () =
+  header "Speedup + critical-path artifacts (BENCH_speedup.json, BENCH_critpath.json)";
+  let fail fmt = Printf.ksprintf (fun s -> say "FAIL: %s" s; exit 1) fmt in
+  let all = Suite.all () in
+  let stores =
+    match Option.bind (Sys.getenv_opt "BENCH_SAMPLE") int_of_string_opt with
+    | Some n when n > 0 && n < List.length all ->
+        say "BENCH_SAMPLE=%d: sampling first %d of %d suite programs" n n (List.length all);
+        List.filteri (fun i _ -> i < n) all
+    | _ -> all
+  in
+  let sweeps = List.map Speedup.sweep stores in
+  let synth = Speedup.sweep (Suite.synth_best ()) in
+  let module J = Mcc_obs.Json in
+  let per_procs =
+    List.init Speedup.max_procs (fun i ->
+        let n = i + 1 in
+        let mn, mean, mx = Speedup.aggregate sweeps ~n in
+        J.Obj
+          [
+            ("procs", J.Int n);
+            ("min", J.Float mn);
+            ("mean", J.Float mean);
+            ("max", J.Float mx);
+            ("synth", J.Float (Speedup.speedup synth n));
+          ])
+  in
+  let speedup_doc =
+    J.Obj
+      [
+        ("schema", J.Str "mcc-bench-speedup-v1");
+        ("suite_programs", J.Int (List.length stores));
+        ("max_procs", J.Int Speedup.max_procs);
+        ("per_procs", J.Arr per_procs);
+      ]
+  in
+  (* critical-path profile of the best-case program on 8 processors *)
+  let store = Suite.synth_best () in
+  let c = Driver.compile ~config:Driver.default_config ~capture:true ~telemetry:true store in
+  let profile =
+    Mcc_obs.Profile.make
+      ~module_name:(Source_store.main_name store)
+      ~procs:Driver.default_config.Driver.procs
+      ~strategy:(Mcc_sem.Symtab.dky_name Driver.default_config.Driver.strategy)
+      ~end_time:(end_time c)
+      ~seconds_per_unit:Mcc_sched.Costs.seconds_per_unit
+      ~metrics:(Option.value ~default:[] c.Driver.telemetry)
+      c.Driver.log
+  in
+  if not (Mcc_obs.Profile.tiles_end profile) then
+    fail "critical-path attribution does not sum to the end-to-end time";
+  let critpath_doc =
+    J.Obj
+      [
+        ("schema", J.Str "mcc-bench-critpath-v1");
+        ("profile", Mcc_obs.Profile.to_json_value profile);
+      ]
+  in
+  List.iter
+    (fun (path, doc) ->
+      let text = J.to_string doc ^ "\n" in
+      (match J.validate text with
+      | Ok () -> ()
+      | Error e -> fail "%s does not validate: %s" path e);
+      Out_channel.with_open_text path (fun oc -> output_string oc text);
+      say "wrote %s (%d bytes)" path (String.length text))
+    [ ("BENCH_speedup.json", speedup_doc); ("BENCH_critpath.json", critpath_doc) ];
+  say "attribution tiles end-to-end time: ok"
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig2", fig2);
     ("fig4", fig4); ("fig7", fig7); ("overhead", overhead); ("dky", dky);
     ("heading", heading); ("sched", sched_ablation); ("barrier", barrier);
     ("sensitivity", sensitivity); ("incr", incr); ("faults", faults); ("micro", micro);
+    ("speedup", speedup_artifacts);
   ]
 
 let () =

@@ -8,6 +8,7 @@
      m2c compile Foo.mod --cache .m2c-cache   # reuse interface artifacts
      m2c compile Foo.mod --trace-json t.json  # Chrome trace_event export
      m2c compile Foo.mod --inject task-crash@2 --fault-seed 7  # self-healing
+     m2c profile Foo.mod --top 5 --prom m.prom --json m.json   # telemetry
      m2c build Foo.mod            # incremental whole-program build
      m2c run Foo.mod --input 1,2,3
      m2c sweep Foo.mod            # speedup on 1..8 processors
@@ -218,7 +219,9 @@ let compile_cmd =
         let config =
           { (config ~procs ~strategy ~heading) with Driver.faults; Driver.fault_seed }
         in
-        let r = Driver.compile ~config ?cache store in
+        (* --trace-json needs the event log for its fault-instant rows:
+           asking for the export implies capturing *)
+        let r = Driver.compile ~config ~capture:(trace_json <> None) ?cache store in
         report_diags r.Driver.diags;
         finish_cache ();
         Printf.printf
@@ -240,7 +243,7 @@ let compile_cmd =
         | None -> ()
         | Some path -> (
             let json =
-              Mcc_analysis.Trace_json.export ~names:r.Driver.task_index
+              Mcc_analysis.Trace_json.export ~names:r.Driver.task_index ~log:r.Driver.log
                 r.Driver.sim.Mcc_sched.Des_engine.trace
             in
             try
@@ -411,6 +414,87 @@ let analyze_cmd =
           run's output against the unperturbed baseline.")
     term
 
+let profile_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"Show the $(docv) longest critical-path hops.")
+  in
+  let prom_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"PATH"
+          ~doc:"Also write the profile as Prometheus text exposition format to $(docv).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the profile as JSON (schema mcc-profile-v1) to $(docv).")
+  in
+  let write_checked path what content validate =
+    match validate content with
+    | Error e -> Error (Printf.sprintf "internal error: %s export invalid: %s" what e)
+    | Ok () -> (
+        try
+          Out_channel.with_open_text path (fun oc -> output_string oc content);
+          Printf.printf "%s: %s\n" what path;
+          Ok ()
+        with Sys_error e -> Error e)
+  in
+  let run store procs strategy heading top prom json =
+    let config = config ~procs ~strategy ~heading in
+    (* profiling implies both the event log and the metrics registry *)
+    let r = Driver.compile ~config ~capture:true ~telemetry:true store in
+    report_diags r.Driver.diags;
+    if not r.Driver.ok then `Error (false, "compilation failed")
+    else begin
+      let p =
+        Mcc_obs.Profile.make
+          ~module_name:(Source_store.main_name store)
+          ~procs:config.Driver.procs ~strategy:(Symtab.dky_name strategy)
+          ~end_time:r.Driver.sim.Mcc_sched.Des_engine.end_time
+          ~seconds_per_unit:Mcc_sched.Costs.seconds_per_unit
+          ~metrics:(Option.value ~default:[] r.Driver.telemetry)
+          r.Driver.log
+      in
+      print_string (Mcc_obs.Profile.render ~top p);
+      let results =
+        [
+          (match prom with
+          | None -> Ok ()
+          | Some path ->
+              write_checked path "prometheus" (Mcc_obs.Profile.to_prometheus p)
+                Mcc_obs.Prom.validate);
+          (match json with
+          | None -> Ok ()
+          | Some path ->
+              write_checked path "json" (Mcc_obs.Profile.to_json p) Mcc_obs.Json.validate);
+        ]
+      in
+      match List.filter_map (function Error e -> Some e | Ok () -> None) results with
+      | e :: _ -> `Error (false, e)
+      | [] -> `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun file synth procs strategy heading top prom json ->
+             with_store file synth (fun store -> run store procs strategy heading top prom json))
+        $ file_opt_arg $ synth_arg $ procs_arg $ strategy_arg $ heading_arg $ top_arg $ prom_arg
+        $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile with telemetry and report where the virtual time went: a critical-path \
+          attribution table whose buckets sum to the end-to-end time, per-class busy totals, and \
+          the longest bottleneck hops.  Optional Prometheus and JSON exports.")
+    term
+
 let sweep_cmd =
   let term =
     Term.(
@@ -437,4 +521,6 @@ let sweep_cmd =
 let () =
   let doc = "a concurrent compiler for Modula-2+ (Wortman & Junkin, PLDI 1992)" in
   let info = Cmd.info "m2c" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd; profile_cmd ]))

@@ -1,0 +1,54 @@
+IMPLEMENTATION MODULE Sieve;
+IMPORT MathBits;
+FROM MathBits IMPORT Limit;
+
+VAR flags: ARRAY [0..63] OF INTEGER;
+VAR count: INTEGER;
+
+PROCEDURE Mark(step: INTEGER);
+VAR i: INTEGER;
+BEGIN
+  i := step + step;
+  WHILE i < Limit DO
+    flags[i] := 1;
+    i := i + step
+  END
+END Mark;
+
+PROCEDURE Count(): INTEGER;
+VAR i, n: INTEGER;
+BEGIN
+  n := 0;
+  i := 2;
+  WHILE i < Limit DO
+    IF flags[i] = 0 THEN n := n + 1 END;
+    i := i + 1
+  END;
+  RETURN n
+END Count;
+
+PROCEDURE Report(n: INTEGER);
+BEGIN
+  WriteString("primes below "); WriteInt(Limit);
+  WriteString(": "); WriteInt(n); WriteLn;
+  IF MathBits.IsOdd(n) THEN WriteString("odd count") ELSE WriteString("even count") END;
+  WriteLn;
+  WriteString("square of count: "); WriteInt(MathBits.Square(n)); WriteLn
+END Report;
+
+VAR p: INTEGER;
+
+BEGIN
+  p := 0;
+  WHILE p < Limit DO
+    flags[p] := 0;
+    p := p + 1
+  END;
+  p := 2;
+  WHILE p * p < Limit DO
+    IF flags[p] = 0 THEN Mark(p) END;
+    p := p + 1
+  END;
+  count := Count();
+  Report(count)
+END Sieve.

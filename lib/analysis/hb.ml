@@ -174,7 +174,7 @@ let check (log : Evlog.record array) : report =
   Array.iter
     (fun (r : Evlog.record) ->
       match r.Evlog.kind with
-      | Evlog.Task_spawn { task; name; gate } ->
+      | Evlog.Task_spawn { task; name; gate; _ } ->
           incr n_spawned;
           Hashtbl.replace task_names task name;
           if gate >= 0 then Hashtbl.replace gates task gate

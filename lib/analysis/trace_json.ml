@@ -28,7 +28,8 @@ let escape s =
 
 let micros units = Costs.to_seconds units *. 1e6
 
-let export ?(names : (int * string) list = []) (trace : Trace.t) : string =
+let export ?(names : (int * string) list = []) ?(log : Evlog.record array = [||]) (trace : Trace.t)
+    : string =
   let name_tbl = Hashtbl.create 64 in
   List.iter (fun (id, n) -> Hashtbl.replace name_tbl id n) names;
   let task_name id =
@@ -63,5 +64,24 @@ let export ?(names : (int * string) list = []) (trace : Trace.t) : string =
            (micros (s.Trace.t1 -. s.Trace.t0))
            s.Trace.proc s.Trace.task_id kind))
     segs;
+  (* fault-recovery records from the captured event log become global
+     instant ("i") events, so injections, retries and watchdog rescues
+     are visible against the activity lanes *)
+  Array.iter
+    (fun (r : Evlog.record) ->
+      let instant name detail =
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":0,\"args\":{\"detail\":\"%s\"}}"
+             (escape name) (micros r.Evlog.time) (escape detail))
+      in
+      match r.Evlog.kind with
+      | Evlog.Fault_inject { fault; victim } -> instant ("inject:" ^ fault) victim
+      | Evlog.Task_retry { task; attempt } ->
+          instant "retry" (Printf.sprintf "%s (attempt %d)" (task_name task) attempt)
+      | Evlog.Task_quarantine { name; _ } -> instant "quarantine" name
+      | Evlog.Watchdog_fire { task; _ } -> instant "watchdog" (task_name task)
+      | _ -> ())
+    log;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

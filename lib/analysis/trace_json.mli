@@ -6,7 +6,11 @@
     activity view (paper Figures 4 and 7).  Timestamps are microseconds
     of simulated time. *)
 
-(** [export ~names trace] renders the JSON document.  [names] maps task
-    ids to display names (e.g. [Mcc_core.Driver.result.task_index]);
-    unmapped ids render as ["task#N"]. *)
-val export : ?names:(int * string) list -> Mcc_sched.Trace.t -> string
+(** [export ~names ~log trace] renders the JSON document.  [names] maps
+    task ids to display names (e.g.
+    [Mcc_core.Driver.result.task_index]); unmapped ids render as
+    ["task#N"].  When [log] is a captured event log, its fault-recovery
+    records (injections, retries, quarantines, watchdog rescues) are
+    added as global instant events. *)
+val export :
+  ?names:(int * string) list -> ?log:Mcc_sched.Evlog.record array -> Mcc_sched.Trace.t -> string

@@ -31,6 +31,7 @@
 
 open Mcc_m2
 open Mcc_sched
+module Metrics = Mcc_obs.Metrics
 
 let version = "mcc-artifact-v1"
 
@@ -269,6 +270,7 @@ let interface_fp t ~memo ~store name =
    and the probe reports a miss — the caller rebuilds the interface from
    source and re-stores it, healing the cache. *)
 let find_interface t ~fp =
+  if Metrics.enabled () then Metrics.incr "mcc_cache_probe_total";
   Mutex.lock t.mu;
   let r =
     match Hashtbl.find_opt t.defs fp with
@@ -280,6 +282,7 @@ let find_interface t ~fp =
             Evlog.emit
               (Evlog.Fault_inject { fault = "corrupt-artifact"; victim = a.Artifact.a_name });
           t.corrupt <- t.corrupt + 1;
+          if Metrics.enabled () then Metrics.incr "mcc_cache_corrupt_total";
           t.invalidations <- t.invalidations + 1;
           Hashtbl.remove t.defs fp;
           (match Hashtbl.find_opt t.latest a.Artifact.a_name with
@@ -291,9 +294,12 @@ let find_interface t ~fp =
   in
   (match r with None -> t.misses <- t.misses + 1 | Some _ -> t.hits <- t.hits + 1);
   Mutex.unlock t.mu;
+  if Metrics.enabled () then
+    Metrics.incr (match r with None -> "mcc_cache_miss_total" | Some _ -> "mcc_cache_hit_total");
   r
 
 let store_interface t (a : Artifact.t) =
+  if Metrics.enabled () then Metrics.incr "mcc_cache_store_total";
   Mutex.lock t.mu;
   (match Hashtbl.find_opt t.latest a.Artifact.a_name with
   | Some old_fp when old_fp <> a.Artifact.a_fingerprint ->

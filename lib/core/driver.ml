@@ -23,6 +23,7 @@ open Mcc_sem
 open Mcc_codegen
 module P = Mcc_parse.Parser
 module A = Mcc_ast.Ast
+module Metrics = Mcc_obs.Metrics
 
 type heading_mode = Alt1 | Alt3
 
@@ -99,6 +100,7 @@ type result = {
   cache_misses : string list; (* interfaces fingerprinted but compiled cold, sorted *)
   log : Evlog.record array; (* captured event log ([||] unless ~capture:true) *)
   events_logged : int;
+  telemetry : Metrics.snapshot option; (* metrics registry dump (None unless ~telemetry:true) *)
   perturb_seed : int option; (* the config's exploration seed, echoed back *)
   robustness : robustness;
   deadlock : string list;
@@ -162,7 +164,9 @@ let record_task comp (task : Task.t) =
   Mutex.lock comp.tasks_mu;
   comp.n_tasks <- comp.n_tasks + 1;
   comp.task_names <- (task.Task.id, Task.cls_name task.Task.cls, task.Task.name) :: comp.task_names;
-  Mutex.unlock comp.tasks_mu
+  Mutex.unlock comp.tasks_mu;
+  if Metrics.enabled () then
+    Metrics.incr ~labels:[ ("cls", Task.cls_name task.Task.cls) ] "mcc_tasks_total"
 
 let spawn comp task =
   record_task comp task;
@@ -200,7 +204,9 @@ let is_missing comp name =
 let count_tokens comp q =
   Mutex.lock comp.tasks_mu;
   comp.total_tokens <- comp.total_tokens + Tokq.total_tokens q;
-  Mutex.unlock comp.tasks_mu
+  Mutex.unlock comp.tasks_mu;
+  if Metrics.enabled () then
+    Metrics.count "mcc_tokens_total" (float_of_int (Tokq.total_tokens q))
 
 (* ------------------------------------------------------------------ *)
 (* Definition-module streams *)
@@ -547,8 +553,11 @@ let finish_program comp ~entry =
 
 (* Compile on the deterministic simulated multiprocessor.  [~capture]
    records the structured concurrency event log (see Mcc_sched.Evlog) for
-   the happens-before analyzer; the default path does no logging work. *)
-let compile ?(config = default_config) ?(capture = false) ?cache (store : Source_store.t) : result =
+   the happens-before analyzer; [~telemetry] accumulates the
+   virtual-time metrics registry over the run.  The default path does no
+   logging or metrics work, and neither option perturbs virtual time. *)
+let compile ?(config = default_config) ?(capture = false) ?(telemetry = false) ?cache
+    (store : Source_store.t) : result =
   let m = Source_store.main_name store in
   let comp, init_tasks = prepare config cache store in
   let corrupt0 = match cache with Some c -> Build_cache.corrupt_count c | None -> 0 in
@@ -562,7 +571,13 @@ let compile ?(config = default_config) ?(capture = false) ?cache (store : Source
     if config.faults = [] then run ()
     else Fault.with_plan (Fault.plan ~seed:config.fault_seed config.faults) run
   in
-  let sim, log = if capture then Evlog.capture run else (run (), [||]) in
+  let run_logged () = if capture then Evlog.capture run else (run (), [||]) in
+  let (sim, log), telem =
+    if telemetry then
+      let sim_log, snap = Metrics.with_registry run_logged in
+      (sim_log, Some snap)
+    else (run_logged (), None)
+  in
   (* Partition task failures: injected ones are the fault plan's doing
      and are recovered from (contained, or repaired below); real
      exceptions keep their compiler-bug diagnostics. *)
@@ -635,6 +650,7 @@ let compile ?(config = default_config) ?(capture = false) ?cache (store : Source
     cache_misses = List.sort compare comp.cache_misses;
     log;
     events_logged = Array.length log;
+    telemetry = telem;
     perturb_seed = config.perturb;
     robustness;
     deadlock =

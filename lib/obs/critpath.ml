@@ -1,0 +1,218 @@
+(* Critical-path extraction and virtual-time attribution.
+
+   Answers the question the paper's whole §4 evaluation turns on: *what
+   bounds the speedup of this compilation?*  Starting from the
+   last-finishing task at the end of the run, walk backwards through
+   the task/event dependency graph recorded in the [Evlog] stream:
+
+   - through a Run segment: that time was real compilation — attribute
+     it to the segment's phase (lex / split / import / parse/sem /
+     codegen / merge);
+   - through a wait segment whose event was signalled mid-wait: the
+     tail of the wait (signal -> wake) is wake/dispatch latency charged
+     to the wait's bucket, and the walk *jumps to the signaller* at the
+     signal time — the dependency that was actually on the path;
+   - through a wait segment still unsignalled at the cursor: the whole
+     stretch is charged to the wait's bucket (DKY blockage, token-queue
+     starvation, completion waits) and the walk continues in the same
+     task;
+   - through a Queue segment: charged to the task's priority class
+     ("queue:procparse", ...), then the walk jumps to whoever made the
+     task ready — the gate's signaller, or the spawning task;
+   - through a Backoff segment, or a wait rescued by the stall
+     watchdog: charged to fault recovery.
+
+   Each step attributes the interval between the new cursor and the old
+   one, so the hops tile [0, end] exactly: the bucket totals sum to the
+   end-to-end virtual time (the acceptance invariant the profile table
+   checks), and each bucket's share is a true "this is what you would
+   save" number, not a sampled approximation. *)
+
+type hop = {
+  h_t0 : float;
+  h_t1 : float;
+  h_task : int;
+  h_name : string;
+  h_bucket : string;
+}
+
+type t = {
+  cp_end : float; (* end-to-end virtual time tiled by the hops *)
+  cp_buckets : (string * float) list; (* bucket -> units, largest first *)
+  cp_hops : hop list; (* chronological *)
+  cp_unattributed : float; (* residue if the walk had to bail out; 0.0 normally *)
+}
+
+(* Phase attribution of a task class (paper Fig. 5 / §2.3.4 classes). *)
+let phase_of_cls = function
+  | "lexor" -> "lex"
+  | "splitter" -> "split"
+  | "importer" -> "import"
+  | "defparse" | "modparse" | "procparse" -> "parse/sem"
+  | "longgen" | "shortgen" -> "codegen"
+  | "merge" -> "merge"
+  | _ -> "startup" (* aux: the bootstrap task that wires the graph *)
+
+let eps = 1e-9
+
+let compute ?end_time (log : Evlog.record array) : t =
+  let spans = Span.of_log log in
+  let span_tbl = Hashtbl.create 64 in
+  List.iter (fun (sp : Span.t) -> Hashtbl.replace span_tbl sp.Span.sp_task sp) spans;
+  (* first signal per event: (signalling task, time); gate jumps and
+     wait jumps both land on the signaller's running segment *)
+  let first_signal = Hashtbl.create 64 in
+  (* ev id -> name, for wait-bucket classification *)
+  let ev_name = Hashtbl.create 64 in
+  (* task id -> (spawner, spawn time); gate event per task *)
+  let spawner = Hashtbl.create 64 in
+  let gate_of = Hashtbl.create 64 in
+  (* (ev, task) pairs whose wake came from the stall watchdog *)
+  let watchdogged = Hashtbl.create 8 in
+  Array.iter
+    (fun (r : Evlog.record) ->
+      match r.Evlog.kind with
+      | Evlog.Ev_signal { ev; name } ->
+          if not (Hashtbl.mem first_signal ev) then
+            Hashtbl.add first_signal ev (r.Evlog.task, r.Evlog.time);
+          if name <> "" then Hashtbl.replace ev_name ev name
+      | Evlog.Ev_block { ev; name; _ } -> if name <> "" then Hashtbl.replace ev_name ev name
+      | Evlog.Task_spawn { task; gate; _ } ->
+          Hashtbl.replace spawner task (r.Evlog.task, r.Evlog.time);
+          if gate >= 0 then Hashtbl.replace gate_of task gate
+      | Evlog.Watchdog_fire { ev; task } -> Hashtbl.replace watchdogged (ev, task) ()
+      | _ -> ())
+    log;
+  let wait_bucket (s : Span.seg) task =
+    if Hashtbl.mem watchdogged (s.Span.g_ev, task) then "recovery"
+    else if s.Span.g_kind = Span.Dky_wait then "dky-block"
+    else
+      match Hashtbl.find_opt ev_name s.Span.g_ev with
+      | Some n when Filename.check_suffix n ".avail" -> "token-wait"
+      | Some n when Filename.check_suffix n ".complete" -> "completion-wait"
+      | _ -> "event-wait"
+  in
+  (* last finisher: the task whose completion defines the end of the run *)
+  let last =
+    List.fold_left
+      (fun acc (sp : Span.t) ->
+        if sp.Span.sp_finished < 0.0 then acc
+        else
+          match acc with
+          | Some (b : Span.t) when (b.Span.sp_finished, b.Span.sp_task) >= (sp.Span.sp_finished, sp.Span.sp_task) -> acc
+          | _ -> Some sp)
+      None spans
+  in
+  match last with
+  | None -> { cp_end = 0.0; cp_buckets = []; cp_hops = []; cp_unattributed = 0.0 }
+  | Some last ->
+      let cp_end = match end_time with Some e -> max e last.Span.sp_finished | None -> last.Span.sp_finished in
+      let hops = ref [] (* built walking backwards, so prepending keeps it chronological *) in
+      let unattributed = ref 0.0 in
+      let name_of task =
+        match Hashtbl.find_opt span_tbl task with
+        | Some (sp : Span.t) -> sp.Span.sp_name
+        | None -> if task < 0 then "scheduler" else Printf.sprintf "task#%d" task
+      in
+      let add bucket task t0 t1 =
+        if t1 -. t0 > eps then
+          hops := { h_t0 = t0; h_t1 = t1; h_task = task; h_name = name_of task; h_bucket = bucket } :: !hops
+      in
+      (* latest segment beginning strictly before the cursor *)
+      let seg_before (sp : Span.t) cursor =
+        let best = ref None in
+        Array.iter
+          (fun (s : Span.seg) -> if s.Span.g_t0 < cursor -. eps then best := Some s)
+          sp.Span.sp_segs;
+        !best
+      in
+      let max_steps = 4 * Array.length log + 64 in
+      let rec walk steps task cursor =
+        if cursor <= eps then ()
+        else if steps > max_steps then begin
+          (* defensive: never loop; surface the residue honestly *)
+          unattributed := !unattributed +. cursor;
+          add "unattributed" task 0.0 cursor
+        end
+        else
+          let jump_to_maker bucket from_t =
+            (* whoever made this task ready: the gate's signaller if
+               gated, else the spawner.  Any interval between the
+               maker's action and [from_t] stays in [bucket] so the
+               tiling never leaks. *)
+            let parent =
+              match Hashtbl.find_opt gate_of task with
+              | Some g -> (
+                  match Hashtbl.find_opt first_signal g with
+                  | Some (sigtask, sigt) when sigtask >= 0 && sigtask <> task -> Some (sigtask, sigt)
+                  | _ -> Hashtbl.find_opt spawner task)
+              | None -> Hashtbl.find_opt spawner task
+            in
+            match parent with
+            | Some (par, pt) when par >= 0 && par <> task ->
+                if pt < from_t -. eps then add bucket task pt from_t;
+                walk (steps + 1) par (min from_t pt)
+            | _ -> add "startup" task 0.0 from_t
+          in
+          match Hashtbl.find_opt span_tbl task with
+          | None -> add "startup" task 0.0 cursor
+          | Some sp -> (
+              match seg_before sp cursor with
+              | None ->
+                  (* before the task's first segment: cross to whoever
+                     created it (attributing any sliver on the way) *)
+                  jump_to_maker "startup" cursor
+              | Some s -> (
+                  match s.Span.g_kind with
+                  | Span.Run ->
+                      add (phase_of_cls sp.Span.sp_cls) task s.Span.g_t0 cursor;
+                      walk (steps + 1) task s.Span.g_t0
+                  | Span.Backoff ->
+                      add "recovery" task s.Span.g_t0 cursor;
+                      walk (steps + 1) task s.Span.g_t0
+                  | Span.Queue ->
+                      let bucket = "queue:" ^ sp.Span.sp_cls in
+                      add bucket task s.Span.g_t0 cursor;
+                      jump_to_maker bucket s.Span.g_t0
+                  | Span.Dky_wait | Span.Event_wait -> (
+                      let bucket = wait_bucket s task in
+                      match Hashtbl.find_opt first_signal s.Span.g_ev with
+                      | Some (sigtask, sigt)
+                        when sigt > s.Span.g_t0 +. eps
+                             && sigt < cursor -. eps
+                             && sigtask >= 0
+                             && sigtask <> task ->
+                          (* the signal arrived mid-wait: the remainder is
+                             wake latency; the path continues in the
+                             signalling task *)
+                          add bucket task sigt cursor;
+                          walk (steps + 1) sigtask sigt
+                      | _ ->
+                          add bucket task s.Span.g_t0 cursor;
+                          walk (steps + 1) task s.Span.g_t0)))
+      in
+      walk 0 last.Span.sp_task cp_end;
+      let hops = !hops in
+      let buckets = Hashtbl.create 16 in
+      List.iter
+        (fun h ->
+          let v = Option.value ~default:0.0 (Hashtbl.find_opt buckets h.h_bucket) in
+          Hashtbl.replace buckets h.h_bucket (v +. (h.h_t1 -. h.h_t0)))
+        hops;
+      let cp_buckets =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) buckets []
+        |> List.sort (fun (ka, va) (kb, vb) -> compare (-.va, ka) (-.vb, kb))
+      in
+      { cp_end; cp_buckets; cp_hops = hops; cp_unattributed = !unattributed }
+
+(* The [k] longest hops, longest first (stable on ties by start time). *)
+let top t k =
+  List.stable_sort
+    (fun a b -> compare (b.h_t1 -. b.h_t0, a.h_t0) (a.h_t1 -. a.h_t0, b.h_t0))
+    t.cp_hops
+  |> List.filteri (fun i _ -> i < k)
+
+(* Sum of all attributed intervals; equals [cp_end] when the tiling is
+   complete (the invariant the tests assert). *)
+let attributed_total t =
+  List.fold_left (fun acc (_, v) -> acc +. v) 0.0 t.cp_buckets

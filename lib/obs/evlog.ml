@@ -1,0 +1,158 @@
+(* The structured concurrency event log.
+
+   A single, globally ordered record stream of every synchronization-
+   relevant action the compiler performs while running on the DES engine:
+   symbol publishes, scope completions, DKY blocks/unblocks, event
+   signal/block/wake, gated-task releases, task spawn/start/finish.  The
+   happens-before checker ([Mcc_analysis.Hb]) replays this log to verify
+   the DKY ordering invariants the paper's correctness argument (§2.3.3)
+   rests on, across many perturbed schedules; the telemetry layer
+   ([Span], [Critpath]) reconstructs per-task timelines from the same
+   stream.
+
+   The log lives here, at the bottom of the dependency stack, so that
+   the scheduler ([Mcc_sched.Des_engine], [Mcc_sched.Supervisor]), the
+   symbol tables ([Mcc_sem.Symtab], [Mcc_sem.Modreg]) and the telemetry
+   consumers in this library can all reach it without a dependency
+   cycle.  [Mcc_sched.Evlog] re-exports this module unchanged, so
+   existing emitters and analyzers are untouched.
+
+   Every record carries the virtual time at which it was appended: the
+   engine stamps the clock with [set_time] at each agenda dispatch, and
+   [emit] asserts that stamps never regress — the agenda pops in
+   nondecreasing time order, so a regression is an engine bug, not a
+   legal schedule.
+
+   Capture is off by default and every emission site is guarded by
+   [enabled ()] *before* the record is allocated, so the default compile
+   path performs no logging work at all — and no record ever charges
+   [Eff.work], so even a captured run's virtual timings are identical to
+   an uncaptured one.  The log is only meaningful under the single-
+   threaded DES engine (the domain engine never enables it): records are
+   appended in true execution order, which is exactly the total order
+   the checker needs. *)
+
+type kind =
+  | Task_spawn of {
+      task : int;
+      name : string;
+      cls : string; (* Task.cls_name of the spawned task *)
+      gate : int (* event id; -1 ungated *);
+    }
+  | Task_start of { task : int }
+  | Task_finish of { task : int }
+  | Ev_signal of { ev : int; name : string }
+  | Ev_block of { ev : int; name : string; producer : int (* task id; -1 unknown *) }
+  | Ev_wake of { ev : int; task : int (* the woken task *) }
+  | Gate_release of { ev : int; task : int (* the released gated task *) }
+  | Scope_intern of { scope : int; name : string }
+  | Publish of { scope : int; scope_name : string; sym : string }
+  | Complete of { scope : int; scope_name : string }
+  | Observe of { scope : int; scope_name : string; sym : string; complete : bool }
+  | Auth_miss of { scope : int; scope_name : string; sym : string }
+      (* a miss in a *complete* table: authoritative — the symbol must
+         never be published to this scope afterwards *)
+  | Dky_block of { scope : int; scope_name : string; sym : string; ev : int }
+  | Dky_unblock of { scope : int; scope_name : string; sym : string; ev : int }
+  | Fault_inject of { fault : string; victim : string }
+      (* an armed fault plan fired at an injection site *)
+  | Task_retry of { task : int; attempt : int }
+      (* a crashed-at-start task redispatched after virtual-time backoff *)
+  | Task_quarantine of { task : int; name : string }
+      (* retries exhausted (or unsafe): the task is permanently failed *)
+  | Watchdog_fire of { ev : int; task : int }
+      (* the stall watchdog re-delivered a lost wake for [task] *)
+
+type record = {
+  seq : int;
+  time : float; (* virtual work units at append *)
+  task : int (* emitting task; -1 scheduler *);
+  kind : kind;
+}
+
+let enabled_flag = ref false
+let buf : record list ref = ref [] (* reversed *)
+let count = ref 0
+let current = ref (-1)
+let now = ref 0.0
+let floor_time = ref 0.0 (* time of the last appended record *)
+
+let enabled () = !enabled_flag
+let set_task id = current := id
+let set_time t = now := t
+
+let emit kind =
+  if !enabled_flag then begin
+    if !now < !floor_time then
+      invalid_arg
+        (Printf.sprintf "Evlog.emit: virtual time went backwards (%.3f after %.3f)" !now
+           !floor_time);
+    floor_time := !now;
+    buf := { seq = !count; time = !now; task = !current; kind } :: !buf;
+    incr count
+  end
+
+let length () = !count
+let iter f = List.iter f (List.rev !buf)
+
+(* Run [f] with capture on and return its captured log.  Captures do not
+   nest; the previous logging state (normally "off, empty") is restored
+   on the way out, even on exceptions.  The virtual clock restarts at 0:
+   each capture wraps exactly one engine run. *)
+let capture f =
+  let saved_enabled = !enabled_flag and saved_buf = !buf in
+  let saved_count = !count and saved_current = !current in
+  let saved_now = !now and saved_floor = !floor_time in
+  enabled_flag := true;
+  buf := [];
+  count := 0;
+  current := -1;
+  now := 0.0;
+  floor_time := 0.0;
+  let restore () =
+    let log = Array.of_list (List.rev !buf) in
+    enabled_flag := saved_enabled;
+    buf := saved_buf;
+    count := saved_count;
+    current := saved_current;
+    now := saved_now;
+    floor_time := saved_floor;
+    log
+  in
+  match f () with
+  | v -> (v, restore ())
+  | exception e ->
+      ignore (restore ());
+      raise e
+
+let kind_to_string = function
+  | Task_spawn { task; name; cls; gate } ->
+      Printf.sprintf "spawn task#%d %s [%s]%s" task name cls
+        (if gate >= 0 then Printf.sprintf " gated-on event#%d" gate else "")
+  | Task_start { task } -> Printf.sprintf "start task#%d" task
+  | Task_finish { task } -> Printf.sprintf "finish task#%d" task
+  | Ev_signal { ev; name } -> Printf.sprintf "signal event#%d %s" ev name
+  | Ev_block { ev; name; producer } ->
+      Printf.sprintf "block-on event#%d %s (producer task#%d)" ev name producer
+  | Ev_wake { ev; task } -> Printf.sprintf "wake task#%d from event#%d" task ev
+  | Gate_release { ev; task } -> Printf.sprintf "gate-release task#%d (event#%d)" task ev
+  | Scope_intern { scope; name } -> Printf.sprintf "intern scope#%d %s" scope name
+  | Publish { scope_name; sym; _ } -> Printf.sprintf "publish %s in %s" sym scope_name
+  | Complete { scope_name; _ } -> Printf.sprintf "complete %s" scope_name
+  | Observe { scope_name; sym; complete; _ } ->
+      Printf.sprintf "observe %s in %s (%s)" sym scope_name
+        (if complete then "complete" else "incomplete")
+  | Auth_miss { scope_name; sym; _ } ->
+      Printf.sprintf "authoritative miss of %s in %s" sym scope_name
+  | Dky_block { scope_name; sym; ev; _ } ->
+      Printf.sprintf "DKY-block on %s in %s (event#%d)" sym scope_name ev
+  | Dky_unblock { scope_name; sym; ev; _ } ->
+      Printf.sprintf "DKY-unblock on %s in %s (event#%d)" sym scope_name ev
+  | Fault_inject { fault; victim } -> Printf.sprintf "inject %s on %s" fault victim
+  | Task_retry { task; attempt } -> Printf.sprintf "retry task#%d (attempt %d)" task attempt
+  | Task_quarantine { task; name } -> Printf.sprintf "quarantine task#%d %s" task name
+  | Watchdog_fire { ev; task } ->
+      Printf.sprintf "watchdog re-delivers event#%d to task#%d" ev task
+
+let record_to_string r =
+  Printf.sprintf "#%-6d t=%-10.1f task#%-4d %s" r.seq r.time r.task (kind_to_string r.kind)

@@ -6,7 +6,8 @@
     signal/block/wake, gated-task releases, task spawn/start/finish.
     The happens-before checker ([Mcc_analysis.Hb]) replays it to verify
     the DKY ordering invariants of paper §2.3.3 across perturbed
-    schedules.
+    schedules; {!Span} and {!Critpath} reconstruct per-task timelines
+    and the end-to-end critical path from the same stream.
 
     Capture is off by default; emission sites guard on {!enabled}
     before allocating a record, and no record charges [Eff.work], so
@@ -15,7 +16,12 @@
     engine never enables capture). *)
 
 type kind =
-  | Task_spawn of { task : int; name : string; gate : int  (** gate event id, -1 ungated *) }
+  | Task_spawn of {
+      task : int;
+      name : string;
+      cls : string;  (** [Task.cls_name] of the spawned task *)
+      gate : int;  (** gate event id, -1 ungated *)
+    }
   | Task_start of { task : int }
   | Task_finish of { task : int }
   | Ev_signal of { ev : int; name : string }
@@ -32,7 +38,7 @@ type kind =
   | Dky_block of { scope : int; scope_name : string; sym : string; ev : int }
   | Dky_unblock of { scope : int; scope_name : string; sym : string; ev : int }
   | Fault_inject of { fault : string; victim : string }
-      (** an armed {!Fault} plan fired at an injection site *)
+      (** an armed fault plan fired at an injection site *)
   | Task_retry of { task : int; attempt : int }
       (** a crashed-at-start task redispatched after virtual-time backoff *)
   | Task_quarantine of { task : int; name : string }
@@ -40,7 +46,12 @@ type kind =
   | Watchdog_fire of { ev : int; task : int }
       (** the stall watchdog re-delivered a lost wake for [task] *)
 
-type record = { seq : int; task : int  (** emitting task; -1 = scheduler *); kind : kind }
+type record = {
+  seq : int;
+  time : float;  (** virtual work units at append (see {!set_time}) *)
+  task : int;  (** emitting task; -1 = scheduler *)
+  kind : kind;
+}
 
 val enabled : unit -> bool
 
@@ -48,13 +59,27 @@ val enabled : unit -> bool
     engine at every dispatch). *)
 val set_task : int -> unit
 
+(** Stamp the virtual clock (set by the DES engine at every agenda
+    dispatch); subsequent records carry this time. *)
+val set_time : float -> unit
+
 (** Append a record (no-op unless capture is on).  Call sites must
     guard with {!enabled} so the record is not even allocated on the
-    default path. *)
+    default path.  Raises [Invalid_argument] if the stamped virtual
+    time is older than the last appended record's: the agenda delivers
+    work in nondecreasing time order, so a regression is an engine
+    bug. *)
 val emit : kind -> unit
 
+(** Number of records appended so far in the live capture. *)
+val length : unit -> int
+
+(** Iterate the live capture's records in append order. *)
+val iter : (record -> unit) -> unit
+
 (** [capture f] runs [f] with logging on and returns [(f (), log)].
-    Does not nest; restores the previous logging state on exit. *)
+    Does not nest; restores the previous logging state on exit.  The
+    virtual clock restarts at 0 (one capture wraps one engine run). *)
 val capture : (unit -> 'a) -> 'a * record array
 
 val kind_to_string : kind -> string

@@ -1,0 +1,157 @@
+(* The virtual-time metrics registry.
+
+   A process-global registry of counters, gauges and fixed-bucket
+   histograms keyed by metric name + label set, accumulated while the
+   compiler runs on the DES engine.  Values measure *virtual* quantities
+   (work units, task counts, probe counts): the registry itself never
+   charges [Eff.work] and allocates nothing while disabled, so a run
+   with telemetry on has exactly the virtual timings of a run with it
+   off — the same invariant [Evlog] maintains for the event log.
+
+   Hot-path call sites are guarded by [enabled ()] before any label
+   list is built, mirroring the [Evlog.enabled] discipline:
+
+     if Metrics.enabled () then
+       Metrics.count ~labels:[ ("cls", cls) ] "mcc_sched_dispatch_total" 1.0
+
+   [with_registry f] runs [f] with a fresh enabled registry and returns
+   its deterministic snapshot: samples sorted by (name, labels), so two
+   identical runs export byte-identical text.  Like [Evlog.capture] it
+   does not nest and restores the previous state on the way out. *)
+
+type histo = {
+  bounds : float array; (* ascending upper bounds; +inf bucket implicit *)
+  counts : int array; (* length = Array.length bounds + 1 *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type cell = Counter of float ref | Gauge of float ref | Histogram of histo
+
+type value =
+  | VCounter of float
+  | VGauge of float
+  | VHistogram of { h_bounds : float array; h_counts : int array; h_sum : float; h_count : int }
+
+type sample = { s_name : string; s_labels : (string * string) list; s_value : value }
+type snapshot = sample list
+
+let enabled_flag = ref false
+let tbl : (string * (string * string) list, cell) Hashtbl.t = Hashtbl.create 64
+
+let enabled () = !enabled_flag
+
+(* Default histogram buckets for virtual-work-unit durations: spans the
+   cost table from a single dispatch (~15 units) to a whole long
+   procedure's code generation. *)
+let duration_bounds = [| 100.0; 300.0; 1000.0; 3000.0; 10000.0; 30000.0; 100000.0; 300000.0 |]
+
+let key name labels = (name, List.sort compare labels)
+
+let cell name labels make =
+  let k = key name labels in
+  match Hashtbl.find_opt tbl k with
+  | Some c -> c
+  | None ->
+      let c = make () in
+      Hashtbl.add tbl k c;
+      c
+
+let count ?(labels = []) name v =
+  if !enabled_flag then
+    match cell name labels (fun () -> Counter (ref 0.0)) with
+    | Counter r -> r := !r +. v
+    | _ -> invalid_arg (Printf.sprintf "Metrics.count: %s is not a counter" name)
+
+let incr ?labels name = count ?labels name 1.0
+
+let gauge ?(labels = []) name v =
+  if !enabled_flag then
+    match cell name labels (fun () -> Gauge (ref v)) with
+    | Gauge r -> r := v
+    | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %s is not a gauge" name)
+
+(* A high-watermark gauge: keeps the maximum of all reported values. *)
+let gauge_max ?(labels = []) name v =
+  if !enabled_flag then
+    match cell name labels (fun () -> Gauge (ref v)) with
+    | Gauge r -> if v > !r then r := v
+    | _ -> invalid_arg (Printf.sprintf "Metrics.gauge_max: %s is not a gauge" name)
+
+let observe ?(labels = []) ?(bounds = duration_bounds) name v =
+  if !enabled_flag then
+    match
+      cell name labels (fun () ->
+          Histogram { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; count = 0 })
+    with
+    | Histogram h ->
+        let i = ref 0 in
+        while !i < Array.length h.bounds && v > h.bounds.(!i) do
+          i := !i + 1 (* Stdlib.incr is shadowed by the counter helper *)
+        done;
+        h.counts.(!i) <- h.counts.(!i) + 1;
+        h.sum <- h.sum +. v;
+        h.count <- h.count + 1
+    | _ -> invalid_arg (Printf.sprintf "Metrics.observe: %s is not a histogram" name)
+
+(* Deterministic export: samples sorted by (name, labels).  The cells
+   are copied out, so a snapshot is immune to later mutation. *)
+let snapshot () : snapshot =
+  Hashtbl.fold
+    (fun (name, labels) c acc ->
+      let v =
+        match c with
+        | Counter r -> VCounter !r
+        | Gauge r -> VGauge !r
+        | Histogram h ->
+            VHistogram
+              {
+                h_bounds = Array.copy h.bounds;
+                h_counts = Array.copy h.counts;
+                h_sum = h.sum;
+                h_count = h.count;
+              }
+      in
+      { s_name = name; s_labels = labels; s_value = v } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (a.s_name, a.s_labels) (b.s_name, b.s_labels))
+
+let reset () = Hashtbl.reset tbl
+
+(* Run [f] with a fresh enabled registry; return its result and the
+   final snapshot.  Does not nest; the previous registry state
+   (normally "disabled, empty") is restored on exit, even on
+   exceptions. *)
+let with_registry f =
+  let saved_enabled = !enabled_flag in
+  let saved = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  enabled_flag := true;
+  Hashtbl.reset tbl;
+  let restore () =
+    let snap = snapshot () in
+    enabled_flag := saved_enabled;
+    Hashtbl.reset tbl;
+    List.iter (fun (k, v) -> Hashtbl.add tbl k v) saved;
+    snap
+  in
+  match f () with
+  | v -> (v, restore ())
+  | exception e ->
+      ignore (restore ());
+      raise e
+
+(* Snapshot accessors, for tests and reports. *)
+
+let find (snap : snapshot) ?(labels = []) name =
+  let labels = List.sort compare labels in
+  List.find_opt (fun s -> s.s_name = name && s.s_labels = labels) snap
+
+let counter_value (snap : snapshot) ?labels name =
+  match find snap ?labels name with Some { s_value = VCounter v; _ } -> v | _ -> 0.0
+
+(* Sum a counter across all label sets. *)
+let counter_total (snap : snapshot) name =
+  List.fold_left
+    (fun acc s ->
+      match s.s_value with VCounter v when s.s_name = name -> acc +. v | _ -> acc)
+    0.0 snap

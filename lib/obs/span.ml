@@ -1,0 +1,159 @@
+(* Per-task span reconstruction.
+
+   Replays a captured [Evlog] stream into one span per task, each a
+   chronological sequence of segments:
+
+     Queue       ready (spawned, or gate released) but not yet started
+     Run         executing on a processor (includes the dispatch latency
+                 between a wake and the actual resume — the engine logs
+                 wakes, not resumes, and the gap is a dispatch cost)
+     Dky_wait    blocked by a DKY condition (symbol-table wait)
+     Event_wait  blocked on any other handled/barrier event (token
+                 queues, completion waits, the merge gate)
+     Backoff     crashed at start, sitting out the retry backoff
+
+   This is the per-task decomposition behind the paper's §4 discussion:
+   how much of a stream's lifetime went to waiting on queues versus DKY
+   blockage versus real compilation.  [Critpath] walks these spans
+   backwards to attribute the end-to-end time. *)
+
+type seg_kind = Queue | Run | Dky_wait | Event_wait | Backoff
+
+type seg = { g_t0 : float; g_t1 : float; g_kind : seg_kind; g_ev : int (* -1 if none *) }
+
+type t = {
+  sp_task : int;
+  sp_name : string;
+  sp_cls : string;
+  sp_spawned : float;
+  sp_started : float; (* -1.0 if the task never started *)
+  sp_finished : float; (* -1.0 if the task never finished *)
+  sp_segs : seg array; (* chronological *)
+}
+
+let kind_name = function
+  | Queue -> "queue"
+  | Run -> "run"
+  | Dky_wait -> "dky-wait"
+  | Event_wait -> "event-wait"
+  | Backoff -> "backoff"
+
+type builder = {
+  b_task : int;
+  mutable b_name : string;
+  mutable b_cls : string;
+  mutable b_spawned : float;
+  mutable b_ready : float; (* spawn, or gate-release for gated tasks *)
+  mutable b_started : float;
+  mutable b_finished : float;
+  mutable b_resumed : float; (* start of the current run stretch *)
+  mutable b_segs : seg list; (* reversed *)
+  mutable b_wait : (int * float * seg_kind) option; (* open (ev, t0, kind) *)
+  mutable b_dky_ev : int; (* pending DKY event id; -1 none *)
+  mutable b_retry : float; (* time of the last retry record; -1 none *)
+}
+
+let of_log (log : Evlog.record array) : t list =
+  let tasks : (int, builder) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] (* task ids in first-appearance order, reversed *) in
+  let get id =
+    match Hashtbl.find_opt tasks id with
+    | Some b -> b
+    | None ->
+        let b =
+          {
+            b_task = id;
+            b_name = Printf.sprintf "task#%d" id;
+            b_cls = "aux";
+            b_spawned = 0.0;
+            b_ready = 0.0;
+            b_started = -1.0;
+            b_finished = -1.0;
+            b_resumed = -1.0;
+            b_segs = [];
+            b_wait = None;
+            b_dky_ev = -1;
+            b_retry = -1.0;
+          }
+        in
+        Hashtbl.add tasks id b;
+        order := id :: !order;
+        b
+  in
+  let push b t0 t1 kind ev = if t1 -. t0 > 0.0 then b.b_segs <- { g_t0 = t0; g_t1 = t1; g_kind = kind; g_ev = ev } :: b.b_segs in
+  Array.iter
+    (fun (r : Evlog.record) ->
+      match r.Evlog.kind with
+      | Evlog.Task_spawn { task; name; cls; gate = _ } ->
+          let b = get task in
+          b.b_name <- name;
+          b.b_cls <- cls;
+          b.b_spawned <- r.Evlog.time;
+          b.b_ready <- r.Evlog.time
+      | Evlog.Gate_release { task; ev = _ } -> (get task).b_ready <- r.Evlog.time
+      | Evlog.Task_retry { task; attempt = _ } ->
+          let b = get task in
+          (* queue (or previous backoff) ends here; the backoff window
+             opens and closes at the redispatched start *)
+          let t0 = if b.b_retry >= 0.0 then b.b_retry else b.b_ready in
+          let kind = if b.b_retry >= 0.0 then Backoff else Queue in
+          push b t0 r.Evlog.time kind (-1);
+          b.b_retry <- r.Evlog.time
+      | Evlog.Task_start { task } ->
+          let b = get task in
+          b.b_started <- r.Evlog.time;
+          (if b.b_retry >= 0.0 then push b b.b_retry r.Evlog.time Backoff (-1)
+           else push b b.b_ready r.Evlog.time Queue (-1));
+          b.b_resumed <- r.Evlog.time
+      | Evlog.Dky_block { ev; _ } -> (get r.Evlog.task).b_dky_ev <- ev
+      | Evlog.Dky_unblock _ -> (get r.Evlog.task).b_dky_ev <- -1
+      | Evlog.Ev_block { ev; _ } ->
+          let b = get r.Evlog.task in
+          if b.b_resumed >= 0.0 then push b b.b_resumed r.Evlog.time Run (-1);
+          let kind = if b.b_dky_ev = ev then Dky_wait else Event_wait in
+          b.b_wait <- Some (ev, r.Evlog.time, kind)
+      | Evlog.Ev_wake { ev; task } -> (
+          let b = get task in
+          match b.b_wait with
+          | Some (ev', t0, kind) when ev' = ev ->
+              push b t0 r.Evlog.time kind ev;
+              b.b_wait <- None;
+              b.b_resumed <- r.Evlog.time
+          | _ -> ())
+      | Evlog.Task_finish { task } | Evlog.Task_quarantine { task; _ } ->
+          let b = get task in
+          b.b_finished <- r.Evlog.time;
+          if b.b_resumed >= 0.0 then push b b.b_resumed r.Evlog.time Run (-1);
+          b.b_resumed <- -1.0
+      | _ -> ())
+    log;
+  List.rev_map
+    (fun id ->
+      let b = Hashtbl.find tasks id in
+      {
+        sp_task = b.b_task;
+        sp_name = b.b_name;
+        sp_cls = b.b_cls;
+        sp_spawned = b.b_spawned;
+        sp_started = b.b_started;
+        sp_finished = b.b_finished;
+        sp_segs = Array.of_list (List.rev b.b_segs);
+      })
+    !order
+  |> List.sort (fun a b -> compare a.sp_task b.sp_task)
+
+(* Total time a span spent in segments of [kind]. *)
+let total sp kind =
+  Array.fold_left
+    (fun acc s -> if s.g_kind = kind then acc +. (s.g_t1 -. s.g_t0) else acc)
+    0.0 sp.sp_segs
+
+(* Aggregate run time by task class across spans, sorted by class. *)
+let busy_by_class spans =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let v = Option.value ~default:0.0 (Hashtbl.find_opt tbl sp.sp_cls) in
+      Hashtbl.replace tbl sp.sp_cls (v +. total sp Run))
+    spans;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare

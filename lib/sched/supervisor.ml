@@ -18,6 +18,7 @@
    mutex. *)
 
 open Mcc_util
+module Metrics = Mcc_obs.Metrics
 
 type entry = Fresh of Task.t | Resumed of Task.t * Eff.resumption
 
@@ -74,6 +75,10 @@ let enqueue_ready t entry =
    is parked; otherwise it becomes ready. *)
 let submit t task =
   t.submitted <- t.submitted + 1;
+  if Metrics.enabled () then begin
+    Metrics.incr ~labels:[ ("cls", Task.cls_name task.Task.cls) ] "mcc_sup_submit_total";
+    Metrics.gauge_max "mcc_sup_ready_peak" (float_of_int (t.n_ready + 1))
+  end;
   match task.Task.gate with
   | Some ev when not (Event.occurred ev) ->
       let parked = Option.value ~default:[] (Hashtbl.find_opt t.gated ev.Event.id) in
@@ -107,7 +112,9 @@ let prefer t task_id =
     Array.iter
       (fun q ->
         match Deque.remove_first q (fun e -> (entry_task e).Task.id = task_id) with
-        | Some e -> Deque.push_front q e
+        | Some e ->
+            if Metrics.enabled () then Metrics.incr "mcc_sup_prefer_promote_total";
+            Deque.push_front q e
         | None -> ())
       t.classes
 

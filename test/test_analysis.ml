@@ -12,7 +12,8 @@ module Suite = Mcc_synth.Suite
 module Gen = Mcc_synth.Gen
 
 let mk_log entries =
-  Array.of_list (List.mapi (fun i (task, kind) -> { Evlog.seq = i; task; kind }) entries)
+  Array.of_list
+    (List.mapi (fun i (task, kind) -> { Evlog.seq = i; time = float_of_int i; task; kind }) entries)
 
 let n_violations log = List.length (Hb.check log).Hb.violations
 
@@ -29,8 +30,8 @@ let test_hb_clean_log () =
   let log =
     mk_log
       [
-        (0, Evlog.Task_spawn { task = 1; name = "producer"; gate = -1 });
-        (0, Evlog.Task_spawn { task = 2; name = "consumer"; gate = -1 });
+        (0, Evlog.Task_spawn { task = 1; name = "producer"; cls = "aux"; gate = -1 });
+        (0, Evlog.Task_spawn { task = 2; name = "consumer"; cls = "aux"; gate = -1 });
         (1, Evlog.Task_start { task = 1 });
         (1, Evlog.Publish { scope = 5; scope_name = "M.def"; sym = "x" });
         (2, Evlog.Task_start { task = 2 });
@@ -107,7 +108,7 @@ let test_hb_start_before_gate () =
   let log =
     mk_log
       [
-        (0, Evlog.Task_spawn { task = 3; name = "gated"; gate = 7 });
+        (0, Evlog.Task_spawn { task = 3; name = "gated"; cls = "aux"; gate = 7 });
         (3, Evlog.Task_start { task = 3 });
       ]
   in
@@ -117,7 +118,7 @@ let test_hb_start_before_gate () =
   let ok_log =
     mk_log
       [
-        (0, Evlog.Task_spawn { task = 3; name = "gated"; gate = 7 });
+        (0, Evlog.Task_spawn { task = 3; name = "gated"; cls = "aux"; gate = 7 });
         (1, Evlog.Ev_signal { ev = 7; name = "g" });
         (3, Evlog.Task_start { task = 3 });
       ]
@@ -139,7 +140,7 @@ let test_hb_retry_without_fault () =
   let log =
     mk_log
       [
-        (0, Evlog.Task_spawn { task = 1; name = "victim"; gate = -1 });
+        (0, Evlog.Task_spawn { task = 1; name = "victim"; cls = "aux"; gate = -1 });
         (-1, Evlog.Task_retry { task = 1; attempt = 1 });
       ]
   in
@@ -149,7 +150,7 @@ let test_hb_retry_without_fault () =
   let ok_log =
     mk_log
       [
-        (0, Evlog.Task_spawn { task = 1; name = "victim"; gate = -1 });
+        (0, Evlog.Task_spawn { task = 1; name = "victim"; cls = "aux"; gate = -1 });
         (-1, Evlog.Fault_inject { fault = "task-crash"; victim = "victim" });
         (-1, Evlog.Task_retry { task = 1; attempt = 1 });
       ]
@@ -159,7 +160,7 @@ let test_hb_retry_without_fault () =
 let test_hb_quarantine_observed () =
   let prefix =
     [
-      (0, Evlog.Task_spawn { task = 1; name = "defparse"; gate = -1 });
+      (0, Evlog.Task_spawn { task = 1; name = "defparse"; cls = "aux"; gate = -1 });
       (1, Evlog.Publish { scope = 5; scope_name = "M.def"; sym = "x" });
       (2, Evlog.Observe { scope = 5; scope_name = "M.def"; sym = "x"; complete = false });
       (-1, Evlog.Fault_inject { fault = "task-crash"; victim = "defparse" });
