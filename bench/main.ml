@@ -633,13 +633,88 @@ let speedup_artifacts () =
     [ ("BENCH_speedup.json", speedup_doc); ("BENCH_critpath.json", critpath_doc) ];
   say "attribution tiles end-to-end time: ok"
 
+(* Conformance artifact (BENCH_conformance.json): a clean differential
+   pass over the full strategy x processor matrix plus a planted-canary
+   pass exercising detection and the shrinker.  The clean pass must find
+   zero divergences; the canary must be detected and shrink to at most
+   25% of the original program.  BENCH_SAMPLE=n reduces the clean-pass
+   budget for the CI quick configuration. *)
+let conformance () =
+  header "Conformance harness (BENCH_conformance.json)";
+  let fail fmt = Printf.ksprintf (fun s -> say "FAIL: %s" s; exit 1) fmt in
+  let module C = Mcc_check.Check in
+  let budget =
+    match Option.bind (Sys.getenv_opt "BENCH_SAMPLE") int_of_string_opt with
+    | Some n when n > 0 ->
+        let b = max 8 n in
+        say "BENCH_SAMPLE=%d: clean-pass budget reduced to %d checks" n b;
+        b
+    | _ -> 60
+  in
+  let clean = C.run { C.default_config with C.budget; seed = 42 } in
+  say "clean pass: %d checks (%d oracle, %d morph) over %d programs — %d divergences"
+    clean.C.checks_run clean.C.oracle_checks clean.C.morph_checks clean.C.programs
+    (List.length clean.C.divergences);
+  if not (C.ok clean) then begin
+    List.iter
+      (fun d -> say "  divergence: %s %s %s (%s)" d.C.program d.C.cell d.C.field d.C.replay)
+      clean.C.divergences;
+    fail "clean conformance pass found %d divergence(s)" (List.length clean.C.divergences)
+  end;
+  let planted = C.run { C.default_config with C.budget = 6; seed = 42; plant = true } in
+  if not planted.C.planted_detected then fail "planted cache-tamper canary was NOT detected";
+  say "planted canary: detected";
+  let orig, min_b, steps =
+    match List.find_opt (fun d -> d.C.shrunk <> None) planted.C.divergences with
+    | Some { C.shrunk = Some (o, m, s); _ } -> (o, m, s)
+    | _ ->
+        say "FAIL: no divergence carried a shrink result";
+        exit 1
+  in
+  let ratio = float_of_int min_b /. float_of_int (max 1 orig) in
+  say "shrinker: %d -> %d bytes in %d steps (ratio %.2f)" orig min_b steps ratio;
+  if ratio > 0.25 then fail "shrink ratio %.2f exceeds the 0.25 budget" ratio;
+  let module J = Mcc_obs.Json in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "mcc-bench-conformance-v1");
+        ("seed", J.Int 42);
+        ( "clean",
+          J.Obj
+            [
+              ("budget", J.Int budget);
+              ("checks_run", J.Int clean.C.checks_run);
+              ("oracle_checks", J.Int clean.C.oracle_checks);
+              ("morph_checks", J.Int clean.C.morph_checks);
+              ("programs", J.Int clean.C.programs);
+              ("divergences", J.Int (List.length clean.C.divergences));
+            ] );
+        ( "canary",
+          J.Obj
+            [
+              ("detected", J.Bool planted.C.planted_detected);
+              ("orig_bytes", J.Int orig);
+              ("min_bytes", J.Int min_b);
+              ("shrink_steps", J.Int steps);
+              ("shrink_ratio", J.Float ratio);
+            ] );
+      ]
+  in
+  let text = J.to_string doc ^ "\n" in
+  (match J.validate text with
+  | Ok () -> ()
+  | Error e -> fail "BENCH_conformance.json does not validate: %s" e);
+  Out_channel.with_open_text "BENCH_conformance.json" (fun oc -> output_string oc text);
+  say "wrote BENCH_conformance.json (%d bytes)" (String.length text)
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig2", fig2);
     ("fig4", fig4); ("fig7", fig7); ("overhead", overhead); ("dky", dky);
     ("heading", heading); ("sched", sched_ablation); ("barrier", barrier);
     ("sensitivity", sensitivity); ("incr", incr); ("faults", faults); ("micro", micro);
-    ("speedup", speedup_artifacts);
+    ("speedup", speedup_artifacts); ("conformance", conformance);
   ]
 
 let () =

@@ -20,16 +20,11 @@ open Mcc_core
 module Symtab = Mcc_sem.Symtab
 module Fault = Mcc_sched.Fault
 
+(* the bundled library (Strings, MathLib, InOut, Bits) is available
+   unless the program provides its own module of the same name; every
+   load error names the file *)
 let load path =
-  let dir = Filename.dirname path in
-  let base = Filename.basename path in
-  if not (Filename.check_suffix base ".mod") then `Error (false, "expected a .mod file")
-  else
-    let main_name = Filename.chop_suffix base ".mod" in
-    (* the bundled library (Strings, MathLib, InOut, Bits) is available
-       unless the program provides its own module of the same name *)
-    try `Ok (M2lib.augment (Source_store.of_directory ~dir ~main_name))
-    with Sys_error e -> `Error (false, e)
+  match Cliopt.load_module path with Ok store -> `Ok store | Error e -> `Error (false, e)
 
 let strategy_conv =
   let parse s =
@@ -174,17 +169,17 @@ let report_robustness (r : Driver.result) =
       print_endline "deadlock report:";
       List.iter (fun l -> print_endline ("  " ^ l)) stuck
 
-let config ~procs ~strategy ~heading =
-  {
-    Driver.default_config with
-    Driver.procs = max 1 (min 64 procs);
-    strategy;
-    heading = (if heading = 3 then Driver.Alt3 else Driver.Alt1);
-  }
+(* Strict: out-of-range --procs or --heading is a CLI error, not a
+   silent clamp. *)
+let with_config ~procs ~strategy ~heading k =
+  match (Cliopt.parse_procs procs, Cliopt.parse_heading heading) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok procs, Ok heading -> k { Driver.default_config with Driver.procs; strategy; heading }
 
 let compile_cmd =
   let run store procs strategy heading watch stats disasm dump_tasks domains cache_dir no_cache
       trace_json faults fault_seed =
+    with_config ~procs ~strategy ~heading @@ fun base_config ->
     let cache =
       match (cache_dir, no_cache) with
       | Some dir, false -> Some (Build_cache.create ~dir ())
@@ -206,9 +201,7 @@ let compile_cmd =
           prerr_endline "m2c: warning: --trace-json only applies to the simulator; ignored";
         if faults <> [] then
           prerr_endline "m2c: warning: --inject only applies to the simulator; ignored";
-        let r =
-          Driver.compile_domains ~config:(config ~procs ~strategy ~heading) ?cache ~domains:n store
-        in
+        let r = Driver.compile_domains ~config:base_config ?cache ~domains:n store in
         report_diags r.Driver.d_diags;
         finish_cache ();
         Printf.printf "compiled on %d domains in %.4f s wall; %d tasks; ok=%b\n" n
@@ -216,9 +209,7 @@ let compile_cmd =
         if disasm then print_string (Mcc_codegen.Cunit.disassemble r.Driver.d_program);
         if r.Driver.d_ok then `Ok () else `Error (false, "compilation failed")
     | None ->
-        let config =
-          { (config ~procs ~strategy ~heading) with Driver.faults; Driver.fault_seed }
-        in
+        let config = { base_config with Driver.faults; Driver.fault_seed } in
         (* --trace-json needs the event log for its fault-instant rows:
            asking for the export implies capturing *)
         let r = Driver.compile ~config ~capture:(trace_json <> None) ?cache store in
@@ -281,12 +272,13 @@ let build_cmd =
              match load file with
              | `Error _ as e -> e
              | `Ok store ->
+                 with_config ~procs ~strategy ~heading:1 @@ fun config ->
                  let cache =
                    if no_cache then None
                    else
                      Some (Project.cache ~dir:(Option.value cache_dir ~default:".m2c-cache") ())
                  in
-                 let r = Project.compile ~config:(config ~procs ~strategy ~heading:1) ?cache store in
+                 let r = Project.compile ~config ?cache store in
                  report_diags r.Project.diags;
                  (match cache with
                  | None -> ()
@@ -303,7 +295,7 @@ let build_cmd =
                    (List.length r.Project.modules)
                    r.Project.total_units
                    (Mcc_sched.Costs.to_seconds r.Project.total_units)
-                   (max 1 (min 64 procs));
+                   procs;
                  if r.Project.ok then `Ok () else `Error (false, "compilation failed"))
         $ file_arg $ procs_arg $ strategy_arg $ cache_dir_arg $ no_cache_arg))
   in
@@ -327,9 +319,10 @@ let run_cmd =
              match load file with
              | `Error _ as e -> e
              | `Ok store ->
+                 with_config ~procs ~strategy ~heading:1 @@ fun config ->
                  (* whole-program: also compiles sibling .mod files the
                     main module imports, in initialization order *)
-                 let r = Project.compile ~config:(config ~procs ~strategy ~heading:1) store in
+                 let r = Project.compile ~config store in
                  report_diags r.Project.diags;
                  if not r.Project.ok then `Error (false, "compilation failed")
                  else begin
@@ -377,9 +370,9 @@ let analyze_cmd =
   in
   let run store schedules seed strategy procs_list inject =
     let strategies = match strategy with Some s -> [ s ] | None -> Symtab.all_concurrent in
-    let procs_list = List.filter (fun p -> p >= 1 && p <= 64) procs_list in
-    if procs_list = [] then `Error (false, "no valid processor counts")
-    else begin
+    match Cliopt.parse_procs_list procs_list with
+    | Error e -> `Error (false, e)
+    | Ok procs_list -> begin
       let rep =
         Mcc_analysis.Explorer.explore ~schedules ~seed ~strategies ~procs_list
           ?inject_early_publish:inject store
@@ -445,7 +438,7 @@ let profile_cmd =
         with Sys_error e -> Error e)
   in
   let run store procs strategy heading top prom json =
-    let config = config ~procs ~strategy ~heading in
+    with_config ~procs ~strategy ~heading @@ fun config ->
     (* profiling implies both the event log and the metrics registry *)
     let r = Driver.compile ~config ~capture:true ~telemetry:true store in
     report_diags r.Driver.diags;
@@ -495,6 +488,134 @@ let profile_cmd =
           the longest bottleneck hops.  Optional Prometheus and JSON exports.")
     term
 
+let check_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "budget" ] ~docv:"N" ~doc:"Differential checks to run (each is one program/cell pair).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Master seed for the work queue.")
+  in
+  let matrix_arg =
+    Arg.(
+      value & opt string "all:1,2,8"
+      & info [ "matrix" ] ~docv:"STRATS:PROCS"
+          ~doc:
+            "Strategy x processor matrix to cycle through, e.g. \
+             $(b,skeptical,optimistic:1,2,8) or $(b,all:1,2,4,8).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip delta-debugging divergent programs.")
+  in
+  let no_vm_arg =
+    Arg.(value & flag & info [ "no-vm" ] ~doc:"Skip executing runnable programs in the VM.")
+  in
+  let plant_arg =
+    Arg.(
+      value & flag
+      & info [ "plant" ]
+          ~doc:
+            "Plant the cache-tamper canary in every warm-cache cell; the run then succeeds only \
+             if the oracle reports the planted divergence.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"Write report.json (schema mcc-check-report-v1) and minimized reproducers to $(docv).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Narrate each check to stderr.")
+  in
+  let save_report dir (r : Mcc_check.Check.report) =
+    let json = Mcc_check.Check.report_to_json r in
+    match Mcc_obs.Json.validate json with
+    | Error e -> Error (Printf.sprintf "internal error: report invalid: %s" e)
+    | Ok () -> (
+        try
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          Out_channel.with_open_text (Filename.concat dir "report.json") (fun oc ->
+              output_string oc json);
+          List.iter
+            (fun (d : Mcc_check.Check.divergence_report) ->
+              List.iter
+                (fun (name, text) ->
+                  let path = Filename.concat dir (Printf.sprintf "repro%d-%s" d.Mcc_check.Check.item name) in
+                  Out_channel.with_open_text path (fun oc -> output_string oc text))
+                d.Mcc_check.Check.reproducer)
+            r.Mcc_check.Check.divergences;
+          Printf.printf "report: %s\n" (Filename.concat dir "report.json");
+          Ok ()
+        with Sys_error e -> Error e)
+  in
+  let run budget seed matrix no_shrink no_vm plant save verbose =
+    if budget < 1 then `Error (false, Printf.sprintf "invalid budget %d: must be positive" budget)
+    else
+      match Cliopt.parse_matrix matrix with
+      | Error e -> `Error (false, e)
+      | Ok (strategies, procs) ->
+          let open Mcc_check in
+          let cfg =
+            {
+              Check.default_config with
+              Check.budget;
+              seed;
+              strategies;
+              procs;
+              run_vm = not no_vm;
+              shrink = not no_shrink;
+              plant;
+            }
+          in
+          let progress = if verbose then fun msg -> Printf.eprintf "m2c check: %s\n%!" msg else fun _ -> () in
+          let r = Check.run ~progress cfg in
+          Printf.printf "conformance: %d checks (%d oracle, %d morph) over %d programs on %s — %d divergence%s\n"
+            r.Check.checks_run r.Check.oracle_checks r.Check.morph_checks r.Check.programs matrix
+            (List.length r.Check.divergences)
+            (if List.length r.Check.divergences = 1 then "" else "s");
+          List.iter
+            (fun (d : Check.divergence_report) ->
+              Printf.printf "  item %d [%s] %s diverged on %s: expected %s, got %s\n" d.Check.item
+                d.Check.program d.Check.cell d.Check.field d.Check.expected d.Check.actual;
+              (match d.Check.shrunk with
+              | Some (orig, mini, steps) ->
+                  Printf.printf "    shrunk %d -> %d bytes in %d predicate evaluations\n" orig mini
+                    steps
+              | None -> ());
+              Printf.printf "    replay: %s\n" d.Check.replay)
+            r.Check.divergences;
+          if plant then
+            Printf.printf "planted canary: %s\n"
+              (if r.Check.planted_detected then "DETECTED" else "MISSED");
+          let saved = match save with None -> Ok () | Some dir -> save_report dir r in
+          (match saved with
+          | Error e -> `Error (false, e)
+          | Ok () ->
+              if Check.ok r then `Ok ()
+              else
+                `Error
+                  ( false,
+                    if plant then "planted canary was NOT detected"
+                    else "conformance divergences found" ))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ budget_arg $ seed_arg $ matrix_arg $ no_shrink_arg $ no_vm_arg $ plant_arg
+       $ save_arg $ verbose_arg))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential conformance harness: compile seeded synthetic programs under the \
+          sequential baseline and the concurrent compiler across a strategy x processor x \
+          perturbation x cache x fault matrix (plus metamorphic source transforms), report any \
+          observation divergence, and delta-debug each divergent program to a minimized \
+          reproducer.")
+    term
+
 let sweep_cmd =
   let term =
     Term.(
@@ -523,4 +644,5 @@ let () =
   let info = Cmd.info "m2c" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd; profile_cmd ]))
+       (Cmd.group info
+          [ compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd; profile_cmd; check_cmd ]))

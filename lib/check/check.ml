@@ -1,0 +1,285 @@
+open Mcc_sem
+open Mcc_core
+module Prng = Mcc_util.Prng
+module Gen = Mcc_synth.Gen
+module Json = Mcc_obs.Json
+
+type config = {
+  budget : int;
+  seed : int;
+  strategies : Symtab.dky list;
+  procs : int list;
+  run_vm : bool;
+  shrink : bool;
+  plant : bool;
+  max_shrink_steps : int;
+}
+
+let default_config =
+  {
+    budget = 50;
+    seed = 0;
+    strategies = Symtab.all_concurrent;
+    procs = [ 1; 2; 8 ];
+    run_vm = true;
+    shrink = true;
+    plant = false;
+    max_shrink_steps = 600;
+  }
+
+type divergence_report = {
+  item : int;
+  program : string;
+  cell : string;
+  field : string;
+  expected : string;
+  actual : string;
+  replay : string;
+  shrunk : (int * int * int) option;
+  reproducer : (string * string) list;
+}
+
+type report = {
+  r_config : config;
+  checks_run : int;
+  oracle_checks : int;
+  morph_checks : int;
+  programs : int;
+  divergences : divergence_report list;
+  planted_detected : bool;
+}
+
+let ok r =
+  if r.r_config.plant then r.planted_detected else r.divergences = []
+
+(* ------------------------------------------------------------------ *)
+(* The seeded work queue *)
+
+(* Small program shapes: the harness favours breadth (many programs and
+   cells) over program size.  With a plant, every program needs at
+   least one interface to tamper with. *)
+let gen_shape prng ~plant idx =
+  let n_defs = if plant then 1 + Prng.int prng 2 else Prng.int prng 3 in
+  {
+    Gen.seed = Prng.int prng 1_000_000;
+    name = Printf.sprintf "C%02d" (idx mod 100);
+    n_defs;
+    depth = (if n_defs = 0 then 1 else 1 + Prng.int prng 2);
+    n_procs = 1 + Prng.int prng 3;
+    nested_per_proc = Prng.int prng 2;
+    stmts_lo = 1;
+    stmts_hi = 2 + Prng.int prng 6;
+    module_vars = 1 + Prng.int prng 3;
+    def_size = 1 + Prng.int prng 2;
+    pad = Prng.int prng 40;
+    runnable = Prng.chance prng 0.7;
+  }
+
+(* Transient fault plans only: these self-heal to byte-identical output,
+   which is exactly what the oracle must confirm. *)
+let fault_menu = [| "task-crash@2"; "dropped-wake%25"; "stall@3"; "corrupt-artifact@1" |]
+
+let draw_cell prng cfg k =
+  let base_cells = Oracle.matrix ~strategies:cfg.strategies ~procs:cfg.procs in
+  let base = List.nth base_cells (k mod List.length base_cells) in
+  let perturb = if Prng.chance prng 0.4 then Some (Prng.int prng 1_000) else None in
+  let cache =
+    if cfg.plant then Oracle.Warm
+    else if Prng.chance prng 0.34 then Oracle.Warm
+    else Oracle.No_cache
+  in
+  let faults =
+    if cfg.plant then ""
+    else if Prng.chance prng 0.25 then Prng.choose_arr prng fault_menu
+    else ""
+  in
+  { base with Oracle.perturb; cache; faults; fault_seed = Prng.int prng 1_000 }
+
+let matrix_arg cfg =
+  Printf.sprintf "%s:%s"
+    (String.concat "," (List.map Symtab.dky_name cfg.strategies))
+    (String.concat "," (List.map string_of_int cfg.procs))
+
+let replay_of cfg item =
+  Printf.sprintf "m2c check --seed %d --budget %d --matrix %s%s%s" cfg.seed (item + 1)
+    (matrix_arg cfg)
+    (if cfg.plant then " --plant" else "")
+    (if cfg.shrink then "" else " --no-shrink")
+
+let sources_of store =
+  (Source_store.main_file store, Source_store.main_src store)
+  :: List.map
+       (fun n -> (Source_store.def_file n, Option.get (Source_store.def_src store n)))
+       (Source_store.def_names store)
+
+let run ?(progress = fun _ -> ()) cfg =
+  if cfg.budget < 1 then invalid_arg "Check.run: budget must be positive";
+  if cfg.strategies = [] || cfg.procs = [] then invalid_arg "Check.run: empty matrix";
+  let prng = Prng.create cfg.seed in
+  let divergences = ref [] in
+  let oracle_checks = ref 0 in
+  let morph_checks = ref 0 in
+  let programs = ref 0 in
+  (* Per-program state, refreshed every 4 items. *)
+  let shape = ref (gen_shape prng ~plant:cfg.plant 0) in
+  let store = ref (Gen.generate !shape) in
+  let label = ref "" in
+  let reference = ref None in
+  let refresh idx =
+    incr programs;
+    shape := gen_shape prng ~plant:cfg.plant idx;
+    store := Gen.generate !shape;
+    label := Printf.sprintf "gen:%d#%d" idx !shape.Gen.seed;
+    reference := None
+  in
+  refresh 0;
+  let run_flag () = cfg.run_vm && !shape.Gen.runnable in
+  let get_reference () =
+    match !reference with
+    | Some obs -> obs
+    | None ->
+        let obs = Oracle.reference ~run:(run_flag ()) !store in
+        reference := Some obs;
+        obs
+  in
+  let shrink_divergence item cell =
+    if not cfg.shrink then (None, [])
+    else begin
+      let run = run_flag () in
+      let predicate s =
+        let plant = if cfg.plant then Oracle.plant_for s else None in
+        if cfg.plant && plant = None then false
+        else Oracle.check ?plant ~run s [ cell ] <> []
+      in
+      progress (Printf.sprintf "shrinking item %d" item);
+      let r = Shrink.run ~max_steps:cfg.max_shrink_steps ~shape:!shape ~predicate !store in
+      (Some (r.Shrink.orig_bytes, r.Shrink.min_bytes, r.Shrink.steps), sources_of r.Shrink.store)
+    end
+  in
+  let record item ~program ~cell_str ~cell_opt (field, expected, actual) =
+    let shrunk, reproducer =
+      match cell_opt with None -> (None, []) | Some cell -> shrink_divergence item cell
+    in
+    divergences :=
+      {
+        item;
+        program;
+        cell = cell_str;
+        field;
+        expected;
+        actual;
+        replay = replay_of cfg item;
+        shrunk;
+        reproducer;
+      }
+      :: !divergences
+  in
+  for item = 0 to cfg.budget - 1 do
+    if item > 0 && item mod 4 = 0 then refresh item;
+    let morph_item = (not cfg.plant) && item mod 4 = 3 in
+    if morph_item then begin
+      incr morph_checks;
+      let t = Prng.choose prng Morph.all in
+      let morph_seed = Prng.int prng 10_000 in
+      let cell = draw_cell prng cfg item in
+      progress (Printf.sprintf "item %d: morph %s on %s" item (Morph.name t) !label);
+      let transformed = Morph.apply ~seed:morph_seed t !store in
+      let program = Printf.sprintf "morph:%s(%s)" (Morph.name t) !label in
+      let t_ref = Oracle.reference ~run:(run_flag ()) transformed in
+      (match Morph.compare_obs t ~reference:(get_reference ()) t_ref with
+      | Some diff -> record item ~program ~cell_str:"morph-relation" ~cell_opt:None diff
+      | None -> ());
+      (* The transformed program must also pass the plain oracle. *)
+      match Oracle.run_cell ~run:(run_flag ()) ~reference:t_ref transformed cell with
+      | Some d ->
+          record item ~program
+            ~cell_str:(Oracle.cell_to_string d.Oracle.d_cell)
+            ~cell_opt:None
+            (d.Oracle.d_field, d.Oracle.d_expected, d.Oracle.d_actual)
+      | None -> ()
+    end
+    else begin
+      incr oracle_checks;
+      let cell = draw_cell prng cfg item in
+      let plant = if cfg.plant then Oracle.plant_for !store else None in
+      progress
+        (Printf.sprintf "item %d: oracle %s on %s" item (Oracle.cell_to_string cell) !label);
+      match
+        Oracle.run_cell ?plant ~run:(run_flag ()) ~reference:(get_reference ()) !store cell
+      with
+      | Some d ->
+          record item ~program:!label
+            ~cell_str:(Oracle.cell_to_string d.Oracle.d_cell)
+            ~cell_opt:(Some cell)
+            (d.Oracle.d_field, d.Oracle.d_expected, d.Oracle.d_actual)
+      | None -> ()
+    end
+  done;
+  {
+    r_config = cfg;
+    checks_run = cfg.budget;
+    oracle_checks = !oracle_checks;
+    morph_checks = !morph_checks;
+    programs = !programs;
+    divergences = List.rev !divergences;
+    planted_detected = !divergences <> [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting — no wall times: same seed and config must serialize
+   byte-identically (the CI determinism check [cmp]s two runs). *)
+
+let report_to_json r =
+  let cfg = r.r_config in
+  let divergence d =
+    Json.Obj
+      ([
+         ("item", Json.Int d.item);
+         ("program", Json.Str d.program);
+         ("cell", Json.Str d.cell);
+         ("field", Json.Str d.field);
+         ("expected", Json.Str d.expected);
+         ("actual", Json.Str d.actual);
+         ("replay", Json.Str d.replay);
+       ]
+      @ (match d.shrunk with
+        | None -> []
+        | Some (orig, mini, steps) ->
+            [
+              ( "shrunk",
+                Json.Obj
+                  [
+                    ("orig_bytes", Json.Int orig);
+                    ("min_bytes", Json.Int mini);
+                    ("steps", Json.Int steps);
+                  ] );
+            ])
+      @
+      match d.reproducer with
+      | [] -> []
+      | files ->
+          [
+            ( "reproducer",
+              Json.Obj (List.map (fun (name, text) -> (name, Json.Str text)) files) );
+          ])
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str "mcc-check-report-v1");
+         ("seed", Json.Int cfg.seed);
+         ("budget", Json.Int cfg.budget);
+         ( "strategies",
+           Json.Arr (List.map (fun s -> Json.Str (Symtab.dky_name s)) cfg.strategies) );
+         ("procs", Json.Arr (List.map (fun p -> Json.Int p) cfg.procs));
+         ("run_vm", Json.Bool cfg.run_vm);
+         ("shrink", Json.Bool cfg.shrink);
+         ("plant", Json.Bool cfg.plant);
+         ("checks_run", Json.Int r.checks_run);
+         ("oracle_checks", Json.Int r.oracle_checks);
+         ("morph_checks", Json.Int r.morph_checks);
+         ("programs", Json.Int r.programs);
+         ("divergences", Json.Arr (List.map divergence r.divergences));
+         ("planted_detected", Json.Bool r.planted_detected);
+         ("ok", Json.Bool (ok r));
+       ])

@@ -1,0 +1,66 @@
+(** The conformance harness driver: a seeded, deterministic work queue
+    of differential checks.
+
+    Each budget item checks one (program, cell) pair: programs are
+    small synthetic shapes generated from the run seed (a fresh program
+    every few items), cells cycle through the configured strategy x
+    processor matrix with perturbation seeds, warm/cold caches and
+    fault plans drawn from the same seeded stream.  Roughly every
+    fourth item is a metamorphic check ({!Morph}): the transformed
+    program must match the original under the transform's relation
+    {e and} pass one oracle cell itself.
+
+    Everything derives from [seed]: two runs with the same config
+    produce byte-identical {!report_to_json} output (no wall times in
+    the report). *)
+
+open Mcc_sem
+
+type config = {
+  budget : int;  (** checks to run *)
+  seed : int;
+  strategies : Symtab.dky list;
+  procs : int list;
+  run_vm : bool;  (** execute runnable programs in the VM *)
+  shrink : bool;  (** delta-debug each divergent program *)
+  plant : bool;
+      (** plant the cache-tamper canary ({!Oracle.plant}) in every
+          warm-cache cell — divergences are then expected *)
+  max_shrink_steps : int;
+}
+
+(** budget 50, seed 0, all concurrent strategies x {1, 2, 8} procs,
+    VM on, shrink on, no plant. *)
+val default_config : config
+
+type divergence_report = {
+  item : int;  (** 0-based queue index (replay: [--budget item+1]) *)
+  program : string;  (** program label, e.g. ["gen:3#17"] or ["morph:rename(gen:3#17)"] *)
+  cell : string;  (** {!Oracle.cell_to_string}, or ["morph-relation"] *)
+  field : string;
+  expected : string;
+  actual : string;
+  replay : string;  (** an [m2c check] command line reproducing this item *)
+  shrunk : (int * int * int) option;  (** (orig_bytes, min_bytes, steps) when shrunk *)
+  reproducer : (string * string) list;
+      (** minimized sources, (filename, text), empty unless shrunk *)
+}
+
+type report = {
+  r_config : config;
+  checks_run : int;
+  oracle_checks : int;
+  morph_checks : int;
+  programs : int;  (** distinct programs generated *)
+  divergences : divergence_report list;
+  planted_detected : bool;  (** with [plant]: did any divergence surface? *)
+}
+
+(** [ok] = conformant: no divergences without a plant; with a plant,
+    the canary was detected. *)
+val ok : report -> bool
+
+val run : ?progress:(string -> unit) -> config -> report
+
+(** Deterministic JSON rendering (schema [mcc-check-report-v1]). *)
+val report_to_json : report -> string

@@ -1,0 +1,299 @@
+open Mcc_core
+module Prng = Mcc_util.Prng
+
+type transform = Rename | Permute_decls | Reflow | Pad
+type relation = Exact | Modulo_names
+
+let all = [ Rename; Permute_decls; Reflow; Pad ]
+
+let name = function
+  | Rename -> "rename"
+  | Permute_decls -> "permute-decls"
+  | Reflow -> "reflow"
+  | Pad -> "pad"
+
+let relation_of = function Rename -> Modulo_names | Permute_decls | Reflow | Pad -> Exact
+
+(* ------------------------------------------------------------------ *)
+(* Shared scanning machinery.
+
+   All transforms must respect the same lexical islands: nested (* *)
+   comments, <* *> pragmas, and single-line string literals.  [scan]
+   walks the source calling [island] on each verbatim island span and
+   [code] on each code character, in order. *)
+
+let is_id_start c = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c = '_'
+let is_id c = is_id_start c || (c >= '0' && c <= '9')
+
+let scan src ~island ~code =
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let s = !i in
+      let depth = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          i := !i + 2;
+          if !depth = 0 then stop := true
+        end
+        else incr i
+      done;
+      island (String.sub src s (!i - s))
+    end
+    else if c = '<' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let s = !i in
+      i := !i + 2;
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = '>' then begin
+          i := !i + 2;
+          stop := true
+        end
+        else incr i
+      done;
+      island (String.sub src s (!i - s))
+    end
+    else if c = '"' || c = '\'' then begin
+      let s = !i in
+      incr i;
+      while !i < n && src.[!i] <> c && src.[!i] <> '\n' do
+        incr i
+      done;
+      if !i < n then incr i;
+      island (String.sub src s (!i - s))
+    end
+    else begin
+      code c;
+      incr i
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Alpha-rename: every identifier that is not a keyword, a builtin or a
+   module name gets an "_r" suffix — an injective rename applied
+   uniformly across every file of the program, so imports, qualified
+   names and record fields stay consistent.  Digit-led tokens (0FFH)
+   are consumed whole so their letter tail is never mistaken for an
+   identifier. *)
+
+let rename_src ~protected src =
+  let n = String.length src in
+  let buf = Buffer.create (n + (n / 4)) in
+  let pending = Buffer.create 16 in
+  let flush_word () =
+    if Buffer.length pending > 0 then begin
+      let word = Buffer.contents pending in
+      Buffer.clear pending;
+      Buffer.add_string buf word;
+      if
+        is_id_start word.[0]
+        && Mcc_m2.Token.lookup_keyword word = None
+        && (not (Mcc_sem.Builtins.is_builtin word))
+        && not (Hashtbl.mem protected word)
+      then Buffer.add_string buf "_r"
+    end
+  in
+  scan src
+    ~island:(fun s ->
+      flush_word ();
+      Buffer.add_string buf s)
+    ~code:(fun c ->
+      if is_id c then Buffer.add_char pending c
+      else begin
+        flush_word ();
+        Buffer.add_char buf c
+      end);
+  flush_word ();
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reflow: token-preserving line surgery.  Joining two lines with a
+   space can never change the token stream (strings and pragmas are
+   single-line; a space inside a comment is inert), and splitting after
+   a code-level "; " only replaces one inter-token separator with
+   another. *)
+
+let split_semis src =
+  let buf = Buffer.create (String.length src) in
+  let last_code_semi = ref false in
+  scan src
+    ~island:(fun s ->
+      last_code_semi := false;
+      Buffer.add_string buf s)
+    ~code:(fun c ->
+      if !last_code_semi && c = ' ' then Buffer.add_char buf '\n'
+      else Buffer.add_char buf c;
+      last_code_semi := c = ';');
+  Buffer.contents buf
+
+let merge_lines prng src =
+  let lines = String.split_on_char '\n' src in
+  let buf = Buffer.create (String.length src) in
+  let col = ref 0 in
+  List.iteri
+    (fun k line ->
+      if k > 0 then
+        if !col > 0 && !col < 400 && String.length line > 0 && Prng.bool prng then begin
+          Buffer.add_char buf ' ';
+          incr col
+        end
+        else begin
+          Buffer.add_char buf '\n';
+          col := 0
+        end;
+      Buffer.add_string buf line;
+      col := !col + String.length line)
+    lines;
+  Buffer.contents buf
+
+let reflow prng src = if Prng.bool prng then merge_lines prng src else split_semis src
+
+(* ------------------------------------------------------------------ *)
+(* Permute independent CONST declarations: maximal runs of consecutive
+   single-line "name = ...;" entries inside a CONST section are
+   shuffled, but only when no entry's right-hand side references a name
+   declared in the same run (declare-before-use stays intact; entries
+   outside the run keep their line numbers). *)
+
+let words_of s =
+  let out = ref [] in
+  let cur = Buffer.create 8 in
+  String.iter
+    (fun c ->
+      if is_id c then Buffer.add_char cur c
+      else if Buffer.length cur > 0 then begin
+        out := Buffer.contents cur :: !out;
+        Buffer.clear cur
+      end)
+    s;
+  if Buffer.length cur > 0 then out := Buffer.contents cur :: !out;
+  List.rev !out
+
+(* "name = rhs;" with no comment, string or pragma on the line
+   -> (name, rhs words) *)
+let parse_decl t =
+  match String.index_opt t '=' with
+  | Some eq
+    when (not (String.exists (fun c -> c = '(' || c = '"' || c = '\'' || c = '<') t))
+         && String.length t > 0
+         && t.[String.length t - 1] = ';' -> (
+      let lhs = String.trim (String.sub t 0 eq) in
+      let rhs = String.sub t (eq + 1) (String.length t - eq - 1) in
+      match words_of lhs with
+      | [ name ] when is_id_start name.[0] -> Some (name, words_of rhs)
+      | _ -> None)
+  | _ -> None
+
+(* A permutable constant declaration line: "name = rhs;" inside a CONST
+   section, or the self-headed "CONST name = rhs;" form. *)
+let eligible_decl ~in_const line =
+  let t = String.trim line in
+  if String.length t > 6 && String.sub t 0 6 = "CONST " then
+    parse_decl (String.trim (String.sub t 6 (String.length t - 6)))
+  else if in_const then parse_decl t
+  else None
+
+let permute_decls prng src =
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  let n = Array.length lines in
+  let in_const = ref false in
+  let shuffle_run lo hi =
+    (* [lo, hi): eligible decl lines.  Independent iff no RHS mentions a
+       name declared in the run. *)
+    if hi - lo >= 2 then begin
+      let decls =
+        Array.init (hi - lo) (fun j -> Option.get (eligible_decl ~in_const:true lines.(lo + j)))
+      in
+      let names = Array.to_list (Array.map fst decls) in
+      let independent =
+        Array.for_all (fun (_, rhs) -> not (List.exists (fun w -> List.mem w names) rhs)) decls
+      in
+      if independent then begin
+        let run = Array.sub lines lo (hi - lo) in
+        Prng.shuffle prng run;
+        Array.blit run 0 lines lo (hi - lo)
+      end
+    end
+  in
+  let run_start = ref (-1) in
+  let close k =
+    if !run_start >= 0 then shuffle_run !run_start k;
+    run_start := -1
+  in
+  for k = 0 to n - 1 do
+    match eligible_decl ~in_const:!in_const lines.(k) with
+    | Some _ ->
+        if !run_start < 0 then run_start := k;
+        (* eligible implies in a CONST section (self-headed or inherited) *)
+        in_const := true
+    | None ->
+        close k;
+        in_const := String.trim lines.(k) = "CONST"
+  done;
+  close n;
+  String.concat "\n" (Array.to_list lines)
+
+(* ------------------------------------------------------------------ *)
+(* Pad: whole comment lines are lexically inert anywhere (even inside a
+   nested comment, where the balanced pair only bumps the depth). *)
+
+let pad_src src =
+  let lines = String.split_on_char '\n' src in
+  let buf = Buffer.create (String.length src + 256) in
+  Buffer.add_string buf "(* conformance padding: this comment line is semantically inert *)\n";
+  List.iteri
+    (fun k line ->
+      if k > 0 then Buffer.add_char buf '\n';
+      let t = String.trim line in
+      if String.length t >= 10 && String.sub t 0 9 = "PROCEDURE" && not (is_id t.[9]) then
+        Buffer.add_string buf "(* conformance padding *)\n";
+      Buffer.add_string buf line)
+    lines;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let map_store f store =
+  let main_name = Source_store.main_name store in
+  let defs =
+    List.map
+      (fun name -> (name, f name (Option.get (Source_store.def_src store name))))
+      (Source_store.def_names store)
+  in
+  let impls =
+    List.filter_map
+      (fun name ->
+        if name = main_name then None
+        else Option.map (fun s -> (name, f name s)) (Source_store.impl_src store name))
+      (Source_store.impl_names store)
+  in
+  Source_store.make ~impls ~main_name
+    ~main_src:(f main_name (Source_store.main_src store))
+    ~defs ()
+
+let apply ~seed t store =
+  match t with
+  | Rename ->
+      let protected = Hashtbl.create 64 in
+      List.iter (fun n -> Hashtbl.replace protected n ()) (Source_store.def_names store);
+      List.iter (fun n -> Hashtbl.replace protected n ()) (Source_store.impl_names store);
+      Hashtbl.replace protected (Source_store.main_name store) ();
+      map_store (fun _ src -> rename_src ~protected src) store
+  | Permute_decls ->
+      map_store (fun name src -> permute_decls (Prng.create (seed lxor Hashtbl.hash name)) src) store
+  | Reflow ->
+      map_store (fun name src -> reflow (Prng.create (seed lxor Hashtbl.hash name)) src) store
+  | Pad -> map_store (fun _ src -> pad_src src) store
+
+let compare_obs t ~reference obs =
+  match relation_of t with
+  | Exact -> Observation.first_diff ~reference obs
+  | Modulo_names -> Observation.first_diff_modulo_names ~reference obs

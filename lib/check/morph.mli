@@ -1,0 +1,38 @@
+(** Metamorphic source transforms: semantics-preserving rewrites of a
+    whole program, each paired with the equivalence relation its output
+    must satisfy against the original's observation.  A transform that
+    compiles differently than its relation allows is a compiler bug the
+    plain differential oracle cannot see (both drivers would agree on
+    the wrong answer). *)
+
+type transform =
+  | Rename  (** alpha-rename every non-keyword, non-builtin, non-module identifier *)
+  | Permute_decls
+      (** seeded shuffle of runs of independent single-line [CONST] declarations *)
+  | Reflow
+      (** token-preserving line reflow: join body lines / split after
+          top-level [;] — the split/merge-at-statement-boundary morph *)
+  | Pad  (** insert whole comment lines between top-level blocks *)
+
+(** What the transformed program's observation must match on:
+    [Exact] compares with {!Observation.first_diff} (identical
+    diagnostics, object code and VM behaviour); [Modulo_names] with
+    {!Observation.first_diff_modulo_names}. *)
+type relation = Exact | Modulo_names
+
+val all : transform list
+val name : transform -> string
+val relation_of : transform -> relation
+
+(** Apply the transform to every source file of the store.  [Rename]
+    and [Pad] ignore the seed; [Permute_decls] and [Reflow] derive
+    their choices from it deterministically. *)
+val apply : seed:int -> transform -> Mcc_core.Source_store.t -> Mcc_core.Source_store.t
+
+(** Compare under the transform's relation:
+    [None] when equivalent, else the first differing field. *)
+val compare_obs :
+  transform ->
+  reference:Observation.t ->
+  Observation.t ->
+  (string * string * string) option

@@ -1,0 +1,139 @@
+(* Canonical observations and their field-by-field comparison. *)
+
+open Mcc_codegen
+
+type vm_obs = { v_status : string; v_output : string; v_steps : int; v_store : string }
+
+type t = {
+  ok : bool;
+  diags : string list;
+  unit_keys : string list;
+  unit_digests : (string * string) list;
+  unit_sizes : int list;
+  program_digest : string;
+  vm : vm_obs option;
+}
+
+let vm_fuel = 2_000_000
+
+let make ?(input = []) ~run ~ok ~diags program =
+  let keys = Cunit.unit_keys program in
+  let digests =
+    List.map
+      (fun key ->
+        match Cunit.find_unit program key with
+        | None -> (key, "missing")
+        | Some u -> (key, Digest.to_hex (Digest.string (Cunit.disassemble_unit u))))
+      keys
+  in
+  let sizes =
+    List.sort compare
+      (List.filter_map
+         (fun key ->
+           Option.map (fun u -> Array.length u.Cunit.u_code) (Cunit.find_unit program key))
+         keys)
+  in
+  let vm =
+    if run && ok then begin
+      let r = Mcc_vm.Vm.run ~fuel:vm_fuel ~input program in
+      Some
+        {
+          v_status = Mcc_vm.Vm.status_to_string r.Mcc_vm.Vm.status;
+          v_output = r.Mcc_vm.Vm.output;
+          v_steps = r.Mcc_vm.Vm.steps;
+          v_store = r.Mcc_vm.Vm.store_digest;
+        }
+    end
+    else None
+  in
+  {
+    ok;
+    diags = List.map Mcc_m2.Diag.to_string diags;
+    unit_keys = keys;
+    unit_digests = digests;
+    unit_sizes = sizes;
+    program_digest = Digest.to_hex (Digest.string (Cunit.disassemble program));
+    vm;
+  }
+
+let of_seq ?input ~run (r : Mcc_core.Seq_driver.result) =
+  make ?input ~run ~ok:r.Mcc_core.Seq_driver.ok ~diags:r.Mcc_core.Seq_driver.diags
+    r.Mcc_core.Seq_driver.program
+
+let of_driver ?input ~run (r : Mcc_core.Driver.result) =
+  make ?input ~run ~ok:r.Mcc_core.Driver.ok ~diags:r.Mcc_core.Driver.diags
+    r.Mcc_core.Driver.program
+
+(* ------------------------------------------------------------------ *)
+(* Comparison *)
+
+let truncate s = if String.length s <= 160 then s else String.sub s 0 157 ^ "..."
+
+let render_list l =
+  truncate (match l with [] -> "(none)" | l -> String.concat " | " l)
+
+(* The first differing field wins: coarse fields (success, diagnostics)
+   are checked before fine ones so a divergence is reported at the most
+   meaningful level. *)
+let first_diff ~reference actual =
+  let r = reference and a = actual in
+  if r.ok <> a.ok then Some ("ok", string_of_bool r.ok, string_of_bool a.ok)
+  else if r.diags <> a.diags then Some ("diags", render_list r.diags, render_list a.diags)
+  else if r.unit_keys <> a.unit_keys then
+    Some ("units", render_list r.unit_keys, render_list a.unit_keys)
+  else
+    match
+      List.find_opt
+        (fun ((key, d), (key', d')) -> key <> key' || d <> d')
+        (List.combine r.unit_digests a.unit_digests)
+    with
+    | Some ((key, d), (_, d')) -> Some ("unit:" ^ key, d, d')
+    | None ->
+        if r.program_digest <> a.program_digest then
+          Some ("program", r.program_digest, a.program_digest)
+        else begin
+          match (r.vm, a.vm) with
+          | None, None -> None
+          | Some _, None -> Some ("vm_presence", "executed", "not executed")
+          | None, Some _ -> Some ("vm_presence", "not executed", "executed")
+          | Some v, Some v' ->
+              if v.v_status <> v'.v_status then Some ("vm_status", v.v_status, v'.v_status)
+              else if v.v_output <> v'.v_output then
+                Some ("vm_output", truncate v.v_output, truncate v'.v_output)
+              else if v.v_steps <> v'.v_steps then
+                Some ("vm_steps", string_of_int v.v_steps, string_of_int v'.v_steps)
+              else if v.v_store <> v'.v_store then Some ("vm_store", v.v_store, v'.v_store)
+              else None
+        end
+
+let first_diff_modulo_names ~reference actual =
+  let r = reference and a = actual in
+  if r.ok <> a.ok then Some ("ok", string_of_bool r.ok, string_of_bool a.ok)
+  else if List.length r.diags <> List.length a.diags then
+    Some
+      ( "diag_count",
+        string_of_int (List.length r.diags),
+        string_of_int (List.length a.diags) )
+  else if List.length r.unit_keys <> List.length a.unit_keys then
+    Some
+      ( "unit_count",
+        string_of_int (List.length r.unit_keys),
+        string_of_int (List.length a.unit_keys) )
+  else if r.unit_sizes <> a.unit_sizes then
+    Some
+      ( "unit_sizes",
+        render_list (List.map string_of_int r.unit_sizes),
+        render_list (List.map string_of_int a.unit_sizes) )
+  else
+    match (r.vm, a.vm) with
+    | None, None -> None
+    | Some _, None -> Some ("vm_presence", "executed", "not executed")
+    | None, Some _ -> Some ("vm_presence", "not executed", "executed")
+    | Some v, Some v' ->
+        if v.v_status <> v'.v_status then Some ("vm_status", v.v_status, v'.v_status)
+        else if v.v_output <> v'.v_output then
+          Some ("vm_output", truncate v.v_output, truncate v'.v_output)
+        else if v.v_steps <> v'.v_steps then
+          Some ("vm_steps", string_of_int v.v_steps, string_of_int v'.v_steps)
+          (* no v_store: proc/exc values render keys, which embed names *)
+        else None

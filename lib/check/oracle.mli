@@ -1,0 +1,81 @@
+(** The differential oracle: the sequential baseline compiler
+    ({!Mcc_core.Seq_driver}) is ground truth; the concurrent compiler is
+    run across a cell matrix (strategy x processors x perturbation seed
+    x cache warm/cold x fault plan), and every cell's canonical
+    {!Observation.t} must equal the reference's.  Any mismatch is a
+    structured {!divergence} naming the cell and the first differing
+    field — the seed corpus the paper's "identical output under every
+    schedule" claim (§2.2) is checked against. *)
+
+open Mcc_sem
+
+type cache_mode =
+  | No_cache  (** straight compile *)
+  | Warm  (** prime a fresh cache with one compile, then compile again warm *)
+
+type cell = {
+  strategy : Symtab.dky;
+  procs : int;
+  perturb : int option;  (** schedule-exploration seed for tie-breaking *)
+  cache : cache_mode;
+  faults : string;  (** fault-plan spec string ({!Mcc_sched.Fault.parse_list}); [""] = none *)
+  fault_seed : int;
+}
+
+(** A canary defect planted before the measured compile, to prove the
+    oracle reports real corruption.  [Tamper_cache name] corrupts the
+    warm cache's artifact for interface [name] with verification
+    disabled ({!Mcc_core.Build_cache.tamper}) — only meaningful for
+    [Warm] cells; a [No_cache] cell ignores it. *)
+type plant = Tamper_cache of string
+
+(** The canary target for a program: its first interface, if any. *)
+val plant_for : Mcc_core.Source_store.t -> plant option
+
+type divergence = {
+  d_cell : cell;
+  d_field : string;  (** first differing observation field (see {!Observation.first_diff}) *)
+  d_expected : string;  (** reference (sequential) value, truncated *)
+  d_actual : string;  (** concurrent value, truncated *)
+}
+
+(** Compact cell rendering, e.g. ["skeptical/p8/perturb=3/warm/faults=task-crash@2#7"]. *)
+val cell_to_string : cell -> string
+
+val divergence_to_string : divergence -> string
+
+(** A cell with no perturbation, no cache and no faults. *)
+val cell : Symtab.dky -> int -> cell
+
+(** The strategy x procs cross product of plain cells, in deterministic
+    order. *)
+val matrix : strategies:Symtab.dky list -> procs:int list -> cell list
+
+(** All concurrent strategies x {1, 2, 8} processors. *)
+val default_matrix : cell list
+
+(** Observe the sequential reference compilation.  [run] executes
+    runnable programs in the VM. *)
+val reference : ?input:int list -> run:bool -> Mcc_core.Source_store.t -> Observation.t
+
+(** Compile one cell and compare against [reference].  [Warm] cells
+    prime a fresh fault-free cache first; [plant] then corrupts it
+    before the measured compile.  Verification state is always restored. *)
+val run_cell :
+  ?input:int list ->
+  ?plant:plant ->
+  run:bool ->
+  reference:Observation.t ->
+  Mcc_core.Source_store.t ->
+  cell ->
+  divergence option
+
+(** Run every cell against the shared sequential reference; returns all
+    divergences in cell order (empty = conformant). *)
+val check :
+  ?input:int list ->
+  ?plant:plant ->
+  run:bool ->
+  Mcc_core.Source_store.t ->
+  cell list ->
+  divergence list

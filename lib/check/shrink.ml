@@ -1,0 +1,211 @@
+open Mcc_core
+module Gen = Mcc_synth.Gen
+
+type result = {
+  store : Source_store.t;
+  shape : Gen.shape option;
+  steps : int;
+  orig_bytes : int;
+  min_bytes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Store surgery helpers *)
+
+let is_id c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_'
+
+(* Remove imports of [name]: drop "FROM name IMPORT ..." lines and
+   delete [name] from single-line "IMPORT a, b, c;" lists. *)
+let strip_import name src =
+  let keep =
+    List.filter_map
+      (fun line ->
+        let t = String.trim line in
+        let toks = List.filter (fun s -> s <> "") (String.split_on_char ' ' t) in
+        match toks with
+        | "FROM" :: m :: "IMPORT" :: _ when m = name -> None
+        | "IMPORT" :: _
+          when String.length t > 7 && t.[String.length t - 1] = ';' ->
+            let body = String.sub t 6 (String.length t - 7) in
+            let items = List.map String.trim (String.split_on_char ',' body) in
+            if List.mem name items then
+              match List.filter (fun it -> it <> name) items with
+              | [] -> None
+              | items -> Some ("IMPORT " ^ String.concat ", " items ^ ";")
+            else Some line
+        | _ -> Some line)
+      (String.split_on_char '\n' src)
+  in
+  String.concat "\n" keep
+
+let rebuild store ~defs ~main_src =
+  let main_name = Source_store.main_name store in
+  let impls =
+    List.filter_map
+      (fun n ->
+        if n = main_name then None
+        else Option.map (fun s -> (n, s)) (Source_store.impl_src store n))
+      (Source_store.impl_names store)
+  in
+  Source_store.make ~impls ~main_name ~main_src ~defs ()
+
+let defs_of store =
+  List.map
+    (fun n -> (n, Option.get (Source_store.def_src store n)))
+    (Source_store.def_names store)
+
+let drop_def store name =
+  let defs =
+    List.filter_map
+      (fun (n, src) -> if n = name then None else Some (n, strip_import name src))
+      (defs_of store)
+  in
+  rebuild store ~defs ~main_src:(strip_import name (Source_store.main_src store))
+
+(* Column-0 "PROCEDURE <id> ..." ... "END <id>;" blocks of a source. *)
+let proc_blocks lines =
+  let n = Array.length lines in
+  let blocks = ref [] in
+  for i = 0 to n - 1 do
+    let l = lines.(i) in
+    if
+      String.length l > 10
+      && String.sub l 0 10 = "PROCEDURE "
+      && is_id l.[10]
+    then begin
+      let j = ref 10 in
+      while !j < String.length l && is_id l.[!j] do
+        incr j
+      done;
+      let id = String.sub l 10 (!j - 10) in
+      let ender = "END " ^ id ^ ";" in
+      match
+        Array.find_index
+          (fun k -> k > i && String.trim lines.(k) = ender)
+          (Array.init n Fun.id)
+      with
+      | Some stop -> blocks := (i, stop) :: !blocks
+      | None -> ()
+    end
+  done;
+  List.rev !blocks
+
+let drop_lines lines lo hi =
+  Array.append (Array.sub lines 0 lo) (Array.sub lines (hi + 1) (Array.length lines - hi - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Phases *)
+
+let shrink_shape ~predicate shape =
+  let steps = ref 0 in
+  let test s =
+    incr steps;
+    predicate (Gen.generate s)
+  in
+  let cur = ref shape in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun m ->
+        let s' = Gen.mutate !cur m in
+        if s' <> !cur && test s' then begin
+          cur := s';
+          progress := true
+        end)
+      Gen.mutations
+  done;
+  (!cur, !steps)
+
+let ddmin ~test lines =
+  let rec go lines n =
+    let len = Array.length lines in
+    if len <= 1 then lines
+    else begin
+      let chunk = (len + n - 1) / n in
+      let rec try_k k =
+        if k >= n then None
+        else begin
+          let lo = k * chunk and hi = min len ((k + 1) * chunk) in
+          if lo >= len || hi - lo >= len then try_k (k + 1)
+          else begin
+            let cand = Array.append (Array.sub lines 0 lo) (Array.sub lines hi (len - hi)) in
+            if test cand then Some cand else try_k (k + 1)
+          end
+        end
+      in
+      match try_k 0 with
+      | Some cand -> go cand (max 2 (n - 1))
+      | None -> if n >= len then lines else go lines (min len (2 * n))
+    end
+  in
+  go lines 2
+
+let shrink_store ?(max_steps = 600) ~predicate store =
+  let steps = ref 0 in
+  let test s =
+    if !steps >= max_steps then false
+    else begin
+      incr steps;
+      predicate s
+    end
+  in
+  let cur = ref store in
+  (* 1. Drop whole interfaces, to fixpoint. *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun name ->
+        let cand = drop_def !cur name in
+        if test cand then begin
+          cur := cand;
+          progress := true
+        end)
+      (Source_store.def_names !cur)
+  done;
+  (* 2. Drop whole top-level procedure blocks of the main module. *)
+  let main_lines () = Array.of_list (String.split_on_char '\n' (Source_store.main_src !cur)) in
+  let with_main lines =
+    rebuild !cur ~defs:(defs_of !cur) ~main_src:(String.concat "\n" (Array.to_list lines))
+  in
+  progress := true;
+  while !progress do
+    progress := false;
+    let lines = main_lines () in
+    (match
+       List.find_opt (fun (lo, hi) -> test (with_main (drop_lines lines lo hi))) (proc_blocks lines)
+     with
+    | Some (lo, hi) ->
+        cur := with_main (drop_lines lines lo hi);
+        progress := true
+    | None -> ())
+  done;
+  (* 3. Line-level ddmin on the main module. *)
+  let minimized = ddmin ~test:(fun lines -> test (with_main lines)) (main_lines ()) in
+  cur := with_main minimized;
+  (!cur, !steps)
+
+let run ?(max_steps = 600) ?shape ~predicate store =
+  if not (predicate store) then
+    invalid_arg "Shrink.run: predicate does not hold on the input";
+  let steps = ref 1 in
+  let orig_bytes = Source_store.total_bytes store in
+  let shape', store' =
+    match shape with
+    | None -> (None, store)
+    | Some sh ->
+        let sh', n = shrink_shape ~predicate sh in
+        steps := !steps + n;
+        (Some sh', if sh' = sh then store else Gen.generate sh')
+  in
+  let store'', n = shrink_store ~max_steps:(max 0 (max_steps - !steps)) ~predicate store' in
+  steps := !steps + n;
+  {
+    store = store'';
+    shape = shape';
+    steps = !steps;
+    orig_bytes;
+    min_bytes = Source_store.total_bytes store'';
+  }

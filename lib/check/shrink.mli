@@ -1,0 +1,55 @@
+(** Deterministic delta-debugging shrinker.
+
+    Given a failing program (one whose [predicate] — "the divergence
+    still reproduces" — holds), produce a smaller program for which it
+    still holds.  Reduction runs in phases, cheapest first:
+
+    + {b shape phase} (when the program came from a synth {!Mcc_synth.Gen.shape}):
+      greedy fixpoint over {!Mcc_synth.Gen.mutations}, regenerating from
+      the reduced shape;
+    + {b structural phase}: drop whole interfaces (with textual removal
+      of their imports) and whole procedure blocks;
+    + {b line phase}: classic ddmin (Zeller) over the main module's
+      lines, removing complements with doubling granularity.
+
+    Every candidate is accepted only if [predicate] still holds, so a
+    candidate that breaks compilation is harmlessly rejected (both
+    compilers fail identically — no divergence).  Everything is
+    deterministic: same input, same predicate, same minimized output. *)
+
+open Mcc_core
+
+type result = {
+  store : Source_store.t;  (** the minimized reproducer *)
+  shape : Mcc_synth.Gen.shape option;
+      (** the shape-phase result, when the input had a shape (the final
+          [store] may be smaller still, from the source phases) *)
+  steps : int;  (** predicate evaluations performed *)
+  orig_bytes : int;
+  min_bytes : int;  (** {!Source_store.total_bytes} before/after *)
+}
+
+(** Shape-phase only: greedy fixpoint over {!Mcc_synth.Gen.mutations};
+    returns the reduced shape and the predicate evaluations spent. *)
+val shrink_shape :
+  predicate:(Source_store.t -> bool) ->
+  Mcc_synth.Gen.shape ->
+  Mcc_synth.Gen.shape * int
+
+(** Source-phase only (structural + ddmin). *)
+val shrink_store :
+  ?max_steps:int ->
+  predicate:(Source_store.t -> bool) ->
+  Source_store.t ->
+  Source_store.t * int
+
+(** The full pipeline.  [shape] enables the shape phase; [max_steps]
+    bounds total predicate evaluations (default 600).
+    @raise Invalid_argument when [predicate] does not hold on the input
+    (nothing to shrink). *)
+val run :
+  ?max_steps:int ->
+  ?shape:Mcc_synth.Gen.shape ->
+  predicate:(Source_store.t -> bool) ->
+  Source_store.t ->
+  result

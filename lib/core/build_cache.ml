@@ -262,6 +262,37 @@ let interface_fp t ~memo ~store name =
   let fp = go name in
   (fp, !units)
 
+(* Probe-time digest verification can be disabled — only by the
+   conformance harness, which plants a tampered artifact and proves the
+   differential oracle catches what verification would have
+   (test_check.ml's canary).  Production paths never touch this. *)
+let verification = ref true
+let set_verification on = verification := on
+
+(* Corrupt the stored artifact for [name] in place: prepend a bogus
+   replayed diagnostic without recomputing the payload digest.  With
+   verification on the next probe evicts and rebuilds (self-healing);
+   with it off the corruption installs and the compile's output
+   diverges from the sequential reference. *)
+let tamper t ~name =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.latest name with
+  | None -> ()
+  | Some fp -> (
+      match Hashtbl.find_opt t.defs fp with
+      | None -> ()
+      | Some a ->
+          let bogus =
+            {
+              Diag.file = name ^ ".def";
+              loc = Loc.none;
+              msg = "tampered artifact (planted by the conformance canary)";
+              sev = Diag.Warning;
+            }
+          in
+          Hashtbl.replace t.defs fp { a with Artifact.a_diags = bogus :: a.Artifact.a_diags }));
+  Mutex.unlock t.mu
+
 (* Probe, verifying before handing the artifact to the install path: the
    store key must match the artifact's recorded fingerprint, and the
    stored digest must match a payload recomputation (an armed Fault plan
@@ -277,7 +308,10 @@ let find_interface t ~fp =
     | None -> None
     | Some a ->
         let injected = Fault.armed () && Fault.corrupt_artifact ~name:a.Artifact.a_name in
-        if injected || fp <> a.Artifact.a_fingerprint || not (Artifact.verify a) then begin
+        if
+          !verification
+          && (injected || fp <> a.Artifact.a_fingerprint || not (Artifact.verify a))
+        then begin
           if injected && Evlog.enabled () then
             Evlog.emit
               (Evlog.Fault_inject { fault = "corrupt-artifact"; victim = a.Artifact.a_name });

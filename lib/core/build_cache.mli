@@ -71,6 +71,18 @@ val counters : t -> int * int * int
     the invalidations of {!counters}. *)
 val corrupt_count : t -> int
 
+(** {1 Conformance-canary hooks}
+
+    Used only by the differential conformance harness ({!Mcc_check}) to
+    prove its oracle catches real corruption: {!tamper} plants a bogus
+    replayed diagnostic in the stored artifact for [name] without
+    updating the payload digest, and {!set_verification} [false]
+    disables probe-time digest verification so the tampering installs
+    instead of healing.  Always restore verification afterwards. *)
+
+val set_verification : bool -> unit
+val tamper : t -> name:string -> unit
+
 (** {1 The module-result memo} *)
 
 type 'r memo

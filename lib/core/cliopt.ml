@@ -1,0 +1,79 @@
+module Symtab = Mcc_sem.Symtab
+
+let procs_min = 1
+let procs_max = 64
+
+let parse_procs n =
+  if n >= procs_min && n <= procs_max then Ok n
+  else Error (Printf.sprintf "invalid processor count %d: must be in %d..%d" n procs_min procs_max)
+
+let parse_procs_list = function
+  | [] -> Error "empty processor list"
+  | ps -> (
+      match List.find_opt (fun p -> Result.is_error (parse_procs p)) ps with
+      | Some bad -> (
+          match parse_procs bad with Error e -> Error e | Ok _ -> assert false)
+      | None -> Ok ps)
+
+let parse_heading = function
+  | 1 -> Ok Driver.Alt1
+  | 3 -> Ok Driver.Alt3
+  | n -> Error (Printf.sprintf "invalid heading alternative %d: must be 1 or 3" n)
+
+let parse_strategy s =
+  match List.find_opt (fun d -> Symtab.dky_name d = s) Symtab.all_concurrent with
+  | Some d -> Ok d
+  | None ->
+      Error
+        (Printf.sprintf "unknown strategy %S: must be %s" s
+           (String.concat ", " (List.map Symtab.dky_name Symtab.all_concurrent)))
+
+let parse_matrix spec =
+  match String.split_on_char ':' spec with
+  | [ strats; procs ] -> (
+      let strategies =
+        if strats = "all" then Ok Symtab.all_concurrent
+        else
+          List.fold_right
+            (fun name acc ->
+              match (parse_strategy name, acc) with
+              | Ok d, Ok ds -> Ok (d :: ds)
+              | (Error _ as e), _ -> e
+              | _, (Error _ as e) -> e)
+            (List.filter (fun s -> s <> "") (String.split_on_char ',' strats))
+            (Ok [])
+      in
+      let procs_list =
+        List.fold_right
+          (fun tok acc ->
+            match (int_of_string_opt tok, acc) with
+            | Some p, Ok ps -> ( match parse_procs p with Ok p -> Ok (p :: ps) | Error e -> Error e)
+            | None, Ok _ -> Error (Printf.sprintf "invalid processor count %S in matrix" tok)
+            | _, (Error _ as e) -> e)
+          (List.filter (fun s -> s <> "") (String.split_on_char ',' procs))
+          (Ok [])
+      in
+      match (strategies, procs_list) with
+      | Ok [], _ -> Error (Printf.sprintf "matrix %S lists no strategies" spec)
+      | _, Ok [] -> Error (Printf.sprintf "matrix %S lists no processor counts" spec)
+      | Ok ss, Ok ps -> Ok (ss, ps)
+      | Error e, _ | _, Error e -> Error (Printf.sprintf "invalid matrix %S: %s" spec e))
+  | _ -> Error (Printf.sprintf "invalid matrix %S: expected STRATEGIES:PROCS, e.g. all:1,2,8" spec)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let load_module path =
+  let base = Filename.basename path in
+  if not (Filename.check_suffix base ".mod") then
+    Error (Printf.sprintf "%s: expected a .mod file" path)
+  else if not (Sys.file_exists path) then Error (Printf.sprintf "%s: no such file" path)
+  else
+    let dir = Filename.dirname path in
+    let main_name = Filename.chop_suffix base ".mod" in
+    match M2lib.augment (Source_store.of_directory ~dir ~main_name) with
+    | store -> Ok store
+    | exception Sys_error e ->
+        Error (if contains ~sub:path e then e else path ^ ": " ^ e)

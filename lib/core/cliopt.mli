@@ -1,0 +1,35 @@
+(** Strict CLI argument validation, shared by [m2c] and the test suite.
+
+    Every function returns [Error msg] with a message that names the
+    offending value (and, for {!load_module}, the file), so the CLI
+    exits non-zero with a precise complaint instead of silently
+    clamping or defaulting — a malformed [--procs 0] used to compile
+    on 1 processor, and [--heading 7] used to mean alternative 1. *)
+
+val procs_min : int
+val procs_max : int
+
+(** Simulated processor count, [1..64]. *)
+val parse_procs : int -> (int, string) result
+
+(** A non-empty processor-count list, each in [1..64]. *)
+val parse_procs_list : int list -> (int list, string) result
+
+(** Procedure-heading alternative: [1] or [3] only (paper §2.4 defines
+    no alternative 2 worth running). *)
+val parse_heading : int -> (Driver.heading_mode, string) result
+
+(** A DKY strategy name ([avoidance], [pessimistic], [skeptical],
+    [optimistic]). *)
+val parse_strategy : string -> (Mcc_sem.Symtab.dky, string) result
+
+(** A conformance matrix spec ["STRATS:PROCS"], e.g.
+    ["skeptical,optimistic:1,2,8"] or ["all:1,2,4,8"]; [STRATS] is
+    [all] or a comma-separated strategy list, [PROCS] a comma-separated
+    processor list. *)
+val parse_matrix : string -> (Mcc_sem.Symtab.dky list * int list, string) result
+
+(** Load [FILE.mod] plus its sibling interfaces, with the bundled
+    library modules available ({!M2lib.augment}).  Errors (wrong
+    extension, missing or unreadable file) always name the path. *)
+val load_module : string -> (Source_store.t, string) result

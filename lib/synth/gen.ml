@@ -42,6 +42,59 @@ type shape = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Shape mutations: the reduction moves the conformance shrinker
+   (Mcc_check.Shrink) applies before falling back to source-level delta
+   debugging.  Every mutation strictly reduces some size field while
+   keeping the shape generatable (invariants: n_procs >= 1,
+   stmts_lo <= stmts_hi, depth >= 1, ...); a mutation that cannot
+   reduce further returns the shape unchanged, which callers use as the
+   fixpoint signal. *)
+
+type mutation =
+  | Drop_defs  (** remove every definition module *)
+  | Halve_defs
+  | Shallow_imports  (** import nesting depth -> 1 *)
+  | Halve_procs
+  | Drop_nested  (** no nested procedures *)
+  | Halve_stmts  (** halve the per-procedure statement budget *)
+  | Halve_module_vars
+  | Shrink_def_size
+  | Drop_pad  (** no comment padding *)
+
+let mutations =
+  [
+    Drop_defs; Halve_defs; Shallow_imports; Halve_procs; Drop_nested; Halve_stmts;
+    Halve_module_vars; Shrink_def_size; Drop_pad;
+  ]
+
+let mutation_name = function
+  | Drop_defs -> "drop-defs"
+  | Halve_defs -> "halve-defs"
+  | Shallow_imports -> "shallow-imports"
+  | Halve_procs -> "halve-procs"
+  | Drop_nested -> "drop-nested"
+  | Halve_stmts -> "halve-stmts"
+  | Halve_module_vars -> "halve-module-vars"
+  | Shrink_def_size -> "shrink-def-size"
+  | Drop_pad -> "drop-pad"
+
+let mutate (s : shape) = function
+  | Drop_defs -> if s.n_defs = 0 then s else { s with n_defs = 0; depth = 1 }
+  | Halve_defs -> if s.n_defs <= 1 then s else { s with n_defs = s.n_defs / 2 }
+  | Shallow_imports -> if s.depth <= 1 then s else { s with depth = 1 }
+  | Halve_procs -> if s.n_procs <= 1 then s else { s with n_procs = max 1 (s.n_procs / 2) }
+  | Drop_nested -> if s.nested_per_proc = 0 then s else { s with nested_per_proc = 0 }
+  | Halve_stmts ->
+      if s.stmts_hi <= 1 then s
+      else
+        let hi = max 1 (s.stmts_hi / 2) in
+        { s with stmts_hi = hi; stmts_lo = min s.stmts_lo hi }
+  | Halve_module_vars ->
+      if s.module_vars <= 1 then s else { s with module_vars = max 1 (s.module_vars / 2) }
+  | Shrink_def_size -> if s.def_size <= 1 then s else { s with def_size = 1 }
+  | Drop_pad -> if s.pad = 0 then s else { s with pad = 0 }
+
+(* ------------------------------------------------------------------ *)
 (* What a definition module exports (tracked so the main module can
    reference imported names type-correctly). *)
 

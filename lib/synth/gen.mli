@@ -37,3 +37,28 @@ type shape = {
     [shape.seed] (the suite threads one user-visible seed through every
     shape this way). *)
 val generate : ?seed:int -> shape -> Source_store.t
+
+(** {1 Shape mutations}
+
+    The reduction moves the conformance shrinker applies before falling
+    back to source-level delta debugging: each strictly reduces some
+    size field while keeping the shape generatable, and returns the
+    shape {e unchanged} when it cannot reduce further (the caller's
+    fixpoint signal). *)
+
+type mutation =
+  | Drop_defs
+  | Halve_defs
+  | Shallow_imports
+  | Halve_procs
+  | Drop_nested
+  | Halve_stmts
+  | Halve_module_vars
+  | Shrink_def_size
+  | Drop_pad
+
+(** Every mutation, in the order the shrinker tries them. *)
+val mutations : mutation list
+
+val mutation_name : mutation -> string
+val mutate : shape -> mutation -> shape

@@ -112,7 +112,7 @@ let relop_holds (r : Instr.relop) c =
 
 type status = Finished | Halt_called | Trap of string | Uncaught_exception of string
 
-type result = { output : string; status : status; steps : int }
+type result = { output : string; status : status; steps : int; store_digest : string }
 
 type state = {
   prog : Cunit.program;
@@ -508,6 +508,61 @@ and exec_builtin st op n ~pop ~push =
 
 (* ------------------------------------------------------------------ *)
 
+(* Canonical rendering of a value for the final-store digest.  Depth is
+   capped so pointer structures built by NEW (which can in principle be
+   cyclic) always terminate; two stores digest equally iff they render
+   equally down to the cap. *)
+let rec render_v buf depth v =
+  if depth <= 0 then Buffer.add_char buf '#'
+  else
+    match v with
+    | VInt i -> Buffer.add_string buf (string_of_int i)
+    | VReal r -> Buffer.add_string buf (Printf.sprintf "%h" r)
+    | VBool b -> Buffer.add_string buf (if b then "T" else "F")
+    | VChar c -> Buffer.add_string buf (Printf.sprintf "'%d'" (Char.code c))
+    | VStr s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf s;
+        Buffer.add_char buf '"'
+    | VSet s -> Buffer.add_string buf (Printf.sprintf "{%d}" s)
+    | VNil -> Buffer.add_string buf "nil"
+    | VUninit -> Buffer.add_char buf '?'
+    | VArr a | VCell a ->
+        Buffer.add_char buf '[';
+        Array.iter
+          (fun x ->
+            render_v buf (depth - 1) x;
+            Buffer.add_char buf ' ')
+          a;
+        Buffer.add_char buf ']'
+    | VLoc (a, i) ->
+        Buffer.add_string buf "loc:";
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf '@';
+        Buffer.add_string buf (string_of_int (Array.length a))
+    | VProc p ->
+        Buffer.add_string buf "proc:";
+        Buffer.add_string buf p
+    | VExc e ->
+        Buffer.add_string buf "exc:";
+        Buffer.add_string buf e
+    | VMutex -> Buffer.add_string buf "mutex"
+
+(* MD5 over the canonical rendering of every module global frame, sorted
+   by frame key — the "final store" the conformance oracle compares
+   across compilers (procedure frames are gone by termination). *)
+let store_digest_of frames =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) frames [] in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun key ->
+      Buffer.add_string buf key;
+      Buffer.add_char buf '=';
+      render_v buf 8 (VArr (Hashtbl.find frames key));
+      Buffer.add_char buf '\n')
+    (List.sort compare keys);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let run ?(fuel = 50_000_000) ?(input = []) (prog : Cunit.program) : result =
   let st =
     {
@@ -541,7 +596,12 @@ let run ?(fuel = 50_000_000) ?(input = []) (prog : Cunit.program) : result =
     | Runtime_error msg -> Trap msg
     | M2_exception key -> Uncaught_exception key
   in
-  { output = Buffer.contents st.out; status; steps = st.steps }
+  {
+    output = Buffer.contents st.out;
+    status;
+    steps = st.steps;
+    store_digest = store_digest_of st.frames;
+  }
 
 let status_to_string = function
   | Finished -> "finished"

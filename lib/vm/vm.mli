@@ -35,7 +35,16 @@ type status =
   | Trap of string  (** runtime error: bounds, NIL, DIV 0, uninitialized, ... *)
   | Uncaught_exception of string
 
-type result = { output : string; status : status; steps : int }
+type result = {
+  output : string;
+  status : status;
+  steps : int;
+  store_digest : string;
+      (** MD5 over a canonical rendering of every module global frame at
+          termination — the "final store" differential-conformance
+          observation ({!Mcc_check}); identical programs and inputs
+          always produce identical digests *)
+}
 
 (** [run ?fuel ?input program] executes the entry (module body) unit.
     [input] feeds [ReadInt]; [output] collects the Write* builtins. *)

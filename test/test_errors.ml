@@ -171,6 +171,79 @@ let test_errors_do_not_hang_concurrent () =
         | _ -> false))
     Mcc_sem.Symtab.all_concurrent
 
+(* ------------------------------------------------------------------ *)
+(* CLI argument validation (Cliopt): every failure mode is an error
+   that names the offending value or file — no silent clamping. *)
+
+let expect_err what msg = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error e ->
+      if not (Tutil.contains ~sub:msg e) then
+        Alcotest.failf "%s: error %S does not mention %S" what e msg
+
+let test_cli_procs () =
+  (match Mcc_core.Cliopt.parse_procs 8 with
+  | Ok 8 -> ()
+  | _ -> Alcotest.fail "8 procs is valid");
+  expect_err "procs 0" "invalid processor count 0" (Mcc_core.Cliopt.parse_procs 0);
+  expect_err "procs 65" "invalid processor count 65" (Mcc_core.Cliopt.parse_procs 65);
+  expect_err "procs -3" "invalid processor count -3" (Mcc_core.Cliopt.parse_procs (-3));
+  expect_err "empty procs list" "empty" (Mcc_core.Cliopt.parse_procs_list []);
+  expect_err "bad list entry" "invalid processor count 99"
+    (Mcc_core.Cliopt.parse_procs_list [ 1; 99; 4 ])
+
+let test_cli_heading () =
+  (match Mcc_core.Cliopt.parse_heading 1 with
+  | Ok Mcc_core.Driver.Alt1 -> ()
+  | _ -> Alcotest.fail "heading 1 is Alt1");
+  (match Mcc_core.Cliopt.parse_heading 3 with
+  | Ok Mcc_core.Driver.Alt3 -> ()
+  | _ -> Alcotest.fail "heading 3 is Alt3");
+  expect_err "heading 2" "invalid heading alternative 2" (Mcc_core.Cliopt.parse_heading 2);
+  expect_err "heading 0" "invalid heading alternative 0" (Mcc_core.Cliopt.parse_heading 0)
+
+let test_cli_strategy () =
+  (match Mcc_core.Cliopt.parse_strategy "skeptical" with
+  | Ok Mcc_sem.Symtab.Skeptical -> ()
+  | _ -> Alcotest.fail "skeptical parses");
+  expect_err "unknown strategy" "unknown strategy \"eager\""
+    (Mcc_core.Cliopt.parse_strategy "eager")
+
+let test_cli_matrix () =
+  (match Mcc_core.Cliopt.parse_matrix "all:1,2,8" with
+  | Ok (ss, ps) ->
+      Alcotest.(check int) "all strategies" 4 (List.length ss);
+      Alcotest.(check (list int)) "procs" [ 1; 2; 8 ] ps
+  | Error e -> Alcotest.failf "all:1,2,8 should parse: %s" e);
+  (match Mcc_core.Cliopt.parse_matrix "skeptical,optimistic:4" with
+  | Ok (ss, ps) ->
+      Alcotest.(check int) "two strategies" 2 (List.length ss);
+      Alcotest.(check (list int)) "procs" [ 4 ] ps
+  | Error e -> Alcotest.failf "pair matrix should parse: %s" e);
+  expect_err "no colon" "expected STRATEGIES:PROCS" (Mcc_core.Cliopt.parse_matrix "garbage");
+  expect_err "bad strategy" "unknown strategy" (Mcc_core.Cliopt.parse_matrix "eager:1");
+  expect_err "bad procs" "invalid processor count" (Mcc_core.Cliopt.parse_matrix "all:1,zap");
+  expect_err "out-of-range procs" "invalid processor count 99"
+    (Mcc_core.Cliopt.parse_matrix "all:99");
+  expect_err "empty procs" "no processor counts" (Mcc_core.Cliopt.parse_matrix "all:")
+
+let test_cli_load_module () =
+  let missing = Filename.concat (Filename.get_temp_dir_name ()) "mcc-no-such-module.mod" in
+  expect_err "missing file names the path" missing (Mcc_core.Cliopt.load_module missing);
+  expect_err "wrong extension names the file" "notamodule.txt"
+    (Mcc_core.Cliopt.load_module "notamodule.txt");
+  (* a real module loads *)
+  let dir = Filename.get_temp_dir_name () in
+  let path = Filename.concat dir "CliOk.mod" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "IMPLEMENTATION MODULE CliOk;\nBEGIN\nEND CliOk.\n");
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Mcc_core.Cliopt.load_module path with
+      | Ok store -> Alcotest.(check string) "main name" "CliOk" (Mcc_core.Source_store.main_name store)
+      | Error e -> Alcotest.failf "valid module failed to load: %s" e)
+
 let () =
   Alcotest.run "errors"
     [
@@ -195,5 +268,13 @@ let () =
           Alcotest.test_case "locations" `Quick test_locations_reported;
           Alcotest.test_case "all errors reported" `Quick test_many_errors_all_reported;
           Alcotest.test_case "no hangs on errors" `Quick test_errors_do_not_hang_concurrent;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "procs" `Quick test_cli_procs;
+          Alcotest.test_case "heading" `Quick test_cli_heading;
+          Alcotest.test_case "strategy" `Quick test_cli_strategy;
+          Alcotest.test_case "matrix" `Quick test_cli_matrix;
+          Alcotest.test_case "load module" `Quick test_cli_load_module;
         ] );
     ]

@@ -86,6 +86,110 @@ let test_pad_grows_size_not_work () =
   Alcotest.(check bool) "padding grows work sublinearly" true
     (wb /. wa < float_of_int sb /. float_of_int sa)
 
+(* generate -> parse -> pretty-print -> re-lex/re-parse is a fixpoint:
+   the reparsed tree is structurally identical and prints to the same
+   text, across 10 seeded shapes. *)
+let test_pretty_fixpoint () =
+  for seed = 1 to 10 do
+    let shape =
+      {
+        Gen.seed;
+        name = "FX";
+        n_defs = 2;
+        depth = 1;
+        n_procs = 3;
+        nested_per_proc = 1;
+        stmts_lo = 3;
+        stmts_hi = 10;
+        module_vars = 2;
+        def_size = 1;
+        pad = 0;
+        runnable = (seed mod 2 = 0);
+      }
+    in
+    let store = Gen.generate shape in
+    let bodies = Tutil.bodies_of store in
+    if bodies = [] then Alcotest.failf "seed %d captured no bodies" seed;
+    List.iter
+      (fun body ->
+        let text = Mcc_ast.Pretty.print_body body in
+        let reparsed, diags = Tutil.parse_stmts text in
+        if diags <> [] then
+          Alcotest.failf "seed %d: reparse produced diagnostics:\n%s\nfor:\n%s" seed
+            (String.concat "\n" (List.map Mcc_m2.Diag.to_string diags))
+            text;
+        if not (Mcc_ast.Ast.equal_body body reparsed) then
+          Alcotest.failf "seed %d: reparsed tree differs for:\n%s" seed text;
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d: printed form is a fixpoint" seed)
+          text
+          (Mcc_ast.Pretty.print_body reparsed))
+      bodies
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shape mutations (the conformance shrinker's reduction moves) *)
+
+let big_shape =
+  {
+    Gen.seed = 3;
+    name = "MU";
+    n_defs = 4;
+    depth = 3;
+    n_procs = 6;
+    nested_per_proc = 2;
+    stmts_lo = 4;
+    stmts_hi = 12;
+    module_vars = 4;
+    def_size = 3;
+    pad = 200;
+    runnable = false;
+  }
+
+let test_mutations_reduce () =
+  (* Each mutation strictly reduces some size field on a big shape, and
+     the result still generates a compiling program. *)
+  List.iter
+    (fun m ->
+      let s = Gen.mutate big_shape m in
+      if s = big_shape then
+        Alcotest.failf "%s made no progress on a big shape" (Gen.mutation_name m);
+      let seq = Seq_driver.compile (Gen.generate s) in
+      if not seq.Seq_driver.ok then
+        Alcotest.failf "%s produced a non-compiling shape:\n%s" (Gen.mutation_name m)
+          (String.concat "\n" (List.map Mcc_m2.Diag.to_string seq.Seq_driver.diags)))
+    Gen.mutations
+
+let test_mutations_reach_floor () =
+  (* Iterating every mutation reaches a fixpoint where all return the
+     shape unchanged — the shrinker's termination guarantee. *)
+  let cur = ref big_shape in
+  let budget = ref 100 in
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    List.iter
+      (fun m ->
+        decr budget;
+        let s = Gen.mutate !cur m in
+        if s <> !cur then begin
+          cur := s;
+          progress := true
+        end)
+      Gen.mutations
+  done;
+  Alcotest.(check bool) "reached a fixpoint within budget" true (!budget > 0);
+  Alcotest.(check int) "defs at floor" 0 !cur.Gen.n_defs;
+  Alcotest.(check int) "procs at floor" 1 !cur.Gen.n_procs;
+  Alcotest.(check int) "pad at floor" 0 !cur.Gen.pad;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Gen.mutation_name m ^ " is identity at the floor")
+        true
+        (Gen.mutate !cur m = !cur))
+    Gen.mutations
+
 let () =
   Alcotest.run "synth"
     [
@@ -95,6 +199,12 @@ let () =
           Alcotest.test_case "seed-sensitive" `Quick test_different_seeds_differ;
           Alcotest.test_case "runnable terminates" `Quick test_runnable_terminates;
           Alcotest.test_case "comment padding" `Quick test_pad_grows_size_not_work;
+          Alcotest.test_case "pretty fixpoint" `Slow test_pretty_fixpoint;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "reduce" `Quick test_mutations_reduce;
+          Alcotest.test_case "reach floor" `Quick test_mutations_reach_floor;
         ] );
       ( "suite",
         [

@@ -112,6 +112,94 @@ let prop_deque_fifo =
       in
       drain [] = xs)
 
+(* Deque against a list model: arbitrary interleavings of push_back,
+   push_front, pop_front and remove_first (the Supervisor's "rotate a
+   blocked task's resolver to the front" move) agree with the obvious
+   list semantics at every step. *)
+let prop_deque_model =
+  let op =
+    QCheck.(
+      map
+        (fun (k, v) -> (k mod 4, v))
+        (pair small_nat small_nat))
+  in
+  QCheck.Test.make ~name:"deque matches its list model" ~count:300
+    QCheck.(list op)
+    (fun ops ->
+      let d = Deque.create 0 in
+      let model = ref [] in
+      List.for_all
+        (fun (k, v) ->
+          (match k with
+          | 0 ->
+              Deque.push_back d v;
+              model := !model @ [ v ]
+          | 1 ->
+              Deque.push_front d v;
+              model := v :: !model
+          | 2 -> (
+              let got = Deque.pop_front d in
+              match !model with
+              | [] -> assert (got = None)
+              | x :: rest ->
+                  assert (got = Some x);
+                  model := rest)
+          | _ -> (
+              (* remove the first element equal to v mod 7 — exercises
+                 mid-queue removal across the ring buffer's wraparound *)
+              let target = v mod 7 in
+              let got = Deque.remove_first d (fun x -> x mod 7 = target) in
+              let rec take = function
+                | [] -> (None, [])
+                | x :: rest when x mod 7 = target -> (Some x, rest)
+                | x :: rest ->
+                    let found, rest' = take rest in
+                    (found, x :: rest')
+              in
+              let found, rest = take !model in
+              assert (got = found);
+              model := rest));
+          Deque.to_list d = !model
+          && Deque.length d = List.length !model
+          && Deque.peek_front d = (match !model with [] -> None | x :: _ -> Some x))
+        ops)
+
+(* Heap against stable sort: equal keys must drain in insertion order
+   (the property that makes simulated schedules reproducible). *)
+let prop_heap_stable_drain =
+  QCheck.Test.make ~name:"heap drain = stable sort by key" ~count:300
+    QCheck.(list (int_bound 5))
+    (fun keys ->
+      let h = Heap.create 0 in
+      let entries = List.mapi (fun i k -> (float_of_int k, i)) keys in
+      List.iter (fun (k, v) -> Heap.push h k v) entries;
+      let rec drain acc =
+        match Heap.pop h with Some (k, v) -> drain ((k, v) :: acc) | None -> List.rev acc
+      in
+      drain [] = List.stable_sort (fun (a, _) (b, _) -> compare a b) entries)
+
+(* Split streams are independent: draws from the child do not disturb
+   the parent's sequence, for arbitrary seeds. *)
+let prop_prng_split_independent =
+  QCheck.Test.make ~name:"prng split independence" ~count:200 QCheck.small_nat (fun seed ->
+      let undisturbed =
+        let g = Prng.create seed in
+        ignore (Prng.split g);
+        List.init 16 (fun _ -> Prng.int g 1_000_000)
+      in
+      let disturbed =
+        let g = Prng.create seed in
+        let child = Prng.split g in
+        ignore (List.init 64 (fun _ -> Prng.int child 1_000_000));
+        List.init 16 (fun _ -> Prng.int g 1_000_000)
+      in
+      let child_draws s =
+        let g = Prng.create s in
+        let c = Prng.split g in
+        List.init 16 (fun _ -> Prng.int c 1_000_000)
+      in
+      undisturbed = disturbed && child_draws seed <> undisturbed)
+
 let test_tablefmt () =
   let s = Tablefmt.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
   Alcotest.(check bool) "contains separator" true (Tutil.contains ~sub:"|-" s);
@@ -135,9 +223,19 @@ let () =
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
           Alcotest.test_case "range bounds" `Quick test_prng_range;
           Alcotest.test_case "weighted" `Quick test_prng_weighted;
+          Tutil.qtest prop_prng_split_independent;
         ] );
       ( "heap",
-        [ Alcotest.test_case "order" `Quick test_heap_order; Tutil.qtest prop_heap_sorts ] );
-      ("deque", [ Alcotest.test_case "basic" `Quick test_deque; Tutil.qtest prop_deque_fifo ]);
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Tutil.qtest prop_heap_sorts;
+          Tutil.qtest prop_heap_stable_drain;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "basic" `Quick test_deque;
+          Tutil.qtest prop_deque_fifo;
+          Tutil.qtest prop_deque_model;
+        ] );
       ("tablefmt", [ Alcotest.test_case "render" `Quick test_tablefmt ]);
     ]

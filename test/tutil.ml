@@ -50,3 +50,70 @@ let expect_error ?defs ?name src substr =
     Alcotest.failf "no diagnostic mentions %S; got:\n%s" substr (String.concat "\n" msgs)
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Parser-callback capture, for pretty round-trip fixpoint tests. *)
+
+module A = Mcc_ast.Ast
+module P = Mcc_parse.Parser
+
+let dummy_ctx () =
+  Mcc_sem.Ctx.make
+    ~scope:(Mcc_sem.Symtab.create (Mcc_sem.Symtab.KMain "RT"))
+    ~file:"rt" ~diags:(Mcc_m2.Diag.create ()) ~strategy:Mcc_sem.Symtab.Sequential
+    ~stats:(Mcc_sem.Lookup_stats.create ()) ~registry:(Mcc_sem.Modreg.create ()) ~frame_key:"RT"
+    ~path:"RT" ~is_module_level:true ~is_def:false
+
+(* Parse statement text in a throwaway scope; returns the tree and any
+   diagnostics. *)
+let parse_stmts text =
+  let ctx = dummy_ctx () in
+  let cb =
+    {
+      P.cb_import = (fun _ _ -> None);
+      cb_heading = (fun _ _ ~stream -> ignore stream);
+      cb_body = (fun _ -> ());
+    }
+  in
+  let p = P.create ~cb (Mcc_m2.Reader.of_lexer (Mcc_m2.Lexer.create ~file:"rt" text)) in
+  let stmts = P.parse_statement_sequence ctx p in
+  (stmts, Mcc_m2.Diag.sorted ctx.Mcc_sem.Ctx.diags)
+
+(* Every statement body the parser produces for a store's main module,
+   with its interfaces interned so imports resolve. *)
+let bodies_of store =
+  let captured = ref [] in
+  let ctx = dummy_ctx () in
+  let cb =
+    {
+      P.cb_import =
+        (fun c (mid : A.ident) ->
+          let scope, created = Mcc_sem.Modreg.intern c.Mcc_sem.Ctx.registry mid.A.name in
+          if created then begin
+            match Source_store.def_src store mid.A.name with
+            | Some src ->
+                let dctx = { ctx with Mcc_sem.Ctx.scope; path = mid.A.name; is_def = true } in
+                let p2 =
+                  P.create
+                    ~cb:
+                      {
+                        P.cb_import = (fun _ _ -> None);
+                        cb_heading = (fun _ _ ~stream -> ignore stream);
+                        cb_body = (fun _ -> ());
+                      }
+                    (Mcc_m2.Reader.of_lexer (Mcc_m2.Lexer.create ~file:"d" src))
+                in
+                P.parse_def_module dctx p2 ~expected_name:mid.A.name
+            | None -> Mcc_sem.Symtab.mark_complete scope
+          end;
+          Some scope);
+      cb_heading = (fun _ _ ~stream -> ignore stream);
+      cb_body = (fun gj -> captured := gj.P.gj_body :: !captured);
+    }
+  in
+  let mctx = dummy_ctx () in
+  let p =
+    P.create ~cb (Mcc_m2.Reader.of_lexer (Mcc_m2.Lexer.create ~file:"m" (Source_store.main_src store)))
+  in
+  P.parse_impl_module mctx p ~expected_name:(Source_store.main_name store);
+  !captured
