@@ -16,6 +16,7 @@
      barrier   (extra)  - barrier vs handled token-queue events (§2.3.3)
      sensitivity (extra) - robustness of beta and token-block size
      incr      (extra)  - incremental builds: cold vs warm interface cache
+     incr-fine (extra)  - declaration-level invalidation + early cutoff (BENCH_incr.json)
      faults    (extra)  - fault injection x rate x strategy x procs recovery matrix
      micro     (extra)  - bechamel microbenchmarks of compiler phases
      all       everything above
@@ -415,6 +416,166 @@ let incr () =
   say "  cache-off timings unchanged after cache use (fig2/fig3/table3 invariance): %s"
     (if invariant then "PASS" else "FAIL")
 
+(* Fine-grained incremental artifact (BENCH_incr.json): declaration-level
+   invalidation with early cutoff, measured over seeded edit streams on
+   the suite's multi-interface programs.  Each program becomes a
+   multi-module project (every interface gets a synthetic implementation)
+   and receives a cumulative stream of single-declaration edits; after
+   every edit the project is rebuilt twice — fine-grained (slice
+   invalidation + early cutoff) and whole-module (the coarse baseline) —
+   and the two must agree byte-for-byte with each other and, at the end
+   of the stream, with a cold build.  BENCH_SAMPLE=n reduces the program
+   count for CI.  Invariant failures exit nonzero. *)
+
+type incr_acc = {
+  mutable ia_edits : int;
+  mutable ia_fine_rebuilt : int; (* modules recompiled, fine-grained *)
+  mutable ia_modules : int; (* module slots across edits (ratio denominator) *)
+  mutable ia_coarse_rebuilt : int;
+  mutable ia_cutoffs : int; (* early-cutoff events *)
+  mutable ia_fine_units : float;
+  mutable ia_coarse_units : float;
+  mutable ia_fine_max : int; (* worst single-edit fine rebuild count *)
+}
+
+let incr_fine () =
+  header "Fine-grained incremental builds (BENCH_incr.json)";
+  let fail fmt = Printf.ksprintf (fun s -> say "FAIL: %s" s; exit 1) fmt in
+  let module J = Mcc_obs.Json in
+  let module Gen = Mcc_synth.Gen in
+  let all = List.mapi (fun i s -> (i, s)) (Suite.all ()) in
+  let projects =
+    List.filter (fun (_, s) -> List.length (Source_store.def_names s) >= 2) all
+  in
+  let n_programs, edits_per =
+    match Option.bind (Sys.getenv_opt "BENCH_SAMPLE") int_of_string_opt with
+    | Some n when n > 0 ->
+        say "BENCH_SAMPLE=%d: sampling %d multi-interface programs, 6 edits each" n
+          (min n (List.length projects));
+        (min n (List.length projects), 6)
+    | _ -> (min 8 (List.length projects), 12)
+  in
+  let projects = List.filteri (fun i _ -> i < n_programs) projects in
+  say "%d multi-interface suite programs, %d single-declaration edits each (seed 42)"
+    (List.length projects) edits_per;
+  let classes = [ Gen.Body_only; Gen.Sig_preserving; Gen.Sig_changing ] in
+  let acc = Hashtbl.create 4 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace acc c
+        {
+          ia_edits = 0; ia_fine_rebuilt = 0; ia_modules = 0; ia_coarse_rebuilt = 0;
+          ia_cutoffs = 0; ia_fine_units = 0.0; ia_coarse_units = 0.0; ia_fine_max = 0;
+        })
+    classes;
+  let divergences = ref 0 in
+  let observation (r : Project.result) =
+    ( Mcc_codegen.Cunit.disassemble r.Project.program,
+      List.map Mcc_m2.Diag.to_string r.Project.diags )
+  in
+  List.iter
+    (fun (rank, s0) ->
+      let edits = Gen.edit_stream ~seed:(42 + rank) ~n:edits_per s0 in
+      let base = Gen.with_impls s0 in
+      let fine_cache = Project.cache () and coarse_cache = Project.cache () in
+      ignore (Project.compile ~cache:fine_cache base);
+      ignore (Project.compile ~fine:false ~cache:coarse_cache base);
+      List.iter
+        (fun (e : Gen.edit) ->
+          let rf = Project.compile ~cache:fine_cache e.Gen.e_store in
+          let rc = Project.compile ~fine:false ~cache:coarse_cache e.Gen.e_store in
+          if observation rf <> observation rc then begin
+            divergences := !divergences + 1;
+            say "  DIVERGENCE: program %d, %s edit of %s" rank
+              (Gen.class_name e.Gen.e_class) e.Gen.e_target
+          end;
+          let a = Hashtbl.find acc e.Gen.e_class in
+          a.ia_edits <- a.ia_edits + 1;
+          a.ia_fine_rebuilt <- a.ia_fine_rebuilt + List.length rf.Project.recompiled;
+          a.ia_modules <- a.ia_modules + List.length rf.Project.modules;
+          a.ia_coarse_rebuilt <- a.ia_coarse_rebuilt + List.length rc.Project.recompiled;
+          a.ia_cutoffs <- a.ia_cutoffs + List.length rf.Project.cutoffs;
+          a.ia_fine_units <- a.ia_fine_units +. rf.Project.total_units;
+          a.ia_coarse_units <- a.ia_coarse_units +. rc.Project.total_units;
+          a.ia_fine_max <- max a.ia_fine_max (List.length rf.Project.recompiled))
+        edits;
+      (* end-of-stream oracle: the warm fine-grained view of the final
+         store must match a cold build exactly *)
+      let final = (List.nth edits (List.length edits - 1)).Gen.e_store in
+      let warm = Project.compile ~cache:fine_cache final in
+      let cold = Project.compile final in
+      if observation warm <> observation cold then begin
+        divergences := !divergences + 1;
+        say "  DIVERGENCE: program %d, warm end-of-stream vs cold build" rank
+      end)
+    projects;
+  say "";
+  say "  %-15s %5s %14s %14s %8s %8s" "edit class" "edits" "rebuilt (fine)" "rebuilt (whole)"
+    "cutoffs" "speedup";
+  let class_rows =
+    List.map
+      (fun c ->
+        let a = Hashtbl.find acc c in
+        let ratio den num = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+        let speedup = if a.ia_fine_units > 0.0 then a.ia_coarse_units /. a.ia_fine_units else 1.0 in
+        say "  %-15s %5d %8d/%-5d %8d/%-5d %8d %7.2fx" (Gen.class_name c) a.ia_edits
+          a.ia_fine_rebuilt a.ia_modules a.ia_coarse_rebuilt a.ia_modules a.ia_cutoffs speedup;
+        ( c,
+          J.Obj
+            [
+              ("class", J.Str (Gen.class_name c));
+              ("edits", J.Int a.ia_edits);
+              ("fine_rebuilt_modules", J.Int a.ia_fine_rebuilt);
+              ("coarse_rebuilt_modules", J.Int a.ia_coarse_rebuilt);
+              ("module_slots", J.Int a.ia_modules);
+              ("rebuild_ratio", J.Float (ratio a.ia_modules a.ia_fine_rebuilt));
+              ("coarse_rebuild_ratio", J.Float (ratio a.ia_modules a.ia_coarse_rebuilt));
+              ("max_modules_rebuilt_per_edit", J.Int a.ia_fine_max);
+              ("cutoff_events", J.Int a.ia_cutoffs);
+              ("fine_units", J.Float a.ia_fine_units);
+              ("coarse_units", J.Float a.ia_coarse_units);
+              ("speedup_vs_whole_module", J.Float speedup);
+            ] ))
+      classes
+  in
+  (* acceptance gates *)
+  let body = Hashtbl.find acc Gen.Body_only in
+  if body.ia_fine_max > 1 then
+    fail "a body-only edit rebuilt %d modules (must be at most the edited one)" body.ia_fine_max;
+  if body.ia_edits > 0 && body.ia_cutoffs < 1 then
+    fail "body-only edits recorded no early-cutoff event";
+  say "  body-only edits: worst case %d module per edit, %d cutoff events: PASS"
+    body.ia_fine_max body.ia_cutoffs;
+  let sigp = Hashtbl.find acc Gen.Sig_preserving in
+  if sigp.ia_edits > 0 then begin
+    if sigp.ia_fine_rebuilt >= sigp.ia_coarse_rebuilt then
+      fail "sig-preserving edits: fine rebuilt %d modules, whole-module %d — no strict win"
+        sigp.ia_fine_rebuilt sigp.ia_coarse_rebuilt;
+    if sigp.ia_fine_units >= sigp.ia_coarse_units then
+      fail "sig-preserving edits: fine cost %.0f units >= whole-module %.0f"
+        sigp.ia_fine_units sigp.ia_coarse_units;
+    say "  sig-preserving edits strictly beat whole-module invalidation: PASS"
+  end;
+  if !divergences > 0 then fail "%d observation divergence(s) over the edit streams" !divergences;
+  say "  fine/whole-module/cold observation equivalence: PASS (0 divergences)";
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "mcc-bench-incr-v1");
+        ("seed", J.Int 42);
+        ("programs", J.Int (List.length projects));
+        ("edits_per_program", J.Int edits_per);
+        ("classes", J.Arr (List.map snd class_rows));
+        ("divergences", J.Int !divergences);
+      ]
+  in
+  let text = J.to_string doc ^ "\n" in
+  (match J.validate text with
+  | Ok () -> ()
+  | Error e -> fail "BENCH_incr.json does not validate: %s" e);
+  Out_channel.with_open_text "BENCH_incr.json" (fun oc -> output_string oc text);
+  say "wrote BENCH_incr.json (%d bytes)" (String.length text)
+
 let contains s sub =
   let n = String.length sub and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
@@ -713,7 +874,8 @@ let experiments =
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig2", fig2);
     ("fig4", fig4); ("fig7", fig7); ("overhead", overhead); ("dky", dky);
     ("heading", heading); ("sched", sched_ablation); ("barrier", barrier);
-    ("sensitivity", sensitivity); ("incr", incr); ("faults", faults); ("micro", micro);
+    ("sensitivity", sensitivity); ("incr", incr); ("incr-fine", incr_fine); ("faults", faults);
+    ("micro", micro);
     ("speedup", speedup_artifacts); ("conformance", conformance);
   ]
 

@@ -265,10 +265,26 @@ let compile_cmd =
 
 let build_cmd =
   let names = function [] -> "(none)" | ns -> String.concat " " ns in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain-rebuild" ]
+          ~doc:
+            "Print one reuse/rebuild reason per module, which exported declarations of each \
+             edited interface changed, and where invalidation was cut off early.")
+  in
+  let coarse_arg =
+    Arg.(
+      value & flag
+      & info [ "coarse" ]
+          ~doc:
+            "Disable declaration-level (slice) invalidation: reuse only on whole-module key \
+             hits, as before fine-grained tracking existed.")
+  in
   let term =
     Term.(
       ret
-        (const (fun file procs strategy cache_dir no_cache ->
+        (const (fun file procs strategy cache_dir no_cache explain coarse ->
              match load file with
              | `Error _ as e -> e
              | `Ok store ->
@@ -278,18 +294,41 @@ let build_cmd =
                    else
                      Some (Project.cache ~dir:(Option.value cache_dir ~default:".m2c-cache") ())
                  in
-                 let r = Project.compile ~config ?cache store in
+                 let r = Project.compile ~config ~fine:(not coarse) ?cache store in
                  report_diags r.Project.diags;
                  (match cache with
                  | None -> ()
-                 | Some { Project.bc; _ } ->
-                     save_cache bc;
+                 | Some ({ Project.bc; _ } as c) ->
+                     (try Project.save c
+                      with Sys_error e ->
+                        Printf.eprintf "m2c: warning: cache not saved: %s\n" e);
                      let hits, misses, invalidated = Build_cache.counters bc in
                      Printf.printf "interfaces: %d hits, %d misses, %d invalidated (%d stored)\n"
                        hits misses invalidated
                        (List.length (Build_cache.interfaces bc)));
                  Printf.printf "reused    : %s\n" (names r.Project.reused);
                  Printf.printf "recompiled: %s\n" (names r.Project.recompiled);
+                 Printf.printf
+                   "reuse     : %.0f check units + %.0f interface-refresh units; %d early \
+                    cutoff%s\n"
+                   r.Project.reuse_units r.Project.refresh_units
+                   (List.length r.Project.cutoffs)
+                   (if List.length r.Project.cutoffs = 1 then "" else "s");
+                 if explain then begin
+                   List.iter
+                     (fun (m, why) -> Printf.printf "  %-16s %s\n" m why)
+                     r.Project.explain;
+                   List.iter
+                     (fun (m, slices) ->
+                       Printf.printf "  interface %s changed: %s\n" m
+                         (String.concat ", " slices))
+                     r.Project.iface_changes;
+                   List.iter
+                     (fun m ->
+                       Printf.printf "  cutoff at %s: interface shape unchanged, importers \
+                                      kept\n" m)
+                     r.Project.cutoffs
+                 end;
                  Printf.printf "%s: %d modules, %.0f work units (%.3f virtual s) on %d processors\n"
                    (Source_store.main_name store)
                    (List.length r.Project.modules)
@@ -297,13 +336,17 @@ let build_cmd =
                    (Mcc_sched.Costs.to_seconds r.Project.total_units)
                    procs;
                  if r.Project.ok then `Ok () else `Error (false, "compilation failed"))
-        $ file_arg $ procs_arg $ strategy_arg $ cache_dir_arg $ no_cache_arg))
+        $ file_arg $ procs_arg $ strategy_arg $ cache_dir_arg $ no_cache_arg $ explain_arg
+        $ coarse_arg))
   in
   Cmd.v
     (Cmd.info "build"
        ~doc:
          "Incremental whole-program build: compile the main module and every imported sibling \
-          module, reusing cached interface artifacts (default cache dir: .m2c-cache).")
+          module, reusing cached interface artifacts (default cache dir: .m2c-cache).  \
+          Invalidation is declaration-level: a module rebuilds only when an exported \
+          declaration it used changed, and propagation stops early when an edited interface's \
+          regenerated shape is unchanged.")
     term
 
 let run_cmd =
@@ -522,9 +565,13 @@ let check_cmd =
   let save_arg =
     Arg.(
       value
-      & opt (some string) None
+      & opt ~vopt:(Some "corpus") (some string) None
       & info [ "save" ] ~docv:"DIR"
-          ~doc:"Write report.json (schema mcc-check-report-v1) and minimized reproducers to $(docv).")
+          ~doc:
+            "Write report.json (schema mcc-check-report-v1) and minimized reproducers to \
+             $(docv) (plain $(b,--save) means $(b,corpus/)).  Even without this flag, a run \
+             that finds divergences drops its reproducers in $(b,corpus/) so they are kept as \
+             regression seeds.")
   in
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Narrate each check to stderr.")
@@ -589,7 +636,14 @@ let check_cmd =
           if plant then
             Printf.printf "planted canary: %s\n"
               (if r.Check.planted_detected then "DETECTED" else "MISSED");
-          let saved = match save with None -> Ok () | Some dir -> save_report dir r in
+          let saved =
+            match save with
+            | Some dir -> save_report dir r
+            | None ->
+                (* divergences are always kept: the corpus is the
+                   regression seed set the next run replays *)
+                if r.Check.divergences <> [] then save_report "corpus" r else Ok ()
+          in
           (match saved with
           | Error e -> `Error (false, e)
           | Ok () ->

@@ -1,0 +1,10 @@
+IMPLEMENTATION MODULE Diamond;
+IMPORT Left;
+IMPORT Right;
+
+VAR total: INTEGER;
+
+BEGIN
+  total := Left.FromLeft() + Right.FromRight();
+  WriteInt(total)
+END Diamond.

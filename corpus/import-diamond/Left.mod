@@ -1,0 +1,9 @@
+IMPLEMENTATION MODULE Left;
+IMPORT Base;
+
+PROCEDURE FromLeft(): INTEGER;
+BEGIN
+  RETURN Base.leftSeed + Base.shared
+END FromLeft;
+
+END Left.

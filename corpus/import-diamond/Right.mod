@@ -1,0 +1,9 @@
+IMPLEMENTATION MODULE Right;
+IMPORT Base;
+
+PROCEDURE FromRight(): INTEGER;
+BEGIN
+  RETURN Base.rightSeed + Base.shared
+END FromRight;
+
+END Right.

@@ -1,0 +1,10 @@
+IMPLEMENTATION MODULE Edit;
+IMPORT Lib;
+IMPORT Aux;
+
+VAR a: INTEGER;
+
+BEGIN
+  a := Lib.base + Aux.step + Aux.Walk();
+  WriteInt(a)
+END Edit.

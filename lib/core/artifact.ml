@@ -38,35 +38,180 @@ type t = {
   a_fingerprint : string; (* content fingerprint, hex (Build_cache) *)
   a_imports : string list; (* direct imports, in source order *)
   a_symbols : Symbol.t list; (* exported entries, (offset, name)-sorted *)
+  a_slices : (string * string) list; (* exported name -> slice digest, name-sorted *)
+  a_install : string; (* stable digest over imports + frame + diags *)
+  a_shape : string; (* stable whole-interface digest: install + slices *)
   a_frame : frame;
   a_diags : Diag.d list; (* diagnostics of the interface's analysis, sorted *)
   a_digest : string; (* MD5 over the payload fields above, set at capture *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Slice digests.
+
+   One *slice* is one exported declaration; its digest must be equal
+   across compilations exactly when the declaration's interface is
+   unchanged.  Type uids are process-local (recompiling the same source
+   allocates fresh ones), so the rendering is purely structural — names,
+   shapes, bounds, field slots — never uids.  Named-pointer recursion is
+   broken by name, which is sound under Modula-2 name equivalence: two
+   interface types with the same name in the same module are the same
+   declaration. *)
+
+let rec render_ty seen buf (ty : Types.ty) =
+  let p s = Buffer.add_string buf s in
+  match ty with
+  | Types.TInt -> p "INTEGER"
+  | Types.TCard -> p "CARDINAL"
+  | Types.TBool -> p "BOOLEAN"
+  | Types.TChar -> p "CHAR"
+  | Types.TReal -> p "REAL"
+  | Types.TBitset -> p "BITSET"
+  | Types.TStrLit n -> p (Printf.sprintf "STR%d" n)
+  | Types.TNil -> p "NIL"
+  | Types.TExc -> p "EXCEPTION"
+  | Types.TMutex -> p "MUTEX"
+  | Types.TErr -> p "<err>"
+  | Types.TEnum e ->
+      p (Printf.sprintf "enum:%s(%s)" e.Types.ename
+           (String.concat "," (Array.to_list e.Types.elems)))
+  | Types.TSub (b, lo, hi) ->
+      p (Printf.sprintf "sub[%d..%d]:" lo hi);
+      render_ty seen buf b
+  | Types.TArr a ->
+      p (Printf.sprintf "arr[%d..%d," a.Types.lo a.Types.hi);
+      render_ty seen buf a.Types.index;
+      p "]:";
+      render_ty seen buf a.Types.elem
+  | Types.TOpenArr e ->
+      p "openarr:";
+      render_ty seen buf e
+  | Types.TRec r ->
+      p (Printf.sprintf "rec:%s{" r.Types.rname);
+      List.iter
+        (fun (fname, (f : Types.field)) ->
+          p (Printf.sprintf "%s@%d:" fname f.Types.fslot);
+          render_ty seen buf f.Types.fty;
+          p ";")
+        r.Types.fields;
+      p "}"
+  | Types.TPtr pt ->
+      if List.mem pt.Types.pname !seen then p (Printf.sprintf "^%s" pt.Types.pname)
+      else begin
+        seen := pt.Types.pname :: !seen;
+        p (Printf.sprintf "ptr:%s->" pt.Types.pname);
+        render_ty seen buf pt.Types.target
+      end
+  | Types.TSet s ->
+      p (Printf.sprintf "set[%d..%d]:" s.Types.slo s.Types.shi);
+      render_ty seen buf s.Types.sbase
+  | Types.TProc sg -> render_signature seen buf sg
+
+and render_signature seen buf (sg : Types.signature) =
+  Buffer.add_string buf "proc(";
+  List.iter
+    (fun (prm : Types.param) ->
+      if prm.Types.mode_var then Buffer.add_string buf "VAR ";
+      render_ty seen buf prm.Types.pty;
+      Buffer.add_char buf ';')
+    sg.Types.params;
+  Buffer.add_char buf ')';
+  match sg.Types.result with
+  | None -> ()
+  | Some r ->
+      Buffer.add_char buf ':';
+      render_ty seen buf r
+
+let render_home buf = function
+  | Symbol.HGlobal (key, slot) -> Buffer.add_string buf (Printf.sprintf "global(%s,%d)" key slot)
+  | Symbol.HLocal slot -> Buffer.add_string buf (Printf.sprintf "local(%d)" slot)
+  | Symbol.HParam (slot, by_ref) -> Buffer.add_string buf (Printf.sprintf "param(%d,%b)" slot by_ref)
+
+let slice_digest (s : Symbol.t) : string =
+  let buf = Buffer.create 128 in
+  let seen = ref [] in
+  Buffer.add_string buf s.Symbol.sname;
+  Buffer.add_char buf '|';
+  (match s.Symbol.alias_of with
+  | Some m -> Buffer.add_string buf ("alias:" ^ m ^ "|")
+  | None -> ());
+  (match s.Symbol.skind with
+  | Symbol.SConst (v, ty) ->
+      Buffer.add_string buf ("const|" ^ Value.to_string v ^ "|");
+      render_ty seen buf ty
+  | Symbol.SType ty ->
+      Buffer.add_string buf "type|";
+      render_ty seen buf ty
+  | Symbol.SVar (home, ty) ->
+      Buffer.add_string buf "var|";
+      render_home buf home;
+      Buffer.add_char buf '|';
+      render_ty seen buf ty
+  | Symbol.SProc pi ->
+      Buffer.add_string buf
+        (Printf.sprintf "proc|%s|%b|" pi.Symbol.key pi.Symbol.external_);
+      render_signature seen buf pi.Symbol.sig_
+  | Symbol.SEnumLit (ty, ord) ->
+      Buffer.add_string buf (Printf.sprintf "enumlit|%d|" ord);
+      render_ty seen buf ty
+  | Symbol.SModule m -> Buffer.add_string buf ("module|" ^ m)
+  | Symbol.SBuiltin _ -> Buffer.add_string buf "builtin"
+  | Symbol.SPlaceholder _ -> Buffer.add_string buf "placeholder");
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let slices_of symbols =
+  List.sort compare (List.map (fun s -> (s.Symbol.sname, slice_digest s)) symbols)
+
+(* [a_install]: what installing the artifact does to a compilation
+   regardless of which names are looked up — the imports it ensures, the
+   global frame it merges, the diagnostics it replays.  Tydesc values and
+   diagnostics contain no uids, so Marshal over them is stable. *)
+let install_digest ~imports ~frame ~diags =
+  Digest.to_hex (Digest.string (Marshal.to_string (imports, frame, diags) []))
+
+(* [a_shape]: the early-cutoff comparison — a regenerated interface with
+   an identical shape is byte-identical for every downstream purpose, so
+   invalidation propagation stops at it. *)
+let shape_digest ~install ~slices =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";" (install :: List.map (fun (n, d) -> n ^ "=" ^ d) slices)))
+
+let slice t name = List.assoc_opt name t.a_slices
 
 (* Digest of everything but [a_digest] itself.  Artifacts are
    Marshal-safe and deeply immutable, so the serialized payload is a
    stable byte string: recomputing after an on-disk round trip (or after
    bit-rot / truncation) either reproduces the captured digest or proves
    corruption. *)
-let payload_digest ~name ~fingerprint ~imports ~symbols ~frame ~diags =
-  Digest.string (Marshal.to_string (name, fingerprint, imports, symbols, frame, diags) [])
+let payload_digest ~name ~fingerprint ~imports ~symbols ~slices ~install ~shape ~frame ~diags =
+  Digest.string
+    (Marshal.to_string (name, fingerprint, imports, symbols, slices, install, shape, frame, diags) [])
 
 let digest t =
   payload_digest ~name:t.a_name ~fingerprint:t.a_fingerprint ~imports:t.a_imports
-    ~symbols:t.a_symbols ~frame:t.a_frame ~diags:t.a_diags
+    ~symbols:t.a_symbols ~slices:t.a_slices ~install:t.a_install ~shape:t.a_shape
+    ~frame:t.a_frame ~diags:t.a_diags
 
 let verify t = String.equal t.a_digest (digest t)
 
 let capture ~name ~fingerprint ~imports ~scope ~frame ~diags =
   let symbols = Symtab.export scope in
+  let slices = slices_of symbols in
+  let install = install_digest ~imports ~frame ~diags in
+  let shape = shape_digest ~install ~slices in
   {
     a_name = name;
     a_fingerprint = fingerprint;
     a_imports = imports;
     a_symbols = symbols;
+    a_slices = slices;
+    a_install = install;
+    a_shape = shape;
     a_frame = frame;
     a_diags = diags;
-    a_digest = payload_digest ~name ~fingerprint ~imports ~symbols ~frame ~diags;
+    a_digest =
+      payload_digest ~name ~fingerprint ~imports ~symbols ~slices ~install ~shape ~frame ~diags;
   }
 
 (* Re-install into a freshly interned scope.  The caller has already

@@ -23,10 +23,28 @@ type t = {
   a_fingerprint : string;  (** content fingerprint, hex ({!Build_cache}) *)
   a_imports : string list;  (** direct imports, in source order *)
   a_symbols : Symbol.t list;  (** exported entries, (offset, name)-sorted *)
+  a_slices : (string * string) list;
+      (** per-declaration slice digests, name-sorted: equal across
+          compilations exactly when the declaration's interface is
+          unchanged (structural rendering, never type uids) *)
+  a_install : string;
+      (** stable digest over imports + frame + diagnostics: what
+          installing the artifact does to a compilation regardless of
+          which names are looked up *)
+  a_shape : string;
+      (** stable whole-interface digest (install + slices): the early
+          cutoff comparison — identical shape means downstream
+          invalidation stops here *)
   a_frame : frame;
   a_diags : Diag.d list;  (** diagnostics of the interface's analysis, sorted *)
   a_digest : string;  (** MD5 over the payload fields above, set at capture *)
 }
+
+(** The stable digest of one exported declaration's interface. *)
+val slice_digest : Symbol.t -> string
+
+(** The slice digest recorded for an exported name, if any. *)
+val slice : t -> string -> string option
 
 (** Recompute the payload digest of [t] (everything but [a_digest]). *)
 val digest : t -> string

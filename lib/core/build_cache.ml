@@ -33,7 +33,9 @@ open Mcc_m2
 open Mcc_sched
 module Metrics = Mcc_obs.Metrics
 
-let version = "mcc-artifact-v1"
+(* v2: artifacts grew per-declaration slice digests and the stable
+   install/shape digests fine-grained invalidation compares. *)
+let version = "mcc-artifact-v2"
 
 (* ------------------------------------------------------------------ *)
 (* Charge-free import scan *)
@@ -351,6 +353,19 @@ let interfaces t =
   Mutex.unlock t.mu;
   List.sort (fun (a : Artifact.t) b -> compare a.Artifact.a_name b.Artifact.a_name) r
 
+(* Peek at the most recently stored artifact for an interface name —
+   the fine-grained reuse check's view of "the interface as it is now".
+   No counter traffic: this is bookkeeping, not a cache probe. *)
+let latest_artifact t name =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.latest name with
+    | None -> None
+    | Some fp -> Hashtbl.find_opt t.defs fp
+  in
+  Mutex.unlock t.mu;
+  r
+
 let counters t =
   Mutex.lock t.mu;
   let r = (t.hits, t.misses, t.invalidations) in
@@ -418,6 +433,18 @@ let find_module m key =
   Mutex.unlock m.mmu;
   r
 
+(* The module's most recently stored result regardless of key — the
+   fine-grained check's previous-build baseline.  Counter-free. *)
+let find_latest_module m ~name =
+  Mutex.lock m.mmu;
+  let r =
+    match Hashtbl.find_opt m.latest_key name with
+    | None -> None
+    | Some key -> Option.map (fun v -> (key, v)) (Hashtbl.find_opt m.modules key)
+  in
+  Mutex.unlock m.mmu;
+  r
+
 let store_module m ~name ~key result =
   Mutex.lock m.mmu;
   (match Hashtbl.find_opt m.latest_key name with
@@ -434,3 +461,71 @@ let memo_counters m =
   let r = (m.mhits, m.mmisses, m.minvalidations) in
   Mutex.unlock m.mmu;
   r
+
+(* Memo persistence piggybacks on the cache's directory, so a CLI
+   `m2c build` reuses whole-module results across process invocations
+   the same way it reuses interface artifacts.  The ['r] payload is
+   marshaled untyped; the [version] tag is the only format guard, so any
+   change to the persisted result type must bump [version] (which also
+   invalidates persisted artifacts — they evolve together). *)
+
+let memo_file dir = Filename.concat dir "modules.bin"
+
+let load_memo ?(decode = fun r -> r) t (m : 'r memo) =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      match open_in_bin (memo_file dir) with
+      | exception Sys_error _ -> ()
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match
+                (Marshal.from_channel ic
+                  : string * (string * string) list * (string * string) list)
+              with
+              | exception _ -> () (* unreadable or truncated: start empty *)
+              | v, modules, latest when v = version ->
+                  Mutex.lock m.mmu;
+                  List.iter
+                    (fun (k, payload) ->
+                      (* a payload that no longer unmarshals is dropped,
+                         not fatal: the module just rebuilds cold *)
+                      match (Marshal.from_string payload 0 : 'r) with
+                      | exception _ -> ()
+                      | r -> Hashtbl.replace m.modules k (decode r))
+                    modules;
+                  List.iter
+                    (fun (n, k) ->
+                      if Hashtbl.mem m.modules k then Hashtbl.replace m.latest_key n k)
+                    latest;
+                  Mutex.unlock m.mmu
+              | _ -> () (* format version changed: start empty *)))
+
+let save_memo ?(encode = fun r -> r) t (m : 'r memo) =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      Mutex.lock m.mmu;
+      let modules = Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.modules [] in
+      let latest = Hashtbl.fold (fun n k acc -> (n, k) :: acc) m.latest_key [] in
+      Mutex.unlock m.mmu;
+      let modules =
+        (* entries are marshaled one by one so a result that contains an
+           unmarshalable value (a custom block the encoder missed, an
+           exception payload) costs only its own entry *)
+        List.filter_map
+          (fun (k, r) ->
+            match Marshal.to_string (encode r) [] with
+            | exception Invalid_argument _ -> None
+            | payload -> Some (k, payload))
+          modules
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let latest = List.sort compare latest in
+      let oc = open_out_bin (memo_file dir) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Marshal.to_channel oc (version, modules, latest) [])

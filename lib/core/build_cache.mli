@@ -63,6 +63,11 @@ val store_interface : t -> Artifact.t -> unit
 (** All stored artifacts, sorted by module name. *)
 val interfaces : t -> Artifact.t list
 
+(** The most recently stored artifact for an interface name — the
+    fine-grained reuse check's view of the interface as it is now.
+    Counter-free. *)
+val latest_artifact : t -> string -> Artifact.t option
+
 (** (hits, misses, invalidations) of the interface store. *)
 val counters : t -> int * int * int
 
@@ -100,9 +105,28 @@ val module_key :
 (** Look up a module result by key; counts a hit or miss. *)
 val find_module : 'r memo -> string -> 'r option
 
+(** The module's most recently stored (key, result) regardless of key —
+    the fine-grained check's previous-build baseline.  Counter-free. *)
+val find_latest_module : 'r memo -> name:string -> (string * 'r) option
+
 (** Store a module result; if the module's previous key differs, counts
     an invalidation and drops the stale result. *)
 val store_module : 'r memo -> name:string -> key:string -> 'r -> unit
 
 (** (hits, misses, invalidations) of the module memo. *)
 val memo_counters : 'r memo -> int * int * int
+
+(** Fill [memo] from the cache's directory (written by {!save_memo}); a
+    no-op without a directory, on a missing/unreadable file, or on a
+    format-version mismatch, and entries that fail to unmarshal are
+    dropped individually.  [decode] post-processes each loaded entry
+    (e.g. re-arming locks stripped for serialization).  The payload is
+    marshaled untyped — the version tag is the only format guard, so the
+    persisted result type must only change together with a version
+    bump. *)
+val load_memo : ?decode:('r -> 'r) -> t -> 'r memo -> unit
+
+(** Persist [memo] next to the interface artifacts; a no-op without a
+    directory.  [encode] pre-processes each entry into a marshal-safe
+    form; an entry that still fails to marshal is skipped, not fatal. *)
+val save_memo : ?encode:('r -> 'r) -> t -> 'r memo -> unit

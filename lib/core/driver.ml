@@ -98,6 +98,11 @@ type result = {
   task_index : (int * string) list; (* task id -> name, for trace/log rendering *)
   cache_hits : string list; (* interfaces installed from the build cache, sorted *)
   cache_misses : string list; (* interfaces fingerprinted but compiled cold, sorted *)
+  used_slices : (string * string list) list;
+      (* per imported interface, the exported names this compilation
+         actually resolved (or failed to resolve) there — the
+         fine-grained dependency record Project's slice-level
+         invalidation keys on; sorted, deterministic *)
   log : Evlog.record array; (* captured event log ([||] unless ~capture:true) *)
   events_logged : int;
   telemetry : Metrics.snapshot option; (* metrics registry dump (None unless ~telemetry:true) *)
@@ -648,6 +653,7 @@ let compile ?(config = default_config) ?(capture = false) ?(telemetry = false) ?
     task_index = List.rev_map (fun (id, _, name) -> (id, name)) comp.task_names;
     cache_hits = List.sort compare comp.cache_hits;
     cache_misses = List.sort compare comp.cache_misses;
+    used_slices = Lookup_stats.used_slices comp.stats;
     log;
     events_logged = Array.length log;
     telemetry = telem;

@@ -74,6 +74,10 @@ type result = {
   cache_misses : string list;
       (** interfaces fingerprinted but compiled cold (and then stored),
           sorted (empty without a cache) *)
+  used_slices : (string * string list) list;
+      (** per imported interface, the exported names this compilation
+          resolved (or failed to resolve) there — the fine-grained
+          dependency record slice-level invalidation keys on; sorted *)
   log : Mcc_sched.Evlog.record array;
       (** the structured concurrency event log ([[||]] unless compiled
           with [~capture:true]) *)

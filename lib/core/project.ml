@@ -14,12 +14,24 @@
    deduplication plus concatenation — the same schedule-independence
    argument as the single-module merge (paper §2.1).
 
-   With a cache the layer is *incremental*: a module whose own source,
-   configuration and transitive interface fingerprints are unchanged is
-   restored from its cached per-module result (paying only the hash +
-   probe work, accounted in [reuse_units]); everything else recompiles
-   — through the same cache, so even a recompiled module installs
-   unchanged interfaces from artifacts instead of re-analyzing them.
+   With a cache the layer is *incremental*, at two granularities:
+
+   - Whole-module: a module whose own source, configuration and
+     transitive interface fingerprints are unchanged is restored from
+     its cached per-module result (paying only the hash + probe work,
+     accounted in [reuse_units]).
+   - Slice-level (the fine-grained refinement, after Smits, Konat &
+     Visser's hybrid incremental compilers): when the whole-module key
+     misses because an interface changed, the module is dirty only if a
+     declaration it actually *used* changed.  Each cached result carries
+     its dependency record — per reached interface, the install digest
+     (imports + frame + diagnostics) plus the slice digests of every
+     exported name the compilation resolved (or failed to resolve)
+     there.  An *interface refresh* prepass re-analyzes edited
+     interfaces up front and compares regenerated shapes against the
+     cached ones: an identical shape is an {e early cutoff} —
+     invalidation stops there and downstream modules reuse.
+
    Because one artifact serves every configuration but a cached
    Driver.result embeds simulated timings, the module key includes a
    configuration tag while interface fingerprints do not. *)
@@ -28,9 +40,43 @@ open Mcc_m2
 open Mcc_sched
 open Mcc_codegen
 
-type cache = { bc : Build_cache.t; memo : Driver.result Build_cache.memo }
+(* One dependency of a cached module result on an interface it reached:
+   [dep_install = None] records that the interface was missing.  Slice
+   digests use reserved markers for negative dependencies — a name the
+   compilation probed but did not find must *stay* absent. *)
+type dep = {
+  dep_name : string;
+  dep_install : string option;
+  dep_slices : (string * string) list; (* probed exported name -> digest or marker *)
+}
 
-let cache ?dir () = { bc = Build_cache.create ?dir (); memo = Build_cache.memo () }
+type entry = {
+  e_result : Driver.result;
+  e_src_digest : string; (* the implementation source this result was built from *)
+  e_deps : dep list;
+}
+
+type cache = { bc : Build_cache.t; memo : entry Build_cache.memo }
+
+(* [Driver.result] embeds one custom block Marshal rejects — the
+   lookup-stats lock — so persisted entries strip it on the way out and
+   re-arm it on the way in. *)
+let entry_encode e =
+  { e with e_result = { e.e_result with Driver.stats = Mcc_sem.Lookup_stats.unsynced e.e_result.Driver.stats } }
+
+let entry_decode e =
+  ignore (Mcc_sem.Lookup_stats.resync e.e_result.Driver.stats);
+  e
+
+let cache ?dir () =
+  let bc = Build_cache.create ?dir () in
+  let memo = Build_cache.memo () in
+  Build_cache.load_memo ~decode:entry_decode bc memo;
+  { bc; memo }
+
+let save { bc; memo } =
+  Build_cache.save bc;
+  Build_cache.save_memo ~encode:entry_encode bc memo
 
 type result = {
   program : Cunit.program;
@@ -41,6 +87,10 @@ type result = {
   reused : string list; (* modules restored from the cache, in init order *)
   recompiled : string list; (* modules compiled this call, in init order *)
   reuse_units : float; (* hash + probe work charged for reuse checks *)
+  refresh_units : float; (* virtual time of the interface refresh prepass *)
+  cutoffs : string list; (* interfaces where invalidation stopped early, sorted *)
+  iface_changes : (string * string list) list; (* edited interface -> changed slices *)
+  explain : (string * string) list; (* module -> reuse/rebuild reason, init order *)
 }
 
 let direct_imports ~file src =
@@ -78,28 +128,211 @@ let config_tag (c : Driver.config) =
     (String.concat "," (List.map Mcc_sched.Fault.spec_to_string c.Driver.faults))
     c.Driver.fault_seed
 
-let compile ?(config = Driver.default_config) ?cache (store : Source_store.t) : result =
+(* ------------------------------------------------------------------ *)
+(* The fine-grained dependency record *)
+
+(* Markers for states a slice dependency can be in besides "present with
+   this digest".  They can never collide with a real digest (hex). *)
+let marker_missing = "!missing" (* the whole interface had no source *)
+let marker_absent = "!absent" (* the name was probed but not exported *)
+
+let resolve_dep bc store m names =
+  match Source_store.def_src store m with
+  | None ->
+      { dep_name = m; dep_install = None;
+        dep_slices = List.map (fun n -> (n, marker_missing)) names }
+  | Some _ -> (
+      match Build_cache.latest_artifact bc m with
+      | None ->
+          (* reached interfaces always leave an artifact behind; an
+             evicted one fails the equality check and forces a rebuild *)
+          { dep_name = m; dep_install = Some marker_absent;
+            dep_slices = List.map (fun n -> (n, marker_absent)) names }
+      | Some a ->
+          { dep_name = m; dep_install = Some a.Artifact.a_install;
+            dep_slices =
+              List.map
+                (fun n ->
+                  (n, Option.value ~default:marker_absent (Artifact.slice a n)))
+                names })
+
+(* The dependency record of a just-compiled module: every interface the
+   compilation reached (installed or compiled — their frames and
+   replayed diagnostics are embedded in the result), each with the slice
+   digests of the names the compilation probed there. *)
+let deps_of bc store (r : Driver.result) =
+  let used = r.Driver.used_slices in
+  let reached = r.Driver.cache_hits @ r.Driver.cache_misses @ List.map fst used in
+  List.map
+    (fun m ->
+      resolve_dep bc store m (Option.value ~default:[] (List.assoc_opt m used)))
+    (List.sort_uniq compare reached)
+
+(* Re-check a stored dependency record against the interfaces as they
+   are now.  [Ok n] (n slices compared) means every reached interface
+   installs identically and every probed name resolves to the same
+   declaration (or is still absent/missing): the cached result is valid
+   even though fingerprints changed. *)
+let check_deps bc store deps =
+  let n = ref 0 in
+  let rec go = function
+    | [] -> Ok !n
+    | d :: rest ->
+        let now = resolve_dep bc store d.dep_name (List.map fst d.dep_slices) in
+        if now.dep_install <> d.dep_install then
+          Error
+            (Printf.sprintf "interface %s changed shape (imports, frame or diagnostics)"
+               d.dep_name)
+        else (
+          let bad =
+            List.find_opt
+              (fun (name, old) ->
+                incr n;
+                List.assoc_opt name now.dep_slices <> Some old)
+              d.dep_slices
+          in
+          match bad with
+          | Some (name, old) ->
+              let verb =
+                if String.equal old marker_absent then "appeared"
+                else if List.assoc_opt name now.dep_slices = Some marker_absent then
+                  "was removed"
+                else "changed"
+              in
+              Error (Printf.sprintf "used slice %s.%s %s" d.dep_name name verb)
+          | None -> go rest)
+  in
+  go deps
+
+(* Which exported names of an edited interface actually changed — the
+   explain output's slice-level diff of old vs regenerated artifact. *)
+let slice_delta (old : Artifact.t) (now : Artifact.t) =
+  let changed =
+    List.filter_map
+      (fun (n, d) -> if Artifact.slice now n = Some d then None else Some n)
+      old.Artifact.a_slices
+  in
+  let added =
+    List.filter_map
+      (fun (n, _) -> if Artifact.slice old n = None then Some n else None)
+      now.Artifact.a_slices
+  in
+  match List.sort_uniq compare (changed @ added) with
+  | [] -> [ "(frame layout or diagnostics)" ]
+  | names -> names
+
+(* ------------------------------------------------------------------ *)
+
+let compile ?(config = Driver.default_config) ?(fine = true) ?cache
+    (store : Source_store.t) : result =
   let names = init_order store in
   let reuse_units = ref 0 in
   (* one fingerprint memo for the whole call: sources are fixed *)
   let fp_memo = Hashtbl.create 16 in
   let tag = config_tag config in
+  let cutoffs = ref [] in
+  let iface_changes = ref [] in
+  let refresh_units = ref 0.0 in
+  (* Interface refresh prepass (fine-grained mode only): re-analyze
+     every interface whose fingerprint moved away from its cached
+     artifact, so the per-module dependency checks below compare against
+     artifacts that reflect the sources as they are *now*.  One probe
+     compilation importing all edited interfaces refreshes them (its
+     unedited transitive imports install from the cache); each refreshed
+     shape equal to the cached one is an early cutoff. *)
+  (match cache with
+  | Some { bc; _ } when fine ->
+      let stale =
+        List.filter_map
+          (fun n ->
+            match Build_cache.latest_artifact bc n with
+            | None -> None (* nothing cached: no propagation to cut off *)
+            | Some old ->
+                let fp, units = Build_cache.interface_fp bc ~memo:fp_memo ~store n in
+                reuse_units := !reuse_units + units;
+                if String.equal fp old.Artifact.a_fingerprint then None else Some (n, old))
+          (Source_store.def_names store)
+      in
+      if stale <> [] then begin
+        let defs =
+          List.filter_map
+            (fun n -> Option.map (fun s -> (n, s)) (Source_store.def_src store n))
+            (Source_store.def_names store)
+        in
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf "IMPLEMENTATION MODULE MccRefresh;\n";
+        List.iter
+          (fun (n, _) -> Buffer.add_string buf (Printf.sprintf "IMPORT %s;\n" n))
+          stale;
+        Buffer.add_string buf "BEGIN\nEND MccRefresh.\n";
+        let probe =
+          Source_store.make ~main_name:"MccRefresh" ~main_src:(Buffer.contents buf)
+            ~defs ()
+        in
+        let pr = Driver.compile ~config ~cache:bc probe in
+        refresh_units := pr.Driver.sim.Mcc_sched.Des_engine.end_time;
+        List.iter
+          (fun (n, (old : Artifact.t)) ->
+            match Build_cache.latest_artifact bc n with
+            | Some now when String.equal now.Artifact.a_shape old.Artifact.a_shape ->
+                cutoffs := n :: !cutoffs
+            | Some now -> iface_changes := (n, slice_delta old now) :: !iface_changes
+            | None -> iface_changes := (n, [ "(interface vanished)" ]) :: !iface_changes)
+          stale
+      end
+  | _ -> ());
   let compile_one name =
     let focused = Source_store.focus store name in
     match cache with
-    | None -> (name, Driver.compile ~config focused, false)
+    | None -> (name, Driver.compile ~config focused, None)
     | Some { bc; memo } -> (
+        let mname = tag ^ "|" ^ name in
         let key, units = Build_cache.module_key bc ~memo:fp_memo ~config_tag:tag focused in
         reuse_units := !reuse_units + units + Costs.cache_probe;
-        match Build_cache.find_module memo key with
-        | Some r -> (name, r, true)
-        | None ->
+        let src_digest = Digest.to_hex (Digest.string (Source_store.main_src focused)) in
+        let verdict =
+          match Build_cache.find_module memo key with
+          | Some e -> `Reuse (e, "unchanged inputs (whole-module key hit)")
+          | None -> (
+              match Build_cache.find_latest_module memo ~name:mname with
+              | None -> `Rebuild "no previous build"
+              | Some (_, prev) ->
+                  if not (String.equal prev.e_src_digest src_digest) then
+                    `Rebuild "implementation changed"
+                  else if not fine then
+                    `Rebuild "an imported interface changed (whole-module invalidation)"
+                  else (
+                    match check_deps bc store prev.e_deps with
+                    | Ok nslices -> `Cutoff (prev, nslices)
+                    | Error why -> `Rebuild why))
+        in
+        match verdict with
+        | `Reuse (e, why) -> (name, e.e_result, Some (true, why))
+        | `Cutoff (prev, nslices) ->
+            (* re-key the entry under the new whole-module key so the
+               next unchanged build coarse-hits without re-checking *)
+            Build_cache.store_module memo ~name:mname ~key prev;
+            ( name,
+              prev.e_result,
+              Some (true, Printf.sprintf "early cutoff: all %d used slices unchanged" nslices)
+            )
+        | `Rebuild why ->
+            let shape_before =
+              Option.map (fun a -> a.Artifact.a_shape) (Build_cache.latest_artifact bc name)
+            in
             let r = Driver.compile ~config ~cache:bc focused in
             (* prune per (configuration, module): an edit invalidates a
                module's stale result without evicting the same module's
                still-valid results under other configurations *)
-            Build_cache.store_module memo ~name:(tag ^ "|" ^ name) ~key r;
-            (name, r, false))
+            Build_cache.store_module memo ~name:mname ~key
+              { e_result = r; e_src_digest = src_digest; e_deps = deps_of bc store r };
+            (match (shape_before, Build_cache.latest_artifact bc name) with
+            | Some s0, Some a when fine && String.equal a.Artifact.a_shape s0 ->
+                (* the rebuilt module's own regenerated interface came
+                   out byte-identical: importers need not rebuild *)
+                if not (List.mem name !cutoffs) then cutoffs := name :: !cutoffs
+            | _ -> ());
+            (name, r, Some (false, why)))
   in
   let compiled = List.map compile_one names in
   let modules = List.map (fun (name, r, _) -> (name, r)) compiled in
@@ -122,6 +355,7 @@ let compile ?(config = Driver.default_config) ?cache (store : Source_store.t) : 
   in
   let diags = List.sort Diag.compare_d (List.concat !diags) in
   let reuse_units = float_of_int !reuse_units in
+  let is_reused = function Some (true, _) -> true | _ -> false in
   {
     program;
     diags;
@@ -131,11 +365,22 @@ let compile ?(config = Driver.default_config) ?cache (store : Source_store.t) : 
       (* reused modules are not re-simulated: they contribute only the
          reuse check's work, not their cached end-to-end compile time *)
       List.fold_left
-        (fun acc (_, (r : Driver.result), reused) ->
-          if reused then acc else acc +. r.Driver.sim.Mcc_sched.Des_engine.end_time)
-        reuse_units compiled;
-    reused = List.filter_map (fun (n, _, reused) -> if reused then Some n else None) compiled;
+        (fun acc (_, (r : Driver.result), st) ->
+          if is_reused st then acc else acc +. r.Driver.sim.Mcc_sched.Des_engine.end_time)
+        (reuse_units +. !refresh_units) compiled;
+    reused = List.filter_map (fun (n, _, st) -> if is_reused st then Some n else None) compiled;
     recompiled =
-      List.filter_map (fun (n, _, reused) -> if reused then None else Some n) compiled;
+      List.filter_map (fun (n, _, st) -> if is_reused st then None else Some n) compiled;
     reuse_units;
+    refresh_units = !refresh_units;
+    cutoffs = List.sort_uniq compare !cutoffs;
+    iface_changes = List.sort (fun (a, _) (b, _) -> compare a b) !iface_changes;
+    explain =
+      List.map
+        (fun (n, _, st) ->
+          match st with
+          | None -> (n, "compiled (no cache)")
+          | Some (true, why) -> (n, "reused: " ^ why)
+          | Some (false, why) -> (n, "recompiled: " ^ why))
+        compiled;
   }

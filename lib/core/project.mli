@@ -9,22 +9,52 @@
     deduplicated by key; the result is schedule-independent like the
     single-module merge (paper §2.1).
 
-    With a {!cache} the layer is incremental: modules whose own source,
-    configuration and transitive interface fingerprints are unchanged
-    are restored from cached per-module results, and recompiled modules
-    install unchanged interfaces from artifacts. *)
+    With a {!cache} the layer is incremental at two granularities.
+    Whole-module: a module whose own source, configuration and
+    transitive interface fingerprints are unchanged is restored from its
+    cached per-module result.  Slice-level (the default, after Smits,
+    Konat & Visser's hybrid incremental compilers): when the
+    whole-module key misses because an interface changed, the module is
+    dirty only if a declaration it actually {e used} changed — an
+    interface refresh prepass re-analyzes edited interfaces and
+    propagation stops with an {e early cutoff} wherever the regenerated
+    interface shape is byte-identical to the cached one. *)
 
 open Mcc_m2
 open Mcc_codegen
 
+(** One dependency of a cached module result on an interface it reached:
+    the interface's install digest ([None] if the interface was missing)
+    plus a digest per exported name the compilation probed there.
+    Probes that missed are negative dependencies, recorded with a
+    reserved absent marker. *)
+type dep = {
+  dep_name : string;
+  dep_install : string option;
+  dep_slices : (string * string) list;
+}
+
+(** A memoized per-module compilation: the result, the digest of the
+    implementation source it was built from, and its fine-grained
+    dependency record. *)
+type entry = {
+  e_result : Driver.result;
+  e_src_digest : string;
+  e_deps : dep list;
+}
+
 (** A project-level cache: the shared interface store plus the
     per-module result memo. *)
-type cache = { bc : Build_cache.t; memo : Driver.result Build_cache.memo }
+type cache = { bc : Build_cache.t; memo : entry Build_cache.memo }
 
-(** [cache ?dir ()] — with [dir], persisted interface artifacts are
-    loaded now and [Build_cache.save cache.bc] writes them back.
-    Module results are in-memory only (they embed engine state). *)
+(** [cache ?dir ()] — with [dir], persisted interface artifacts and
+    whole-module results are loaded now and {!save} writes them back, so
+    successive [m2c build] processes reuse each other's work. *)
 val cache : ?dir:string -> unit -> cache
+
+(** Persist the interface store and the module memo to the cache's
+    directory (a no-op for an in-memory cache). *)
+val save : cache -> unit
 
 type result = {
   program : Cunit.program;
@@ -33,11 +63,23 @@ type result = {
   modules : (string * Driver.result) list;  (** per-module results, in init order *)
   total_units : float;
       (** summed virtual compile time across recompiled modules plus
-          [reuse_units] — equals the cacheless total when nothing is
-          reused *)
+          [reuse_units] and [refresh_units] — equals the cacheless total
+          when nothing is reused *)
   reused : string list;  (** modules restored from the cache, in init order *)
   recompiled : string list;  (** modules compiled this call, in init order *)
   reuse_units : float;  (** hash + probe work charged for reuse checks *)
+  refresh_units : float;
+      (** virtual time of the interface refresh prepass (0 when no
+          interface edits were detected, or in whole-module mode) *)
+  cutoffs : string list;
+      (** interfaces where invalidation stopped early — edited or
+          recompiled, but with a regenerated shape byte-identical to the
+          cached artifact's; sorted *)
+  iface_changes : (string * string list) list;
+      (** per edited interface whose shape really changed, the exported
+          names whose slice digests moved; sorted by interface *)
+  explain : (string * string) list;
+      (** per module in init order, a one-line reuse/rebuild reason *)
 }
 
 (** Module initialization order for the store (imports before importers,
@@ -49,4 +91,8 @@ val init_order : Source_store.t -> string list
     which embed simulated timings, are not). *)
 val config_tag : Driver.config -> string
 
-val compile : ?config:Driver.config -> ?cache:cache -> Source_store.t -> result
+(** Compile the whole store.  [fine] (default [true]) enables
+    slice-level invalidation and early cutoff; [~fine:false] restricts
+    the cache to whole-module key matching — the baseline the
+    fine-grained benchmark compares against. *)
+val compile : ?config:Driver.config -> ?fine:bool -> ?cache:cache -> Source_store.t -> result

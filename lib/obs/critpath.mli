@@ -1,0 +1,49 @@
+(** Critical-path extraction and virtual-time attribution.
+
+    Answers the question the paper's §4 evaluation turns on: {e what
+    bounds the speedup of this compilation?}  Starting from the
+    last-finishing task, the walk moves backwards through the
+    task/event dependency graph recorded in the {!Evlog} stream,
+    attributing every instant of [0, end] to a bucket: a compilation
+    phase for Run segments, a wait bucket (dky-block, token-wait,
+    completion-wait, event-wait), a per-class queue bucket, recovery
+    for backoffs and watchdog rescues, or startup.  Each step tiles the
+    interval between the new cursor and the old one, so the bucket
+    totals sum to the end-to-end virtual time and each bucket's share
+    is a true "this is what you would save" bound, not a sampled
+    approximation. *)
+
+(** One attributed interval of the critical path. *)
+type hop = {
+  h_t0 : float;
+  h_t1 : float;
+  h_task : int;
+  h_name : string;
+  h_bucket : string;
+}
+
+type t = {
+  cp_end : float;  (** end-to-end virtual time tiled by the hops *)
+  cp_buckets : (string * float) list;  (** bucket -> units, largest first *)
+  cp_hops : hop list;  (** chronological *)
+  cp_unattributed : float;
+      (** residue if the walk had to bail out; 0.0 normally *)
+}
+
+(** Phase attribution of a task class (paper Fig. 5 / §2.3.4 classes):
+    lex, split, import, parse/sem, codegen, merge; anything else maps
+    to startup. *)
+val phase_of_cls : string -> string
+
+(** Walk the captured log backwards from the last-finishing task.
+    [end_time], when given, extends the tiled interval past the last
+    finish (e.g. to the engine's reported end time). *)
+val compute : ?end_time:float -> Evlog.record array -> t
+
+(** The [k] longest hops, longest first (stable on ties by start
+    time). *)
+val top : t -> int -> hop list
+
+(** Sum of all attributed intervals; equals [cp_end] when the tiling is
+    complete (the invariant the tests assert). *)
+val attributed_total : t -> float

@@ -1,0 +1,18 @@
+(** Prometheus text exposition format.
+
+    Renders a {!Metrics} snapshot (plus any synthetic samples a report
+    adds) as the Prometheus text format: one [# TYPE] header per metric
+    name, histograms expanded into cumulative [_bucket]/[_sum]/[_count]
+    series.  The snapshot is already sorted by (name, labels), so the
+    output is byte-deterministic.
+
+    {!validate} is a line-level checker for the same grammar — enough
+    for the CLI and CI to assert that an export would be accepted by a
+    Prometheus scraper, without a client library dependency. *)
+
+val render : Metrics.snapshot -> string
+
+(** Check [text] against the exposition-format grammar line by line
+    (comments and blank lines skipped).  Returns the first offending
+    line's number and reason on failure. *)
+val validate : string -> (unit, string) result

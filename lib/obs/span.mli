@@ -1,0 +1,49 @@
+(** Per-task span reconstruction.
+
+    Replays a captured {!Evlog} stream into one span per task: a
+    chronological sequence of segments classifying every instant of the
+    task's lifetime.  This is the per-task decomposition behind the
+    paper's §4 discussion — how much of a stream's lifetime went to
+    waiting on queues versus DKY blockage versus real compilation.
+    {!Critpath} walks these spans backwards to attribute the end-to-end
+    time. *)
+
+type seg_kind =
+  | Queue  (** ready (spawned, or gate released) but not yet started *)
+  | Run
+      (** executing on a processor, including the dispatch latency
+          between a wake and the actual resume *)
+  | Dky_wait  (** blocked by a DKY condition (symbol-table wait) *)
+  | Event_wait
+      (** blocked on any other handled/barrier event (token queues,
+          completion waits, the merge gate) *)
+  | Backoff  (** crashed at start, sitting out the retry backoff *)
+
+type seg = {
+  g_t0 : float;
+  g_t1 : float;
+  g_kind : seg_kind;
+  g_ev : int;  (** the event waited on; -1 if none *)
+}
+
+type t = {
+  sp_task : int;
+  sp_name : string;
+  sp_cls : string;
+  sp_spawned : float;
+  sp_started : float;  (** -1.0 if the task never started *)
+  sp_finished : float;  (** -1.0 if the task never finished *)
+  sp_segs : seg array;  (** chronological *)
+}
+
+val kind_name : seg_kind -> string
+
+(** One span per task appearing in the log, sorted by task id.
+    Segments of zero width are dropped. *)
+val of_log : Evlog.record array -> t list
+
+(** Total time a span spent in segments of [kind]. *)
+val total : t -> seg_kind -> float
+
+(** Aggregate run time by task class across spans, sorted by class. *)
+val busy_by_class : t list -> (string * float) list

@@ -17,61 +17,129 @@ type scope_class = CSelf | COther | COuter | CWith | CBuiltin
 type completeness = Complete | Incomplete
 
 type t = {
-  mu : Mutex.t;
+  mutable mu : Mutex.t option;
+      (* [None] only on a marshal-safe view ([unsynced]) or a value just
+         unmarshaled from a cache; [resync] re-arms it *)
   counts : (kind * found_when * scope_class * completeness, int) Hashtbl.t;
   mutable never_simple : int;
   mutable never_qualified : int;
   mutable dky_blocks : int; (* lookups that incurred a DKY wait *)
   mutable duplicate_searches : int; (* skeptical re-searches after a wait *)
   mutable total_probes : int; (* scope tables probed *)
+  uses : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+      (* imported module -> exported names actually looked up there: the
+         used-slice set fine-grained invalidation keys on *)
 }
 
 let create () =
   {
-    mu = Mutex.create ();
+    mu = Some (Mutex.create ());
     counts = Hashtbl.create 64;
     never_simple = 0;
     never_qualified = 0;
     dky_blocks = 0;
     duplicate_searches = 0;
     total_probes = 0;
+    uses = Hashtbl.create 16;
   }
 
+let lock t = match t.mu with Some m -> Mutex.lock m | None -> ()
+let unlock t = match t.mu with Some m -> Mutex.unlock m | None -> ()
+
+(* A marshal-safe view for cache persistence: [Mutex.t] is a custom
+   block [Marshal] rejects.  [unsynced] shares the tables — marshal the
+   copy right away, before any concurrent recording can race the
+   serializer.  [resync] re-arms a just-unmarshaled value. *)
+let unsynced t = { t with mu = None }
+
+let resync t =
+  (match t.mu with None -> t.mu <- Some (Mutex.create ()) | Some _ -> ());
+  t
+
 let record t ~kind ~found ~scope ~compl =
-  Mutex.lock t.mu;
+  lock t;
   let key = (kind, found, scope, compl) in
   Hashtbl.replace t.counts key (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key));
-  Mutex.unlock t.mu
+  unlock t
 
 let record_never t ~kind =
-  Mutex.lock t.mu;
+  lock t;
   (match kind with
   | Simple -> t.never_simple <- t.never_simple + 1
   | Qualified -> t.never_qualified <- t.never_qualified + 1);
-  Mutex.unlock t.mu
+  unlock t
 
 let record_dky t =
-  Mutex.lock t.mu;
+  lock t;
   t.dky_blocks <- t.dky_blocks + 1;
-  Mutex.unlock t.mu
+  unlock t
 
 let record_duplicate t =
-  Mutex.lock t.mu;
+  lock t;
   t.duplicate_searches <- t.duplicate_searches + 1;
-  Mutex.unlock t.mu
+  unlock t
 
 let record_probe t =
-  Mutex.lock t.mu;
+  lock t;
   t.total_probes <- t.total_probes + 1;
-  Mutex.unlock t.mu
+  unlock t
+
+let record_use t ~import ~name =
+  lock t;
+  (match Hashtbl.find_opt t.uses import with
+  | Some set -> Hashtbl.replace set name ()
+  | None ->
+      let set = Hashtbl.create 8 in
+      Hashtbl.replace set name ();
+      Hashtbl.replace t.uses import set);
+  unlock t
+
+let used_slices t =
+  lock t;
+  let r =
+    Hashtbl.fold
+      (fun m set acc ->
+        let names = Hashtbl.fold (fun n () ns -> n :: ns) set [] in
+        (m, List.sort compare names) :: acc)
+      t.uses []
+  in
+  unlock t;
+  List.sort compare r
+
+let used_in t ~import =
+  lock t;
+  let r =
+    match Hashtbl.find_opt t.uses import with
+    | None -> []
+    | Some set -> List.sort compare (Hashtbl.fold (fun n () ns -> n :: ns) set [])
+  in
+  unlock t;
+  r
 
 let merge ~into src =
-  Mutex.lock src.mu;
+  lock src;
   let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) src.counts [] in
   let never_s = src.never_simple and never_q = src.never_qualified and dky = src.dky_blocks in
   let dup = src.duplicate_searches and probes = src.total_probes in
-  Mutex.unlock src.mu;
-  Mutex.lock into.mu;
+  let uses =
+    Hashtbl.fold
+      (fun m set acc -> (m, Hashtbl.fold (fun n () ns -> n :: ns) set []) :: acc)
+      src.uses []
+  in
+  unlock src;
+  lock into;
+  List.iter
+    (fun (m, names) ->
+      let set =
+        match Hashtbl.find_opt into.uses m with
+        | Some s -> s
+        | None ->
+            let s = Hashtbl.create 8 in
+            Hashtbl.replace into.uses m s;
+            s
+      in
+      List.iter (fun n -> Hashtbl.replace set n ()) names)
+    uses;
   List.iter
     (fun (k, v) ->
       Hashtbl.replace into.counts k (v + Option.value ~default:0 (Hashtbl.find_opt into.counts k)))
@@ -81,7 +149,7 @@ let merge ~into src =
   into.dky_blocks <- into.dky_blocks + dky;
   into.duplicate_searches <- into.duplicate_searches + dup;
   into.total_probes <- into.total_probes + probes;
-  Mutex.unlock into.mu
+  unlock into
 
 let get t ~kind ~found ~scope ~compl =
   Option.value ~default:0 (Hashtbl.find_opt t.counts (kind, found, scope, compl))

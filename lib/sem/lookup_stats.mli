@@ -32,8 +32,30 @@ val record_duplicate : t -> unit
 
 val record_probe : t -> unit
 
+(** A successful lookup hit an exported declaration of imported
+    definition module [import]: accumulate [(import, name)] into the
+    compilation's used-slice set — the fine-grained dependency record
+    slice-level invalidation keys on. *)
+val record_use : t -> import:string -> name:string -> unit
+
+(** The used-slice set: [(imported module, sorted names looked up
+    there)], sorted by module name.  Deterministic. *)
+val used_slices : t -> (string * string list) list
+
+(** Names looked up in one imported module, sorted. *)
+val used_in : t -> import:string -> string list
+
 (** Accumulate [src] into [into]. *)
 val merge : into:t -> t -> unit
+
+(** A marshal-safe view sharing [t]'s tables ([Mutex.t] is a custom
+    block [Marshal] rejects); serialize it immediately, before further
+    recording can race the serializer. *)
+val unsynced : t -> t
+
+(** Re-arm the lock of a value unmarshaled from a cache (in place;
+    returns its argument).  A no-op on live values. *)
+val resync : t -> t
 
 val get : t -> kind:kind -> found:found_when -> scope:scope_class -> compl:completeness -> int
 val never : t -> kind:kind -> int

@@ -260,6 +260,22 @@ let placeholder_event t name =
 let classify_hit ~cls (sym : Symbol.t) =
   match sym.alias_of with Some _ -> Ls.COther | None -> cls
 
+(* Used-slice tracking for fine-grained invalidation: every name this
+   compilation resolves against an imported interface is a dependency on
+   that one exported declaration (a "slice"), and every name it fails to
+   resolve there is a negative dependency (adding the declaration later
+   must invalidate).  Both are recorded as (module, name) pairs; the
+   build layer resolves them against artifact slice digests. *)
+let record_slice_probe stats sc name =
+  match sc.kind with KDef m -> Ls.record_use stats ~import:m ~name | _ -> ()
+
+(* A hit on a FROM-imported alias resolved in the importer's own scope
+   is equally a dependency on the exporting module's declaration. *)
+let record_alias_use stats (sym : Symbol.t) =
+  match sym.alias_of with
+  | Some m -> Ls.record_use stats ~import:m ~name:sym.sname
+  | None -> ()
+
 (* A DKY wait, bracketed in the event log: the block record is written
    before the engine wait and the unblock right after, even when the
    event has already occurred — the pairing invariant the happens-before
@@ -290,9 +306,11 @@ let dky_wait sc name (ev : Event.t) =
    (the initial scope of a qualified lookup) or "Search" (outward
    chaining).  Returns [Some sym] on a hit, [None] to continue outward. *)
 let rec search_scope ~strategy ~stats ~kind ~use_off ~first sc name =
+  record_slice_probe stats sc name;
   let record_hit ~found ~compl sym =
     Ls.record stats ~kind ~found ~scope:(classify_hit ~cls:(if first then Ls.COther else Ls.COuter) sym)
       ~compl;
+    record_alias_use stats sym;
     Some sym
   in
   let first_found = if first then Ls.FirstTry else Ls.Search in
@@ -354,6 +372,7 @@ and retry_optimistic ~strategy ~stats ~kind ~use_off sc name =
   match probe stats sc name ~use_off with
   | Found sym, compl ->
       Ls.record stats ~kind ~found:Ls.AfterDKY ~scope:(classify_hit ~cls:Ls.COuter sym) ~compl;
+      record_alias_use stats sym;
       Some sym
   | _ -> None (* placeholder swept: the symbol is not in this scope *)
 
@@ -364,11 +383,13 @@ and retry_optimistic ~strategy ~stats ~kind ~use_off sc name =
    sequential compiler's.  Builtins are consulted immediately after the
    starting scope (§2.2), then the search chains outward. *)
 let lookup ~strategy ~stats ~use_off ~scope name =
+  record_slice_probe stats scope name;
   let self_hit =
     match probe stats scope name ~use_off with
     | Found sym, compl ->
         Ls.record stats ~kind:Ls.Simple ~found:Ls.FirstTry ~scope:(classify_hit ~cls:Ls.CSelf sym)
           ~compl;
+        record_alias_use stats sym;
         Some sym
     | _ -> None
   in

@@ -608,3 +608,211 @@ let generate ?seed (shape : shape) : Source_store.t =
   line st "END %s." prog;
   Source_store.make ~main_name:prog ~main_src:(Buffer.contents st.buf)
     ~defs:(List.rev !def_sources) ()
+
+(* ------------------------------------------------------------------ *)
+(* Implementation synthesis: turning the suite's single-implementation
+   programs into multi-module projects, so the incremental build layer
+   has more than one module to (not) rebuild. *)
+
+(* The PROCEDURE headings a generated definition module declares.  They
+   are emitted at column 0 in the fixed formats of [gen_def]:
+   "PROCEDURE f(x: INTEGER): INTEGER;" and "PROCEDURE p(VAR x: INTEGER);". *)
+let def_procs_of_src src =
+  String.split_on_char '\n' src
+  |> List.filter_map (fun l ->
+         if String.starts_with ~prefix:"PROCEDURE " l then
+           let rest = String.sub l 10 (String.length l - 10) in
+           let stop =
+             match (String.index_opt rest '(', String.index_opt rest ';') with
+             | Some i, _ -> i
+             | None, Some i -> i
+             | None, None -> String.length rest
+           in
+           Some (String.trim (String.sub rest 0 stop), String.ends_with ~suffix:": INTEGER;" l)
+         else None)
+
+(* A synthetic implementation of a definition module: every declared
+   procedure gets a body whose behavior depends only on its arguments
+   and [rev] — bumping [rev] is a pure body edit (the interface text is
+   untouched), the edit stream's Body_only move. *)
+let impl_of_def ?(rev = 0) ~name src =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "IMPLEMENTATION MODULE %s;\n" name;
+  Printf.bprintf b "(* synthetic implementation, revision %d *)\n" rev;
+  List.iter
+    (fun (p, is_func) ->
+      if is_func then
+        Printf.bprintf b
+          "PROCEDURE %s(x: INTEGER): INTEGER;\nBEGIN\n  RETURN x + %d\nEND %s;\n" p
+          (rev + 1) p
+      else
+        Printf.bprintf b "PROCEDURE %s(VAR x: INTEGER);\nBEGIN\n  x := x + %d\nEND %s;\n" p
+          (rev + 1) p)
+    (def_procs_of_src src);
+  Printf.bprintf b "BEGIN\nEND %s.\n" name;
+  Buffer.contents b
+
+let with_impls (store : Source_store.t) : Source_store.t =
+  let main = Source_store.main_name store in
+  let existing =
+    List.filter_map
+      (fun m ->
+        if m = main then None
+        else Option.map (fun s -> (m, s)) (Source_store.impl_src store m))
+      (Source_store.impl_names store)
+  in
+  let synthesized =
+    List.filter_map
+      (fun n ->
+        if List.mem_assoc n existing then None
+        else Option.map (fun s -> (n, impl_of_def ~name:n s)) (Source_store.def_src store n))
+      (Source_store.def_names store)
+  in
+  let defs =
+    List.filter_map
+      (fun n -> Option.map (fun s -> (n, s)) (Source_store.def_src store n))
+      (Source_store.def_names store)
+  in
+  Source_store.make
+    ~impls:(existing @ synthesized)
+    ~main_name:main ~main_src:(Source_store.main_src store) ~defs ()
+
+(* ------------------------------------------------------------------ *)
+(* The edit stream: a seeded sequence of single-declaration edits over a
+   project, cumulative (each edit applies to the store the previous one
+   produced).  The three classes exercise the three behaviors of the
+   fine-grained incremental layer:
+
+   - [Body_only]: an implementation body changes; no interface text is
+     touched.  Exactly the edited module should rebuild.
+   - [Sig_preserving]: interface text changes (a comment) but no
+     declaration does; the interface fingerprint moves while its shape
+     digest does not.  Early cutoff should rebuild nothing.
+   - [Sig_changing]: one exported constant's value changes — one slice
+     digest moves.  Only modules that actually used that slice should
+     rebuild. *)
+
+type edit_class = Body_only | Sig_preserving | Sig_changing
+
+let class_name = function
+  | Body_only -> "body-only"
+  | Sig_preserving -> "sig-preserving"
+  | Sig_changing -> "sig-changing"
+
+type edit = {
+  e_class : edit_class;
+  e_target : string; (* the module whose source the edit touched *)
+  e_slice : string option; (* the declaration a Sig_changing edit moved *)
+  e_store : Source_store.t; (* the project after the edit *)
+}
+
+(* "  cI_K = N;" with a literal right-hand side (the generator's plain
+   constants; imported-reference constants are left alone). *)
+let const_line_target line =
+  let line' = String.trim line in
+  if String.length line' > 0 && line'.[0] = 'c' && String.ends_with ~suffix:";" line' then
+    match String.index_opt line' '=' with
+    | None -> None
+    | Some eq ->
+        let name = String.trim (String.sub line' 0 eq) in
+        let rhs = String.trim (String.sub line' (eq + 1) (String.length line' - eq - 2)) in
+        if name <> "" && rhs <> "" && String.for_all (fun c -> c >= '0' && c <= '9') rhs
+        then Some (name, int_of_string rhs)
+        else None
+  else None
+
+let edit_stream ?(seed = 0) ~n (store : Source_store.t) : edit list =
+  let store = with_impls store in
+  let rng = Prng.create seed in
+  let main = Source_store.main_name store in
+  let defs =
+    ref
+      (List.filter_map
+         (fun d -> Option.map (fun s -> (d, s)) (Source_store.def_src store d))
+         (Source_store.def_names store))
+  in
+  let impls =
+    ref
+      (List.filter_map
+         (fun m ->
+           if m = main then None
+           else Option.map (fun s -> (m, s)) (Source_store.impl_src store m))
+         (Source_store.impl_names store))
+  in
+  let main_src = ref (Source_store.main_src store) in
+  let revs = Hashtbl.create 8 in
+  let comment_revs = Hashtbl.create 8 in
+  let main_rev = ref 0 in
+  let rebuild () =
+    Source_store.make ~impls:!impls ~main_name:main ~main_src:!main_src ~defs:!defs ()
+  in
+  let set assoc k v = assoc := (k, v) :: List.remove_assoc k !assoc in
+  let body_only () =
+    (* regenerate one interface's synthetic implementation at the next
+       revision; without interfaces, touch a comment in the main body *)
+    match !defs with
+    | [] ->
+        incr main_rev;
+        main_src := Printf.sprintf "(* body revision %d *)\n%s" !main_rev !main_src;
+        { e_class = Body_only; e_target = main; e_slice = None; e_store = rebuild () }
+    | l ->
+        let name, dsrc = List.nth l (Prng.int rng (List.length l)) in
+        let rev = 1 + Option.value ~default:0 (Hashtbl.find_opt revs name) in
+        Hashtbl.replace revs name rev;
+        set impls name (impl_of_def ~rev ~name dsrc);
+        { e_class = Body_only; e_target = name; e_slice = None; e_store = rebuild () }
+  in
+  let sig_preserving () =
+    match !defs with
+    | [] -> body_only () (* degenerate project: no interface to touch *)
+    | l ->
+        let name, dsrc = List.nth l (Prng.int rng (List.length l)) in
+        let crev = 1 + Option.value ~default:0 (Hashtbl.find_opt comment_revs name) in
+        Hashtbl.replace comment_revs name crev;
+        let guard = Printf.sprintf "END %s." name in
+        let lines = String.split_on_char '\n' dsrc in
+        let out =
+          List.concat_map
+            (fun ln ->
+              if String.trim ln = guard then
+                [ Printf.sprintf "(* interface comment revision %d *)" crev; ln ]
+              else [ ln ])
+            lines
+        in
+        set defs name (String.concat "\n" out);
+        { e_class = Sig_preserving; e_target = name; e_slice = None; e_store = rebuild () }
+  in
+  let sig_changing () =
+    (* bump the literal of one plain exported constant *)
+    let candidates =
+      List.concat_map
+        (fun (name, dsrc) ->
+          List.filter_map
+            (fun ln -> Option.map (fun c -> (name, dsrc, ln, c)) (const_line_target ln))
+            (String.split_on_char '\n' dsrc))
+        !defs
+    in
+    match candidates with
+    | [] -> body_only ()
+    | l ->
+        let name, dsrc, ln, (cname, v) = List.nth l (Prng.int rng (List.length l)) in
+        let replaced = ref false in
+        let out =
+          List.map
+            (fun l' ->
+              if (not !replaced) && l' = ln then begin
+                replaced := true;
+                Printf.sprintf "  %s = %d;" cname (v + 1)
+              end
+              else l')
+            (String.split_on_char '\n' dsrc)
+        in
+        set defs name (String.concat "\n" out);
+        { e_class = Sig_changing; e_target = name; e_slice = Some cname;
+          e_store = rebuild () }
+  in
+  List.init n (fun _ ->
+      match Prng.int rng 3 with
+      | 0 -> body_only ()
+      | 1 -> sig_preserving ()
+      | _ -> sig_changing ())

@@ -62,3 +62,41 @@ val mutations : mutation list
 
 val mutation_name : mutation -> string
 val mutate : shape -> mutation -> shape
+
+(** {1 Implementation synthesis and the edit stream}
+
+    Fuel for the fine-grained incremental build layer: {!with_impls}
+    turns a generated single-implementation program into a multi-module
+    project, and {!edit_stream} derives a seeded sequence of
+    single-declaration edits over it. *)
+
+(** Give every definition module that lacks one a synthetic
+    implementation (each declared procedure gets a deterministic body),
+    so the whole project — not just the main module — is compiled and
+    cached.  Existing implementations are kept. *)
+val with_impls : Source_store.t -> Source_store.t
+
+(** The three edit classes, by what they may invalidate:
+    [Body_only] touches one implementation body (exactly that module
+    should rebuild); [Sig_preserving] touches interface text without
+    changing any declaration (the fingerprint moves, the shape digest
+    does not — early cutoff should rebuild nothing); [Sig_changing]
+    changes one exported constant's value (one slice digest moves —
+    only modules that used that slice should rebuild). *)
+type edit_class = Body_only | Sig_preserving | Sig_changing
+
+val class_name : edit_class -> string
+
+type edit = {
+  e_class : edit_class;
+  e_target : string;  (** the module whose source the edit touched *)
+  e_slice : string option;  (** the declaration a [Sig_changing] edit moved *)
+  e_store : Source_store.t;  (** the project after the edit *)
+}
+
+(** [edit_stream ?seed ~n store] — [n] edits, cumulative (each applies
+    to the previous edit's store), deterministic in [seed].  The store
+    is passed through {!with_impls} first; edits degenerate gracefully
+    (a class with no viable target falls back to [Body_only]) so any
+    generated program yields a full-length stream. *)
+val edit_stream : ?seed:int -> n:int -> Source_store.t -> edit list

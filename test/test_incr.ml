@@ -1,0 +1,338 @@
+(* Fine-grained (declaration-level) incremental recompilation.
+
+   The invalidation unit is the interface *slice* — one exported
+   declaration.  The properties under test: a body-only edit rebuilds
+   exactly the edited module; interface text edits that change no
+   declaration rebuild nothing (early cutoff); a signature edit rebuilds
+   only the modules that actually used the edited slice; negative
+   dependencies (a name probed and not found) invalidate when the name
+   appears; and warm fine-grained builds over a seeded edit stream stay
+   observation-equivalent to cold builds. *)
+
+open Tutil
+open Mcc_core
+module Gen = Mcc_synth.Gen
+
+(* A three-module project with distinguishable slice usage:
+   Main uses Lib.base (+ Aux.step); Aux uses only Lib.limit. *)
+let lib_def ?(base = 10) ?(limit = 5) ?(comment = "") ?(extra = "") () =
+  Printf.sprintf
+    "DEFINITION MODULE Lib;\nCONST base = %d;\nCONST limit = %d;\n%s%sEND Lib.\n" base limit
+    extra
+    (if comment = "" then "" else "(* " ^ comment ^ " *)\n")
+
+let aux_def = "DEFINITION MODULE Aux;\nCONST step = 2;\nPROCEDURE Walk(): INTEGER;\nEND Aux.\n"
+
+let aux_impl ?(delta = 1) () =
+  Printf.sprintf
+    "IMPLEMENTATION MODULE Aux;\nIMPORT Lib;\nPROCEDURE Walk(): INTEGER;\nBEGIN RETURN Lib.limit + %d\nEND Walk;\nEND Aux.\n"
+    delta
+
+let main_src = "IMPLEMENTATION MODULE Main;\nIMPORT Lib;\nIMPORT Aux;\nVAR a: INTEGER;\nBEGIN\n  a := Lib.base + Aux.step + Aux.Walk();\n  WriteInt(a)\nEND Main.\n"
+
+let project ?base ?limit ?comment ?extra ?delta () =
+  store ~name:"Main"
+    ~defs:[ ("Lib", lib_def ?base ?limit ?comment ?extra ()); ("Aux", aux_def) ]
+    ~impls:[ ("Aux", aux_impl ?delta ()) ]
+    main_src
+
+let build cache ?fine s = Project.compile ?fine ~cache s
+
+let test_body_only_rebuilds_one () =
+  let cache = Project.cache () in
+  ignore (build cache (project ()));
+  let r = build cache (project ~delta:7 ()) in
+  Alcotest.(check (list string)) "only Aux recompiles" [ "Aux" ] r.Project.recompiled;
+  Alcotest.(check (list string)) "Main reused" [ "Main" ] r.Project.reused;
+  Alcotest.(check bool) "cutoff recorded at Aux" true (List.mem "Aux" r.Project.cutoffs)
+
+let test_sig_preserving_rebuilds_nothing () =
+  let cache = Project.cache () in
+  ignore (build cache (project ()));
+  let r = build cache (project ~comment:"new words, same declarations" ()) in
+  Alcotest.(check (list string)) "nothing recompiles" [] r.Project.recompiled;
+  Alcotest.(check (list string)) "everything reused" [ "Aux"; "Main" ] r.Project.reused;
+  Alcotest.(check bool) "cutoff recorded at Lib" true (List.mem "Lib" r.Project.cutoffs);
+  Alcotest.(check bool) "refresh prepass charged" true (r.Project.refresh_units > 0.)
+
+let test_sig_edit_rebuilds_only_users () =
+  let cache = Project.cache () in
+  ignore (build cache (project ()));
+  (* Lib.base is used only by Main *)
+  let r = build cache (project ~base:11 ()) in
+  Alcotest.(check (list string)) "base edit: only Main" [ "Main" ] r.Project.recompiled;
+  Alcotest.(check (list string)) "Aux survives" [ "Aux" ] r.Project.reused;
+  (* Lib.limit is used only by Aux; Aux's own interface comes out
+     unchanged, so Main survives too *)
+  let r2 = build cache (project ~base:11 ~limit:6 ()) in
+  Alcotest.(check (list string)) "limit edit: only Aux" [ "Aux" ] r2.Project.recompiled;
+  Alcotest.(check bool) "Aux shape unchanged: cutoff" true (List.mem "Aux" r2.Project.cutoffs)
+
+let test_iface_changes_name_the_slice () =
+  let cache = Project.cache () in
+  ignore (build cache (project ()));
+  let r = build cache (project ~limit:6 ()) in
+  match List.assoc_opt "Lib" r.Project.iface_changes with
+  | Some slices -> Alcotest.(check (list string)) "exactly the edited slice" [ "limit" ] slices
+  | None -> Alcotest.fail "Lib missing from iface_changes"
+
+let test_coarse_mode_rebuilds_all_importers () =
+  let cache = Project.cache () in
+  ignore (build cache ~fine:false (project ()));
+  let r = build cache ~fine:false (project ~comment:"same declarations" ()) in
+  Alcotest.(check (list string)) "whole-module invalidation rebuilds both" [ "Aux"; "Main" ]
+    r.Project.recompiled;
+  Alcotest.(check (list string)) "no cutoffs in coarse mode" [] r.Project.cutoffs
+
+let test_negative_dependency () =
+  let cache = Project.cache () in
+  let broken =
+    store ~name:"Main"
+      ~defs:[ ("Lib", lib_def ()) ]
+      "IMPLEMENTATION MODULE Main;\nIMPORT Lib;\nVAR a: INTEGER;\nBEGIN\n  a := Lib.bonus\nEND Main.\n"
+  in
+  let r1 = build cache broken in
+  Alcotest.(check bool) "unresolved import is an error" false r1.Project.ok;
+  (* adding the probed-and-missed name must invalidate the cached result *)
+  let fixed =
+    store ~name:"Main"
+      ~defs:[ ("Lib", lib_def ~extra:"CONST bonus = 3;\n" ()) ]
+      "IMPLEMENTATION MODULE Main;\nIMPORT Lib;\nVAR a: INTEGER;\nBEGIN\n  a := Lib.bonus\nEND Main.\n"
+  in
+  let r2 = build cache fixed in
+  Alcotest.(check (list string)) "Main rebuilds" [ "Main" ] r2.Project.recompiled;
+  Alcotest.(check bool) "and now compiles" true r2.Project.ok
+
+let test_explain_covers_every_module () =
+  let cache = Project.cache () in
+  let r1 = build cache (project ()) in
+  Alcotest.(check (list string)) "one reason per module" [ "Aux"; "Main" ]
+    (List.map fst r1.Project.explain);
+  List.iter
+    (fun (_, why) ->
+      Alcotest.(check bool) "first build recompiles" true
+        (String.starts_with ~prefix:"recompiled:" why))
+    r1.Project.explain;
+  let r2 = build cache (project ~base:11 ()) in
+  Alcotest.(check bool) "slice named in Main's reason" true
+    (List.exists
+       (fun (m, why) ->
+         m = "Main"
+         && String.starts_with ~prefix:"recompiled:" why
+         && List.exists (fun needle -> needle = "Lib.base")
+              (String.split_on_char ' ' why))
+       r2.Project.explain)
+
+let test_slice_digests_uid_free () =
+  (* two independent compilations allocate different type uids; equal
+     slice and shape digests prove the rendering is structural *)
+  let artifact () =
+    let bc = Build_cache.create () in
+    ignore (Driver.compile ~cache:bc (project ()));
+    match Build_cache.latest_artifact bc "Lib" with
+    | Some a -> a
+    | None -> Alcotest.fail "no Lib artifact"
+  in
+  let a1 = artifact () and a2 = artifact () in
+  Alcotest.(check (list (pair string string))) "slice digests stable"
+    a1.Artifact.a_slices a2.Artifact.a_slices;
+  Alcotest.(check string) "shape digest stable" a1.Artifact.a_shape a2.Artifact.a_shape
+
+let test_install_vs_slice_digests () =
+  let artifact_of defs =
+    let bc = Build_cache.create () in
+    ignore
+      (Driver.compile ~cache:bc
+         (store ~name:"Main" ~defs
+            "IMPLEMENTATION MODULE Main;\nIMPORT Lib;\nBEGIN\nEND Main.\n"));
+    Option.get (Build_cache.latest_artifact bc "Lib")
+  in
+  let base = artifact_of [ ("Lib", lib_def ()) ] in
+  let const_edit = artifact_of [ ("Lib", lib_def ~limit:6 ()) ] in
+  let var_edit =
+    artifact_of [ ("Lib", lib_def ~extra:"VAR spare: INTEGER;\n" ()) ]
+  in
+  Alcotest.(check string) "const edit leaves install digest alone"
+    base.Artifact.a_install const_edit.Artifact.a_install;
+  Alcotest.(check bool) "but moves the slice"
+    true (Artifact.slice base "limit" <> Artifact.slice const_edit "limit");
+  Alcotest.(check bool) "untouched slice stays" true
+    (Artifact.slice base "base" = Artifact.slice const_edit "base");
+  Alcotest.(check bool) "a VAR changes the frame, hence install digest" true
+    (base.Artifact.a_install <> var_edit.Artifact.a_install)
+
+let suite_program rank = Mcc_synth.Suite.program ~seed:7 rank
+
+(* a suite program with interfaces, as a multi-module project *)
+let multi_module_rank =
+  let rec find r =
+    if r > 36 then Alcotest.fail "no suite program with interfaces"
+    else if List.length (Source_store.def_names (suite_program r)) >= 2 then r
+    else find (r + 1)
+  in
+  find 0
+
+let test_with_impls_makes_project () =
+  let s = Gen.with_impls (suite_program multi_module_rank) in
+  let expected = 1 + List.length (Source_store.def_names s) in
+  Alcotest.(check int) "every interface becomes a compiled module" expected
+    (List.length (Project.init_order s));
+  let r = Project.compile s in
+  Alcotest.(check bool) "project compiles cleanly" true r.Project.ok
+
+let test_edit_stream_deterministic () =
+  let s = suite_program multi_module_rank in
+  let render e =
+    Printf.sprintf "%s %s %s %s" (Gen.class_name e.Gen.e_class) e.Gen.e_target
+      (Option.value ~default:"-" e.Gen.e_slice)
+      (Digest.to_hex (Digest.string (Source_store.main_src e.Gen.e_store)))
+  in
+  let run () = List.map render (Gen.edit_stream ~seed:3 ~n:12 s) in
+  Alcotest.(check (list string)) "same seed, same stream" (run ()) (run ());
+  Alcotest.(check bool) "different seed, different stream" true
+    (run () <> List.map render (Gen.edit_stream ~seed:4 ~n:12 s))
+
+let test_edit_stream_classes_behave () =
+  let s = suite_program multi_module_rank in
+  let edits = Gen.edit_stream ~seed:11 ~n:10 s in
+  let cache = Project.cache () in
+  ignore (Project.compile ~cache (Gen.with_impls s));
+  List.iter
+    (fun (e : Gen.edit) ->
+      let r = Project.compile ~cache e.Gen.e_store in
+      Alcotest.(check bool) "edited project compiles" true r.Project.ok;
+      match e.Gen.e_class with
+      | Gen.Body_only ->
+          Alcotest.(check (list string))
+            ("body-only edit of " ^ e.Gen.e_target ^ " rebuilds it alone")
+            [ e.Gen.e_target ] r.Project.recompiled
+      | Gen.Sig_preserving ->
+          Alcotest.(check (list string))
+            ("sig-preserving edit of " ^ e.Gen.e_target ^ " rebuilds nothing") []
+            r.Project.recompiled;
+          Alcotest.(check bool) "and is an early cutoff" true
+            (List.mem e.Gen.e_target r.Project.cutoffs)
+      | Gen.Sig_changing ->
+          Alcotest.(check bool)
+            ("sig-changing edit of " ^ e.Gen.e_target ^ " spares some module")
+            true
+            (List.length r.Project.recompiled < List.length r.Project.modules))
+    edits
+
+let test_warm_stream_equals_cold () =
+  let s = suite_program multi_module_rank in
+  let edits = Gen.edit_stream ~seed:5 ~n:8 s in
+  let cache = Project.cache () in
+  ignore (Project.compile ~cache (Gen.with_impls s));
+  List.iteri
+    (fun i (e : Gen.edit) ->
+      let warm = Project.compile ~cache e.Gen.e_store in
+      let cold = Project.compile e.Gen.e_store in
+      Alcotest.(check string)
+        (Printf.sprintf "edit %d (%s): identical object code" i
+           (Gen.class_name e.Gen.e_class))
+        (dis cold.Project.program) (dis warm.Project.program);
+      Alcotest.(check int)
+        (Printf.sprintf "edit %d: same diagnostic count" i)
+        (List.length cold.Project.diags)
+        (List.length warm.Project.diags))
+    edits
+
+let test_fine_never_worse_than_coarse () =
+  let s = suite_program multi_module_rank in
+  let edits = Gen.edit_stream ~seed:9 ~n:6 s in
+  let fine = Project.cache () and coarse = Project.cache () in
+  ignore (Project.compile ~cache:fine (Gen.with_impls s));
+  ignore (Project.compile ~fine:false ~cache:coarse (Gen.with_impls s));
+  List.iter
+    (fun (e : Gen.edit) ->
+      let rf = Project.compile ~cache:fine e.Gen.e_store in
+      let rc = Project.compile ~fine:false ~cache:coarse e.Gen.e_store in
+      Alcotest.(check bool) "fine rebuilds a subset" true
+        (List.for_all (fun m -> List.mem m rc.Project.recompiled) rf.Project.recompiled))
+    edits
+
+(* --- persistence: the module memo survives a process boundary --- *)
+
+let temp_cache_dir () =
+  let f = Filename.temp_file "mcc-incr" "" in
+  Sys.remove f;
+  f (* Project.save creates the directory *)
+
+let with_temp_dir f =
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_memo_persists_across_processes () =
+  with_temp_dir @@ fun dir ->
+  let c1 = Project.cache ~dir () in
+  let cold = build c1 (project ()) in
+  Project.save c1;
+  (* a fresh process would load both artifacts and module results *)
+  let c2 = Project.cache ~dir () in
+  let warm = build c2 (project ()) in
+  Alcotest.(check (list string)) "everything reused" [ "Aux"; "Main" ] warm.Project.reused;
+  Alcotest.(check (list string)) "nothing recompiled" [] warm.Project.recompiled;
+  Alcotest.(check string) "identical object code" (dis cold.Project.program)
+    (dis warm.Project.program)
+
+let test_slice_invalidation_across_processes () =
+  with_temp_dir @@ fun dir ->
+  let c1 = Project.cache ~dir () in
+  ignore (build c1 (project ()));
+  Project.save c1;
+  (* Lib.base is used only by Main: a fresh process sees the edit and
+     recompiles Main alone, from the persisted dependency records *)
+  let c2 = Project.cache ~dir () in
+  let r = build c2 (project ~base:11 ()) in
+  Alcotest.(check (list string)) "only Main recompiles" [ "Main" ] r.Project.recompiled;
+  Alcotest.(check (list string)) "Aux survives from disk" [ "Aux" ] r.Project.reused;
+  Alcotest.(check bool) "and compiles" true r.Project.ok
+
+let () =
+  Alcotest.run "incr"
+    [
+      ( "slices",
+        [
+          Alcotest.test_case "uid-free digests" `Quick test_slice_digests_uid_free;
+          Alcotest.test_case "install vs slice digests" `Quick test_install_vs_slice_digests;
+        ] );
+      ( "project",
+        [
+          Alcotest.test_case "body-only edit rebuilds one module" `Quick
+            test_body_only_rebuilds_one;
+          Alcotest.test_case "sig-preserving edit rebuilds nothing" `Quick
+            test_sig_preserving_rebuilds_nothing;
+          Alcotest.test_case "sig edit rebuilds only slice users" `Quick
+            test_sig_edit_rebuilds_only_users;
+          Alcotest.test_case "iface_changes names the slice" `Quick
+            test_iface_changes_name_the_slice;
+          Alcotest.test_case "coarse mode rebuilds all importers" `Quick
+            test_coarse_mode_rebuilds_all_importers;
+          Alcotest.test_case "negative dependency invalidates" `Quick test_negative_dependency;
+          Alcotest.test_case "explain covers every module" `Quick
+            test_explain_covers_every_module;
+        ] );
+      ( "edit-stream",
+        [
+          Alcotest.test_case "with_impls makes a project" `Quick test_with_impls_makes_project;
+          Alcotest.test_case "deterministic" `Quick test_edit_stream_deterministic;
+          Alcotest.test_case "classes behave" `Quick test_edit_stream_classes_behave;
+          Alcotest.test_case "warm stream == cold builds" `Quick test_warm_stream_equals_cold;
+          Alcotest.test_case "fine rebuilds subset of coarse" `Quick
+            test_fine_never_worse_than_coarse;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "memo survives a process boundary" `Quick
+            test_memo_persists_across_processes;
+          Alcotest.test_case "slice invalidation from disk" `Quick
+            test_slice_invalidation_across_processes;
+        ] );
+    ]
