@@ -17,6 +17,7 @@
      sensitivity (extra) - robustness of beta and token-block size
      incr      (extra)  - incremental builds: cold vs warm interface cache
      incr-fine (extra)  - declaration-level invalidation + early cutoff (BENCH_incr.json)
+     serve     (extra)  - compile server: throughput, tails, fairness (BENCH_serve.json)
      faults    (extra)  - fault injection x rate x strategy x procs recovery matrix
      micro     (extra)  - bechamel microbenchmarks of compiler phases
      all       everything above
@@ -869,12 +870,294 @@ let conformance () =
   Out_channel.with_open_text "BENCH_conformance.json" (fun oc -> output_string oc text);
   say "wrote BENCH_conformance.json (%d bytes)" (String.length text)
 
+(* Compile-server benchmark (BENCH_serve.json): sustained throughput and
+   tail latency of the long-lived build service.  Four measurements:
+   (1) a capacity matrix {fifo,fair} x procs {1,2,8}, every cell served
+   cold and then re-served warm through the same cache — warm throughput
+   must be at least 2x cold, and 8 processors must out-serve 1; (2) a
+   same-seed determinism gate — one cell re-run from scratch must
+   produce a byte-identical serialized report; (3) a skewed-load
+   starvation cell — one chatty client at 8x everyone's rate submitting
+   heavy builds at the lowest priority; under DRR every victim session's
+   p99 sojourn must beat its FIFO value and stay within 2x of the best
+   victim's; (4) fault-injection and cache-eviction cells.  Every report
+   in every cell passes the seq-vs-server conformance oracle.
+   BENCH_SAMPLE=n shrinks the capacity matrix for CI; the skew cell
+   always runs full size (it is cheap and its gates are calibrated).
+   Gate failures exit nonzero. *)
+let serve_bench () =
+  header "Compile server (BENCH_serve.json)";
+  let fail fmt = Printf.ksprintf (fun s -> say "FAIL: %s" s; exit 1) fmt in
+  let module J = Mcc_obs.Json in
+  let module Srv = Mcc_serve.Server in
+  let module Traffic = Mcc_serve.Traffic in
+  let module Pol = Mcc_serve.Queue in
+  let matrix_jobs =
+    match Option.bind (Sys.getenv_opt "BENCH_SAMPLE") int_of_string_opt with
+    | Some n when n > 0 ->
+        let j = max 24 (min 120 (n * 12)) in
+        say "BENCH_SAMPLE=%d: capacity matrix reduced to %d jobs per cell" n j;
+        j
+    | _ -> 120
+  in
+  let cfg ?(policy = Pol.Fair) ?(cap = 100_000) ?(faults = []) ?(fault_seed = 0) procs =
+    {
+      Srv.default_config with
+      Srv.compile = { Driver.default_config with Driver.procs };
+      policy;
+      cap;
+      faults;
+      fault_seed;
+    }
+  in
+  let check_conformance name c r =
+    match Srv.verify c r with
+    | Ok _ -> ()
+    | Error e -> fail "%s: conformance: %s" name e
+  in
+  let session_json (s : Srv.session_stats) =
+    J.Obj
+      [
+        ("session", J.Str s.Srv.ss_session);
+        ("submitted", J.Int s.Srv.ss_submitted);
+        ("served", J.Int s.Srv.ss_served);
+        ("shed", J.Int s.Srv.ss_shed);
+        ("mean_sojourn", J.Float s.Srv.ss_mean);
+        ("p50", J.Float s.Srv.ss_p50);
+        ("p99", J.Float s.Srv.ss_p99);
+        ("max", J.Float s.Srv.ss_max);
+      ]
+  in
+  let report_json (r : Srv.report) =
+    J.Obj
+      [
+        ("policy", J.Str r.Srv.r_policy);
+        ("procs", J.Int r.Srv.r_procs);
+        ("submitted", J.Int r.Srv.r_submitted);
+        ("served", J.Int r.Srv.r_served);
+        ("warm", J.Int r.Srv.r_warm);
+        ("shed", J.Int r.Srv.r_shed);
+        ("failed", J.Int r.Srv.r_failed);
+        ("retried", J.Int r.Srv.r_retried);
+        ("batches", J.Int r.Srv.r_batches);
+        ("batched_jobs", J.Int r.Srv.r_batched_jobs);
+        ("max_batch", J.Int r.Srv.r_max_batch);
+        ("end_seconds", J.Float r.Srv.r_end_seconds);
+        ("throughput", J.Float r.Srv.r_throughput);
+        ( "sojourn",
+          J.Obj
+            [
+              ("mean", J.Float r.Srv.r_mean);
+              ("p50", J.Float r.Srv.r_p50);
+              ("p95", J.Float r.Srv.r_p95);
+              ("p99", J.Float r.Srv.r_p99);
+              ("max", J.Float r.Srv.r_max);
+            ] );
+        ("max_queue_depth", J.Int r.Srv.r_max_depth);
+        ( "interface_cache",
+          J.Obj
+            [
+              ("hits", J.Int r.Srv.r_iface_hits);
+              ("misses", J.Int r.Srv.r_iface_misses);
+              ("invalidations", J.Int r.Srv.r_iface_invalidations);
+              ("evictions", J.Int r.Srv.r_iface_evictions);
+            ] );
+        ( "memo",
+          J.Obj
+            [
+              ("hits", J.Int r.Srv.r_memo_hits);
+              ("misses", J.Int r.Srv.r_memo_misses);
+              ("evictions", J.Int r.Srv.r_memo_evictions);
+            ] );
+        ("sessions", J.Arr (List.map session_json r.Srv.r_sessions));
+      ]
+  in
+  (* --- capacity matrix: cold vs warm across policy x procs ---------- *)
+  let matrix_traffic =
+    { Traffic.default with Traffic.jobs = matrix_jobs; mean_interarrival = 0.05; seed = 11 }
+  in
+  let trace = Traffic.generate matrix_traffic in
+  say "capacity matrix: %d jobs, %d clients, mean interarrival 0.05 s (seed 11)" matrix_jobs
+    matrix_traffic.Traffic.clients;
+  say "  %-6s %5s %12s %12s %7s %9s %9s" "policy" "procs" "cold thr" "warm thr" "ratio"
+    "cold p99" "warm p99";
+  let matrix =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun procs ->
+            let name = Printf.sprintf "%s/%d" (Pol.policy_to_string policy) procs in
+            let c = cfg ~policy procs in
+            let cache = Srv.cache () in
+            let cold = Srv.serve ~cache c trace in
+            let warm = Srv.serve ~cache c trace in
+            check_conformance (name ^ " cold") c cold;
+            check_conformance (name ^ " warm") c warm;
+            if cold.Srv.r_shed > 0 || warm.Srv.r_shed > 0 then
+              fail "%s: unexpected shedding in an uncapped cell" name;
+            if cold.Srv.r_served <> matrix_jobs then
+              fail "%s: served %d of %d jobs" name cold.Srv.r_served matrix_jobs;
+            if warm.Srv.r_warm <> matrix_jobs then
+              fail "%s: warm pass answered only %d of %d jobs from the memo" name
+                warm.Srv.r_warm matrix_jobs;
+            let ratio = warm.Srv.r_throughput /. cold.Srv.r_throughput in
+            say "  %-6s %5d %12.3f %12.3f %6.1fx %9.2f %9.2f"
+              (Pol.policy_to_string policy) procs cold.Srv.r_throughput
+              warm.Srv.r_throughput ratio cold.Srv.r_p99 warm.Srv.r_p99;
+            if ratio < 2.0 then
+              fail "%s: warm throughput only %.2fx cold (gate: >= 2x)" name ratio;
+            ((policy, procs, cold),
+             J.Obj
+               [
+                 ("policy", J.Str (Pol.policy_to_string policy));
+                 ("procs", J.Int procs);
+                 ("cold", report_json cold);
+                 ("warm", report_json warm);
+                 ("warm_over_cold", J.Float ratio);
+               ]))
+          [ 1; 2; 8 ])
+      [ Pol.Fifo; Pol.Fair ]
+  in
+  List.iter
+    (fun policy ->
+      let thr procs =
+        match
+          List.find_opt (fun ((p, n, _), _) -> p = policy && n = procs) matrix
+        with
+        | Some ((_, _, cold), _) -> cold.Srv.r_throughput
+        | None -> fail "missing %s/%d matrix cell" (Pol.policy_to_string policy) procs
+      in
+      if thr 8 <= thr 1 then
+        fail "%s: cold throughput does not scale (8 procs %.3f <= 1 proc %.3f)"
+          (Pol.policy_to_string policy) (thr 8) (thr 1))
+    [ Pol.Fifo; Pol.Fair ];
+  say "  warm >= 2x cold in every cell; 8-proc cold throughput beats 1-proc: PASS";
+  (* --- determinism: same seed, fresh caches, byte-identical report -- *)
+  let det_cell () =
+    let c = cfg ~policy:Pol.Fair 8 in
+    let r = Srv.serve ~cache:(Srv.cache ()) c trace in
+    J.to_string (report_json r)
+  in
+  let d1 = det_cell () and d2 = det_cell () in
+  if d1 <> d2 then fail "same-seed fair/8 reports differ — server is nondeterministic";
+  say "determinism: fair/8 re-run from scratch is byte-identical: PASS";
+  (* --- skewed load: DRR must protect the victims ------------------- *)
+  let skew_traffic =
+    {
+      Traffic.default with
+      Traffic.clients = 5;
+      jobs = 300;
+      seed = 7;
+      mean_interarrival = 3.0;
+      skew = true;
+    }
+  in
+  let skew_trace = Traffic.generate skew_traffic in
+  let chatty = Traffic.session_name 0 in
+  let run_skew policy =
+    let c = cfg ~policy ~cap:16 8 in
+    let r = Srv.serve ~cache:(Srv.cache ~memo_cap:2 ()) c skew_trace in
+    check_conformance (Pol.policy_to_string policy ^ " skew") c r;
+    if r.Srv.r_shed = 0 then
+      fail "%s skew: no shedding at cap 16 — load too light to gate on"
+        (Pol.policy_to_string policy);
+    r
+  in
+  let sfifo = run_skew Pol.Fifo and sfair = run_skew Pol.Fair in
+  say "skewed load: %d jobs, %d clients, %s at %gx rate with heavy builds (seed 7)"
+    skew_traffic.Traffic.jobs skew_traffic.Traffic.clients chatty Traffic.heavy_factor;
+  say "  %-10s %10s %10s" "session" "fifo p99" "fair p99";
+  let victims =
+    List.filter_map
+      (fun (f : Srv.session_stats) ->
+        let name = f.Srv.ss_session in
+        match
+          List.find_opt (fun (g : Srv.session_stats) -> g.Srv.ss_session = name)
+            sfair.Srv.r_sessions
+        with
+        | None -> fail "session %s missing from the fair report" name
+        | Some g ->
+            say "  %-10s %10.2f %10.2f%s" name f.Srv.ss_p99 g.Srv.ss_p99
+              (if name = chatty then "   (chatty)" else "");
+            if name = chatty then None else Some (name, f.Srv.ss_p99, g.Srv.ss_p99))
+      sfifo.Srv.r_sessions
+  in
+  List.iter
+    (fun (name, fifo_p99, fair_p99) ->
+      if fair_p99 >= fifo_p99 then
+        fail "victim %s: fair p99 %.2f does not beat fifo p99 %.2f" name fair_p99 fifo_p99)
+    victims;
+  let fair_p99s = List.map (fun (_, _, p) -> p) victims in
+  let vmax = List.fold_left Float.max 0.0 fair_p99s in
+  let vmin = List.fold_left Float.min infinity fair_p99s in
+  if vmax > 2.0 *. vmin then
+    fail "fair victim p99 spread %.2f..%.2f exceeds the 2x bound" vmin vmax;
+  say "  every victim p99 improves under fair; spread %.2f..%.2f within 2x: PASS" vmin vmax;
+  (* --- fault isolation under load ---------------------------------- *)
+  let fault_spec = "task-crash:procparse!,corrupt-artifact@1" in
+  let fault_traffic =
+    { Traffic.default with Traffic.jobs = 40; mean_interarrival = 2.0; seed = 5 }
+  in
+  let fc = cfg ~faults:(Mcc_sched.Fault.parse_list fault_spec) ~fault_seed:3 8 in
+  let fr = Srv.serve ~cache:(Srv.cache ~memo_cap:3 ()) fc (Traffic.generate fault_traffic) in
+  check_conformance "faults" fc fr;
+  if fr.Srv.r_served <> 40 then fail "faults: served %d of 40" fr.Srv.r_served;
+  if fr.Srv.r_failed > 0 then fail "faults: %d jobs failed outright" fr.Srv.r_failed;
+  if fr.Srv.r_iface_invalidations = 0 then
+    fail "faults: corrupt-artifact plan never tripped an invalidation";
+  say "faults (%s): 40/40 served, %d invalidations healed, %d retried, conformant: PASS"
+    fault_spec fr.Srv.r_iface_invalidations fr.Srv.r_retried;
+  (* --- eviction under a tight cache -------------------------------- *)
+  let ev_traffic =
+    { Traffic.default with Traffic.jobs = 60; mean_interarrival = 1.0; seed = 9 }
+  in
+  let ec = cfg 8 in
+  let ecache =
+    { Srv.bc = Build_cache.create ~cap_bytes:(8 * 1024) (); memo = Build_cache.memo ~cap:2 () }
+  in
+  let er = Srv.serve ~cache:ecache ec (Traffic.generate ev_traffic) in
+  check_conformance "eviction" ec er;
+  if er.Srv.r_iface_evictions = 0 then fail "eviction: 8 KiB interface cache never evicted";
+  if er.Srv.r_memo_evictions = 0 then fail "eviction: 2-entry memo never evicted";
+  say "eviction: %d interface + %d memo evictions under an 8 KiB / 2-entry cache, conformant: PASS"
+    er.Srv.r_iface_evictions er.Srv.r_memo_evictions;
+  (* --- artifact ----------------------------------------------------- *)
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "mcc-bench-serve-v1");
+        ("matrix_jobs", J.Int matrix_jobs);
+        ("matrix", J.Arr (List.map snd matrix));
+        ("determinism", J.Obj [ ("seed", J.Int matrix_traffic.Traffic.seed); ("identical", J.Bool true) ]);
+        ( "skew",
+          J.Obj
+            [
+              ("clients", J.Int skew_traffic.Traffic.clients);
+              ("jobs", J.Int skew_traffic.Traffic.jobs);
+              ("seed", J.Int skew_traffic.Traffic.seed);
+              ("chatty_session", J.Str chatty);
+              ("fifo", report_json sfifo);
+              ("fair", report_json sfair);
+            ] );
+        ( "faults",
+          J.Obj [ ("spec", J.Str fault_spec); ("report", report_json fr) ] );
+        ("eviction", report_json er);
+      ]
+  in
+  let text = J.to_string doc ^ "\n" in
+  (match J.validate text with
+  | Ok () -> ()
+  | Error e -> fail "BENCH_serve.json does not validate: %s" e);
+  Out_channel.with_open_text "BENCH_serve.json" (fun oc -> output_string oc text);
+  say "wrote BENCH_serve.json (%d bytes)" (String.length text)
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig2", fig2);
     ("fig4", fig4); ("fig7", fig7); ("overhead", overhead); ("dky", dky);
     ("heading", heading); ("sched", sched_ablation); ("barrier", barrier);
-    ("sensitivity", sensitivity); ("incr", incr); ("incr-fine", incr_fine); ("faults", faults);
+    ("sensitivity", sensitivity); ("incr", incr); ("incr-fine", incr_fine); ("serve", serve_bench);
+    ("faults", faults);
     ("micro", micro);
     ("speedup", speedup_artifacts); ("conformance", conformance);
   ]

@@ -191,8 +191,9 @@ let compile_cmd =
       | Some bc ->
           save_cache bc;
           let hits, misses, invalidated = Build_cache.counters bc in
-          Printf.printf "cache: %d interface hits, %d misses, %d invalidated (%d stored)\n" hits
-            misses invalidated
+          Printf.printf "cache: %d interface hits, %d misses, %d invalidated, %d evicted (%d stored)\n"
+            hits misses invalidated
+            (Build_cache.eviction_count bc)
             (List.length (Build_cache.interfaces bc))
     in
     match domains with
@@ -303,8 +304,10 @@ let build_cmd =
                       with Sys_error e ->
                         Printf.eprintf "m2c: warning: cache not saved: %s\n" e);
                      let hits, misses, invalidated = Build_cache.counters bc in
-                     Printf.printf "interfaces: %d hits, %d misses, %d invalidated (%d stored)\n"
+                     Printf.printf
+                       "interfaces: %d hits, %d misses, %d invalidated, %d evicted (%d stored)\n"
                        hits misses invalidated
+                       (Build_cache.eviction_count bc)
                        (List.length (Build_cache.interfaces bc)));
                  Printf.printf "reused    : %s\n" (names r.Project.reused);
                  Printf.printf "recompiled: %s\n" (names r.Project.recompiled);
@@ -480,11 +483,21 @@ let profile_cmd =
           Ok ()
         with Sys_error e -> Error e)
   in
-  let run store procs strategy heading top prom json =
+  let run store procs strategy heading top prom json cache_dir =
     with_config ~procs ~strategy ~heading @@ fun config ->
+    let cache = Option.map (fun dir -> Build_cache.create ~dir ()) cache_dir in
     (* profiling implies both the event log and the metrics registry *)
-    let r = Driver.compile ~config ~capture:true ~telemetry:true store in
+    let r = Driver.compile ~config ~capture:true ~telemetry:true ?cache store in
     report_diags r.Driver.diags;
+    (match cache with
+    | None -> ()
+    | Some bc ->
+        save_cache bc;
+        let hits, misses, invalidated = Build_cache.counters bc in
+        Printf.printf "cache: %d interface hits, %d misses, %d invalidated, %d evicted (%d stored)\n"
+          hits misses invalidated
+          (Build_cache.eviction_count bc)
+          (List.length (Build_cache.interfaces bc)));
     if not r.Driver.ok then `Error (false, "compilation failed")
     else begin
       let p =
@@ -518,10 +531,11 @@ let profile_cmd =
   let term =
     Term.(
       ret
-        (const (fun file synth procs strategy heading top prom json ->
-             with_store file synth (fun store -> run store procs strategy heading top prom json))
+        (const (fun file synth procs strategy heading top prom json cache_dir ->
+             with_store file synth (fun store ->
+                 run store procs strategy heading top prom json cache_dir))
         $ file_opt_arg $ synth_arg $ procs_arg $ strategy_arg $ heading_arg $ top_arg $ prom_arg
-        $ json_arg))
+        $ json_arg $ cache_dir_arg))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -670,6 +684,162 @@ let check_cmd =
           reproducer.")
     term
 
+let serve_cmd =
+  let open Mcc_serve in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Simulated client sessions.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 40 & info [ "jobs" ] ~docv:"N" ~doc:"Total compile jobs across clients.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Traffic seed (arrivals and program draws).")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "fair"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:"Queue policy: $(b,fair) (deficit round-robin across sessions) or $(b,fifo).")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cap" ] ~docv:"N" ~doc:"Admission bound: queued jobs beyond this are shed.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Max jobs coalesced per dispatch when they share an interface closure (1 disables).")
+  in
+  let cache_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Bound the shared interface store to $(docv) MB (LRU eviction); default unbounded.")
+  in
+  let memo_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "memo-cap" ] ~docv:"N"
+          ~doc:
+            "Bound the shared module memo to $(docv) entries (cost-aware eviction); default \
+             unbounded.")
+  in
+  let mean_arg =
+    Arg.(
+      value & opt float 40.0
+      & info [ "mean" ] ~docv:"SECONDS" ~doc:"Per-client mean interarrival time, virtual seconds.")
+  in
+  let skew_arg =
+    Arg.(
+      value & flag
+      & info [ "skew" ]
+          ~doc:"Make client 0 chatty: 8x everyone's offered rate, at the lowest priority.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-compile every served program one-shot and cacheless, and require every served \
+             job's output to be observationally identical (the seq-vs-server conformance \
+             oracle).")
+  in
+  let run procs strategy clients jobs seed policy cap batch cache_mb memo_cap mean skew faults
+      fault_seed verify =
+    let ( let* ) r k = match r with Error e -> `Error (false, e) | Ok v -> k v in
+    with_config ~procs ~strategy ~heading:1 @@ fun compile ->
+    let* clients = Cliopt.parse_positive ~what:"--clients" clients in
+    let* jobs = Cliopt.parse_positive ~what:"--jobs" jobs in
+    let* cap = Cliopt.parse_positive ~what:"--cap" cap in
+    let* batch = Cliopt.parse_positive ~what:"--batch" batch in
+    match Queue.policy_of_string policy with
+    | None -> `Error (false, Printf.sprintf "unknown policy %S: must be fair or fifo" policy)
+    | Some policy ->
+        let traffic =
+          {
+            Traffic.default with
+            Traffic.clients;
+            jobs;
+            seed;
+            mean_interarrival = mean;
+            skew;
+          }
+        in
+        let cfg =
+          {
+            Server.compile;
+            policy;
+            cap;
+            quantum = Server.default_config.Server.quantum;
+            batch_max = batch;
+            faults;
+            fault_seed;
+          }
+        in
+        let cache = Server.cache ?cache_mb ?memo_cap () in
+        let trace = Traffic.generate traffic in
+        let r = Server.serve ~cache cfg trace in
+        Printf.printf "serve: %d jobs from %d clients on %d processors (%s policy)\n"
+          r.Server.r_submitted clients procs r.Server.r_policy;
+        Printf.printf
+          "served %d (%d warm, %d batched, %d retried, %d failed), shed %d, peak queue %d\n"
+          r.Server.r_served r.Server.r_warm r.Server.r_batched_jobs r.Server.r_retried
+          r.Server.r_failed r.Server.r_shed r.Server.r_max_depth;
+        Printf.printf "throughput: %.3f jobs/virtual s over %.1f s\n" r.Server.r_throughput
+          r.Server.r_end_seconds;
+        Printf.printf "sojourn: mean %.2f s, p50 %.2f, p95 %.2f, p99 %.2f, max %.2f\n"
+          r.Server.r_mean r.Server.r_p50 r.Server.r_p95 r.Server.r_p99 r.Server.r_max;
+        Printf.printf
+          "cache: %d interface hits, %d misses, %d invalidated, %d evicted; memo %d hits, %d \
+           misses, %d evicted\n"
+          r.Server.r_iface_hits r.Server.r_iface_misses r.Server.r_iface_invalidations
+          r.Server.r_iface_evictions r.Server.r_memo_hits r.Server.r_memo_misses
+          r.Server.r_memo_evictions;
+        List.iter
+          (fun s ->
+            Printf.printf "  %-10s %3d submitted %3d served %3d shed   p50 %8.2f  p99 %8.2f\n"
+              s.Server.ss_session s.Server.ss_submitted s.Server.ss_served s.Server.ss_shed
+              s.Server.ss_p50 s.Server.ss_p99)
+          r.Server.r_sessions;
+        if verify then
+          match Server.verify cfg r with
+          | Ok n ->
+              Printf.printf "conformance: %d served jobs identical to one-shot compiles\n" n;
+              `Ok ()
+          | Error e -> `Error (false, "conformance: " ^ e)
+        else `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun procs strategy clients jobs seed policy cap batch cache_mb memo_cap mean skew
+                    inject fault_seed verify ->
+             match
+               try Ok (match inject with None -> [] | Some s -> Fault.parse_list s)
+               with Invalid_argument e -> Error e
+             with
+             | Error e -> `Error (false, e)
+             | Ok faults ->
+                 run procs strategy clients jobs seed policy cap batch cache_mb memo_cap mean skew
+                   faults fault_seed verify)
+        $ procs_arg $ strategy_arg $ clients_arg $ jobs_arg $ seed_arg $ policy_arg $ cap_arg
+        $ batch_arg $ cache_mb_arg $ memo_cap_arg $ mean_arg $ skew_arg $ inject_arg
+        $ fault_seed_arg $ verify_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile server over a simulated open-loop job stream: per-client seeded \
+          arrival processes, admission control with load shedding, FIFO or deficit-round-robin \
+          fair scheduling, interface-closure batching, and a shared warm build cache.  Reports \
+          throughput, sojourn percentiles and per-session statistics; with $(b,--inject), every \
+          job compiles under its own fault plan and the server isolates failures.")
+    term
+
 let sweep_cmd =
   let term =
     Term.(
@@ -699,4 +869,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd; profile_cmd; check_cmd ]))
+          [
+            compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd; profile_cmd; check_cmd;
+            serve_cmd;
+          ]))

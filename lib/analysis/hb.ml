@@ -266,7 +266,11 @@ let check (log : Evlog.record array) : report =
           (match Hashtbl.find_opt crash_pending name with
           | Some n when n > 0 -> Hashtbl.replace crash_pending name (n - 1)
           | _ -> ())
-      | Evlog.Watchdog_fire _ -> incr n_watchdog)
+      | Evlog.Watchdog_fire _ -> incr n_watchdog
+      (* compile-server job lifecycle: no intra-compile ordering to
+         check — the server suspends emission around engine runs *)
+      | Evlog.Job_enqueue _ | Evlog.Job_admit _ | Evlog.Job_shed _ | Evlog.Job_batch _
+      | Evlog.Job_done _ -> ())
     log;
   (* a quarantined stream's partial publishes must never have been
      observed — unless the scope completed anyway (its data is whole) *)

@@ -33,9 +33,10 @@ open Mcc_m2
 open Mcc_sched
 module Metrics = Mcc_obs.Metrics
 
-(* v2: artifacts grew per-declaration slice digests and the stable
-   install/shape digests fine-grained invalidation compares. *)
-let version = "mcc-artifact-v2"
+(* v3: Driver.result (persisted inside module-memo entries) grew the
+   cache-eviction counter.  v2 added per-declaration slice digests and
+   the stable install/shape digests fine-grained invalidation compares. *)
+let version = "mcc-artifact-v3"
 
 (* ------------------------------------------------------------------ *)
 (* Charge-free import scan *)
@@ -146,14 +147,82 @@ let scan_imports src =
 type t = {
   mu : Mutex.t;
   dir : string option;
+  cap_bytes : int option; (* store size bound; None = unbounded *)
   defs : (string, Artifact.t) Hashtbl.t; (* fingerprint -> artifact *)
   latest : (string, string) Hashtbl.t; (* name -> last stored fingerprint *)
+  sizes : (string, int) Hashtbl.t; (* fingerprint -> marshaled bytes *)
+  lru : (string, int) Hashtbl.t; (* fingerprint -> last-use tick *)
   imports_memo : (string, string list) Hashtbl.t; (* source digest -> imports *)
+  mutable tick : int;
+  mutable bytes : int; (* sum of [sizes] *)
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable evictions : int; (* entries dropped by the size bound *)
   mutable corrupt : int; (* artifacts dropped by digest verification *)
 }
+
+(* An artifact's charge against the size bound is its marshaled size —
+   the same bytes [save] would write for it, so the bound models a
+   persistent store of that many bytes. *)
+let artifact_size (a : Artifact.t) = String.length (Marshal.to_string a [])
+
+(* All four must run under [t.mu]. *)
+
+let touch t fp =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.lru fp t.tick
+
+let forget_sizes t fp =
+  (match Hashtbl.find_opt t.sizes fp with
+  | Some sz -> t.bytes <- t.bytes - sz
+  | None -> ());
+  Hashtbl.remove t.sizes fp;
+  Hashtbl.remove t.lru fp
+
+let record_size t fp a =
+  forget_sizes t fp;
+  let sz = artifact_size a in
+  Hashtbl.replace t.sizes fp sz;
+  t.bytes <- t.bytes + sz;
+  touch t fp
+
+(* Evict least-recently-used artifacts until the store fits the bound
+   again, never evicting [keep] (the entry just stored): the bound is a
+   budget, not an invariant an oversized single artifact could violate
+   fatally.  Eviction is pure capacity management — the artifact is
+   still valid, so it does not count as an invalidation. *)
+let enforce_cap t ~keep =
+  match t.cap_bytes with
+  | None -> ()
+  | Some cap ->
+      let continue_ = ref (t.bytes > cap) in
+      while !continue_ do
+        let victim =
+          Hashtbl.fold
+            (fun fp tick acc ->
+              if Some fp = keep then acc
+              else
+                match acc with
+                | Some (_, best) when best <= tick -> acc
+                | _ -> Some (fp, tick))
+            t.lru None
+        in
+        match victim with
+        | None -> continue_ := false
+        | Some (fp, _) ->
+            (match Hashtbl.find_opt t.defs fp with
+            | Some a -> (
+                match Hashtbl.find_opt t.latest a.Artifact.a_name with
+                | Some latest_fp when latest_fp = fp -> Hashtbl.remove t.latest a.Artifact.a_name
+                | _ -> ())
+            | None -> ());
+            Hashtbl.remove t.defs fp;
+            forget_sizes t fp;
+            t.evictions <- t.evictions + 1;
+            if Metrics.enabled () then Metrics.incr "mcc_cache_evict_total";
+            continue_ := t.bytes > cap
+      done
 
 let cache_file dir = Filename.concat dir "interfaces.bin"
 
@@ -180,27 +249,38 @@ let load t dir =
                   else begin
                     Hashtbl.replace t.defs fp a;
                     Hashtbl.replace t.latest a.Artifact.a_name fp;
+                    record_size t fp a;
                     floor := max !floor (Artifact.max_uid a)
                   end)
                 defs;
               Mcc_sem.Types.bump_uid_floor !floor
           | _ -> () (* format version changed: start empty *))
 
-let create ?dir () =
+let create ?dir ?cap_bytes () =
   let t =
     {
       mu = Mutex.create ();
       dir;
+      cap_bytes;
       defs = Hashtbl.create 64;
       latest = Hashtbl.create 64;
+      sizes = Hashtbl.create 64;
+      lru = Hashtbl.create 64;
       imports_memo = Hashtbl.create 64;
+      tick = 0;
+      bytes = 0;
       hits = 0;
       misses = 0;
       invalidations = 0;
+      evictions = 0;
       corrupt = 0;
     }
   in
   Option.iter (load t) dir;
+  (* a loaded store can exceed a (new or tightened) bound *)
+  Mutex.lock t.mu;
+  enforce_cap t ~keep:None;
+  Mutex.unlock t.mu;
   t
 
 let save t =
@@ -321,12 +401,16 @@ let find_interface t ~fp =
           if Metrics.enabled () then Metrics.incr "mcc_cache_corrupt_total";
           t.invalidations <- t.invalidations + 1;
           Hashtbl.remove t.defs fp;
+          forget_sizes t fp;
           (match Hashtbl.find_opt t.latest a.Artifact.a_name with
           | Some latest_fp when latest_fp = fp -> Hashtbl.remove t.latest a.Artifact.a_name
           | _ -> ());
           None
         end
-        else Some a
+        else begin
+          touch t fp;
+          Some a
+        end
   in
   (match r with None -> t.misses <- t.misses + 1 | Some _ -> t.hits <- t.hits + 1);
   Mutex.unlock t.mu;
@@ -341,10 +425,13 @@ let store_interface t (a : Artifact.t) =
   | Some old_fp when old_fp <> a.Artifact.a_fingerprint ->
       (* the interface changed: the old artifact can never be hit again *)
       t.invalidations <- t.invalidations + 1;
-      Hashtbl.remove t.defs old_fp
+      Hashtbl.remove t.defs old_fp;
+      forget_sizes t old_fp
   | _ -> ());
   Hashtbl.replace t.defs a.Artifact.a_fingerprint a;
   Hashtbl.replace t.latest a.Artifact.a_name a.Artifact.a_fingerprint;
+  record_size t a.Artifact.a_fingerprint a;
+  enforce_cap t ~keep:(Some a.Artifact.a_fingerprint);
   Mutex.unlock t.mu
 
 let interfaces t =
@@ -372,6 +459,18 @@ let counters t =
   Mutex.unlock t.mu;
   r
 
+let eviction_count t =
+  Mutex.lock t.mu;
+  let r = t.evictions in
+  Mutex.unlock t.mu;
+  r
+
+let total_bytes t =
+  Mutex.lock t.mu;
+  let r = t.bytes in
+  Mutex.unlock t.mu;
+  r
+
 let corrupt_count t =
   Mutex.lock t.mu;
   let r = t.corrupt in
@@ -383,22 +482,76 @@ let corrupt_count t =
 
 type 'r memo = {
   mmu : Mutex.t;
+  mcap : int option; (* entry-count bound; None = unbounded *)
   modules : (string, 'r) Hashtbl.t; (* module key -> result *)
   latest_key : (string, string) Hashtbl.t; (* name -> last stored key *)
+  mcosts : (string, float) Hashtbl.t; (* key -> recompute cost *)
+  mpri : (string, float) Hashtbl.t; (* key -> GreedyDual priority *)
+  mutable ml : float; (* GreedyDual inflation level L *)
   mutable mhits : int;
   mutable mmisses : int;
   mutable minvalidations : int;
+  mutable mevictions : int;
 }
 
-let memo () =
+let memo ?cap () =
   {
     mmu = Mutex.create ();
+    mcap = cap;
     modules = Hashtbl.create 16;
     latest_key = Hashtbl.create 16;
+    mcosts = Hashtbl.create 16;
+    mpri = Hashtbl.create 16;
+    ml = 0.0;
     mhits = 0;
     mmisses = 0;
     minvalidations = 0;
+    mevictions = 0;
   }
+
+(* Both must run under [m.mmu]. *)
+
+let memo_drop m key =
+  Hashtbl.remove m.modules key;
+  Hashtbl.remove m.mcosts key;
+  Hashtbl.remove m.mpri key
+
+(* GreedyDual eviction: every entry carries priority L + cost (cost =
+   the simulated seconds a recompute would take, defaulting to 1.0), a
+   hit refreshes the entry back to the current L + cost, and evicting
+   raises L to the victim's priority — so cheap, long-idle entries go
+   first and an expensive entry survives proportionally longer.  With
+   uniform costs this degenerates to LRU.  Capacity management, not
+   invalidation.  Ties break on the lexicographically smallest key so
+   eviction order never depends on hash-table iteration order. *)
+let memo_enforce_cap m ~keep =
+  match m.mcap with
+  | None -> ()
+  | Some cap ->
+      let continue_ = ref (Hashtbl.length m.modules > cap) in
+      while !continue_ do
+        let victim =
+          Hashtbl.fold
+            (fun key pri acc ->
+              if Some key = keep then acc
+              else
+                match acc with
+                | Some (bk, bp) when bp < pri || (bp = pri && bk < key) -> acc
+                | _ -> Some (key, pri))
+            m.mpri None
+        in
+        match victim with
+        | None -> continue_ := false
+        | Some (key, pri) ->
+            m.ml <- Float.max m.ml pri;
+            memo_drop m key;
+            Hashtbl.iter
+              (fun n k -> if k = key then Hashtbl.remove m.latest_key n)
+              (Hashtbl.copy m.latest_key);
+            m.mevictions <- m.mevictions + 1;
+            if Metrics.enabled () then Metrics.incr "mcc_memo_evict_total";
+            continue_ := Hashtbl.length m.modules > cap
+      done
 
 (* A whole-module key: configuration tag (cached results embed simulated
    timings), module name, implementation source digest, and the
@@ -429,7 +582,13 @@ let module_key t ~memo ~config_tag store =
 let find_module m key =
   Mutex.lock m.mmu;
   let r = Hashtbl.find_opt m.modules key in
-  (match r with None -> m.mmisses <- m.mmisses + 1 | Some _ -> m.mhits <- m.mhits + 1);
+  (match r with
+  | None -> m.mmisses <- m.mmisses + 1
+  | Some _ ->
+      m.mhits <- m.mhits + 1;
+      (* GreedyDual hit: refresh the entry to the current level *)
+      let cost = Option.value ~default:1.0 (Hashtbl.find_opt m.mcosts key) in
+      Hashtbl.replace m.mpri key (m.ml +. cost));
   Mutex.unlock m.mmu;
   r
 
@@ -445,20 +604,29 @@ let find_latest_module m ~name =
   Mutex.unlock m.mmu;
   r
 
-let store_module m ~name ~key result =
+let store_module ?(cost = 1.0) m ~name ~key result =
   Mutex.lock m.mmu;
   (match Hashtbl.find_opt m.latest_key name with
   | Some old_key when old_key <> key ->
       m.minvalidations <- m.minvalidations + 1;
-      Hashtbl.remove m.modules old_key
+      memo_drop m old_key
   | _ -> ());
   Hashtbl.replace m.modules key result;
   Hashtbl.replace m.latest_key name key;
+  Hashtbl.replace m.mcosts key cost;
+  Hashtbl.replace m.mpri key (m.ml +. cost);
+  memo_enforce_cap m ~keep:(Some key);
   Mutex.unlock m.mmu
 
 let memo_counters m =
   Mutex.lock m.mmu;
   let r = (m.mhits, m.mmisses, m.minvalidations) in
+  Mutex.unlock m.mmu;
+  r
+
+let memo_eviction_count m =
+  Mutex.lock m.mmu;
+  let r = m.mevictions in
   Mutex.unlock m.mmu;
   r
 
@@ -494,12 +662,18 @@ let load_memo ?(decode = fun r -> r) t (m : 'r memo) =
                          not fatal: the module just rebuilds cold *)
                       match (Marshal.from_string payload 0 : 'r) with
                       | exception _ -> ()
-                      | r -> Hashtbl.replace m.modules k (decode r))
+                      | r ->
+                          Hashtbl.replace m.modules k (decode r);
+                          (* costs are not persisted: loaded entries
+                             restart at the uniform (LRU-like) cost *)
+                          Hashtbl.replace m.mcosts k 1.0;
+                          Hashtbl.replace m.mpri k (m.ml +. 1.0))
                     modules;
                   List.iter
                     (fun (n, k) ->
                       if Hashtbl.mem m.modules k then Hashtbl.replace m.latest_key n k)
                     latest;
+                  memo_enforce_cap m ~keep:None;
                   Mutex.unlock m.mmu
               | _ -> () (* format version changed: start empty *)))
 

@@ -20,11 +20,15 @@
 
 type t
 
-(** [create ?dir ()] makes an empty cache; with [dir], previously
-    {!save}d interface artifacts are loaded from it (missing, stale or
-    unreadable files are ignored) and the type-uid counter is bumped
-    past every unmarshalled uid. *)
-val create : ?dir:string -> unit -> t
+(** [create ?dir ?cap_bytes ()] makes an empty cache; with [dir],
+    previously {!save}d interface artifacts are loaded from it (missing,
+    stale or unreadable files are ignored) and the type-uid counter is
+    bumped past every unmarshalled uid.  With [cap_bytes], the store is
+    size-bounded: whenever the marshaled sizes of the stored artifacts
+    exceed the bound, least-recently-used entries are evicted (counted
+    by {!eviction_count}, never counted as invalidations) — except the
+    entry just stored, so one oversized artifact still caches. *)
+val create : ?dir:string -> ?cap_bytes:int -> unit -> t
 
 (** Persist the interface store under the creation [dir] as a single
     Marshal blob (preserving value sharing between artifacts).  No-op
@@ -71,6 +75,13 @@ val latest_artifact : t -> string -> Artifact.t option
 (** (hits, misses, invalidations) of the interface store. *)
 val counters : t -> int * int * int
 
+(** Entries evicted by the [cap_bytes] size bound (capacity management:
+    not invalidations, not corruption). *)
+val eviction_count : t -> int
+
+(** Current marshaled size of the interface store, in bytes. *)
+val total_bytes : t -> int
+
 (** Artifacts dropped by digest verification (on {!find_interface}
     probes and at load time); each probe-time drop is also counted in
     the invalidations of {!counters}. *)
@@ -92,7 +103,13 @@ val tamper : t -> name:string -> unit
 
 type 'r memo
 
-val memo : unit -> 'r memo
+(** [memo ?cap ()] makes an empty module memo.  With [cap], the memo is
+    bounded to that many entries, evicted cost-aware (GreedyDual): each
+    entry's priority is [L + cost] where [cost] is the recompute cost
+    passed to {!store_module} and [L] a monotone inflation level raised
+    to each victim's priority; hits refresh an entry's priority.  Cheap,
+    long-idle results go first; with uniform costs this is LRU. *)
+val memo : ?cap:int -> unit -> 'r memo
 
 (** [module_key t ~memo ~config_tag store] is the whole-module cache key
     of [store]'s main module (the module-focused view: its main source
@@ -110,11 +127,16 @@ val find_module : 'r memo -> string -> 'r option
 val find_latest_module : 'r memo -> name:string -> (string * 'r) option
 
 (** Store a module result; if the module's previous key differs, counts
-    an invalidation and drops the stale result. *)
-val store_module : 'r memo -> name:string -> key:string -> 'r -> unit
+    an invalidation and drops the stale result.  [cost] (default 1.0) is
+    the entry's recompute cost for cost-aware eviction — callers pass
+    the simulated seconds the compile took. *)
+val store_module : ?cost:float -> 'r memo -> name:string -> key:string -> 'r -> unit
 
 (** (hits, misses, invalidations) of the module memo. *)
 val memo_counters : 'r memo -> int * int * int
+
+(** Entries evicted by the memo's [cap] bound. *)
+val memo_eviction_count : 'r memo -> int
 
 (** Fill [memo] from the cache's directory (written by {!save_memo}); a
     no-op without a directory, on a missing/unreadable file, or on a

@@ -15,6 +15,9 @@ let parse_procs_list = function
           match parse_procs bad with Error e -> Error e | Ok _ -> assert false)
       | None -> Ok ps)
 
+let parse_positive ~what n =
+  if n > 0 then Ok n else Error (Printf.sprintf "invalid %s %d: must be positive" what n)
+
 let parse_heading = function
   | 1 -> Ok Driver.Alt1
   | 3 -> Ok Driver.Alt3

@@ -15,6 +15,10 @@ val parse_procs : int -> (int, string) result
 (** A non-empty processor-count list, each in [1..64]. *)
 val parse_procs_list : int list -> (int list, string) result
 
+(** A strictly positive count; [what] names the option in the error
+    (e.g. ["--clients"]). *)
+val parse_positive : what:string -> int -> (int, string) result
+
 (** Procedure-heading alternative: [1] or [3] only (paper §2.4 defines
     no alternative 2 worth running). *)
 val parse_heading : int -> (Driver.heading_mode, string) result

@@ -98,6 +98,7 @@ type result = {
   task_index : (int * string) list; (* task id -> name, for trace/log rendering *)
   cache_hits : string list; (* interfaces installed from the build cache, sorted *)
   cache_misses : string list; (* interfaces fingerprinted but compiled cold, sorted *)
+  cache_evictions : int; (* size-bound evictions in the shared cache during this run *)
   used_slices : (string * string list) list;
       (* per imported interface, the exported names this compilation
          actually resolved (or failed to resolve) there — the
@@ -566,6 +567,7 @@ let compile ?(config = default_config) ?(capture = false) ?(telemetry = false) ?
   let m = Source_store.main_name store in
   let comp, init_tasks = prepare config cache store in
   let corrupt0 = match cache with Some c -> Build_cache.corrupt_count c | None -> 0 in
+  let evict0 = match cache with Some c -> Build_cache.eviction_count c | None -> 0 in
   let run () =
     Des_engine.run ~beta:config.beta ~fifo:config.fifo_sched ?perturb:config.perturb
       ~procs:config.procs init_tasks
@@ -653,6 +655,8 @@ let compile ?(config = default_config) ?(capture = false) ?(telemetry = false) ?
     task_index = List.rev_map (fun (id, _, name) -> (id, name)) comp.task_names;
     cache_hits = List.sort compare comp.cache_hits;
     cache_misses = List.sort compare comp.cache_misses;
+    cache_evictions =
+      (match cache with Some c -> Build_cache.eviction_count c - evict0 | None -> 0);
     used_slices = Lookup_stats.used_slices comp.stats;
     log;
     events_logged = Array.length log;

@@ -74,6 +74,9 @@ type result = {
   cache_misses : string list;
       (** interfaces fingerprinted but compiled cold (and then stored),
           sorted (empty without a cache) *)
+  cache_evictions : int;
+      (** entries the cache's size bound evicted during this run (0
+          without a cache or without a bound) *)
   used_slices : (string * string list) list;
       (** per imported interface, the exported names this compilation
           resolved (or failed to resolve) there — the fine-grained

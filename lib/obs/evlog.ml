@@ -62,6 +62,17 @@ type kind =
       (* retries exhausted (or unsafe): the task is permanently failed *)
   | Watchdog_fire of { ev : int; task : int }
       (* the stall watchdog re-delivered a lost wake for [task] *)
+  (* Compile-server lifecycle ([Mcc_serve]): [job] is the server-wide
+     job id, [session] the submitting client.  Server captures stamp
+     the clock with the server's virtual arrival/completion times. *)
+  | Job_enqueue of { job : int; session : string }
+  | Job_admit of { job : int; session : string }
+  | Job_shed of { job : int; session : string }
+      (* admission rejected the job (queue full): it is never served *)
+  | Job_batch of { job : int; leader : int; size : int }
+      (* the job rides leader's batch (shared interface closure) *)
+  | Job_done of { job : int; warm : bool }
+      (* served; [warm] = answered from the shared module memo *)
 
 type record = {
   seq : int;
@@ -125,6 +136,16 @@ let capture f =
       ignore (restore ());
       raise e
 
+(* Run [f] with emission off, restoring the flag afterwards.  The
+   compile server wraps each inner [Driver.compile] in this: the inner
+   engine restarts its own clock at 0, which would trip the outer
+   capture's monotonic-time assert, and the server's log records job
+   lifecycle, not intra-compile scheduling. *)
+let suspend f =
+  let saved = !enabled_flag in
+  enabled_flag := false;
+  Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+
 let kind_to_string = function
   | Task_spawn { task; name; cls; gate } ->
       Printf.sprintf "spawn task#%d %s [%s]%s" task name cls
@@ -153,6 +174,13 @@ let kind_to_string = function
   | Task_quarantine { task; name } -> Printf.sprintf "quarantine task#%d %s" task name
   | Watchdog_fire { ev; task } ->
       Printf.sprintf "watchdog re-delivers event#%d to task#%d" ev task
+  | Job_enqueue { job; session } -> Printf.sprintf "enqueue job#%d from %s" job session
+  | Job_admit { job; session } -> Printf.sprintf "admit job#%d from %s" job session
+  | Job_shed { job; session } -> Printf.sprintf "shed job#%d from %s" job session
+  | Job_batch { job; leader; size } ->
+      Printf.sprintf "batch job#%d with leader job#%d (batch of %d)" job leader size
+  | Job_done { job; warm } ->
+      Printf.sprintf "done job#%d (%s)" job (if warm then "warm" else "cold")
 
 let record_to_string r =
   Printf.sprintf "#%-6d t=%-10.1f task#%-4d %s" r.seq r.time r.task (kind_to_string r.kind)

@@ -45,6 +45,16 @@ type kind =
       (** retries exhausted (or resume-crash): the task is permanently failed *)
   | Watchdog_fire of { ev : int; task : int }
       (** the stall watchdog re-delivered a lost wake for [task] *)
+  | Job_enqueue of { job : int; session : string }
+      (** a compile-server job arrived and was offered to admission *)
+  | Job_admit of { job : int; session : string }
+      (** admission accepted the job into the bounded queue *)
+  | Job_shed of { job : int; session : string }
+      (** admission rejected the job (queue full): it is never served *)
+  | Job_batch of { job : int; leader : int; size : int }
+      (** the job rides [leader]'s batch (shared interface closure) *)
+  | Job_done of { job : int; warm : bool }
+      (** served; [warm] = answered from the shared module memo *)
 
 type record = {
   seq : int;
@@ -79,8 +89,18 @@ val iter : (record -> unit) -> unit
 
 (** [capture f] runs [f] with logging on and returns [(f (), log)].
     Does not nest; restores the previous logging state on exit.  The
-    virtual clock restarts at 0 (one capture wraps one engine run). *)
+    virtual clock restarts at 0 (one capture wraps one engine run — the
+    compile server's job-lifecycle capture wraps its inner engine runs
+    in {!suspend} instead of nesting). *)
 val capture : (unit -> 'a) -> 'a * record array
+
+(** [suspend f] runs [f] with emission off, restoring the previous
+    state on exit (exceptions included).  Used by the compile server
+    around inner [Driver.compile] calls: the inner engine restarts its
+    clock at 0, which would trip the capture's monotonic-time assert,
+    and the server's log records job lifecycle, not intra-compile
+    scheduling. *)
+val suspend : (unit -> 'a) -> 'a
 
 val kind_to_string : kind -> string
 val record_to_string : record -> string

@@ -1,0 +1,14 @@
+(** The structured concurrency event log — an alias of [Mcc_obs.Evlog].
+
+    The implementation lives at the bottom of the dependency stack so
+    the telemetry consumers ([Mcc_obs.Span], [Mcc_obs.Critpath]) can
+    replay the same stream the scheduler and the symbol tables emit
+    into without a dependency cycle.  The [struct include] form below
+    re-exports every type {e equal} to the original's ([kind], [record]
+    and friends are interchangeable with [Mcc_obs.Evlog]'s), keeping
+    every emitter and analyzer source-compatible: [Mcc_sched.Evlog]
+    {e is} [Mcc_obs.Evlog]. *)
+
+include module type of struct
+  include Mcc_obs.Evlog
+end

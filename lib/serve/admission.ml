@@ -1,0 +1,49 @@
+(* Admission control: a bounded queue with newest-lowest-priority-first
+   load shedding.
+
+   The server's queue never grows past [cap].  When a job arrives at a
+   full queue, the shed victim is chosen among the queued jobs *and*
+   the arrival itself: lowest priority class first, newest arrival
+   (largest [j_id]) among equals — so under overload the server keeps
+   the oldest, most important work, and a newly arrived low-priority
+   job bounces without disturbing the queue.  A shed job is rejected
+   for good: open-loop clients do not resubmit. *)
+
+type t = {
+  cap : int;
+  queue : Queue.t;
+  mutable shed : int;
+}
+
+type verdict = Admitted | Shed of Request.job
+
+let create ~cap queue =
+  if cap <= 0 then invalid_arg "Admission.create: cap must be positive";
+  { cap; queue; shed = 0 }
+
+let shed_count t = t.shed
+
+(* Shedding order: lower priority first, then newer (larger id). *)
+let more_sheddable (a : Request.job) (b : Request.job) =
+  a.Request.j_priority < b.Request.j_priority
+  || (a.Request.j_priority = b.Request.j_priority && a.Request.j_id > b.Request.j_id)
+
+let offer t (j : Request.job) =
+  if Queue.length t.queue < t.cap then begin
+    Queue.push t.queue j;
+    Admitted
+  end
+  else begin
+    let victim =
+      List.fold_left
+        (fun acc q -> if more_sheddable q acc then q else acc)
+        j (Queue.jobs t.queue)
+    in
+    t.shed <- t.shed + 1;
+    if victim.Request.j_id = j.Request.j_id then Shed j
+    else begin
+      ignore (Queue.remove t.queue victim);
+      Queue.push t.queue j;
+      Shed victim
+    end
+  end

@@ -1,0 +1,24 @@
+(** Admission control: a bounded queue with newest-lowest-priority-first
+    load shedding.
+
+    The queue never grows past [cap].  At a full queue the shed victim
+    is picked among the queued jobs {e and} the arrival itself — lowest
+    priority class first, newest ([j_id]-largest) among equals — so
+    overload keeps the oldest, most important work.  Shed jobs are
+    rejected for good. *)
+
+type t
+
+type verdict =
+  | Admitted
+  | Shed of Request.job
+      (** the victim — the arrival itself, or a queued job it displaced *)
+
+(** @raise Invalid_argument when [cap <= 0]. *)
+val create : cap:int -> Queue.t -> t
+
+(** Offer an arrival; pushes into the queue unless it (or a worse
+    victim) is shed.  Every call returning [Shed] counts once. *)
+val offer : t -> Request.job -> verdict
+
+val shed_count : t -> int

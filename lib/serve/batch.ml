@@ -1,0 +1,28 @@
+(* Request coalescing: when the dispatcher pulls a job, every queued
+   job sharing its interface-closure digest can ride the same batch —
+   the leader's compile warms the shared cache with exactly the
+   interfaces the others need, so batch members reduce to module-memo
+   or interface-store hits.
+
+   Batch members are pulled across sessions in arrival order and bypass
+   the fair scheduler's deficit accounting deliberately: their marginal
+   cost is near zero (that is the point of batching), so charging their
+   full byte size to their sessions would punish exactly the clients
+   the cache is helping. *)
+
+let pull queue ~closure ~limit =
+  if limit <= 0 then []
+  else begin
+    let matching =
+      List.filter
+        (fun (j : Request.job) -> j.Request.j_closure = closure)
+        (Queue.jobs queue)
+    in
+    let rec take n = function
+      | [] -> []
+      | j :: rest -> if n = 0 then [] else j :: take (n - 1) rest
+    in
+    let picked = take limit matching in
+    List.iter (fun j -> ignore (Queue.remove queue j)) picked;
+    picked
+  end

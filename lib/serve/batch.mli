@@ -1,0 +1,9 @@
+(** Request coalescing by interface closure.
+
+    [pull queue ~closure ~limit] dequeues up to [limit] queued jobs
+    whose interface-closure digest equals [closure], across sessions in
+    arrival order.  Members bypass deficit accounting: their marginal
+    cost after the batch leader's compile is near zero, so charging
+    their sessions would punish the clients the cache is helping. *)
+
+val pull : Queue.t -> closure:string -> limit:int -> Request.job list

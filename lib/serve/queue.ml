@@ -1,0 +1,156 @@
+(* The server's ready queue: FIFO, or deficit round-robin across client
+   sessions.
+
+   DRR (Shreedhar & Varghese): sessions with queued jobs sit in a
+   rotation ring; each session carries a byte deficit.  When a session
+   reaches the ring head, it may dispatch its oldest job if its deficit
+   covers the job's source bytes (the deficit is then spent); otherwise
+   it is granted one quantum and rotated to the back.  A session whose
+   queue drains leaves the ring and forfeits its deficit, so credit
+   cannot be hoarded across idle periods.  The invariant the qcheck
+   property pins down: a session's deficit always stays within
+   [0, quantum + max job bytes) — each grant lands on a deficit smaller
+   than some job's size, so no session accumulates unbounded credit,
+   which is exactly why one chatty client cannot starve the others.
+
+   All queue orders are by [j_id] (arrival order), so the whole
+   structure is deterministic: no hash-table iteration order leaks into
+   scheduling decisions. *)
+
+type policy = Fifo | Fair
+
+let policy_to_string = function Fifo -> "fifo" | Fair -> "fair"
+
+let policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "fair" -> Some Fair
+  | _ -> None
+
+type session = {
+  name : string;
+  mutable front : Request.job list; (* oldest first *)
+  mutable back : Request.job list; (* newest first *)
+  mutable deficit : int; (* bytes of credit (Fair only) *)
+  mutable in_ring : bool;
+}
+
+type t = {
+  policy : policy;
+  quantum : int;
+  sessions : (string, session) Hashtbl.t;
+  mutable ring : string list; (* rotation order, head = next to visit *)
+  mutable size : int;
+}
+
+let create ?(quantum = 8192) policy =
+  { policy; quantum; sessions = Hashtbl.create 8; ring = []; size = 0 }
+
+let length t = t.size
+let quantum t = t.quantum
+let policy t = t.policy
+
+let session t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> s
+  | None ->
+      let s = { name; front = []; back = []; deficit = 0; in_ring = false } in
+      Hashtbl.replace t.sessions name s;
+      s
+
+let session_length s = List.length s.front + List.length s.back
+
+let session_head s =
+  match s.front with
+  | j :: _ -> Some j
+  | [] -> ( match List.rev s.back with [] -> None | j :: rest ->
+      s.front <- j :: rest;
+      s.back <- [];
+      Some j)
+
+let session_pop s =
+  match session_head s with
+  | None -> None
+  | Some j ->
+      s.front <- List.tl s.front;
+      Some j
+
+(* FIFO runs through the same per-session structure under a single
+   synthetic session, so push/pop/remove share one implementation. *)
+let fifo_session = "\000fifo"
+
+let push t (j : Request.job) =
+  let key = match t.policy with Fifo -> fifo_session | Fair -> j.Request.j_session in
+  let s = session t key in
+  s.back <- j :: s.back;
+  t.size <- t.size + 1;
+  if not s.in_ring then begin
+    s.in_ring <- true;
+    t.ring <- t.ring @ [ key ]
+  end
+
+let rec pop t =
+  match t.ring with
+  | [] -> None
+  | key :: rest -> (
+      let s = session t key in
+      match session_head s with
+      | None ->
+          (* drained: leave the ring, forfeit the deficit *)
+          s.in_ring <- false;
+          s.deficit <- 0;
+          t.ring <- rest;
+          pop t
+      | Some j ->
+          let cost = match t.policy with Fifo -> 0 | Fair -> j.Request.j_bytes in
+          if s.deficit >= cost then begin
+            ignore (session_pop s);
+            t.size <- t.size - 1;
+            s.deficit <- s.deficit - cost;
+            if session_length s = 0 then begin
+              s.in_ring <- false;
+              s.deficit <- 0;
+              t.ring <- rest
+            end;
+            Some j
+          end
+          else begin
+            (* grant one quantum and rotate to the back of the ring *)
+            s.deficit <- s.deficit + t.quantum;
+            t.ring <- rest @ [ key ];
+            pop t
+          end)
+
+(* Queued jobs in arrival order (a snapshot; does not dequeue). *)
+let jobs t =
+  Hashtbl.fold (fun _ s acc -> s.front @ List.rev s.back @ acc) t.sessions []
+  |> List.sort (fun (a : Request.job) b -> compare a.Request.j_id b.Request.j_id)
+
+(* Remove a specific queued job (admission's victim ejection, the
+   batcher's coalescing).  Returns [true] if it was queued. *)
+let remove t (j : Request.job) =
+  let key = match t.policy with Fifo -> fifo_session | Fair -> j.Request.j_session in
+  match Hashtbl.find_opt t.sessions key with
+  | None -> false
+  | Some s ->
+      let pred (q : Request.job) = q.Request.j_id = j.Request.j_id in
+      if List.exists pred s.front || List.exists pred s.back then begin
+        s.front <- List.filter (fun q -> not (pred q)) s.front;
+        s.back <- List.filter (fun q -> not (pred q)) s.back;
+        t.size <- t.size - 1;
+        (if session_length s = 0 && s.in_ring then begin
+           s.in_ring <- false;
+           s.deficit <- 0;
+           t.ring <- List.filter (fun k -> k <> key) t.ring
+         end);
+        true
+      end
+      else false
+
+(* Per-session deficits, name-sorted — the fairness property's probe.
+   Empty under FIFO. *)
+let deficits t =
+  match t.policy with
+  | Fifo -> []
+  | Fair ->
+      Hashtbl.fold (fun name s acc -> (name, s.deficit) :: acc) t.sessions []
+      |> List.sort compare

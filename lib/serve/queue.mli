@@ -1,0 +1,44 @@
+(** The server's ready queue: FIFO, or deficit round-robin (DRR) across
+    client sessions.
+
+    Under [Fair], sessions with queued jobs rotate in a ring, each
+    carrying a byte deficit: at the ring head a session dispatches its
+    oldest job if the deficit covers the job's source bytes (spending
+    it), else it is granted one quantum and rotated away.  A drained
+    session forfeits its deficit.  Invariant (pinned by qcheck): every
+    deficit stays within [0, quantum + max job bytes) — no session
+    hoards credit, so a chatty client cannot starve the others.
+
+    Fully deterministic: all orders derive from [j_id] and ring
+    rotation, never from hash-table iteration. *)
+
+type policy = Fifo | Fair
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type t
+
+(** [create ?quantum policy] — [quantum] (default 8192) is the DRR
+    grant in source bytes per ring visit; ignored under [Fifo]. *)
+val create : ?quantum:int -> policy -> t
+
+val length : t -> int
+val quantum : t -> int
+val policy : t -> policy
+
+(** Enqueue behind the job's session (behind everything, under FIFO). *)
+val push : t -> Request.job -> unit
+
+(** Dispatch the next job per policy, or [None] when empty. *)
+val pop : t -> Request.job option
+
+(** Queued jobs in arrival order (snapshot; does not dequeue). *)
+val jobs : t -> Request.job list
+
+(** Remove a specific queued job (admission's victim ejection, the
+    batcher's coalescing).  [true] iff it was queued. *)
+val remove : t -> Request.job -> bool
+
+(** Per-session (name, deficit), name-sorted; empty under FIFO. *)
+val deficits : t -> (string * int) list

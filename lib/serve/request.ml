@@ -1,0 +1,51 @@
+(* The compile-server job model.
+
+   A job is one client's request to compile one program (a main module
+   plus its interface sources).  Jobs carry everything the scheduler
+   needs without looking inside the program: the submitting session, a
+   priority class (the load shedder's ordering), the virtual arrival
+   time, the source size (the fair scheduler's charge unit) and the
+   interface-closure digest (the batcher's coalescing key).
+
+   Times are virtual seconds on the server's clock — the same currency
+   as [Des_engine.result.end_seconds], so service times compose with
+   arrival processes directly. *)
+
+open Mcc_core
+
+type job = {
+  j_id : int; (* server-wide, assigned in arrival order *)
+  j_session : string; (* submitting client session *)
+  j_priority : int; (* higher = more important; shedding picks lowest first *)
+  j_arrival : float; (* virtual seconds *)
+  j_rank : int; (* suite rank of the requested program *)
+  j_store : Source_store.t;
+  j_bytes : int; (* total source bytes: the fair scheduler's charge *)
+  j_closure : string; (* interface-closure digest: the batching key *)
+}
+
+(* Two jobs share an interface closure iff their stores carry the same
+   interface sources — then one interface analysis (one warm cache)
+   serves both.  The digest covers the sorted interface names and their
+   source digests; the main implementation is deliberately excluded. *)
+let closure_digest store =
+  let parts =
+    List.map
+      (fun name ->
+        let src = Option.value ~default:"" (Source_store.def_src store name) in
+        name ^ ":" ^ Digest.to_hex (Digest.string src))
+      (Source_store.def_names store)
+  in
+  Digest.to_hex (Digest.string (String.concat "|" parts))
+
+type served = {
+  s_job : job;
+  s_start : float; (* service start, virtual seconds *)
+  s_finish : float; (* service completion, virtual seconds *)
+  s_warm : bool; (* answered from the shared module memo *)
+  s_batched : bool; (* rode another job's batch *)
+  s_retried : bool; (* failed under injected faults, re-served clean *)
+  s_result : Driver.result;
+}
+
+let sojourn s = s.s_finish -. s.s_job.j_arrival

@@ -1,0 +1,36 @@
+(** The compile-server job model: one client request to compile one
+    program, carrying what the scheduler needs without looking inside
+    it.  Times are virtual seconds on the server's clock — the same
+    currency as [Des_engine.result.end_seconds]. *)
+
+open Mcc_core
+
+type job = {
+  j_id : int;  (** server-wide id, assigned in arrival order *)
+  j_session : string;  (** submitting client session *)
+  j_priority : int;  (** higher = more important; shedding picks lowest first *)
+  j_arrival : float;  (** virtual seconds *)
+  j_rank : int;  (** suite rank of the requested program *)
+  j_store : Source_store.t;
+  j_bytes : int;  (** total source bytes: the fair scheduler's charge *)
+  j_closure : string;  (** interface-closure digest: the batching key *)
+}
+
+(** Two jobs share an interface closure iff their stores carry the same
+    interface sources (same names, same text) — then one interface
+    analysis serves both.  The main implementation is excluded. *)
+val closure_digest : Source_store.t -> string
+
+(** One completed service. *)
+type served = {
+  s_job : job;
+  s_start : float;  (** service start, virtual seconds *)
+  s_finish : float;  (** service completion, virtual seconds *)
+  s_warm : bool;  (** answered from the shared module memo *)
+  s_batched : bool;  (** rode another job's batch *)
+  s_retried : bool;  (** failed under injected faults, re-served clean *)
+  s_result : Driver.result;
+}
+
+(** Arrival-to-completion time, virtual seconds. *)
+val sojourn : served -> float

@@ -1,0 +1,29 @@
+(** The open-loop traffic generator: independent per-client arrival
+    processes (exponential interarrivals, programs drawn from a pool of
+    suite ranks skewed toward small ones), fully determined by one
+    integer seed through split PRNG streams.  Open-loop: clients never
+    wait for completions — the regime where admission control and fair
+    scheduling earn their keep. *)
+
+type config = {
+  clients : int;
+  jobs : int;  (** total, across clients *)
+  seed : int;
+  ranks : int list;  (** program pool (suite ranks) *)
+  mean_interarrival : float;  (** per-client mean, virtual seconds *)
+  skew : bool;  (** client 0 chatty ({!heavy_factor}× rate, lowest priority) *)
+  suite_seed : int;  (** perturbs the generated programs themselves *)
+}
+
+(** The chatty client's rate multiplier under [skew]. *)
+val heavy_factor : float
+
+(** 4 clients, 40 jobs, the small-rank pool, mean 40 s, no skew. *)
+val default : config
+
+val session_name : int -> string
+
+(** Jobs sorted by arrival time, ids assigned in arrival order.
+    @raise Invalid_argument on a non-positive client count or an empty
+    rank pool. *)
+val generate : config -> Request.job list

@@ -74,6 +74,14 @@ let program ?(seed = 0) rank =
 
 let all ?(seed = 0) () = List.init n_programs (fun rank -> program ~seed rank)
 
+let target_seconds rank = List.nth targets rank
+
+(* The compile-server traffic generator's default program pool: ranks
+   whose 1-processor target compile time fits the budget.  Decided from
+   the shape targets alone — no program is generated. *)
+let ranks_under seconds =
+  List.concat (List.mapi (fun rank t -> if t <= seconds then [ rank ] else []) targets)
+
 (* ------------------------------------------------------------------ *)
 (* Synth.mod: the mechanically generated best-possible module (§4.2). *)
 

@@ -18,6 +18,15 @@ val program : ?seed:int -> int -> Source_store.t
 (** All 37 programs. *)
 val all : ?seed:int -> unit -> Source_store.t list
 
+(** Suite entry [rank]'s target 1-processor compile time, in paper-style
+    seconds (the Table 1 ramp the shapes are tuned to). *)
+val target_seconds : int -> float
+
+(** Ranks whose target 1-processor compile time is at most [seconds] —
+    the compile-server traffic generator's default program pool.
+    Decided from the shape targets alone; no program is generated. *)
+val ranks_under : float -> int list
+
 (** Synth.mod (paper §4.2): many same-sized procedures whose bodies
     reference only their own locals and builtins, so compilation
     "generates ample parallel work for the compiler and never incurs a

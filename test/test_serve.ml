@@ -1,0 +1,350 @@
+(* The compile server: scheduling policies, admission control, and the
+   served-equals-one-shot conformance property.
+
+   The queue and admission layers are pinned by qcheck against
+   executable models: every DRR deficit stays within
+   [0, quantum + max job bytes) over arbitrary push/pop interleavings
+   (no session hoards credit), and the bounded queue sheds exactly the
+   newest-lowest-priority job a reference model picks.  On top, the
+   server itself: same seed twice is identical, a warm cache beats a
+   cold one, batching coalesces shared closures, DRR protects victim
+   sessions from a chatty client, and eviction- or fault-stressed runs
+   still answer every job byte-identically to one-shot compiles. *)
+
+open Mcc_serve
+module Prng = Mcc_util.Prng
+module Driver = Mcc_core.Driver
+
+let dummy_store =
+  lazy (Tutil.store ~name:"T" (Tutil.modsrc ~decls:"" ~body:"WriteInt(1)" ()))
+
+let mkjob ?(session = "s0") ?(priority = 0) ?(bytes = 100) ?(arrival = 0.0) id =
+  {
+    Request.j_id = id;
+    j_session = session;
+    j_priority = priority;
+    j_arrival = arrival;
+    j_rank = 0;
+    j_store = Lazy.force dummy_store;
+    j_bytes = bytes;
+    j_closure = "c";
+  }
+
+(* --- queue policies ------------------------------------------------ *)
+
+let test_policy_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "round-trips" true
+        (Queue.policy_of_string (Queue.policy_to_string p) = Some p))
+    [ Queue.Fifo; Queue.Fair ];
+  Alcotest.(check bool) "unknown rejected" true (Queue.policy_of_string "lifo" = None)
+
+let test_fifo_is_arrival_order () =
+  let q = Queue.create Queue.Fifo in
+  List.iter
+    (fun i -> Queue.push q (mkjob ~session:(if i mod 2 = 0 then "a" else "b") i))
+    [ 3; 1; 4; 1; 5 ];
+  let rec drain acc =
+    match Queue.pop q with None -> List.rev acc | Some j -> drain (j.Request.j_id :: acc)
+  in
+  Alcotest.(check (list int)) "push order out" [ 3; 1; 4; 1; 5 ] (drain [])
+
+(* With one-quantum jobs, DRR alternates strictly between two loaded
+   sessions — neither session's backlog length buys it extra turns. *)
+let test_drr_alternates () =
+  let q = Queue.create ~quantum:100 Queue.Fair in
+  for i = 0 to 9 do
+    Queue.push q (mkjob ~session:"chatty" ~bytes:100 i)
+  done;
+  Queue.push q (mkjob ~session:"meek" ~bytes:100 100);
+  Queue.push q (mkjob ~session:"meek" ~bytes:100 101);
+  let rec drain acc =
+    match Queue.pop q with
+    | None -> List.rev acc
+    | Some j -> drain (j.Request.j_session :: acc)
+  in
+  let order = drain [] in
+  Alcotest.(check (list string)) "meek served amid the flood"
+    [ "chatty"; "meek"; "chatty"; "meek" ]
+    (List.filteri (fun i _ -> i < 4) order);
+  Alcotest.(check int) "everything served" 12 (List.length order)
+
+(* qcheck: the DRR deficit invariant over random push/pop interleavings. *)
+let max_bytes = 5_000
+
+let prop_deficit_bounded =
+  QCheck.Test.make ~name:"DRR: every deficit stays in [0, quantum + max job bytes)"
+    ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (0xd44 + seed) in
+      let quantum = 1 + Prng.int rng 4_000 in
+      let q = Queue.create ~quantum Queue.Fair in
+      let ok = ref true in
+      let check_invariant () =
+        List.iter
+          (fun (_, d) -> if d < 0 || d >= quantum + max_bytes then ok := false)
+          (Queue.deficits q)
+      in
+      for i = 0 to 120 do
+        (if Prng.chance rng 0.6 then
+           let session = Printf.sprintf "s%d" (Prng.int rng 4) in
+           Queue.push q (mkjob ~session ~bytes:(1 + Prng.int rng (max_bytes - 1)) i)
+         else ignore (Queue.pop q));
+        check_invariant ()
+      done;
+      (* drain completely; the invariant must hold at every step *)
+      while Queue.pop q <> None do
+        check_invariant ()
+      done;
+      !ok && Queue.length q = 0)
+
+(* qcheck: DRR's service-share bound — while every session stays
+   backlogged, no session's served bytes can run ahead of another's by
+   more than 2(quantum + max job bytes): each full rotation grants each
+   ring member one quantum, and the deficit invariant caps the
+   carryover.  This is the "a chatty client cannot starve the others"
+   guarantee in byte form. *)
+let prop_drr_byte_fairness =
+  QCheck.Test.make ~name:"DRR: backlogged sessions' byte shares stay within 2(Q + maxjob)"
+    ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (0xfa1 + seed) in
+      let quantum = 500 + Prng.int rng 2_000 in
+      let maxb = 1_000 in
+      let q = Queue.create ~quantum Queue.Fair in
+      let sessions = [ "a"; "b"; "c" ] in
+      let per = 40 in
+      let id = ref 0 in
+      let remaining = Hashtbl.create 4 and served = Hashtbl.create 4 in
+      List.iter
+        (fun s ->
+          Hashtbl.replace remaining s per;
+          Hashtbl.replace served s 0;
+          for _ = 1 to per do
+            incr id;
+            Queue.push q (mkjob ~session:s ~bytes:(1 + Prng.int rng (maxb - 1)) !id)
+          done)
+        sessions;
+      let ok = ref true in
+      let backlogged () = List.for_all (fun s -> Hashtbl.find remaining s > 0) sessions in
+      while !ok && backlogged () do
+        match Queue.pop q with
+        | None -> ok := false
+        | Some j ->
+            let s = j.Request.j_session in
+            Hashtbl.replace remaining s (Hashtbl.find remaining s - 1);
+            Hashtbl.replace served s (Hashtbl.find served s + j.Request.j_bytes);
+            if backlogged () then begin
+              let bs = List.map (Hashtbl.find served) sessions in
+              let mx = List.fold_left max 0 bs and mn = List.fold_left min max_int bs in
+              if mx - mn > 2 * (quantum + maxb) then ok := false
+            end
+      done;
+      !ok)
+
+(* --- admission ----------------------------------------------------- *)
+
+(* qcheck: shedding against a reference model — lowest priority first,
+   newest among equals, the arrival itself a candidate. *)
+let prop_shed_matches_model =
+  QCheck.Test.make ~name:"admission: sheds exactly the newest lowest-priority job"
+    ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create (0x5ed + seed) in
+      let cap = 1 + Prng.int rng 8 in
+      let q = Queue.create Queue.Fifo in
+      let adm = Admission.create ~cap q in
+      let model = ref [] (* admitted, any order *) and model_shed = ref 0 in
+      let ok = ref true in
+      for i = 0 to 40 do
+        let j = mkjob ~priority:(Prng.int rng 3) ~session:"s" i in
+        let verdict = Admission.offer adm j in
+        (* model step *)
+        (if List.length !model < cap then model := j :: !model
+         else begin
+           let victim =
+             List.fold_left
+               (fun v c ->
+                 if
+                   c.Request.j_priority < v.Request.j_priority
+                   || (c.Request.j_priority = v.Request.j_priority
+                      && c.Request.j_id > v.Request.j_id)
+                 then c
+                 else v)
+               j !model
+           in
+           incr model_shed;
+           if victim.Request.j_id <> j.Request.j_id then
+             model := j :: List.filter (fun c -> c.Request.j_id <> victim.Request.j_id) !model
+         end);
+        (match verdict with
+        | Admission.Admitted -> ()
+        | Admission.Shed _ -> ());
+        let ids l = List.sort compare (List.map (fun c -> c.Request.j_id) l) in
+        if ids (Queue.jobs q) <> ids !model then ok := false;
+        if Queue.length q > cap then ok := false
+      done;
+      !ok && Admission.shed_count adm = !model_shed)
+
+(* --- the server ---------------------------------------------------- *)
+
+let summary (r : Server.report) =
+  ( ( r.Server.r_submitted, r.Server.r_served, r.Server.r_warm, r.Server.r_shed,
+      r.Server.r_batches, r.Server.r_batched_jobs ),
+    (r.Server.r_end_seconds, r.Server.r_throughput, r.Server.r_mean, r.Server.r_p99),
+    r.Server.r_sessions,
+    List.map
+      (fun s -> (s.Request.s_job.Request.j_id, s.Request.s_start, s.Request.s_finish))
+      r.Server.r_served_jobs )
+
+let small_traffic =
+  { Traffic.default with Traffic.jobs = 16; clients = 3; mean_interarrival = 0.3; seed = 4 }
+
+let test_same_seed_identical () =
+  let run () =
+    Server.serve ~cache:(Server.cache ()) Server.default_config
+      (Traffic.generate small_traffic)
+  in
+  Alcotest.(check bool) "identical reports" true (summary (run ()) = summary (run ()))
+
+let test_warm_beats_cold () =
+  let cache = Server.cache () in
+  let trace = Traffic.generate small_traffic in
+  let cold = Server.serve ~cache Server.default_config trace in
+  let warm = Server.serve ~cache Server.default_config trace in
+  (* "cold" means the cache starts empty, not that every job misses: a
+     repeated rank hits the memo within the run *)
+  Alcotest.(check bool) "cold run really compiles" true
+    (cold.Server.r_warm < cold.Server.r_served);
+  Alcotest.(check int) "warm answers everything from the memo" warm.Server.r_served
+    warm.Server.r_warm;
+  Alcotest.(check bool) "warm throughput strictly higher" true
+    (warm.Server.r_throughput > cold.Server.r_throughput);
+  Alcotest.(check bool) "warm p99 strictly lower" true (warm.Server.r_p99 < cold.Server.r_p99)
+
+let test_batching_coalesces () =
+  (* a tight burst of jobs over a small rank pool: arrivals pile up
+     behind the first service and jobs sharing an interface closure
+     must ride one batch *)
+  let trace =
+    Traffic.generate
+      { Traffic.default with Traffic.jobs = 24; clients = 4; mean_interarrival = 0.05; seed = 2 }
+  in
+  let r = Server.serve ~cache:(Server.cache ()) Server.default_config trace in
+  Alcotest.(check int) "all served" 24 r.Server.r_served;
+  Alcotest.(check bool) "batches formed" true (r.Server.r_batched_jobs > 0);
+  Alcotest.(check bool) "batch cap respected" true
+    (r.Server.r_max_batch <= Server.default_config.Server.batch_max);
+  match Server.verify Server.default_config r with
+  | Ok n -> Alcotest.(check int) "all jobs conform" 24 n
+  | Error e -> Alcotest.fail e
+
+let skew_traffic =
+  {
+    Traffic.default with
+    Traffic.clients = 4;
+    jobs = 160;
+    seed = 7;
+    mean_interarrival = 3.0;
+    skew = true;
+  }
+
+(* the starvation test: one chatty client at 8x rate with heavy builds
+   must not be able to push the victims' tails past what FIFO gives
+   them — DRR caps its byte share per rotation *)
+let test_fair_protects_victims () =
+  let run policy =
+    let cfg = { Server.default_config with Server.policy; cap = 16 } in
+    Server.serve ~cache:(Server.cache ~memo_cap:2 ()) cfg (Traffic.generate skew_traffic)
+  in
+  let fifo = run Queue.Fifo and fair = run Queue.Fair in
+  Alcotest.(check bool) "overload sheds under both" true
+    (fifo.Server.r_shed > 0 && fair.Server.r_shed > 0);
+  let chatty = Traffic.session_name 0 in
+  let victims (r : Server.report) =
+    List.filter (fun s -> s.Server.ss_session <> chatty) r.Server.r_sessions
+  in
+  let worst r = List.fold_left (fun m s -> Float.max m s.Server.ss_p99) 0.0 (victims r) in
+  Alcotest.(check bool) "worst victim p99 improves under fair" true (worst fair < worst fifo);
+  let fair_p99s = List.map (fun s -> s.Server.ss_p99) (victims fair) in
+  let vmax = List.fold_left Float.max 0.0 fair_p99s in
+  let vmin = List.fold_left Float.min infinity fair_p99s in
+  Alcotest.(check bool) "fair victim p99 spread within 2x" true (vmax <= 2.0 *. vmin)
+
+let test_eviction_conformance () =
+  let cfg = Server.default_config in
+  let cache =
+    {
+      Server.bc = Mcc_core.Build_cache.create ~cap_bytes:(8 * 1024) ();
+      memo = Mcc_core.Build_cache.memo ~cap:2 ();
+    }
+  in
+  let trace =
+    Traffic.generate
+      { Traffic.default with Traffic.jobs = 24; mean_interarrival = 1.0; seed = 9 }
+  in
+  let r = Server.serve ~cache cfg trace in
+  Alcotest.(check bool) "interface evictions happened" true (r.Server.r_iface_evictions > 0);
+  Alcotest.(check bool) "memo evictions happened" true (r.Server.r_memo_evictions > 0);
+  match Server.verify cfg r with
+  | Ok n -> Alcotest.(check int) "evicted server still conforms" 24 n
+  | Error e -> Alcotest.fail e
+
+let test_fault_isolation_conformance () =
+  let cfg =
+    {
+      Server.default_config with
+      Server.faults = Mcc_sched.Fault.parse_list "task-crash:procparse!,corrupt-artifact@1";
+      fault_seed = 3;
+    }
+  in
+  let trace =
+    Traffic.generate
+      { Traffic.default with Traffic.jobs = 20; mean_interarrival = 2.0; seed = 5 }
+  in
+  let r = Server.serve ~cache:(Server.cache ~memo_cap:3 ()) cfg trace in
+  Alcotest.(check int) "every job served despite faults" 20 r.Server.r_served;
+  Alcotest.(check int) "no job failed outright" 0 r.Server.r_failed;
+  match Server.verify cfg r with
+  | Ok n -> Alcotest.(check int) "faulted server conforms" 20 n
+  | Error e -> Alcotest.fail e
+
+let test_rejects_config_faults () =
+  let cfg =
+    {
+      Server.default_config with
+      Server.compile =
+        { Driver.default_config with Driver.faults = Mcc_sched.Fault.parse_list "task-crash@1" };
+    }
+  in
+  Alcotest.check_raises "faults must live in the server config"
+    (Invalid_argument "Server.serve: put the fault plan in the server config, not the compile config")
+    (fun () -> ignore (Server.serve ~cache:(Server.cache ()) cfg []))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "policy names" `Quick test_policy_names;
+          Alcotest.test_case "fifo arrival order" `Quick test_fifo_is_arrival_order;
+          Alcotest.test_case "drr alternates" `Quick test_drr_alternates;
+          Tutil.qtest prop_deficit_bounded;
+          Tutil.qtest prop_drr_byte_fairness;
+        ] );
+      ("admission", [ Tutil.qtest prop_shed_matches_model ]);
+      ( "server",
+        [
+          Alcotest.test_case "same seed identical" `Quick test_same_seed_identical;
+          Alcotest.test_case "warm beats cold" `Quick test_warm_beats_cold;
+          Alcotest.test_case "batching coalesces" `Quick test_batching_coalesces;
+          Alcotest.test_case "fair protects victims" `Quick test_fair_protects_victims;
+          Alcotest.test_case "eviction conformance" `Quick test_eviction_conformance;
+          Alcotest.test_case "fault isolation conformance" `Quick test_fault_isolation_conformance;
+          Alcotest.test_case "config faults rejected" `Quick test_rejects_config_faults;
+        ] );
+    ]
