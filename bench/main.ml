@@ -18,6 +18,7 @@
      incr      (extra)  - incremental builds: cold vs warm interface cache
      incr-fine (extra)  - declaration-level invalidation + early cutoff (BENCH_incr.json)
      serve     (extra)  - compile server: throughput, tails, fairness (BENCH_serve.json)
+     farm      (extra)  - sharded build farm: scaling, node-loss recovery (BENCH_farm.json)
      faults    (extra)  - fault injection x rate x strategy x procs recovery matrix
      micro     (extra)  - bechamel microbenchmarks of compiler phases
      all       everything above
@@ -1151,12 +1152,182 @@ let serve_bench () =
   Out_channel.with_open_text "BENCH_serve.json" (fun oc -> output_string oc text);
   say "wrote BENCH_serve.json (%d bytes)" (String.length text)
 
+(* Sharded build farm benchmark (BENCH_farm.json).  Four measurements
+   over one def-heavy suite program: (1) a scaling matrix
+   {1x8, 2x4, 4x2 nodes x per-node procs} x net {zero, lan, wan} — same
+   total processor count per cell, so the spread is pure distribution
+   overhead; gate: 4x2 at zero latency stays within [scaling_tolerance]
+   of 1x8 (measured ~1.02-1.10x; interface closures distribute well
+   enough that 2x4 usually beats 1x8).  (2) A node-loss recovery
+   matrix: kill each node of a 3-node farm at two staged virtual
+   times; gate: every cell converges without sequential fallback and
+   matches the sequential oracle.  (3) Partition/heal and
+   gray-node-hedged-fetch cells, oracle-gated.  (4) A same-seed
+   determinism gate: one faulted cell re-run from scratch must
+   serialize byte-identically (CI additionally cmps two whole runs of
+   the artifact file).  BENCH_SAMPLE drops to a smaller program and
+   trims the matrices.  Gate failures exit nonzero. *)
+let farm_bench () =
+  header "Sharded build farm (BENCH_farm.json)";
+  let fail fmt = Printf.ksprintf (fun s -> say "FAIL: %s" s; exit 1) fmt in
+  let module J = Mcc_obs.Json in
+  let module Farm = Mcc_farm.Farm in
+  let module Netsim = Mcc_farm.Netsim in
+  let scaling_tolerance = 1.35 in
+  let sample = Option.bind (Sys.getenv_opt "BENCH_SAMPLE") int_of_string_opt <> None in
+  let rank = if sample then 3 else 17 in
+  if sample then say "BENCH_SAMPLE: suite rank %d, reduced matrices" rank;
+  let store = Suite.program rank in
+  let cfg ?(nodes = 3) ?(procs = 8) ?(net = Netsim.lan) ?(faults = "") () =
+    {
+      Farm.default_config with
+      Farm.compile = { Driver.default_config with Driver.procs };
+      nodes;
+      net;
+      faults = Mcc_sched.Fault.parse_list faults;
+    }
+  in
+  let checked name c =
+    let r = Farm.run c store in
+    if not r.Farm.f_ok then fail "%s: farm compile reported failure" name;
+    (match Farm.verify store r with
+    | Ok () -> ()
+    | Error e -> fail "%s: oracle divergence: %s" name e);
+    r
+  in
+  let report_json (r : Farm.report) =
+    J.Obj
+      [
+        ("nodes", J.Int r.Farm.f_nodes);
+        ("procs_per_node", J.Int r.Farm.f_procs);
+        ("net", J.Str r.Farm.f_net);
+        ("shard", J.Str r.Farm.f_shard);
+        ("tasks", J.Int r.Farm.f_tasks);
+        ("makespan", J.Float r.Farm.f_makespan);
+        ("fetches", J.Int r.Farm.f_fetches);
+        ("serves", J.Int r.Farm.f_serves);
+        ("local_fallbacks", J.Int r.Farm.f_local_fallbacks);
+        ("rpc_retries", J.Int r.Farm.f_rpc_retries);
+        ("rpc_drops", J.Int r.Farm.f_rpc_drops);
+        ("hedges", J.Int r.Farm.f_hedges);
+        ("hedge_wins", J.Int r.Farm.f_hedge_wins);
+        ("steals", J.Int r.Farm.f_steals);
+        ("reshards", J.Int r.Farm.f_reshards);
+        ("crashes", J.Int r.Farm.f_crashes);
+        ("detects", J.Int r.Farm.f_detects);
+        ("slow_nodes", J.Int r.Farm.f_slow_nodes);
+        ("partitions", J.Int r.Farm.f_partitions);
+        ("replicas", J.Int r.Farm.f_replicas);
+        ("seq_fallback", J.Bool r.Farm.f_seq_fallback);
+        ("conformant", J.Bool true);
+      ]
+  in
+  (* --- scaling matrix ----------------------------------------------- *)
+  let layouts = [ (1, 8); (2, 4); (4, 2) ] in
+  let nets =
+    if sample then [ ("zero", Netsim.zero); ("lan", Netsim.lan) ]
+    else [ ("zero", Netsim.zero); ("lan", Netsim.lan); ("wan", Netsim.wan) ]
+  in
+  say "scaling matrix: suite rank %d, layouts 1x8 2x4 4x2, nets %s" rank
+    (String.concat " " (List.map fst nets));
+  say "  %-6s %-5s %10s %8s %7s" "layout" "net" "makespan" "fetches" "steals";
+  let scaling =
+    List.concat_map
+      (fun (net_name, net) ->
+        List.map
+          (fun (nodes, procs) ->
+            let name = Printf.sprintf "%dx%d/%s" nodes procs net_name in
+            let r = checked name (cfg ~nodes ~procs ~net ()) in
+            say "  %dx%-4d %-5s %10.3f %8d %7d" nodes procs net_name r.Farm.f_makespan
+              r.Farm.f_fetches r.Farm.f_steals;
+            ((nodes, procs, net_name), r))
+          layouts)
+      nets
+  in
+  let makespan nodes procs net_name =
+    match List.assoc_opt (nodes, procs, net_name) scaling with
+    | Some r -> r.Farm.f_makespan
+    | None -> fail "missing scaling cell %dx%d/%s" nodes procs net_name
+  in
+  let wide = makespan 4 2 "zero" and tall = makespan 1 8 "zero" in
+  if wide > scaling_tolerance *. tall then
+    fail "4x2 zero-latency makespan %.3f exceeds %.2fx the 1x8 makespan %.3f" wide
+      scaling_tolerance tall;
+  say "  4x2 zero-latency within %.2fx of 1x8 (%.3f vs %.3f): PASS" scaling_tolerance wide tall;
+  (* --- node-loss recovery matrix ------------------------------------ *)
+  let stages = if sample then [ 1 ] else [ 1; 4 ] in
+  let victims = if sample then [ 1 ] else [ 0; 1; 2 ] in
+  say "node-loss matrix: 3-node farm, kill node {%s} at heartbeat occurrence {%s}"
+    (String.concat "," (List.map string_of_int victims))
+    (String.concat "," (List.map string_of_int stages));
+  let loss =
+    List.concat_map
+      (fun victim ->
+        List.map
+          (fun stage ->
+            let spec = Printf.sprintf "node-crash:node%d@%d" victim stage in
+            let r = checked spec (cfg ~faults:spec ()) in
+            if r.Farm.f_crashes <> 1 then fail "%s: crash did not fire" spec;
+            if r.Farm.f_detects < 1 then fail "%s: dead node never detected" spec;
+            if r.Farm.f_seq_fallback then fail "%s: survivors failed to converge" spec;
+            say "  %-22s detects=%d reshards=%d makespan=%.3f oracle=ok" spec r.Farm.f_detects
+              r.Farm.f_reshards r.Farm.f_makespan;
+            (spec, r))
+          stages)
+      victims
+  in
+  say "  every node-loss cell converged on the survivors and matched the oracle: PASS";
+  (* --- partition/heal and hedged fetch ------------------------------ *)
+  let part_spec = "partition@1" in
+  let part = checked part_spec (cfg ~faults:part_spec ()) in
+  if part.Farm.f_partitions < 1 then fail "partition cell: partition never fired";
+  if part.Farm.f_seq_fallback then fail "partition cell: failed to converge";
+  say "partition/heal: %d partition(s), converged, oracle=ok" part.Farm.f_partitions;
+  let hedge_spec = "node-slow:node1!" in
+  let hedge = checked hedge_spec (cfg ~faults:hedge_spec ()) in
+  if hedge.Farm.f_slow_nodes < 1 then fail "hedge cell: gray failure never armed";
+  if hedge.Farm.f_hedges < 1 then fail "hedge cell: no fetch ever hedged";
+  say "hedged fetch: %d slow node(s), %d hedge(s), %d won, oracle=ok" hedge.Farm.f_slow_nodes
+    hedge.Farm.f_hedges hedge.Farm.f_hedge_wins;
+  (* --- determinism --------------------------------------------------- *)
+  let det_spec = "node-crash:node1@1,msg-drop%20" in
+  let det_cell () = J.to_string (report_json (checked det_spec (cfg ~faults:det_spec ()))) in
+  if det_cell () <> det_cell () then
+    fail "same-seed faulted farm runs serialize differently — farm is nondeterministic";
+  say "determinism: same-seed faulted cell re-run is byte-identical: PASS";
+  (* --- artifact ------------------------------------------------------ *)
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "mcc-bench-farm-v1");
+        ("suite_rank", J.Int rank);
+        ("scaling_tolerance", J.Float scaling_tolerance);
+        ( "scaling",
+          J.Arr (List.map (fun (_, r) -> report_json r) scaling) );
+        ( "node_loss",
+          J.Arr
+            (List.map
+               (fun (spec, r) -> J.Obj [ ("inject", J.Str spec); ("report", report_json r) ])
+               loss) );
+        ("partition", J.Obj [ ("inject", J.Str part_spec); ("report", report_json part) ]);
+        ("hedge", J.Obj [ ("inject", J.Str hedge_spec); ("report", report_json hedge) ]);
+        ("determinism", J.Obj [ ("inject", J.Str det_spec); ("identical", J.Bool true) ]);
+      ]
+  in
+  let text = J.to_string doc ^ "\n" in
+  (match J.validate text with
+  | Ok () -> ()
+  | Error e -> fail "BENCH_farm.json does not validate: %s" e);
+  Out_channel.with_open_text "BENCH_farm.json" (fun oc -> output_string oc text);
+  say "wrote BENCH_farm.json (%d bytes)" (String.length text)
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig2", fig2);
     ("fig4", fig4); ("fig7", fig7); ("overhead", overhead); ("dky", dky);
     ("heading", heading); ("sched", sched_ablation); ("barrier", barrier);
     ("sensitivity", sensitivity); ("incr", incr); ("incr-fine", incr_fine); ("serve", serve_bench);
+    ("farm", farm_bench);
     ("faults", faults);
     ("micro", micro);
     ("speedup", speedup_artifacts); ("conformance", conformance);

@@ -748,14 +748,27 @@ let serve_cmd =
              job's output to be observationally identical (the seq-vs-server conformance \
              oracle).")
   in
-  let run procs strategy clients jobs seed policy cap batch cache_mb memo_cap mean skew faults
-      fault_seed verify =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-job deadline, virtual seconds: a job still queued longer than this after \
+             arrival is shed at dispatch instead of served.  Default: serve everything \
+             admitted.")
+  in
+  let run procs strategy clients jobs seed policy cap batch cache_mb memo_cap mean skew deadline
+      faults fault_seed verify =
     let ( let* ) r k = match r with Error e -> `Error (false, e) | Ok v -> k v in
     with_config ~procs ~strategy ~heading:1 @@ fun compile ->
     let* clients = Cliopt.parse_positive ~what:"--clients" clients in
     let* jobs = Cliopt.parse_positive ~what:"--jobs" jobs in
     let* cap = Cliopt.parse_positive ~what:"--cap" cap in
     let* batch = Cliopt.parse_positive ~what:"--batch" batch in
+    match deadline with
+    | Some d when d <= 0.0 -> `Error (false, "--deadline must be positive")
+    | _ -> (
     match Queue.policy_of_string policy with
     | None -> `Error (false, Printf.sprintf "unknown policy %S: must be fair or fifo" policy)
     | Some policy ->
@@ -776,6 +789,7 @@ let serve_cmd =
             cap;
             quantum = Server.default_config.Server.quantum;
             batch_max = batch;
+            deadline;
             faults;
             fault_seed;
           }
@@ -786,9 +800,10 @@ let serve_cmd =
         Printf.printf "serve: %d jobs from %d clients on %d processors (%s policy)\n"
           r.Server.r_submitted clients procs r.Server.r_policy;
         Printf.printf
-          "served %d (%d warm, %d batched, %d retried, %d failed), shed %d, peak queue %d\n"
+          "served %d (%d warm, %d batched, %d retried, %d failed), shed %d admission + %d \
+           overdue, peak queue %d\n"
           r.Server.r_served r.Server.r_warm r.Server.r_batched_jobs r.Server.r_retried
-          r.Server.r_failed r.Server.r_shed r.Server.r_max_depth;
+          r.Server.r_failed r.Server.r_shed r.Server.r_deadline_shed r.Server.r_max_depth;
         Printf.printf "throughput: %.3f jobs/virtual s over %.1f s\n" r.Server.r_throughput
           r.Server.r_end_seconds;
         Printf.printf "sojourn: mean %.2f s, p50 %.2f, p95 %.2f, p99 %.2f, max %.2f\n"
@@ -811,13 +826,13 @@ let serve_cmd =
               Printf.printf "conformance: %d served jobs identical to one-shot compiles\n" n;
               `Ok ()
           | Error e -> `Error (false, "conformance: " ^ e)
-        else `Ok ()
+        else `Ok ())
   in
   let term =
     Term.(
       ret
         (const (fun procs strategy clients jobs seed policy cap batch cache_mb memo_cap mean skew
-                    inject fault_seed verify ->
+                    deadline inject fault_seed verify ->
              match
                try Ok (match inject with None -> [] | Some s -> Fault.parse_list s)
                with Invalid_argument e -> Error e
@@ -825,10 +840,10 @@ let serve_cmd =
              | Error e -> `Error (false, e)
              | Ok faults ->
                  run procs strategy clients jobs seed policy cap batch cache_mb memo_cap mean skew
-                   faults fault_seed verify)
+                   deadline faults fault_seed verify)
         $ procs_arg $ strategy_arg $ clients_arg $ jobs_arg $ seed_arg $ policy_arg $ cap_arg
-        $ batch_arg $ cache_mb_arg $ memo_cap_arg $ mean_arg $ skew_arg $ inject_arg
-        $ fault_seed_arg $ verify_arg))
+        $ batch_arg $ cache_mb_arg $ memo_cap_arg $ mean_arg $ skew_arg $ deadline_arg
+        $ inject_arg $ fault_seed_arg $ verify_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -838,6 +853,116 @@ let serve_cmd =
           fair scheduling, interface-closure batching, and a shared warm build cache.  Reports \
           throughput, sojourn percentiles and per-session statistics; with $(b,--inject), every \
           job compiles under its own fault plan and the server isolates failures.")
+    term
+
+let farm_cmd =
+  let open Mcc_farm in
+  let nodes_arg =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N" ~doc:"Simulated build-farm nodes.")
+  in
+  let net_arg =
+    Arg.(
+      value & opt string "lan"
+      & info [ "net" ] ~docv:"NET"
+          ~doc:
+            "Network-cost model between nodes: $(b,zero), $(b,lan), $(b,wan) or \
+             $(i,LAT_US:BW_MBPS:LOSS_PCT).")
+  in
+  let shard_arg =
+    Arg.(
+      value & opt string "hash"
+      & info [ "shard" ] ~docv:"POLICY"
+          ~doc:
+            "How definition-module closures are placed on nodes: $(b,hash) (stable content \
+             hash) or $(b,size) (size-balanced greedy).")
+  in
+  let steal_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "steal" ] ~docv:"BOOL" ~doc:"Idle nodes steal runnable closures from peers.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Network jitter/loss stream seed.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Require the farm's final program to be observationally identical to a one-shot \
+             sequential compile (the farm-vs-seq conformance oracle).")
+  in
+  let run store nodes procs strategy net shard steal seed faults fault_seed verify =
+    let ( let* ) r k = match r with Error e -> `Error (false, e) | Ok v -> k v in
+    with_config ~procs ~strategy ~heading:1 @@ fun compile ->
+    let* nodes = Cliopt.parse_positive ~what:"--nodes" nodes in
+    let* net = Mcc_farm.Netsim.params_of_string net in
+    match Shard.policy_of_string shard with
+    | None -> `Error (false, Printf.sprintf "unknown --shard %S: must be hash or size" shard)
+    | Some shard ->
+        let cfg = { Farm.compile; nodes; net; shard; steal; faults; fault_seed; seed } in
+        let r = Farm.run cfg store in
+        Printf.printf "farm: %d tasks over %d nodes x %d procs (%s net, %s shard%s)\n"
+          r.Farm.f_tasks r.Farm.f_nodes r.Farm.f_procs r.Farm.f_net r.Farm.f_shard
+          (if steal then ", stealing" else "");
+        Printf.printf "makespan: %.3f virtual s%s\n" r.Farm.f_makespan
+          (if r.Farm.f_seq_fallback then " (total node loss: sequential fallback)" else "");
+        Printf.printf
+          "rpc: %d fetches, %d served, %d local fallbacks, %d retries, %d drops, %d hedged (%d \
+           won), %d replicated\n"
+          r.Farm.f_fetches r.Farm.f_serves r.Farm.f_local_fallbacks r.Farm.f_rpc_retries
+          r.Farm.f_rpc_drops r.Farm.f_hedges r.Farm.f_hedge_wins r.Farm.f_replicas;
+        if
+          r.Farm.f_crashes + r.Farm.f_steals + r.Farm.f_partitions + r.Farm.f_slow_nodes > 0
+        then
+          Printf.printf
+            "faults: %d crashes (%d detected, %d closures re-sharded), %d slow nodes, %d \
+             partitions; %d steals\n"
+            r.Farm.f_crashes r.Farm.f_detects r.Farm.f_reshards r.Farm.f_slow_nodes
+            r.Farm.f_partitions r.Farm.f_steals;
+        List.iter
+          (fun ns ->
+            Printf.printf "  node%d %s%s %3d tasks (%d stolen), %4d fetches, %4d serves, busy \
+                           %.3f s\n"
+              ns.Farm.ns_id
+              (if ns.Farm.ns_alive then "up  " else "DEAD")
+              (if ns.Farm.ns_slow then " slow" else "")
+              ns.Farm.ns_tasks ns.Farm.ns_stolen ns.Farm.ns_fetches ns.Farm.ns_serves
+              ns.Farm.ns_busy_seconds)
+          r.Farm.f_node_stats;
+        if not r.Farm.f_ok then Printf.printf "compile finished with errors\n";
+        if verify then
+          match Farm.verify store r with
+          | Ok () ->
+              print_endline "conformance: farm output identical to the sequential oracle";
+              `Ok ()
+          | Error e -> `Error (false, "conformance: " ^ e)
+        else `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun file synth nodes procs strategy net shard steal seed inject fault_seed verify ->
+             match
+               try Ok (match inject with None -> [] | Some s -> Fault.parse_list s)
+               with Invalid_argument e -> Error e
+             with
+             | Error e -> `Error (false, e)
+             | Ok faults ->
+                 with_store file synth @@ fun store ->
+                 run store nodes procs strategy net shard steal seed faults fault_seed verify)
+        $ file_opt_arg $ synth_arg $ nodes_arg $ procs_arg $ strategy_arg $ net_arg $ shard_arg
+        $ steal_arg $ seed_arg $ inject_arg $ fault_seed_arg $ verify_arg))
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:
+         "Compile on a simulated multi-node build farm: definition-module closures sharded \
+          across nodes, interface artifacts shipped over a content-addressed remote cache \
+          (timeout, capped backoff retry, hedged fetch to a replica), idle nodes stealing \
+          runnable work, and virtual-time heartbeats driving crash detection and re-sharding.  \
+          Farm fault kinds for $(b,--inject): $(b,node-crash:node1\\@2), $(b,node-slow:node2!), \
+          $(b,msg-drop%10), $(b,partition\\@5).")
     term
 
 let sweep_cmd =
@@ -871,5 +996,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd; profile_cmd; check_cmd;
-            serve_cmd;
+            serve_cmd; farm_cmd;
           ]))

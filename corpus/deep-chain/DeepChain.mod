@@ -1,0 +1,9 @@
+IMPLEMENTATION MODULE DeepChain;
+IMPORT D33;
+
+VAR total: INTEGER;
+
+BEGIN
+  total := D33.v33;
+  WriteInt(total)
+END DeepChain.

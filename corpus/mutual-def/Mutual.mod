@@ -1,0 +1,10 @@
+IMPLEMENTATION MODULE Mutual;
+IMPORT CycA;
+IMPORT CycB;
+
+VAR total: INTEGER;
+
+BEGIN
+  total := CycA.UseA() + CycB.UseB();
+  WriteInt(total)
+END Mutual.

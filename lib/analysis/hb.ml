@@ -63,6 +63,9 @@ type violation =
       task : int;
       observe_seq : int;
     }
+  | Serve_without_fetch of { node : int; peer : int; iface : string; serve_seq : int }
+  | Task_lost of { iface : string; node : int }
+  | Task_done_twice of { iface : string; first : int; second : int }
 
 type report = {
   violations : violation list;
@@ -81,6 +84,14 @@ type report = {
   n_retries : int;
   n_quarantines : int;
   n_watchdog : int;
+  n_fetches : int;
+  n_serves : int;
+  n_hedges : int;
+  n_node_deaths : int;
+  n_farm_tasks : int;
+  n_farm_done : int;
+  n_steals : int;
+  n_reshards : int;
 }
 
 let violation_to_string = function
@@ -117,6 +128,15 @@ let violation_to_string = function
         "quarantine-observed: %s in %s observed at #%d but its publisher task#%d was quarantined \
          and the scope never completed"
         sym scope_name observe_seq task
+  | Serve_without_fetch { node; peer; iface; serve_seq } ->
+      Printf.sprintf
+        "serve-without-fetch: node#%d served %s to node#%d at #%d with no outstanding fetch" node
+        iface peer serve_seq
+  | Task_lost { iface; node } ->
+      Printf.sprintf "task-lost-on-crash: closure %s (last on node#%d) never completed" iface node
+  | Task_done_twice { iface; first; second } ->
+      Printf.sprintf "task-done-twice: closure %s completed at #%d and again at #%d" iface first
+        second
 
 let check (log : Evlog.record array) : report =
   let violations = ref [] in
@@ -155,7 +175,19 @@ let check (log : Evlog.record array) : report =
   and n_injects = ref 0
   and n_retries = ref 0
   and n_quarantines = ref 0
-  and n_watchdog = ref 0 in
+  and n_watchdog = ref 0
+  and n_fetches = ref 0
+  and n_serves = ref 0
+  and n_hedges = ref 0
+  and n_node_deaths = ref 0
+  and n_farm_done = ref 0
+  and n_steals = ref 0
+  and n_reshards = ref 0 in
+  (* farm state: outstanding fetch requests (requester, server, iface) ->
+     count; closure -> owning node; closure -> first-done seq *)
+  let fetch_pending : (int * int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let closure_owner : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let closure_done : (string, int) Hashtbl.t = Hashtbl.create 64 in
   (* walk the wait-for graph from [start]'s producer; a path back to
      [start] is a deadlock-shaped cycle *)
   let detect_cycle start seq =
@@ -270,8 +302,51 @@ let check (log : Evlog.record array) : report =
       (* compile-server job lifecycle: no intra-compile ordering to
          check — the server suspends emission around engine runs *)
       | Evlog.Job_enqueue _ | Evlog.Job_admit _ | Evlog.Job_shed _ | Evlog.Job_batch _
-      | Evlog.Job_done _ -> ())
+      | Evlog.Job_done _ -> ()
+      (* farm lifecycle: every serve must consume an outstanding fetch
+         on the same (requester, server, interface) link, and every
+         closure ever placed on a node must complete exactly once *)
+      | Evlog.Rpc_fetch { node; peer; iface; _ } ->
+          incr n_fetches;
+          let key = (node, peer, iface) in
+          Hashtbl.replace fetch_pending key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fetch_pending key))
+      | Evlog.Rpc_serve { node; peer; iface } -> (
+          incr n_serves;
+          let key = (peer, node, iface) in
+          match Hashtbl.find_opt fetch_pending key with
+          | Some n when n > 0 -> Hashtbl.replace fetch_pending key (n - 1)
+          | _ -> flag (Serve_without_fetch { node; peer; iface; serve_seq = r.Evlog.seq }))
+      | Evlog.Rpc_hedge { node; replica; iface } ->
+          (* the hedged request is itself a fetch to the replica *)
+          incr n_hedges;
+          let key = (node, replica, iface) in
+          Hashtbl.replace fetch_pending key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fetch_pending key))
+      | Evlog.Node_dead { node } ->
+          incr n_node_deaths;
+          ignore node
+      | Evlog.Farm_assign { node; iface } -> Hashtbl.replace closure_owner iface node
+      | Evlog.Farm_reshard { node; iface } ->
+          incr n_reshards;
+          Hashtbl.replace closure_owner iface node
+      | Evlog.Farm_steal { node; iface; _ } ->
+          incr n_steals;
+          Hashtbl.replace closure_owner iface node
+      | Evlog.Farm_task_done { iface; _ } -> (
+          incr n_farm_done;
+          match Hashtbl.find_opt closure_done iface with
+          | Some first -> flag (Task_done_twice { iface; first; second = r.Evlog.seq })
+          | None -> Hashtbl.replace closure_done iface r.Evlog.seq)
+      | Evlog.Node_start _ | Evlog.Node_detect _ | Evlog.Heartbeat _ | Evlog.Rpc_timeout _
+      | Evlog.Farm_replicate _ | Evlog.Net_partition _ | Evlog.Net_heal -> ())
     log;
+  (* no-task-lost-on-crash: every closure ever assigned (initially, by
+     steal or by re-shard) completed *)
+  Hashtbl.iter
+    (fun iface node ->
+      if not (Hashtbl.mem closure_done iface) then flag (Task_lost { iface; node }))
+    closure_owner;
   (* a quarantined stream's partial publishes must never have been
      observed — unless the scope completed anyway (its data is whole) *)
   Hashtbl.iter
@@ -311,6 +386,14 @@ let check (log : Evlog.record array) : report =
     n_retries = !n_retries;
     n_quarantines = !n_quarantines;
     n_watchdog = !n_watchdog;
+    n_fetches = !n_fetches;
+    n_serves = !n_serves;
+    n_hedges = !n_hedges;
+    n_node_deaths = !n_node_deaths;
+    n_farm_tasks = Hashtbl.length closure_owner;
+    n_farm_done = !n_farm_done;
+    n_steals = !n_steals;
+    n_reshards = !n_reshards;
   }
 
 let ok r = r.violations = []
@@ -321,6 +404,15 @@ let summary r =
     else
       Printf.sprintf ", %d inject/%d retry/%d quarantine/%d watchdog" r.n_injects r.n_retries
         r.n_quarantines r.n_watchdog
+  in
+  let faults =
+    if r.n_farm_tasks = 0 && r.n_fetches = 0 then faults
+    else
+      faults
+      ^ Printf.sprintf ", farm %d closure/%d done, %d fetch/%d serve/%d hedge, %d steal/%d \
+                        reshard/%d dead"
+          r.n_farm_tasks r.n_farm_done r.n_fetches r.n_serves r.n_hedges r.n_steals r.n_reshards
+          r.n_node_deaths
   in
   Printf.sprintf
     "%d records: %d publish, %d observe, %d auth-miss, %d DKY block/%d unblock, %d signal, %d \

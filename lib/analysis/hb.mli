@@ -45,6 +45,13 @@ type violation =
       task : int;
       observe_seq : int;
     }
+  | Serve_without_fetch of { node : int; peer : int; iface : string; serve_seq : int }
+      (** a farm node delivered an artifact nobody had requested on that link *)
+  | Task_lost of { iface : string; node : int }
+      (** a sharded closure (last placed on [node]) never completed —
+          the no-task-lost-on-crash invariant *)
+  | Task_done_twice of { iface : string; first : int; second : int }
+      (** a closure completed on two nodes — stealing or re-sharding duplicated work *)
 
 type report = {
   violations : violation list;  (** sorted by rendering; empty = clean *)
@@ -63,6 +70,14 @@ type report = {
   n_retries : int;  (** [Task_retry] records *)
   n_quarantines : int;  (** [Task_quarantine] records *)
   n_watchdog : int;  (** [Watchdog_fire] records *)
+  n_fetches : int;  (** [Rpc_fetch] records *)
+  n_serves : int;  (** [Rpc_serve] records *)
+  n_hedges : int;  (** [Rpc_hedge] records *)
+  n_node_deaths : int;  (** [Node_dead] records *)
+  n_farm_tasks : int;  (** distinct sharded closures seen *)
+  n_farm_done : int;  (** [Farm_task_done] records *)
+  n_steals : int;  (** [Farm_steal] records *)
+  n_reshards : int;  (** [Farm_reshard] records *)
 }
 
 val check : Mcc_sched.Evlog.record array -> report

@@ -1,0 +1,48 @@
+(** The seeded network-cost model connecting farm nodes.
+
+    Deterministic from (seed, draw order): transfers pay one-way latency
+    with seeded jitter plus payload bytes over the link bandwidth;
+    messages are lost with the configured probability.  The farm's DES
+    consumes draws in one global event order, so every latency and loss
+    decision is a pure function of the farm seed. *)
+
+type params = {
+  latency : float;  (** one-way propagation, virtual seconds *)
+  bandwidth : float;  (** payload bytes per virtual second *)
+  loss : float;  (** per-message loss probability, 0..1 *)
+}
+
+val zero : params
+(** Co-located: no latency, infinite bandwidth, no loss. *)
+
+val lan : params
+(** 200 µs, 100 MB/s, 0.1% loss. *)
+
+val wan : params
+(** 20 ms, 10 MB/s, 1% loss. *)
+
+val params_to_string : params -> string
+
+(** ["zero" | "lan" | "wan" | "LAT_US:BW_MBPS:LOSS_PCT"]. *)
+val params_of_string : string -> (params, string) result
+
+type t
+
+val create : ?seed:int -> params -> t
+val params : t -> params
+
+(** One-way delivery time for a payload of [bytes] (seeded jitter). *)
+val delay : t -> bytes:int -> float
+
+(** Request/response round trip; the reply carries the artifact. *)
+val rtt : t -> bytes:int -> float
+
+(** Draw one loss decision. *)
+val lost : t -> bool
+
+(** Per-request timeout before the requester retries. *)
+val timeout : params -> bytes:int -> float
+
+(** How long the requester waits on the primary before hedging to the
+    replica. *)
+val hedge_delay : params -> bytes:int -> float

@@ -73,6 +73,32 @@ type kind =
       (* the job rides leader's batch (shared interface closure) *)
   | Job_done of { job : int; warm : bool }
       (* served; [warm] = answered from the shared module memo *)
+  (* Build-farm lifecycle ([Mcc_farm]): one record stream for the whole
+     multi-node run, stamped with the farm's virtual clock.  [node] is
+     the acting node; RPC records carry both ends of the link. *)
+  | Node_start of { node : int; procs : int }
+  | Node_dead of { node : int } (* a node-crash fault fired at a heartbeat *)
+  | Node_detect of { node : int }
+      (* the coordinator noticed the missed heartbeats and re-shards *)
+  | Heartbeat of { node : int }
+  | Rpc_fetch of { node : int; peer : int; iface : string; attempt : int }
+      (* [node] asks [peer] for an interface artifact; attempt 1 = first try *)
+  | Rpc_timeout of { node : int; peer : int; iface : string; attempt : int }
+      (* the request (or its reply) was lost; the requester backs off *)
+  | Rpc_hedge of { node : int; replica : int; iface : string }
+      (* the primary is late: a hedged fetch goes to the replica *)
+  | Rpc_serve of { node : int; peer : int; iface : string }
+      (* [node] delivered the artifact to [peer] (digest-verified) *)
+  | Farm_assign of { node : int; iface : string } (* sharding placed the closure *)
+  | Farm_steal of { node : int; victim : int; iface : string }
+      (* an idle node stole a runnable closure from [victim]'s queue *)
+  | Farm_reshard of { node : int; iface : string }
+      (* a dead node's unfinished closure, reassigned to [node] *)
+  | Farm_task_done of { node : int; iface : string }
+  | Farm_replicate of { node : int; replica : int; iface : string }
+      (* the freshly built artifact was pushed to its replica *)
+  | Net_partition of { spec : string } (* the network split ("even|odd") *)
+  | Net_heal
 
 type record = {
   seq : int;
@@ -181,6 +207,27 @@ let kind_to_string = function
       Printf.sprintf "batch job#%d with leader job#%d (batch of %d)" job leader size
   | Job_done { job; warm } ->
       Printf.sprintf "done job#%d (%s)" job (if warm then "warm" else "cold")
+  | Node_start { node; procs } -> Printf.sprintf "node#%d up (%d procs)" node procs
+  | Node_dead { node } -> Printf.sprintf "node#%d dead" node
+  | Node_detect { node } -> Printf.sprintf "node#%d detected dead (missed heartbeats)" node
+  | Heartbeat { node } -> Printf.sprintf "heartbeat node#%d" node
+  | Rpc_fetch { node; peer; iface; attempt } ->
+      Printf.sprintf "fetch %s: node#%d -> node#%d (attempt %d)" iface node peer attempt
+  | Rpc_timeout { node; peer; iface; attempt } ->
+      Printf.sprintf "timeout %s: node#%d -> node#%d (attempt %d)" iface node peer attempt
+  | Rpc_hedge { node; replica; iface } ->
+      Printf.sprintf "hedge %s: node#%d -> replica node#%d" iface node replica
+  | Rpc_serve { node; peer; iface } ->
+      Printf.sprintf "serve %s: node#%d -> node#%d" iface node peer
+  | Farm_assign { node; iface } -> Printf.sprintf "assign %s to node#%d" iface node
+  | Farm_steal { node; victim; iface } ->
+      Printf.sprintf "steal %s: node#%d from node#%d" iface node victim
+  | Farm_reshard { node; iface } -> Printf.sprintf "reshard %s to node#%d" iface node
+  | Farm_task_done { node; iface } -> Printf.sprintf "done %s on node#%d" iface node
+  | Farm_replicate { node; replica; iface } ->
+      Printf.sprintf "replicate %s: node#%d -> node#%d" iface node replica
+  | Net_partition { spec } -> Printf.sprintf "partition (%s)" spec
+  | Net_heal -> "heal"
 
 let record_to_string r =
   Printf.sprintf "#%-6d t=%-10.1f task#%-4d %s" r.seq r.time r.task (kind_to_string r.kind)

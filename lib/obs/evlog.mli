@@ -55,6 +55,30 @@ type kind =
       (** the job rides [leader]'s batch (shared interface closure) *)
   | Job_done of { job : int; warm : bool }
       (** served; [warm] = answered from the shared module memo *)
+  | Node_start of { node : int; procs : int }
+      (** a farm node came up ([Mcc_farm]; one stream per farm run) *)
+  | Node_dead of { node : int }  (** a node-crash fault fired at a heartbeat *)
+  | Node_detect of { node : int }
+      (** the coordinator noticed the missed heartbeats and re-shards *)
+  | Heartbeat of { node : int }
+  | Rpc_fetch of { node : int; peer : int; iface : string; attempt : int }
+      (** [node] asks [peer] for an interface artifact; attempt 1 = first try *)
+  | Rpc_timeout of { node : int; peer : int; iface : string; attempt : int }
+      (** the request (or its reply) was lost; the requester backs off *)
+  | Rpc_hedge of { node : int; replica : int; iface : string }
+      (** the primary is late: a hedged fetch goes to the replica *)
+  | Rpc_serve of { node : int; peer : int; iface : string }
+      (** [node] delivered the artifact to [peer] (digest-verified) *)
+  | Farm_assign of { node : int; iface : string }  (** sharding placed the closure *)
+  | Farm_steal of { node : int; victim : int; iface : string }
+      (** an idle node stole a runnable closure from [victim]'s queue *)
+  | Farm_reshard of { node : int; iface : string }
+      (** a dead node's unfinished closure, reassigned to [node] *)
+  | Farm_task_done of { node : int; iface : string }
+  | Farm_replicate of { node : int; replica : int; iface : string }
+      (** the freshly built artifact was pushed to its replica *)
+  | Net_partition of { spec : string }  (** the network split ("even|odd") *)
+  | Net_heal
 
 type record = {
   seq : int;

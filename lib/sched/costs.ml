@@ -94,6 +94,21 @@ let retry_limit = 3
 let stall_penalty = 5_000 (* units of injected stalled-worker latency *)
 let watchdog_interval = 40_000.0 (* virtual time between watchdog sweeps *)
 
+(* --- build farm (virtual seconds: the farm clock composes inner
+   engine runs' end_seconds, like the compile server) ---
+   Nodes heartbeat the coordinator every [farm_hb_seconds]; a node that
+   misses [farm_miss_beats] beats is declared dead and its unfinished
+   closures re-shard.  Remote-cache RPCs retry up to [rpc_retry_limit]
+   times with capped exponential backoff; a gray-failed node serves
+   [node_slow_factor] times slower. *)
+let farm_hb_seconds = 0.05
+let farm_miss_beats = 2
+let rpc_retry_limit = 3
+let rpc_backoff_seconds = 0.01 (* base; doubles per attempt *)
+let rpc_backoff_cap_seconds = 0.08
+let node_slow_factor = 6.0
+let partition_seconds = 0.25 (* how long an injected partition lasts before healing *)
+
 (* --- engine parameters --- *)
 let quantum = 400 (* work units accumulated before yielding to the engine *)
 let bus_beta = 0.0035

@@ -94,6 +94,33 @@ val stall_penalty : int
 (** Virtual time between stall-watchdog sweeps at quiescence. *)
 val watchdog_interval : float
 
+(** {1 Build farm}
+
+    The farm clock runs in virtual seconds (it composes inner engine
+    runs' [end_seconds], like the compile server). *)
+
+(** Node heartbeat period. *)
+val farm_hb_seconds : float
+
+(** Missed beats before the coordinator declares a node dead. *)
+val farm_miss_beats : int
+
+(** Remote-cache RPC attempts before giving up on a server. *)
+val rpc_retry_limit : int
+
+(** Base retry backoff; doubles per attempt. *)
+val rpc_backoff_seconds : float
+
+(** Backoff growth cap. *)
+val rpc_backoff_cap_seconds : float
+
+(** Gray failure: a slow node compiles and serves this many times
+    slower. *)
+val node_slow_factor : float
+
+(** How long an injected partition lasts before healing. *)
+val partition_seconds : float
+
 (** {1 Engine parameters} *)
 
 (** Work units accumulated before yielding to the engine. *)

@@ -39,6 +39,10 @@ type kind =
   | Source_error
   | Poison_import
   | Early_complete
+  | Node_crash
+  | Node_slow
+  | Msg_drop
+  | Partition
 
 exception Injected of string
 
@@ -58,6 +62,10 @@ let kind_name = function
   | Source_error -> "source-error"
   | Poison_import -> "poison-import"
   | Early_complete -> "early-complete"
+  | Node_crash -> "node-crash"
+  | Node_slow -> "node-slow"
+  | Msg_drop -> "msg-drop"
+  | Partition -> "partition"
 
 let kind_of_name = function
   | "task-crash" -> Some Task_crash
@@ -67,10 +75,17 @@ let kind_of_name = function
   | "source-error" -> Some Source_error
   | "poison-import" -> Some Poison_import
   | "early-complete" -> Some Early_complete
+  | "node-crash" -> Some Node_crash
+  | "node-slow" -> Some Node_slow
+  | "msg-drop" | "message-drop" -> Some Msg_drop
+  | "partition" -> Some Partition
   | _ -> None
 
 let all_kinds =
-  [ Task_crash; Dropped_wake; Stall; Corrupt_artifact; Source_error; Poison_import; Early_complete ]
+  [
+    Task_crash; Dropped_wake; Stall; Corrupt_artifact; Source_error; Poison_import; Early_complete;
+    Node_crash; Node_slow; Msg_drop; Partition;
+  ]
 
 let spec_to_string s =
   Printf.sprintf "%s%s%s%s%s" (kind_name s.kind)
@@ -163,6 +178,28 @@ let reset p =
 let specs p = Array.to_list p.specs
 let plan_seed p = p.seed
 
+(* ------------------------------------------------------------------ *)
+(* Wire format, for shipping a plan to a farm node.
+
+   A shipped plan is the *schedule* — (seed, specs) — never the sender's
+   replay state: marshaling the whole record would leak the
+   coordinator's occurrence counters and pinned victims into the copy,
+   so a plan serialized mid-replay would fire at different points on the
+   receiving node than a pristine replay of the same schedule (the
+   nondeterminism the round-trip property in test_farm.ml pins down).
+   [of_bytes] therefore always reconstructs a fresh plan. *)
+
+let wire_version = "mcc-fault-plan-v1"
+
+let to_bytes p = Marshal.to_string (wire_version, p.seed, p.specs) []
+
+let of_bytes s =
+  match (Marshal.from_string s 0 : string * int * spec array) with
+  | v, _, _ when v <> wire_version ->
+      invalid_arg (Printf.sprintf "Fault.of_bytes: wire version %S, expected %S" v wire_version)
+  | _, seed, specs -> plan ~seed (Array.to_list specs)
+  | exception _ -> invalid_arg "Fault.of_bytes: not a serialized fault plan"
+
 (* The armed plan.  Single-threaded by construction: faults are a DES /
    sequential-path facility (like [Evlog]); the domain engine never arms
    one. *)
@@ -232,3 +269,12 @@ let corrupt_artifact ~name = fire Corrupt_artifact ~name ~aux:""
 let source_error ~name = fire Source_error ~name ~aux:""
 let poison_import ~name = fire Poison_import ~name ~aux:""
 let early_complete ~scope = fire Early_complete ~name:scope ~aux:""
+
+(* Farm sites (Mcc_farm): consulted by the multi-node coordinator.
+   [node_crash]/[node_slow] pass the node identity ("node2");
+   [msg_drop] the RPC link ("node1->node3:IfaceName"); [partition] a
+   per-heartbeat network identity. *)
+let node_crash ~name = fire Node_crash ~name ~aux:""
+let node_slow ~name = fire Node_slow ~name ~aux:""
+let msg_drop ~link = fire Msg_drop ~name:link ~aux:""
+let partition ~name = fire Partition ~name ~aux:""

@@ -29,6 +29,10 @@ type kind =
       (** a scope completes while its parser is still publishing — the
           deliberate Hb-violation fault (subsumes the old
           [Symtab.inject_early_complete] shim) *)
+  | Node_crash  (** a farm node dies at a heartbeat; its closures are re-sharded *)
+  | Node_slow  (** gray failure: a farm node serves at a fraction of its rate *)
+  | Msg_drop  (** a remote-cache RPC message is lost (times out and retries) *)
+  | Partition  (** the farm network splits into two halves for a window, then heals *)
 
 (** Raised by injected faults that surface as task exceptions. *)
 exception Injected of string
@@ -63,6 +67,20 @@ val reset : plan -> unit
 val specs : plan -> spec list
 val plan_seed : plan -> int
 
+(** {1 Wire format}
+
+    The farm coordinator ships fault plans to simulated nodes.  A
+    shipped plan is the {e schedule} — (seed, specs) — never the
+    sender's replay state: {!of_bytes} always reconstructs a fresh plan
+    with zeroed occurrence counters, so the round trip replays the
+    identical fault schedule regardless of how far the source plan had
+    already been consulted. *)
+
+val to_bytes : plan -> string
+
+(** @raise Invalid_argument on a wire-version mismatch or garbage. *)
+val of_bytes : string -> plan
+
 (** {1 Arming} *)
 
 val armed : unit -> bool
@@ -90,3 +108,13 @@ val corrupt_artifact : name:string -> bool
 val source_error : name:string -> bool
 val poison_import : name:string -> bool
 val early_complete : scope:string -> bool
+
+(** Farm sites ([Mcc_farm]): node identity ("node2") for crash/slow, the
+    RPC link ("node1->node3:Iface") for drops, a per-heartbeat network
+    identity for partitions. *)
+
+val node_crash : name:string -> bool
+
+val node_slow : name:string -> bool
+val msg_drop : link:string -> bool
+val partition : name:string -> bool

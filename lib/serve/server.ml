@@ -47,6 +47,7 @@ type config = {
   cap : int; (* admission bound on the queue *)
   quantum : int; (* DRR grant, source bytes *)
   batch_max : int; (* max jobs per batch; 1 disables batching *)
+  deadline : float option; (* shed a job still queued this long after arrival *)
   faults : Mcc_sched.Fault.spec list; (* per-job fault plan; [] = none *)
   fault_seed : int;
 }
@@ -58,6 +59,7 @@ let default_config =
     cap = 64;
     quantum = 8192;
     batch_max = 8;
+    deadline = None;
     faults = [];
     fault_seed = 0;
   }
@@ -80,6 +82,7 @@ type report = {
   r_served : int;
   r_warm : int; (* jobs answered from the module memo *)
   r_shed : int;
+  r_deadline_shed : int; (* jobs shed overdue at dispatch, distinct from admission sheds *)
   r_failed : int; (* served but [ok = false] (genuine compile errors) *)
   r_retried : int; (* failed under faults, re-served clean *)
   r_batches : int; (* dispatches that coalesced more than one job *)
@@ -190,6 +193,7 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
   let now = ref 0.0 in
   let served = ref [] (* reversed *) in
   let shed = ref [] (* reversed *) in
+  let deadline_shed = ref 0 in
   let max_depth = ref 0 in
   let batches = ref 0 in
   let batched_jobs = ref 0 in
@@ -252,14 +256,29 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
       }
       :: !served
   in
+  (* a job still queued past its deadline is shed at dispatch, never
+     served: the client has long stopped waiting for the answer *)
+  let overdue (j : Request.job) =
+    match cfg.deadline with Some d -> !now -. j.Request.j_arrival > d | None -> false
+  in
+  let shed_overdue (j : Request.job) =
+    incr deadline_shed;
+    if Metrics.enabled () then Metrics.incr "mcc_serve_deadline_shed_total";
+    emit_at !now (Evlog.Job_shed { job = j.Request.j_id; session = j.Request.j_session })
+  in
   let rec loop () =
     match Queue.pop q with
+    | Some leader when overdue leader ->
+        shed_overdue leader;
+        loop ()
     | Some leader ->
         let mates =
           if cfg.batch_max > 1 then
             Batch.pull q ~closure:leader.Request.j_closure ~limit:(cfg.batch_max - 1)
           else []
         in
+        let mates, late = List.partition (fun m -> not (overdue m)) mates in
+        List.iter shed_overdue late;
         if mates <> [] then begin
           incr batches;
           batched_jobs := !batched_jobs + List.length mates;
@@ -345,6 +364,7 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
     r_served = List.length served;
     r_warm = List.length (List.filter (fun s -> s.Request.s_warm) served);
     r_shed = List.length shed;
+    r_deadline_shed = !deadline_shed;
     r_failed = List.length (List.filter (fun s -> not s.Request.s_result.Driver.ok) served);
     r_retried = List.length (List.filter (fun s -> s.Request.s_retried) served);
     r_batches = !batches;

@@ -32,12 +32,17 @@ type config = {
   cap : int;  (** admission bound on the queue *)
   quantum : int;  (** DRR grant, source bytes *)
   batch_max : int;  (** max jobs per batch; 1 disables batching *)
+  deadline : float option;
+      (** per-job deadline, virtual seconds: a job still queued longer
+          than this after arrival is shed at dispatch (counted in
+          [r_deadline_shed]), never served — the client has stopped
+          waiting.  [None] = serve everything admitted. *)
   faults : Mcc_sched.Fault.spec list;  (** per-job fault plan; [[]] = none *)
   fault_seed : int;
 }
 
-(** Fair policy, cap 64, quantum 8192, batches of 8, no faults, over
-    [Driver.default_config]. *)
+(** Fair policy, cap 64, quantum 8192, batches of 8, no deadline, no
+    faults, over [Driver.default_config]. *)
 val default_config : config
 
 type session_stats = {
@@ -57,7 +62,10 @@ type report = {
   r_submitted : int;
   r_served : int;
   r_warm : int;  (** jobs answered from the module memo *)
-  r_shed : int;
+  r_shed : int;  (** admission-control sheds *)
+  r_deadline_shed : int;
+      (** overdue jobs shed at dispatch; always
+          [r_served + r_shed + r_deadline_shed = r_submitted] *)
   r_failed : int;  (** served but [ok = false] (genuine compile errors) *)
   r_retried : int;  (** failed under faults, re-served clean *)
   r_batches : int;  (** dispatches that coalesced more than one job *)

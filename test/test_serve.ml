@@ -313,6 +313,31 @@ let test_fault_isolation_conformance () =
   | Ok n -> Alcotest.(check int) "faulted server conforms" 20 n
   | Error e -> Alcotest.fail e
 
+(* A tight per-job deadline over bursty traffic sheds overdue queued
+   jobs at dispatch; the accounting identity
+   [served + shed + deadline_shed = submitted] must hold exactly, and
+   no served job waited past the deadline. *)
+let test_deadline_sheds_overdue () =
+  let burst =
+    Traffic.generate
+      { Traffic.default with Traffic.jobs = 24; clients = 4; mean_interarrival = 0.05; seed = 2 }
+  in
+  let deadline = 0.05 in
+  let cfg = { Server.default_config with Server.deadline = Some deadline } in
+  let r = Server.serve ~cache:(Server.cache ()) cfg burst in
+  Alcotest.(check bool) "tight deadline sheds something" true (r.Server.r_deadline_shed > 0);
+  Alcotest.(check int) "accounting identity" r.Server.r_submitted
+    (r.Server.r_served + r.Server.r_shed + r.Server.r_deadline_shed);
+  List.iter
+    (fun s ->
+      let waited = s.Request.s_start -. s.Request.s_job.Request.j_arrival in
+      Alcotest.(check bool) "served job met its deadline" true (waited <= deadline))
+    r.Server.r_served_jobs;
+  let r0 = Server.serve ~cache:(Server.cache ()) Server.default_config burst in
+  Alcotest.(check int) "no deadline, no deadline sheds" 0 r0.Server.r_deadline_shed;
+  Alcotest.(check int) "identity still holds without deadline" r0.Server.r_submitted
+    (r0.Server.r_served + r0.Server.r_shed + r0.Server.r_deadline_shed)
+
 let test_rejects_config_faults () =
   let cfg =
     {
@@ -345,6 +370,7 @@ let () =
           Alcotest.test_case "fair protects victims" `Quick test_fair_protects_victims;
           Alcotest.test_case "eviction conformance" `Quick test_eviction_conformance;
           Alcotest.test_case "fault isolation conformance" `Quick test_fault_isolation_conformance;
+          Alcotest.test_case "deadline sheds overdue" `Quick test_deadline_sheds_overdue;
           Alcotest.test_case "config faults rejected" `Quick test_rejects_config_faults;
         ] );
     ]
