@@ -1321,6 +1321,188 @@ let farm_bench () =
   Out_channel.with_open_text "BENCH_farm.json" (fun oc -> output_string oc text);
   say "wrote BENCH_farm.json (%d bytes)" (String.length text)
 
+(* Distributed tracing benchmark (BENCH_trace.json).  Three gated
+   cells.  (1) Serve: a traced server run whose span forest must
+   validate — every job's sojourn exactly tiled by queue/service and
+   service by probe/compile/retry, zero gaps, overlaps or orphans —
+   and whose three exports (OTLP, waterfall, Chrome) must serialize
+   byte-identically across two from-scratch same-seed runs.  (2) Farm:
+   a traced farm run whose cross-node critical path must sum to the
+   end-to-end makespan exactly (the walk tiles [0, makespan] by
+   construction; the gate is that nothing leaked) and must name a
+   critical node.  (3) Flight recorder: an overloaded deadline+fault
+   cell must trip, and every trip's trace id must resolve to a
+   non-empty post-mortem span bundle.  Tracing itself is gated free:
+   traced and untraced runs must report identical virtual end times.
+   BENCH_SAMPLE shrinks the job counts.  Gate failures exit
+   nonzero. *)
+let trace_bench () =
+  header "Distributed tracing (BENCH_trace.json)";
+  let fail fmt = Printf.ksprintf (fun s -> say "FAIL: %s" s; exit 1) fmt in
+  let module J = Mcc_obs.Json in
+  let module Dtrace = Mcc_obs.Dtrace in
+  let module Slo = Mcc_obs.Slo in
+  let module Srv = Mcc_serve.Server in
+  let module Traffic = Mcc_serve.Traffic in
+  let module Farm = Mcc_farm.Farm in
+  let spu = Mcc_sched.Costs.seconds_per_unit in
+  let sample = Option.bind (Sys.getenv_opt "BENCH_SAMPLE") int_of_string_opt <> None in
+  let serve_jobs = if sample then 16 else 48 in
+  if sample then say "BENCH_SAMPLE: %d serve jobs, reduced cells" serve_jobs;
+  (* --- serve cell: validation + deterministic exports ---------------- *)
+  let serve_traffic =
+    { Traffic.default with Traffic.jobs = serve_jobs; clients = 3; mean_interarrival = 1.0; seed = 11 }
+  in
+  let serve_cfg = { Srv.default_config with Srv.compile = Driver.default_config } in
+  let serve_run ~trace () =
+    Srv.serve ~trace ~cache:(Srv.cache ()) serve_cfg (Traffic.generate serve_traffic)
+  in
+  let r1 = serve_run ~trace:true () in
+  let t1 = Dtrace.assemble ~subs:r1.Srv.r_subs r1.Srv.r_events in
+  (match Dtrace.validate t1 with
+  | Ok () -> ()
+  | Error e -> fail "serve cell: span forest does not validate: %s" e);
+  let n_roots = List.length (Dtrace.roots t1) in
+  if n_roots <> r1.Srv.r_submitted then
+    fail "serve cell: %d root spans for %d submitted jobs" n_roots r1.Srv.r_submitted;
+  say "serve cell: %d jobs, %d spans, every sojourn exactly tiled (0 gaps/overlaps/orphans)"
+    serve_jobs (List.length t1.Dtrace.spans);
+  let span_secs =
+    List.map (fun s -> Dtrace.duration s *. spu)
+      (List.filter (fun s -> s.Dtrace.d_kind = "job") t1.Dtrace.spans)
+  in
+  let mean, p50, p95, _, maxv = Mcc_util.Quantile.summarize span_secs in
+  say "  job-span durations: mean %.2f s, p50 %.2f, p95 %.2f, max %.2f" mean p50 p95 maxv;
+  let exports r =
+    let t = Dtrace.assemble ~subs:r.Srv.r_subs r.Srv.r_events in
+    ( J.to_string (Dtrace.to_otlp ~sec_per_unit:spu t),
+      Dtrace.waterfall ~sec_per_unit:spu t,
+      Mcc_analysis.Trace_json.export_spans ~sec_per_unit:spu t )
+  in
+  let o1, w1, c1 = exports r1 in
+  let o2, w2, c2 = exports (serve_run ~trace:true ()) in
+  if o1 <> o2 then fail "serve cell: same-seed OTLP exports differ";
+  if w1 <> w2 then fail "serve cell: same-seed waterfalls differ";
+  if c1 <> c2 then fail "serve cell: same-seed Chrome exports differ";
+  (match J.validate o1 with
+  | Ok () -> ()
+  | Error e -> fail "serve cell: OTLP export is not valid JSON: %s" e);
+  say "  same-seed OTLP/waterfall/Chrome exports byte-identical across runs: PASS";
+  let plain = serve_run ~trace:false () in
+  if plain.Srv.r_end_seconds <> r1.Srv.r_end_seconds then
+    fail "serve cell: tracing changed the virtual end time (%.6f vs %.6f)"
+      plain.Srv.r_end_seconds r1.Srv.r_end_seconds;
+  say "  tracing is free: traced and untraced end times identical: PASS";
+  (* --- farm cell: critical path tiles the makespan ------------------- *)
+  let farm_rank = if sample then 3 else 17 in
+  let store = Suite.program farm_rank in
+  let farm_cfg = { Farm.default_config with Farm.compile = Driver.default_config } in
+  let fr = Farm.run ~trace:true farm_cfg store in
+  let ft = Dtrace.assemble ~subs:fr.Farm.f_subs fr.Farm.f_events in
+  (match Dtrace.validate ft with
+  | Ok () -> ()
+  | Error e -> fail "farm cell: span forest does not validate: %s" e);
+  let cr = Dtrace.critpath ft in
+  let c_end_s = cr.Dtrace.c_end *. spu in
+  let eps = 1e-6 *. Float.max 1.0 fr.Farm.f_makespan in
+  if Float.abs (c_end_s -. fr.Farm.f_makespan) > eps then
+    fail "farm cell: critical path end %.6f s != makespan %.6f s" c_end_s fr.Farm.f_makespan;
+  let total_s = Dtrace.crit_total cr *. spu in
+  if Float.abs (total_s -. c_end_s) > eps then
+    fail "farm cell: bucket totals %.6f s leak from end-to-end %.6f s" total_s c_end_s;
+  if cr.Dtrace.c_critical_node < 0 then fail "farm cell: no critical node attributed";
+  say "farm cell: suite rank %d, critpath %.3f s tiles makespan %.3f s; critical node node%d%s"
+    farm_rank c_end_s fr.Farm.f_makespan cr.Dtrace.c_critical_node
+    (if cr.Dtrace.c_critical_rpc = "" then ""
+     else Printf.sprintf ", critical rpc %s" cr.Dtrace.c_critical_rpc);
+  (* --- flight recorder cell: trips resolve to bundles ---------------- *)
+  let hot_traffic =
+    {
+      Traffic.default with
+      Traffic.jobs = (if sample then 18 else 32);
+      clients = 3;
+      mean_interarrival = 0.02;
+      seed = 3;
+    }
+  in
+  let hot_cfg =
+    {
+      Srv.default_config with
+      Srv.compile = Driver.default_config;
+      cap = 3;
+      deadline = Some 1.0;
+      faults = Mcc_sched.Fault.parse_list "task-crash@1";
+      fault_seed = 5;
+    }
+  in
+  let hr = Srv.serve ~trace:true ~cache:(Srv.cache ()) hot_cfg (Traffic.generate hot_traffic) in
+  let ht = Dtrace.assemble ~subs:hr.Srv.r_subs hr.Srv.r_events in
+  (match Dtrace.validate ht with
+  | Ok () -> ()
+  | Error e -> fail "recorder cell: span forest does not validate: %s" e);
+  let slo = hr.Srv.r_slo in
+  if Slo.trip_count slo = 0 then fail "recorder cell: overload produced no trips";
+  List.iter
+    (fun (tr : Slo.trip) ->
+      if Dtrace.bundle ht ~trace:tr.Slo.t_trace = [] then
+        fail "recorder cell: trip for job #%d (%s) has an empty post-mortem bundle" tr.Slo.t_job
+          (Slo.reason_name tr.Slo.t_reason))
+    (Slo.trips slo);
+  let n_trips = Slo.trip_count slo in
+  say "recorder cell: %d trips, every trace id resolves to a non-empty post-mortem bundle"
+    n_trips;
+  (* --- artifact ------------------------------------------------------ *)
+  let bucket_json (b, u) = J.Obj [ ("bucket", J.Str b); ("seconds", J.Float (u *. spu)) ] in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "mcc-bench-trace-v1");
+        ( "serve",
+          J.Obj
+            [
+              ("jobs", J.Int serve_jobs);
+              ("spans", J.Int (List.length t1.Dtrace.spans));
+              ("roots", J.Int n_roots);
+              ("validated", J.Bool true);
+              ("exports_deterministic", J.Bool true);
+              ("tracing_free", J.Bool true);
+              ( "job_span_seconds",
+                J.Obj
+                  [
+                    ("mean", J.Float mean); ("p50", J.Float p50); ("p95", J.Float p95);
+                    ("max", J.Float maxv);
+                  ] );
+            ] );
+        ( "farm",
+          J.Obj
+            [
+              ("suite_rank", J.Int farm_rank);
+              ("makespan", J.Float fr.Farm.f_makespan);
+              ("critpath_seconds", J.Float c_end_s);
+              ("critical_node", J.Int cr.Dtrace.c_critical_node);
+              ("critical_rpc", J.Str cr.Dtrace.c_critical_rpc);
+              ("buckets", J.Arr (List.map bucket_json cr.Dtrace.c_buckets));
+              ("tiles_makespan", J.Bool true);
+            ] );
+        ( "recorder",
+          J.Obj
+            [
+              ("jobs", J.Int hot_traffic.Traffic.jobs);
+              ("trips", J.Int n_trips);
+              ("shed", J.Int hr.Srv.r_shed);
+              ("deadline_shed", J.Int hr.Srv.r_deadline_shed);
+              ("all_bundles_nonempty", J.Bool true);
+              ("slo", Slo.to_json slo);
+            ] );
+      ]
+  in
+  let text = J.to_string doc ^ "\n" in
+  (match J.validate text with
+  | Ok () -> ()
+  | Error e -> fail "BENCH_trace.json does not validate: %s" e);
+  Out_channel.with_open_text "BENCH_trace.json" (fun oc -> output_string oc text);
+  say "wrote BENCH_trace.json (%d bytes)" (String.length text)
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig2", fig2);
@@ -1328,6 +1510,7 @@ let experiments =
     ("heading", heading); ("sched", sched_ablation); ("barrier", barrier);
     ("sensitivity", sensitivity); ("incr", incr); ("incr-fine", incr_fine); ("serve", serve_bench);
     ("farm", farm_bench);
+    ("trace", trace_bench);
     ("faults", faults);
     ("micro", micro);
     ("speedup", speedup_artifacts); ("conformance", conformance);

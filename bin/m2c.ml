@@ -965,6 +965,208 @@ let farm_cmd =
           $(b,msg-drop%10), $(b,partition\\@5).")
     term
 
+let trace_cmd =
+  let module Dtrace = Mcc_obs.Dtrace in
+  let module Slo = Mcc_obs.Slo in
+  let module Json = Mcc_obs.Json in
+  let farm_arg =
+    Arg.(
+      value & flag
+      & info [ "farm" ]
+          ~doc:"Trace a build-farm run ($(b,m2c farm)) instead of the compile server.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 3 & info [ "clients" ] ~docv:"N" ~doc:"Server mode: client sessions.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 12 & info [ "jobs" ] ~docv:"N" ~doc:"Server mode: total compile jobs.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S" ~doc:"Traffic seed (server) or network seed (farm).")
+  in
+  let cap_arg =
+    Arg.(value & opt int 8 & info [ "cap" ] ~docv:"N" ~doc:"Server mode: admission bound.")
+  in
+  let mean_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "mean" ] ~docv:"SECONDS"
+          ~doc:"Server mode: per-client mean interarrival, virtual seconds.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Server mode: per-job deadline.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N" ~doc:"Farm mode: build-farm nodes.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "depth" ] ~docv:"D"
+          ~doc:
+            "Waterfall depth: 2 shows the request anatomy, 3 the service segments, 4 adds inner \
+             engine tasks.")
+  in
+  let otlp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "otlp" ] ~docv:"FILE" ~doc:"Write the OTLP-flavoured JSON export to $(docv).")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event export to $(docv) (load in chrome://tracing or \
+             ui.perfetto.dev); inner engines nest as their own processes.")
+  in
+  let spu = Mcc_sched.Costs.seconds_per_unit in
+  (* Hb check at the observability layer: replay the outer log and every
+     captured inner engine log; any violation trips the flight recorder
+     with the owning span's trace id so it resolves to a bundle. *)
+  let hb_sweep slo (t : Dtrace.t) ~outer ~outer_trace subs =
+    let trip_log ~trace log =
+      let h = Mcc_analysis.Hb.check log in
+      if not (Mcc_analysis.Hb.ok h) then
+        Slo.trip slo ~job:(-1) ~cls:"hb" ~trace ~reason:Slo.Hb_trip ~at:0.0
+          ~detail:
+            (String.concat "; "
+               (List.map Mcc_analysis.Hb.violation_to_string h.Mcc_analysis.Hb.violations))
+    in
+    trip_log ~trace:outer_trace outer;
+    List.iter
+      (fun (s : Dtrace.sub) ->
+        let trace =
+          match List.find_opt (fun sp -> sp.Dtrace.d_span = s.Dtrace.sub_owner) t.Dtrace.spans with
+          | Some sp -> sp.Dtrace.d_trace
+          | None -> outer_trace
+        in
+        trip_log ~trace s.Dtrace.sub_log)
+      subs
+  in
+  (* waterfall, critical path, SLO summary, post-mortem bundles, file
+     exports, then the validation verdict as the exit status *)
+  let render ~depth ~otlp ~chrome slo (t : Dtrace.t) =
+    print_string (Dtrace.waterfall ~max_depth:depth ~sec_per_unit:spu t);
+    let cr = Dtrace.critpath t in
+    if cr.Dtrace.c_end > 0.0 then begin
+      Printf.printf "critical path: %.3f virtual s end-to-end\n" (cr.Dtrace.c_end *. spu);
+      List.iter
+        (fun (b, u) ->
+          Printf.printf "  %-12s %10.3f s  %5.1f%%\n" b (u *. spu)
+            (100.0 *. u /. cr.Dtrace.c_end))
+        cr.Dtrace.c_buckets;
+      if cr.Dtrace.c_critical_node >= 0 then
+        Printf.printf "  critical node: node%d\n" cr.Dtrace.c_critical_node;
+      if cr.Dtrace.c_critical_rpc <> "" then
+        Printf.printf "  critical rpc:  %s\n" cr.Dtrace.c_critical_rpc
+    end;
+    print_string (Slo.summary slo);
+    List.iter
+      (fun (tr : Slo.trip) ->
+        Printf.printf "post-mortem: job #%d class %s %s at %.2f s — %s\n" tr.Slo.t_job
+          tr.Slo.t_class
+          (Slo.reason_name tr.Slo.t_reason)
+          tr.Slo.t_at tr.Slo.t_detail;
+        List.iter
+          (fun (s : Dtrace.span) ->
+            Printf.printf "    [%10.3f, %10.3f] %-10s %-24s %s\n" (s.Dtrace.d_t0 *. spu)
+              (s.Dtrace.d_t1 *. spu) s.Dtrace.d_kind s.Dtrace.d_name s.Dtrace.d_status)
+          (Dtrace.bundle t ~trace:tr.Slo.t_trace))
+      (Slo.trips slo);
+    let write path contents =
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
+      Printf.printf "wrote %s\n" path
+    in
+    (match otlp with
+    | Some f -> write f (Json.to_string (Dtrace.to_otlp ~sec_per_unit:spu t))
+    | None -> ());
+    (match chrome with
+    | Some f -> write f (Mcc_analysis.Trace_json.export_spans ~sec_per_unit:spu t)
+    | None -> ());
+    match Dtrace.validate t with
+    | Ok () ->
+        Printf.printf "trace: %d spans validate (tiling, containment, parentage)\n"
+          (List.length t.Dtrace.spans);
+        `Ok ()
+    | Error e -> `Error (false, "trace validation: " ^ e)
+  in
+  let run_serve compile clients jobs seed cap mean deadline faults fault_seed depth otlp chrome =
+    let open Mcc_serve in
+    let ( let* ) r k = match r with Error e -> `Error (false, e) | Ok v -> k v in
+    let* clients = Cliopt.parse_positive ~what:"--clients" clients in
+    let* jobs = Cliopt.parse_positive ~what:"--jobs" jobs in
+    let* cap = Cliopt.parse_positive ~what:"--cap" cap in
+    let cfg =
+      { Server.default_config with Server.compile; cap; deadline; faults; fault_seed }
+    in
+    let traffic =
+      { Traffic.default with Traffic.clients; jobs; seed; mean_interarrival = mean }
+    in
+    let r = Server.serve ~trace:true ~cache:(Server.cache ()) cfg (Traffic.generate traffic) in
+    Printf.printf "trace: %d jobs from %d clients — served %d, shed %d + %d overdue\n"
+      r.Server.r_submitted clients r.Server.r_served r.Server.r_shed r.Server.r_deadline_shed;
+    let t = Dtrace.assemble ~subs:r.Server.r_subs r.Server.r_events in
+    hb_sweep r.Server.r_slo t ~outer:r.Server.r_events ~outer_trace:"" r.Server.r_subs;
+    render ~depth ~otlp ~chrome r.Server.r_slo t
+  in
+  let run_farm store compile nodes seed faults fault_seed depth otlp chrome =
+    let open Mcc_farm in
+    let ( let* ) r k = match r with Error e -> `Error (false, e) | Ok v -> k v in
+    let* nodes = Cliopt.parse_positive ~what:"--nodes" nodes in
+    let cfg = { Farm.default_config with Farm.compile; nodes; seed; faults; fault_seed } in
+    let r = Farm.run ~trace:true cfg store in
+    Printf.printf "trace: %d farm tasks over %d nodes — makespan %.3f virtual s\n" r.Farm.f_tasks
+      r.Farm.f_nodes r.Farm.f_makespan;
+    let t = Dtrace.assemble ~subs:r.Farm.f_subs r.Farm.f_events in
+    (* the farm has no admission layer, so the recorder only carries
+       what the Hb sweep trips *)
+    let slo = Slo.create () in
+    hb_sweep slo t ~outer:r.Farm.f_events ~outer_trace:r.Farm.f_trace r.Farm.f_subs;
+    render ~depth ~otlp ~chrome slo t
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun farm file synth procs strategy clients jobs seed cap mean deadline nodes
+                    inject fault_seed depth otlp chrome ->
+             match
+               try Ok (match inject with None -> [] | Some s -> Fault.parse_list s)
+               with Invalid_argument e -> Error e
+             with
+             | Error e -> `Error (false, e)
+             | Ok faults ->
+                 with_config ~procs ~strategy ~heading:1 @@ fun compile ->
+                 if farm then
+                   with_store file synth @@ fun store ->
+                   run_farm store compile nodes seed faults fault_seed depth otlp chrome
+                 else if file <> None || synth <> None then
+                   `Error (false, "FILE.mod / --synth apply only with --farm")
+                 else run_serve compile clients jobs seed cap mean deadline faults fault_seed
+                        depth otlp chrome)
+        $ farm_arg $ file_opt_arg $ synth_arg $ procs_arg $ strategy_arg $ clients_arg $ jobs_arg
+        $ seed_arg $ cap_arg $ mean_arg $ deadline_arg $ nodes_arg $ inject_arg $ fault_seed_arg
+        $ depth_arg $ otlp_arg $ chrome_arg))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "End-to-end distributed tracing of a compile-server or build-farm run: per-request \
+          waterfall with queue/service/probe/compile (or fetch/compute) anatomy, the cross-node \
+          critical path attributed to queue-wait, network, remote-cache and compute, the SLO \
+          flight recorder's per-class burn rates, and a post-mortem span bundle for every \
+          tripped job.  $(b,--otlp) and $(b,--chrome) write deterministic JSON exports; the \
+          exit status is the span-forest validation verdict (every sojourn exactly tiled, no \
+          orphans, no containment leaks).")
+    term
+
 let sweep_cmd =
   let term =
     Term.(
@@ -996,5 +1198,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd; profile_cmd; check_cmd;
-            serve_cmd; farm_cmd;
+            serve_cmd; farm_cmd; trace_cmd;
           ]))

@@ -339,7 +339,10 @@ let check (log : Evlog.record array) : report =
           | Some first -> flag (Task_done_twice { iface; first; second = r.Evlog.seq })
           | None -> Hashtbl.replace closure_done iface r.Evlog.seq)
       | Evlog.Node_start _ | Evlog.Node_detect _ | Evlog.Heartbeat _ | Evlog.Rpc_timeout _
-      | Evlog.Farm_replicate _ | Evlog.Net_partition _ | Evlog.Net_heal -> ())
+      | Evlog.Farm_replicate _ | Evlog.Net_partition _ | Evlog.Net_heal
+      (* trace spans annotate the same lifecycle this checker derives
+         its orderings from; they carry no extra happens-before edges *)
+      | Evlog.Span_start _ | Evlog.Span_end _ -> ())
     log;
   (* no-task-lost-on-crash: every closure ever assigned (initially, by
      steal or by re-shard) completed *)

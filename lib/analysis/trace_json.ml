@@ -85,3 +85,118 @@ let export ?(names : (int * string) list = []) ?(log : Evlog.record array = [||]
     log;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf
+
+(* Nested export of an assembled distributed-trace forest.
+
+   The old single-engine [export] cannot see engines run under
+   [Evlog.suspend] at all, and flattening several captured engines into
+   one lane would interleave their restarted clocks.  This export works
+   from the [Dtrace] forest instead, where [Dtrace.assemble] has already
+   rebased every inner engine onto the outer virtual-time axis:
+
+   - each root span (a served job, the farm run) is a thread lane on
+     pid 0, its tile/annotation subtree as nested "X" events — Chrome
+     nests same-lane X events by interval containment, which the
+     forest's containment invariant guarantees;
+   - rpc attempt/hedge legs deliberately overlap, which would corrupt
+     same-lane nesting, so they export as async "b"/"e" pairs;
+   - each inner engine (a captured [Driver.compile]) becomes its own
+     process (pid = owning span id) with one thread row per inner task,
+     so suspended-engine work that used to vanish now nests, correctly
+     rebased, under the span that paid for it. *)
+let export_spans ~sec_per_unit (t : Mcc_obs.Dtrace.t) : string =
+  let module D = Mcc_obs.Dtrace in
+  let micros u = u *. sec_per_unit *. 1e6 in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (s : D.span) -> Hashtbl.replace by_id s.D.d_span s) t.D.spans;
+  let rec root_of (s : D.span) =
+    if s.D.d_parent < 0 then s.D.d_span
+    else
+      match Hashtbl.find_opt by_id s.D.d_parent with
+      | Some p -> root_of p
+      | None -> s.D.d_span
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  List.iter
+    (fun (r : D.span) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s \
+            [%s]\"}}"
+           r.D.d_span (escape r.D.d_name) (escape r.D.d_trace)))
+    (D.roots t);
+  (* parents before children at equal start times, so same-lane X
+     events nest instead of fighting for the slot *)
+  let ordered =
+    List.sort
+      (fun (a : D.span) b ->
+        compare (a.D.d_t0, -.a.D.d_t1, a.D.d_span) (b.D.d_t0, -.b.D.d_t1, b.D.d_span))
+      t.D.spans
+  in
+  (* inner engines: one process per owning span, one thread per task *)
+  let inner_tid = Hashtbl.create 64 in
+  let inner_count = Hashtbl.create 16 in
+  List.iter
+    (fun (s : D.span) ->
+      if s.D.d_kind = "inner-task" then begin
+        let k = Option.value ~default:0 (Hashtbl.find_opt inner_count s.D.d_parent) in
+        if k = 0 then
+          emit
+            (Printf.sprintf
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"inner \
+                engine of span #%d%s\"}}"
+               s.D.d_parent s.D.d_parent
+               (match Hashtbl.find_opt by_id s.D.d_parent with
+               | Some p -> escape (" · " ^ p.D.d_name)
+               | None -> ""));
+        Hashtbl.replace inner_count s.D.d_parent (k + 1);
+        Hashtbl.replace inner_tid s.D.d_span k;
+        emit
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             s.D.d_parent k (escape s.D.d_name))
+      end)
+    ordered;
+  List.iter
+    (fun (s : D.span) ->
+      let args =
+        Printf.sprintf
+          "{\"span\":%d,\"kind\":\"%s\",\"status\":\"%s\",\"node\":%d,\"trace\":\"%s\"}"
+          s.D.d_span (escape s.D.d_kind) (escape s.D.d_status) s.D.d_node (escape s.D.d_trace)
+      in
+      match s.D.d_kind with
+      | "rpc" ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"rpc\",\"ph\":\"b\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":%s}"
+               (escape s.D.d_name) s.D.d_span (micros s.D.d_t0) (root_of s) args);
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"rpc\",\"ph\":\"e\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":%d}"
+               (escape s.D.d_name) s.D.d_span (micros s.D.d_t1) (root_of s))
+      | "inner-task" ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"inner\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":%s}"
+               (escape s.D.d_name) (micros s.D.d_t0)
+               (micros (s.D.d_t1 -. s.D.d_t0))
+               s.D.d_parent
+               (Option.value ~default:0 (Hashtbl.find_opt inner_tid s.D.d_span))
+               args)
+      | _ ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":%s}"
+               (escape s.D.d_name) (escape s.D.d_kind) (micros s.D.d_t0)
+               (micros (s.D.d_t1 -. s.D.d_t0))
+               (root_of s) args))
+    ordered;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf

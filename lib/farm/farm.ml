@@ -39,6 +39,8 @@
 
 open Mcc_core
 module Evlog = Mcc_obs.Evlog
+module Trace_ctx = Mcc_obs.Trace_ctx
+module Dtrace = Mcc_obs.Dtrace
 module Fault = Mcc_sched.Fault
 module Costs = Mcc_sched.Costs
 module Des_engine = Mcc_sched.Des_engine
@@ -105,10 +107,14 @@ type report = {
   f_obs : Observation.t;
   f_node_stats : node_stats list;
   f_events : Evlog.record array;
+  f_subs : Dtrace.sub list; (* nested compile captures; empty unless [trace] *)
+  f_trace : string; (* the run's trace id ("" unless [trace]) *)
 }
 
 (* agenda events; [Note] is an Evlog emission whose virtual time was
-   computed ahead of reaching it *)
+   computed ahead of reaching it; [Gnote] is the same but guarded by a
+   node generation — a span event scheduled for work a crash abandons
+   must not fire *)
 type ev =
   | Free of int
   | Task_done of { node : int; gen : int; iface : string; service : float }
@@ -116,6 +122,7 @@ type ev =
   | Detect of int
   | Heal
   | Note of Evlog.kind
+  | Gnote of { node : int; gen : int; kind : Evlog.kind }
 
 (* A single-import probe program: compiling it on a node's cache
    compiles [iface]'s interface closure into that cache (cache hits for
@@ -155,10 +162,20 @@ let closure_topo cache store =
   List.iter visit (Build_cache.imports_of cache (Source_store.main_src store));
   List.rev !order
 
-let run ?(capture = false) cfg store =
+let run ?(capture = false) ?(trace = false) cfg store =
   if cfg.compile.Driver.faults <> [] then
     invalid_arg "Farm.run: put the fault plan in the farm config, not the compile config";
   if cfg.nodes < 1 then invalid_arg "Farm.run: need at least one node";
+  let capture = capture || trace in
+  let trace_id =
+    if trace then
+      Trace_ctx.trace_id ~domain:"farm" ~seed:cfg.seed ~key:(Source_store.main_name store)
+    else ""
+  in
+  if trace then Trace_ctx.reset ();
+  let root_span = if trace then Trace_ctx.fresh () else -1 in
+  let subs = ref [] (* reversed Dtrace.sub list *) in
+  let open_task : (int, int) Hashtbl.t = Hashtbl.create 8 (* node -> open task span *) in
   let net = Netsim.create ~seed:cfg.seed cfg.net in
   let nodes = Array.init cfg.nodes Node.create in
   let scratch = Build_cache.create () in
@@ -234,20 +251,96 @@ let run ?(capture = false) cfg store =
   let compile_config = cfg.compile in
   (* Fetch every interface in [needs] (topo order) missing from [n]'s
      cache; [note] schedules/emits lifecycle events at absolute times.
-     Returns elapsed virtual seconds. *)
-  let fetch_deps (n : Node.t) ~at ~note needs =
+     With [spans = Some (parent, snote)], each dep gets a "fetch" span
+     under [parent] (plus "rpc" annotation legs reconstructed from the
+     [Remote] outcome); per-dep spans are back to back, so they tile
+     [at, at + elapsed] exactly.  Returns elapsed virtual seconds. *)
+  let fetch_deps (n : Node.t) ~at ~note ?spans needs =
     List.fold_left
       (fun elapsed iface ->
         let t0 = at +. elapsed in
+        (* open a fetch span now, close it once the outcome is known;
+           legs are emitted between the two *)
+        let fetch_ctx =
+          match spans with
+          | None -> None
+          | Some (parent, snote) ->
+              let fsp = Trace_ctx.fresh () in
+              snote t0
+                (Evlog.Span_start
+                   {
+                     span = fsp;
+                     parent;
+                     trace = trace_id;
+                     name = "fetch:" ^ iface;
+                     kind = "fetch";
+                     node = n.Node.id;
+                   });
+              Some (fsp, snote)
+        in
+        let fetch_span t1 status =
+          match fetch_ctx with
+          | Some (fsp, snote) -> snote t1 (Evlog.Span_end { span = fsp; status })
+          | None -> ()
+        in
+        (* rpc attempt/hedge legs under [fsp], from the outcome's event
+           offsets: an attempt leg closes at its timeout, the winner at
+           serve time ("ok"), a raced loser "late", a hedge that never
+           answered closes at the fetch's end ("timeout") *)
+        let rpc_legs fsp snote ~base (outcome : Remote.outcome) =
+          let open_legs : (int, int) Hashtbl.t = Hashtbl.create 4 in
+          (* key: attempt number, 0 = hedge *)
+          let close key at status =
+            match Hashtbl.find_opt open_legs key with
+            | Some sp ->
+                Hashtbl.remove open_legs key;
+                snote at (Evlog.Span_end { span = sp; status })
+            | None -> ()
+          in
+          let open_leg key at name =
+            let sp = Trace_ctx.fresh () in
+            Hashtbl.replace open_legs key sp;
+            snote at
+              (Evlog.Span_start
+                 { span = sp; parent = fsp; trace = trace_id; name; kind = "rpc"; node = n.Node.id })
+          in
+          List.iter
+            (fun (dt, kind) ->
+              let at = base +. dt in
+              match kind with
+              | Evlog.Rpc_fetch { peer; attempt; _ } ->
+                  open_leg attempt at (Printf.sprintf "rpc#%d->node%d" attempt peer)
+              | Evlog.Rpc_timeout { attempt; _ } -> close attempt at "timeout"
+              | Evlog.Rpc_hedge { replica; _ } ->
+                  open_leg 0 at (Printf.sprintf "hedge->node%d" replica)
+              | Evlog.Rpc_serve _ ->
+                  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) open_legs [] in
+                  List.iter
+                    (fun k ->
+                      let won_by_hedge = outcome.Remote.hedge_won in
+                      let status =
+                        if (k = 0) = won_by_hedge then "ok" else "late"
+                      in
+                      close k at status)
+                    (List.sort compare keys)
+              | _ -> ())
+            outcome.Remote.events;
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) open_legs [] in
+          List.iter (fun k -> close k (base +. outcome.Remote.elapsed) "timeout") (List.sort compare keys)
+        in
         let fpmemo = Hashtbl.create 8 in
         let fp, units = Build_cache.interface_fp n.Node.cache ~memo:fpmemo ~store iface in
         let overhead = Costs.to_seconds (float_of_int (units + Costs.cache_probe)) in
         match Build_cache.find_interface n.Node.cache ~fp with
-        | Some _ -> elapsed +. overhead (* already local (built, fetched, or healed) *)
+        | Some _ ->
+            (* already local (built, fetched, or healed) *)
+            fetch_span (t0 +. overhead) "hit";
+            elapsed +. overhead
         | None -> (
             let fallback () =
               (* nobody can serve it: the probe compile builds it cold *)
               incr local_fallbacks;
+              fetch_span (t0 +. overhead) "miss";
               elapsed +. overhead
             in
             match Shard.doer tracker iface with
@@ -288,6 +381,13 @@ let run ?(capture = false) cfg store =
                     if outcome.Remote.hedge_won then incr hedge_wins;
                     List.iter (fun (dt, kind) -> note (t0 +. overhead +. dt) kind)
                       outcome.Remote.events;
+                    (match fetch_ctx with
+                    | Some (fsp, snote) ->
+                        rpc_legs fsp snote ~base:(t0 +. overhead) outcome
+                    | None -> ());
+                    fetch_span
+                      (t0 +. overhead +. outcome.Remote.elapsed)
+                      (if outcome.Remote.ok then "served" else "fallback");
                     if outcome.Remote.ok then begin
                       incr serves;
                       (match outcome.Remote.served_by with
@@ -302,8 +402,20 @@ let run ?(capture = false) cfg store =
       0.0 needs
   in
   let note_later at kind = Heap.push agenda at (Note kind) in
+  (* close node [i]'s open task span (crash path: the scheduled child
+     ends are generation-guarded, so they die with the node and the
+     children close as "lost" at assembly time) *)
+  let close_task i status =
+    match Hashtbl.find_opt open_task i with
+    | Some tsp ->
+        Hashtbl.remove open_task i;
+        emit_at !now (Evlog.Span_end { span = tsp; status })
+    | None -> ()
+  in
   let handle = function
     | Note kind -> emit_at !now kind
+    | Gnote { node; gen; kind } ->
+        if nodes.(node).Node.alive && gen = nodes.(node).Node.gen then emit_at !now kind
     | Heal -> emit_at !now Evlog.Net_heal
     | Beat i ->
         let n = nodes.(i) in
@@ -312,6 +424,7 @@ let run ?(capture = false) cfg store =
             Node.crash n;
             incr crashes;
             emit_at !now (Evlog.Node_dead { node = i });
+            close_task i "crashed";
             Heap.push agenda
               (!now +. (float_of_int Costs.farm_miss_beats *. Costs.farm_hb_seconds))
               (Detect i)
@@ -349,6 +462,7 @@ let run ?(capture = false) cfg store =
         end
     | Task_done { node = i; gen; iface; service } ->
         let n = nodes.(i) in
+        if n.Node.alive && gen = n.Node.gen then close_task i "ok";
         if n.Node.alive && gen = n.Node.gen && Shard.complete tracker ~node:i iface then begin
           n.Node.tasks_run <- n.Node.tasks_run + 1;
           n.Node.busy_seconds <- n.Node.busy_seconds +. service;
@@ -396,18 +510,68 @@ let run ?(capture = false) cfg store =
                     emit_at !now (Evlog.Farm_steal { node = i; victim; iface = f });
                     f
               in
+              let gnote at kind =
+                Heap.push agenda at (Gnote { node = i; gen = n.Node.gen; kind })
+              in
+              let tsp =
+                if trace then begin
+                  let sp = Trace_ctx.fresh () in
+                  emit_at !now
+                    (Evlog.Span_start
+                       {
+                         span = sp;
+                         parent = root_span;
+                         trace = trace_id;
+                         name = "task:" ^ iface;
+                         kind = "task";
+                         node = i;
+                       });
+                  Hashtbl.replace open_task i sp;
+                  Some (sp, gnote)
+                end
+                else None
+              in
               let fetch_elapsed =
-                fetch_deps n ~at:!now ~note:note_later (Hashtbl.find trans iface)
+                fetch_deps n ~at:!now ~note:note_later ?spans:tsp (Hashtbl.find trans iface)
               in
               let probe =
-                Evlog.suspend (fun () ->
-                    Driver.compile ~config:compile_config ~cache:n.Node.cache
-                      (probe_store store iface))
+                if trace then
+                  Driver.compile ~config:compile_config ~capture:true ~cache:n.Node.cache
+                    (probe_store store iface)
+                else
+                  Evlog.suspend (fun () ->
+                      Driver.compile ~config:compile_config ~cache:n.Node.cache
+                        (probe_store store iface))
               in
               let slowf = if n.Node.slow then Costs.node_slow_factor else 1.0 in
               let service =
                 fetch_elapsed +. (probe.Driver.sim.Des_engine.end_seconds *. slowf)
               in
+              (match tsp with
+              | Some (sp, gnote) ->
+                  let csp = Trace_ctx.fresh () in
+                  gnote (!now +. fetch_elapsed)
+                    (Evlog.Span_start
+                       {
+                         span = csp;
+                         parent = sp;
+                         trace = trace_id;
+                         name = "compile:" ^ iface;
+                         kind = "compute";
+                         node = i;
+                       });
+                  gnote (!now +. service) (Evlog.Span_end { span = csp; status = "ok" });
+                  if Array.length probe.Driver.log > 0 then
+                    subs :=
+                      {
+                        Dtrace.sub_owner = csp;
+                        sub_t0 = (!now +. fetch_elapsed) /. Costs.seconds_per_unit;
+                        sub_scale = slowf;
+                        sub_log = probe.Driver.log;
+                        sub_names = probe.Driver.task_index;
+                      }
+                      :: !subs
+              | None -> ());
               n.Node.busy_until <- !now +. service;
               Heap.push agenda (!now +. service)
                 (Task_done { node = i; gen = n.Node.gen; iface; service }))
@@ -417,6 +581,10 @@ let run ?(capture = false) cfg store =
     Array.iter
       (fun (n : Node.t) -> if Fault.node_slow ~name:(Node.name n) then n.Node.slow <- true)
       nodes;
+    if trace then
+      emit_at 0.0
+        (Evlog.Span_start
+           { span = root_span; parent = -1; trace = trace_id; name = "farm"; kind = "farm"; node = -1 });
     Array.iter
       (fun (n : Node.t) ->
         emit_at 0.0 (Evlog.Node_start { node = n.Node.id; procs = cfg.compile.Driver.procs }))
@@ -448,25 +616,118 @@ let run ?(capture = false) cfg store =
       | [], id :: _ -> Some nodes.(id)
       | [], [] -> None
     in
-    match (seq_fallback, home) with
-    | true, _ | _, None ->
-        let seq = Seq_driver.compile store in
-        let makespan = !now +. Costs.to_seconds seq.Seq_driver.cost_units in
-        (true, seq.Seq_driver.ok, Observation.of_seq ~run:false seq, makespan)
-    | false, Some home ->
-        let fetch_elapsed = fetch_deps home ~at:!now ~note:emit_at topo in
-        let final =
-          Evlog.suspend (fun () ->
-              Driver.compile ~config:compile_config ~cache:home.Node.cache store)
-        in
-        let slowf = if home.Node.slow then Costs.node_slow_factor else 1.0 in
-        let makespan =
-          !now +. fetch_elapsed +. (final.Driver.sim.Des_engine.end_seconds *. slowf)
-        in
-        home.Node.busy_seconds <-
-          home.Node.busy_seconds +. fetch_elapsed
-          +. (final.Driver.sim.Des_engine.end_seconds *. slowf);
-        (false, final.Driver.ok, Observation.of_driver ~run:false final, makespan)
+    let result =
+      match (seq_fallback, home) with
+      | true, _ | _, None ->
+          let seq = Seq_driver.compile store in
+          let makespan = !now +. Costs.to_seconds seq.Seq_driver.cost_units in
+          if trace then begin
+            (* one assembly span tiled by a single compute: the whole
+               program recompiled sequentially, off-farm *)
+            let asp = Trace_ctx.fresh () in
+            emit_at !now
+              (Evlog.Span_start
+                 {
+                   span = asp;
+                   parent = root_span;
+                   trace = trace_id;
+                   name = "assembly";
+                   kind = "assembly";
+                   node = -1;
+                 });
+            let csp = Trace_ctx.fresh () in
+            emit_at !now
+              (Evlog.Span_start
+                 {
+                   span = csp;
+                   parent = asp;
+                   trace = trace_id;
+                   name = "compile:" ^ Source_store.main_name store;
+                   kind = "compute";
+                   node = -1;
+                 });
+            emit_at makespan (Evlog.Span_end { span = csp; status = "ok" });
+            emit_at makespan (Evlog.Span_end { span = asp; status = "fallback" })
+          end;
+          (true, seq.Seq_driver.ok, Observation.of_seq ~run:false seq, makespan)
+      | false, Some home ->
+          (* there is no agenda left to order scheduled emissions, so
+             buffer everything the assembly phase wants to emit and
+             flush it time-sorted (stable: planning order breaks ties) *)
+          let pending = ref [] in
+          let buffer at kind = pending := (at, kind) :: !pending in
+          let flush () =
+            List.iter
+              (fun (at, kind) -> emit_at at kind)
+              (List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !pending));
+            pending := []
+          in
+          let asp =
+            if trace then begin
+              let sp = Trace_ctx.fresh () in
+              emit_at !now
+                (Evlog.Span_start
+                   {
+                     span = sp;
+                     parent = root_span;
+                     trace = trace_id;
+                     name = "assembly";
+                     kind = "assembly";
+                     node = home.Node.id;
+                   });
+              Some (sp, buffer)
+            end
+            else None
+          in
+          let fetch_elapsed = fetch_deps home ~at:!now ~note:buffer ?spans:asp topo in
+          let final =
+            if trace then
+              Driver.compile ~config:compile_config ~capture:true ~cache:home.Node.cache store
+            else
+              Evlog.suspend (fun () ->
+                  Driver.compile ~config:compile_config ~cache:home.Node.cache store)
+          in
+          let slowf = if home.Node.slow then Costs.node_slow_factor else 1.0 in
+          let makespan =
+            !now +. fetch_elapsed +. (final.Driver.sim.Des_engine.end_seconds *. slowf)
+          in
+          (match asp with
+          | Some (sp, _) ->
+              let csp = Trace_ctx.fresh () in
+              buffer (!now +. fetch_elapsed)
+                (Evlog.Span_start
+                   {
+                     span = csp;
+                     parent = sp;
+                     trace = trace_id;
+                     name = "compile:" ^ Source_store.main_name store;
+                     kind = "compute";
+                     node = home.Node.id;
+                   });
+              if Array.length final.Driver.log > 0 then
+                subs :=
+                  {
+                    Dtrace.sub_owner = csp;
+                    sub_t0 = (!now +. fetch_elapsed) /. Costs.seconds_per_unit;
+                    sub_scale = slowf;
+                    sub_log = final.Driver.log;
+                    sub_names = final.Driver.task_index;
+                  }
+                  :: !subs;
+              buffer makespan (Evlog.Span_end { span = csp; status = "ok" });
+              buffer makespan (Evlog.Span_end { span = sp; status = "ok" })
+          | None -> ());
+          flush ();
+          home.Node.busy_seconds <-
+            home.Node.busy_seconds +. fetch_elapsed
+            +. (final.Driver.sim.Des_engine.end_seconds *. slowf);
+          (false, final.Driver.ok, Observation.of_driver ~run:false final, makespan)
+    in
+    (if trace then
+       let sf, _, _, makespan = result in
+       emit_at makespan
+         (Evlog.Span_end { span = root_span; status = (if sf then "fallback" else "ok") }));
+    result
   in
   let with_faults f =
     if cfg.faults = [] then f ()
@@ -525,6 +786,8 @@ let run ?(capture = false) cfg store =
                ns_serves = n.Node.serves;
              });
     f_events = !events;
+    f_subs = List.rev !subs;
+    f_trace = trace_id;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,30 @@
+(** One simulated build-farm node: its own warm interface cache, its
+    own processor budget, and the liveness/progress bookkeeping the
+    coordinator reads between agenda events.  The compile work itself
+    runs through the inner DES ([Driver.compile]); this record only
+    anchors per-node state. *)
+
+type t = {
+  id : int;
+  cache : Mcc_core.Build_cache.t;
+  mutable alive : bool;
+  mutable slow : bool;  (** gray failure: serves and compiles slowly *)
+  mutable busy_until : float;  (** virtual seconds; [<= now] means idle *)
+  mutable gen : int;  (** bumped on crash: stale events are ignored *)
+  mutable last_beat : float;  (** last heartbeat the coordinator saw *)
+  mutable tasks_run : int;
+  mutable tasks_stolen : int;  (** tasks this node stole from peers *)
+  mutable busy_seconds : float;
+  mutable fetches : int;  (** remote fetches this node issued *)
+  mutable serves : int;  (** fetches this node answered *)
+}
+
+(** A fresh, alive, idle node with an empty cache. *)
+val create : int -> t
+
+(** ["node<id>"] — the name fault specs target. *)
+val name : t -> string
+
+(** Mark dead and bump the generation, so in-flight completions from
+    this life are discarded. *)
+val crash : t -> unit

@@ -99,6 +99,20 @@ type kind =
       (* the freshly built artifact was pushed to its replica *)
   | Net_partition of { spec : string } (* the network split ("even|odd") *)
   | Net_heal
+  (* Distributed-tracing spans ([Trace_ctx] ids): serve and farm runs
+     bracket every unit of a request's life — queue, service, probe,
+     compile, fetch, compute — with a Span_start/Span_end pair.
+     [Dtrace] assembles the pairs (plus captured inner-engine logs)
+     into the per-request span forest. *)
+  | Span_start of {
+      span : int; (* [Trace_ctx.fresh] id, unique within the capture *)
+      parent : int; (* owning span id; -1 = a trace root *)
+      trace : string; (* deterministic trace id ([Trace_ctx.trace_id]) *)
+      name : string; (* display name, e.g. "job#3" or "fetch:M04" *)
+      kind : string; (* tiling/annotation class: "job", "queue", ... *)
+      node : int; (* acting farm node; -1 = not node-bound *)
+    }
+  | Span_end of { span : int; status : string (* "ok", "shed", "deadline", ... *) }
 
 type record = {
   seq : int;
@@ -132,10 +146,13 @@ let emit kind =
 let length () = !count
 let iter f = List.iter f (List.rev !buf)
 
-(* Run [f] with capture on and return its captured log.  Captures do not
-   nest; the previous logging state (normally "off, empty") is restored
-   on the way out, even on exceptions.  The virtual clock restarts at 0:
-   each capture wraps exactly one engine run. *)
+(* Run [f] with capture on and return its captured log.  The previous
+   logging state is saved in full and restored on the way out, even on
+   exceptions — so captures nest: a traced serve/farm run captures its
+   job-lifecycle log while each inner [Driver.compile ~capture:true]
+   takes its own nested capture (fresh clock, fresh buffer) whose log
+   becomes a [Dtrace] sub-trace of the owning span.  The virtual clock
+   restarts at 0: each capture wraps exactly one engine run. *)
 let capture f =
   let saved_enabled = !enabled_flag and saved_buf = !buf in
   let saved_count = !count and saved_current = !current in
@@ -228,6 +245,10 @@ let kind_to_string = function
       Printf.sprintf "replicate %s: node#%d -> node#%d" iface node replica
   | Net_partition { spec } -> Printf.sprintf "partition (%s)" spec
   | Net_heal -> "heal"
+  | Span_start { span; parent; trace; name; kind; node } ->
+      Printf.sprintf "span-start #%d %s [%s] parent #%d trace %s%s" span name kind parent trace
+        (if node >= 0 then Printf.sprintf " node#%d" node else "")
+  | Span_end { span; status } -> Printf.sprintf "span-end #%d (%s)" span status
 
 let record_to_string r =
   Printf.sprintf "#%-6d t=%-10.1f task#%-4d %s" r.seq r.time r.task (kind_to_string r.kind)

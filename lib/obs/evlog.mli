@@ -79,6 +79,18 @@ type kind =
       (** the freshly built artifact was pushed to its replica *)
   | Net_partition of { spec : string }  (** the network split ("even|odd") *)
   | Net_heal
+  | Span_start of {
+      span : int;  (** [Trace_ctx.fresh] id, unique within the capture *)
+      parent : int;  (** owning span id; -1 = a trace root *)
+      trace : string;  (** deterministic trace id ({!Trace_ctx.trace_id}) *)
+      name : string;  (** display name, e.g. ["job#3"] or ["fetch:M04"] *)
+      kind : string;  (** tiling/annotation class: ["job"], ["queue"], ... *)
+      node : int;  (** acting farm node; -1 = not node-bound *)
+    }
+      (** a distributed-tracing span opened: serve/farm runs bracket
+          every unit of a request's life with start/end pairs that
+          [Dtrace] assembles into the per-request span forest *)
+  | Span_end of { span : int; status : string  (** ["ok"], ["shed"], ["deadline"], ... *) }
 
 type record = {
   seq : int;
@@ -112,10 +124,13 @@ val length : unit -> int
 val iter : (record -> unit) -> unit
 
 (** [capture f] runs [f] with logging on and returns [(f (), log)].
-    Does not nest; restores the previous logging state on exit.  The
-    virtual clock restarts at 0 (one capture wraps one engine run — the
-    compile server's job-lifecycle capture wraps its inner engine runs
-    in {!suspend} instead of nesting). *)
+    The previous logging state is saved in full and restored on exit
+    (exceptions included), so captures nest: a traced serve/farm run
+    captures its job-lifecycle log while each inner
+    [Driver.compile ~capture:true] takes its own nested capture whose
+    log becomes a [Dtrace] sub-trace of the owning span.  The virtual
+    clock restarts at 0: one capture wraps one engine run.  (Untraced
+    serve/farm runs wrap inner engines in {!suspend} instead.) *)
 val capture : (unit -> 'a) -> 'a * record array
 
 (** [suspend f] runs [f] with emission off, restoring the previous

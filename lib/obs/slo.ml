@@ -1,0 +1,198 @@
+(* The SLO flight recorder: always-on, bounded, virtual-time.
+
+   A service that sheds, batches and retries needs an answer to "what
+   happened to request X?" *after* the fact, without having paid for
+   full tracing on every request.  This recorder is the cheap always-on
+   half of that story: a bounded ring of per-job outcomes plus
+   per-class latency objectives with burn-rate accounting, and a trip
+   list — one entry per job that missed its latency objective, was
+   shed (admission or deadline), hit a fault, or tripped a
+   happens-before invariant.  Each trip carries the job's trace id, so
+   when tracing *is* on, the caller resolves trips into post-mortem
+   span bundles ([Dtrace.bundle]) — the flight-recorder dump.
+
+   Burn rate is the classic SLO currency: with an objective of
+   "latency <= target for at least (1 - budget) of jobs", the burn
+   rate over the ring window is (observed miss fraction) / budget —
+   1.0 means the error budget is being consumed exactly as provisioned,
+   above 1.0 the class is on fire.  Everything is virtual-time and
+   allocation-bounded: [observe] is O(1), no wall clock anywhere. *)
+
+type objective = {
+  o_class : string; (* job class, e.g. "p0" (priority 0) *)
+  o_target : float; (* sojourn objective, virtual seconds *)
+  o_budget : float; (* allowed miss fraction, e.g. 0.1 *)
+}
+
+(* Priority classes p0 (batch) .. p2 (interactive): tighter targets for
+   higher priorities, one-in-ten error budget each. *)
+let default_objectives =
+  [
+    { o_class = "p0"; o_target = 240.0; o_budget = 0.1 };
+    { o_class = "p1"; o_target = 120.0; o_budget = 0.1 };
+    { o_class = "p2"; o_target = 60.0; o_budget = 0.1 };
+  ]
+
+type reason = Latency_miss | Shed | Deadline_shed | Fault | Hb_trip
+
+let reason_name = function
+  | Latency_miss -> "latency-miss"
+  | Shed -> "shed"
+  | Deadline_shed -> "deadline-shed"
+  | Fault -> "fault"
+  | Hb_trip -> "hb-trip"
+
+type entry = {
+  e_job : int;
+  e_class : string;
+  e_trace : string;
+  e_sojourn : float; (* virtual seconds; negative for jobs never served *)
+  e_at : float; (* completion/shed time, virtual seconds *)
+  e_miss : bool; (* sojourn exceeded the class objective *)
+}
+
+type trip = {
+  t_job : int;
+  t_class : string;
+  t_trace : string;
+  t_reason : reason;
+  t_at : float; (* virtual seconds *)
+  t_detail : string;
+}
+
+type class_counters = { mutable c_seen : int; mutable c_missed : int }
+
+type t = {
+  cap : int;
+  objectives : objective list;
+  ring : entry option array; (* bounded flight-recorder window *)
+  mutable next : int; (* ring write cursor *)
+  mutable total : int; (* entries ever observed *)
+  counters : (string, class_counters) Hashtbl.t;
+  mutable trips : trip list; (* newest first, bounded by [cap] *)
+  mutable trip_count : int; (* trips ever recorded *)
+}
+
+let create ?(cap = 512) ?(objectives = default_objectives) () =
+  if cap < 1 then invalid_arg "Slo.create: cap must be positive";
+  {
+    cap;
+    objectives;
+    ring = Array.make cap None;
+    next = 0;
+    total = 0;
+    counters = Hashtbl.create 8;
+    trips = [];
+    trip_count = 0;
+  }
+
+let objective_for t cls = List.find_opt (fun o -> o.o_class = cls) t.objectives
+
+let counters_for t cls =
+  match Hashtbl.find_opt t.counters cls with
+  | Some c -> c
+  | None ->
+      let c = { c_seen = 0; c_missed = 0 } in
+      Hashtbl.replace t.counters cls c;
+      c
+
+let trip t ~job ~cls ~trace ~reason ~at ~detail =
+  t.trip_count <- t.trip_count + 1;
+  let tr = { t_job = job; t_class = cls; t_trace = trace; t_reason = reason; t_at = at; t_detail = detail } in
+  t.trips <- tr :: (if List.length t.trips >= t.cap then List.filteri (fun i _ -> i < t.cap - 1) t.trips else t.trips)
+
+(* Record one served job; auto-trips [Latency_miss] when the sojourn
+   exceeds the class objective. *)
+let observe t ~job ~cls ~trace ~sojourn ~at =
+  let miss = match objective_for t cls with Some o -> sojourn > o.o_target | None -> false in
+  let c = counters_for t cls in
+  c.c_seen <- c.c_seen + 1;
+  if miss then begin
+    c.c_missed <- c.c_missed + 1;
+    trip t ~job ~cls ~trace ~reason:Latency_miss ~at
+      ~detail:
+        (Printf.sprintf "sojourn %.2fs > objective %.2fs" sojourn
+           (match objective_for t cls with Some o -> o.o_target | None -> 0.0))
+  end;
+  t.ring.(t.next) <- Some { e_job = job; e_class = cls; e_trace = trace; e_sojourn = sojourn; e_at = at; e_miss = miss };
+  t.next <- (t.next + 1) mod t.cap;
+  t.total <- t.total + 1
+
+(* Ring contents, oldest first. *)
+let entries t =
+  let n = min t.total t.cap in
+  List.init n (fun i -> t.ring.((t.next - n + i + t.cap * 2) mod t.cap)) |> List.filter_map Fun.id
+
+let trips t = List.rev t.trips
+let trip_count t = t.trip_count
+
+(* Miss fraction over the whole run for [cls]; 0 when unseen. *)
+let miss_fraction t cls =
+  match Hashtbl.find_opt t.counters cls with
+  | Some c when c.c_seen > 0 -> float_of_int c.c_missed /. float_of_int c.c_seen
+  | _ -> 0.0
+
+(* Burn rate for [cls]: miss fraction / error budget.  1.0 = consuming
+   the budget exactly as provisioned; > 1.0 = out of budget. *)
+let burn_rate t cls =
+  match objective_for t cls with
+  | Some o when o.o_budget > 0.0 -> miss_fraction t cls /. o.o_budget
+  | _ -> 0.0
+
+(* Classes seen or configured, sorted. *)
+let classes t =
+  let seen = Hashtbl.fold (fun k _ acc -> k :: acc) t.counters [] in
+  List.sort_uniq compare (seen @ List.map (fun o -> o.o_class) t.objectives)
+
+let summary t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "slo: %d observed (window %d), %d trip%s\n" t.total (min t.total t.cap)
+       t.trip_count
+       (if t.trip_count = 1 then "" else "s"));
+  List.iter
+    (fun cls ->
+      let c = Option.value ~default:{ c_seen = 0; c_missed = 0 } (Hashtbl.find_opt t.counters cls) in
+      let target = match objective_for t cls with Some o -> o.o_target | None -> 0.0 in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-4s target %7.1fs  served %4d  missed %3d  burn %5.2fx\n" cls target
+           c.c_seen c.c_missed (burn_rate t cls)))
+    (classes t);
+  Buffer.contents buf
+
+let to_json t =
+  let module J = Json in
+  J.Obj
+    [
+      ("observed", J.Int t.total);
+      ("window", J.Int (min t.total t.cap));
+      ("trips", J.Int t.trip_count);
+      ( "classes",
+        J.Arr
+          (List.map
+             (fun cls ->
+               let c = Option.value ~default:{ c_seen = 0; c_missed = 0 } (Hashtbl.find_opt t.counters cls) in
+               J.Obj
+                 [
+                   ("class", J.Str cls);
+                   ("target_seconds", J.Float (match objective_for t cls with Some o -> o.o_target | None -> 0.0));
+                   ("served", J.Int c.c_seen);
+                   ("missed", J.Int c.c_missed);
+                   ("burn_rate", J.Float (burn_rate t cls));
+                 ])
+             (classes t)) );
+      ( "trip_log",
+        J.Arr
+          (List.map
+             (fun tr ->
+               J.Obj
+                 [
+                   ("job", J.Int tr.t_job);
+                   ("class", J.Str tr.t_class);
+                   ("trace", J.Str tr.t_trace);
+                   ("reason", J.Str (reason_name tr.t_reason));
+                   ("at_seconds", J.Float tr.t_at);
+                   ("detail", J.Str tr.t_detail);
+                 ])
+             (trips t)) );
+    ]

@@ -1,0 +1,83 @@
+(** The SLO flight recorder: always-on, bounded, virtual-time.
+
+    A bounded ring of per-job outcomes, per-class latency objectives
+    with burn-rate accounting, and a trip list — one entry per job
+    that missed its latency objective, was shed, hit a fault, or
+    tripped a happens-before invariant.  Trips carry the job's trace
+    id so callers can resolve them into post-mortem span bundles
+    ([Dtrace.bundle]) when tracing is on.  No wall clock; [observe] is
+    O(1); memory is bounded by [cap]. *)
+
+type objective = {
+  o_class : string;  (** job class, e.g. ["p0"] *)
+  o_target : float;  (** sojourn objective, virtual seconds *)
+  o_budget : float;  (** allowed miss fraction, e.g. [0.1] *)
+}
+
+(** p0/p1/p2 priority classes: 240/120/60 virtual-second targets, 10%
+    error budget each. *)
+val default_objectives : objective list
+
+type reason = Latency_miss | Shed | Deadline_shed | Fault | Hb_trip
+
+val reason_name : reason -> string
+
+type entry = {
+  e_job : int;
+  e_class : string;
+  e_trace : string;
+  e_sojourn : float;  (** virtual seconds; negative for jobs never served *)
+  e_at : float;  (** completion/shed time, virtual seconds *)
+  e_miss : bool;  (** sojourn exceeded the class objective *)
+}
+
+type trip = {
+  t_job : int;
+  t_class : string;
+  t_trace : string;
+  t_reason : reason;
+  t_at : float;  (** virtual seconds *)
+  t_detail : string;
+}
+
+type t
+
+(** [create ?cap ?objectives ()] — ring and trip log bounded by [cap]
+    (default 512).
+    @raise Invalid_argument when [cap < 1]. *)
+val create : ?cap:int -> ?objectives:objective list -> unit -> t
+
+val objective_for : t -> string -> objective option
+
+(** Record one served job; auto-trips [Latency_miss] when the sojourn
+    exceeds the class objective. *)
+val observe : t -> job:int -> cls:string -> trace:string -> sojourn:float -> at:float -> unit
+
+(** Record a trip from an external source (shed, fault, Hb check). *)
+val trip :
+  t -> job:int -> cls:string -> trace:string -> reason:reason -> at:float -> detail:string -> unit
+
+(** Ring contents, oldest first (at most [cap]). *)
+val entries : t -> entry list
+
+(** Trips, oldest first (at most [cap] retained). *)
+val trips : t -> trip list
+
+(** Trips ever recorded (not capped). *)
+val trip_count : t -> int
+
+(** Miss fraction over the whole run for a class; 0 when unseen. *)
+val miss_fraction : t -> string -> float
+
+(** Miss fraction / error budget: 1.0 = consuming the budget exactly
+    as provisioned, above 1.0 the class is out of budget. *)
+val burn_rate : t -> string -> float
+
+(** Classes seen or configured, sorted. *)
+val classes : t -> string list
+
+(** Human-readable per-class table. *)
+val summary : t -> string
+
+(** Deterministic JSON (classes, burn rates, trip log). *)
+val to_json : t -> Json.t

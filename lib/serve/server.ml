@@ -30,6 +30,9 @@
 open Mcc_core
 module Evlog = Mcc_obs.Evlog
 module Metrics = Mcc_obs.Metrics
+module Trace_ctx = Mcc_obs.Trace_ctx
+module Dtrace = Mcc_obs.Dtrace
+module Slo = Mcc_obs.Slo
 module Costs = Mcc_sched.Costs
 module Des_engine = Mcc_sched.Des_engine
 
@@ -107,43 +110,36 @@ type report = {
   r_served_jobs : Request.served list; (* in completion order *)
   r_shed_jobs : Request.job list; (* in shed order *)
   r_events : Evlog.record array; (* empty unless [capture] *)
+  r_subs : Dtrace.sub list; (* nested compile captures; empty unless [trace] *)
+  r_slo : Slo.t; (* the always-on flight recorder *)
 }
 
-(* Nearest-rank percentile of a sorted array; 0 on empty input. *)
-let percentile p sorted =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) rank))
+let summarize = Mcc_util.Quantile.summarize
 
-let summarize sojourns =
-  let sorted = Array.of_list sojourns in
-  Array.sort compare sorted;
-  let mean =
-    if Array.length sorted = 0 then 0.0
-    else Array.fold_left ( +. ) 0.0 sorted /. float_of_int (Array.length sorted)
-  in
-  let maxv = if Array.length sorted = 0 then 0.0 else sorted.(Array.length sorted - 1) in
-  (mean, percentile 50.0 sorted, percentile 95.0 sorted, percentile 99.0 sorted, maxv)
+(* The SLO class of a job: its priority band. *)
+let slo_class (j : Request.job) = Printf.sprintf "p%d" j.Request.j_priority
 
 (* One job's service: probe the shared module memo; on a miss run the
    full concurrent compiler against the shared interface store.
-   Returns (result, service seconds, warm, retried). *)
-let compile_job cfg cache (j : Request.job) =
+   Returns (result, service segments, warm, retried) where each
+   segment is (span kind, duration seconds, nested capture option) —
+   the service span's exact tiling. *)
+let compile_job ~trace cfg cache (j : Request.job) =
   let base = cfg.compile in
   let tag = Project.config_tag base in
   let fpmemo = Hashtbl.create 16 in
   let key, key_units = Build_cache.module_key cache.bc ~memo:fpmemo ~config_tag:tag j.Request.j_store in
   let overhead = Costs.to_seconds (float_of_int (key_units + Costs.cache_probe)) in
   match Build_cache.find_module cache.memo key with
-  | Some r -> (r, overhead, true, false)
+  | Some r -> (r, [ ("probe", overhead, None) ], true, false)
   | None ->
       let name = Source_store.main_name j.Request.j_store in
       let run config =
-        (* the inner engine restarts its clock; keep it out of the
-           server's job-lifecycle capture *)
-        Evlog.suspend (fun () -> Driver.compile ~config ~cache:cache.bc j.Request.j_store)
+        (* the inner engine restarts its clock; when tracing, capture it
+           as a nested sub-log ([Evlog.capture] nests safely), otherwise
+           keep it out of the server's job-lifecycle capture *)
+        if trace then Driver.compile ~config ~capture:true ~cache:cache.bc j.Request.j_store
+        else Evlog.suspend (fun () -> Driver.compile ~config ~cache:cache.bc j.Request.j_store)
       in
       let memoize (r : Driver.result) =
         (* only fault-free results enter the shared memo: a result
@@ -161,20 +157,28 @@ let compile_job cfg cache (j : Request.job) =
         else base
       in
       let r1 = run config1 in
-      let dur1 = overhead +. r1.Driver.sim.Des_engine.end_seconds in
+      let probe = ("probe", overhead, None) in
       if r1.Driver.ok || not faulted then begin
         memoize r1;
-        (r1, dur1, false, false)
+        (r1, [ probe; ("compile", r1.Driver.sim.Des_engine.end_seconds, Some r1) ], false, false)
       end
       else begin
         (* the armed plan defeated the run's own recovery (quarantine,
            poisoned import...): re-serve once, clean *)
         let r2 = run base in
         memoize r2;
-        (r2, dur1 +. r2.Driver.sim.Des_engine.end_seconds, false, true)
+        ( r2,
+          [
+            probe;
+            ("compile", r1.Driver.sim.Des_engine.end_seconds, Some r1);
+            ("retry", r2.Driver.sim.Des_engine.end_seconds, Some r2);
+          ],
+          false,
+          true )
       end
 
-let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
+let serve ?(capture = false) ?(trace = false) ~cache cfg (jobs : Request.job list) =
+  let capture = capture || trace in
   if cfg.compile.Driver.faults <> [] then
     invalid_arg "Server.serve: put the fault plan in the server config, not the compile config";
   let jobs =
@@ -198,12 +202,32 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
   let batches = ref 0 in
   let batched_jobs = ref 0 in
   let max_batch = ref 0 in
+  let slo = Slo.create () in
+  let subs = ref [] (* reversed Dtrace.sub list *) in
+  if trace then Trace_ctx.reset ();
+  let tid_of (j : Request.job) =
+    Trace_ctx.trace_id ~domain:"serve" ~seed:cfg.fault_seed
+      ~key:
+        (Printf.sprintf "%s/%d/M%02d" j.Request.j_session j.Request.j_id j.Request.j_rank)
+  in
+  (* open (job span, queue span, trace id) per in-flight job id *)
+  let spans : (int, Trace_ctx.t * Trace_ctx.t * string) Hashtbl.t = Hashtbl.create 64 in
   let emit_at seconds kind =
     if Evlog.enabled () then begin
       Evlog.set_task (-1);
       Evlog.set_time (seconds /. Costs.seconds_per_unit);
       Evlog.emit kind
     end
+  in
+  let emit_span seconds kind = if trace then emit_at seconds kind in
+  (* close an in-flight job's queue + job spans, e.g. on a shed *)
+  let close_spans ~at ~status (j : Request.job) =
+    match Hashtbl.find_opt spans j.Request.j_id with
+    | Some (jsp, qsp, _) ->
+        emit_span at (Evlog.Span_end { span = qsp.Trace_ctx.span; status });
+        emit_span at (Evlog.Span_end { span = jsp.Trace_ctx.span; status });
+        Hashtbl.remove spans j.Request.j_id
+    | None -> ()
   in
   (* move every arrival with time <= limit through admission *)
   let admit_until limit =
@@ -214,6 +238,32 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
           arrivals := rest;
           emit_at j.Request.j_arrival
             (Evlog.Job_enqueue { job = j.Request.j_id; session = j.Request.j_session });
+          if trace then begin
+            let tid = tid_of j in
+            let jsp = Trace_ctx.root ~trace:tid in
+            let qsp = Trace_ctx.child jsp in
+            Hashtbl.replace spans j.Request.j_id (jsp, qsp, tid);
+            emit_span j.Request.j_arrival
+              (Evlog.Span_start
+                 {
+                   span = jsp.Trace_ctx.span;
+                   parent = -1;
+                   trace = tid;
+                   name = Printf.sprintf "job#%d" j.Request.j_id;
+                   kind = "job";
+                   node = -1;
+                 });
+            emit_span j.Request.j_arrival
+              (Evlog.Span_start
+                 {
+                   span = qsp.Trace_ctx.span;
+                   parent = jsp.Trace_ctx.span;
+                   trace = tid;
+                   name = "queue";
+                   kind = "queue";
+                   node = -1;
+                 })
+          end;
           (match Admission.offer adm j with
           | Admission.Admitted ->
               emit_at j.Request.j_arrival
@@ -223,7 +273,12 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
               if Metrics.enabled () then Metrics.incr "mcc_serve_shed_total";
               emit_at j.Request.j_arrival
                 (Evlog.Job_shed
-                   { job = victim.Request.j_id; session = victim.Request.j_session }));
+                   { job = victim.Request.j_id; session = victim.Request.j_session });
+              close_spans ~at:j.Request.j_arrival ~status:"shed" victim;
+              Slo.trip slo ~job:victim.Request.j_id ~cls:(slo_class victim)
+                ~trace:(tid_of victim) ~reason:Slo.Shed ~at:j.Request.j_arrival
+                ~detail:
+                  (Printf.sprintf "admission cap %d: shed by job #%d" cfg.cap j.Request.j_id));
           let depth = Queue.length q in
           if depth > !max_depth then max_depth := depth;
           if Metrics.enabled () then
@@ -233,13 +288,76 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
   in
   let serve_one ~batched (j : Request.job) =
     let start = !now in
-    let result, dur, warm, retried = compile_job cfg cache j in
+    let result, segs, warm, retried = compile_job ~trace cfg cache j in
+    let dur = List.fold_left (fun acc (_, d, _) -> acc +. d) 0.0 segs in
     let finish = start +. dur in
     (* arrivals during this service are admitted (at their own times)
-       before the completion event, keeping the log time-monotone *)
-    admit_until finish;
+       before the completion event, keeping the log time-monotone; when
+       tracing, the admissions interleave with the segment boundaries *)
+    if trace then begin
+      match Hashtbl.find_opt spans j.Request.j_id with
+      | Some (jsp, qsp, tid) ->
+          emit_span start (Evlog.Span_end { span = qsp.Trace_ctx.span; status = "ok" });
+          let ssp = Trace_ctx.child jsp in
+          emit_span start
+            (Evlog.Span_start
+               {
+                 span = ssp.Trace_ctx.span;
+                 parent = jsp.Trace_ctx.span;
+                 trace = tid;
+                 name = "service";
+                 kind = "service";
+                 node = -1;
+               });
+          let t = ref start in
+          let last = List.length segs - 1 in
+          List.iteri
+            (fun i (kind, d, sub) ->
+              let seg = Trace_ctx.child ssp in
+              emit_span !t
+                (Evlog.Span_start
+                   {
+                     span = seg.Trace_ctx.span;
+                     parent = ssp.Trace_ctx.span;
+                     trace = tid;
+                     name = kind;
+                     kind;
+                     node = -1;
+                   });
+              (match sub with
+              | Some (r : Driver.result) when Array.length r.Driver.log > 0 ->
+                  subs :=
+                    {
+                      Dtrace.sub_owner = seg.Trace_ctx.span;
+                      sub_t0 = !t /. Costs.seconds_per_unit;
+                      sub_scale = 1.0;
+                      sub_log = r.Driver.log;
+                      sub_names = r.Driver.task_index;
+                    }
+                    :: !subs
+              | _ -> ());
+              (* the last segment closes exactly at [finish] so the
+                 service span is tiled to the last ulp *)
+              let fin = if i = last then finish else !t +. d in
+              admit_until fin;
+              emit_span fin (Evlog.Span_end { span = seg.Trace_ctx.span; status = "ok" });
+              t := fin)
+            segs;
+          emit_span finish (Evlog.Span_end { span = ssp.Trace_ctx.span; status = "ok" });
+          emit_span finish
+            (Evlog.Span_end
+               { span = jsp.Trace_ctx.span; status = (if warm then "hit" else "ok") });
+          Hashtbl.remove spans j.Request.j_id
+      | None -> admit_until finish
+    end
+    else admit_until finish;
     now := finish;
     emit_at finish (Evlog.Job_done { job = j.Request.j_id; warm });
+    Slo.observe slo ~job:j.Request.j_id ~cls:(slo_class j) ~trace:(tid_of j)
+      ~sojourn:(finish -. j.Request.j_arrival) ~at:finish;
+    if retried then
+      Slo.trip slo ~job:j.Request.j_id ~cls:(slo_class j) ~trace:(tid_of j) ~reason:Slo.Fault
+        ~at:finish ~detail:"fault plan defeated recovery; re-served clean";
     if Metrics.enabled () then begin
       Metrics.incr "mcc_serve_jobs_total";
       Metrics.observe "mcc_serve_sojourn_seconds" (finish -. j.Request.j_arrival)
@@ -264,7 +382,13 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
   let shed_overdue (j : Request.job) =
     incr deadline_shed;
     if Metrics.enabled () then Metrics.incr "mcc_serve_deadline_shed_total";
-    emit_at !now (Evlog.Job_shed { job = j.Request.j_id; session = j.Request.j_session })
+    emit_at !now (Evlog.Job_shed { job = j.Request.j_id; session = j.Request.j_session });
+    close_spans ~at:!now ~status:"deadline" j;
+    Slo.trip slo ~job:j.Request.j_id ~cls:(slo_class j) ~trace:(tid_of j)
+      ~reason:Slo.Deadline_shed ~at:!now
+      ~detail:
+        (Printf.sprintf "queued %.2fs > deadline %.2fs" (!now -. j.Request.j_arrival)
+           (Option.value ~default:0.0 cfg.deadline))
   in
   let rec loop () =
     match Queue.pop q with
@@ -390,6 +514,8 @@ let serve ?(capture = false) ~cache cfg (jobs : Request.job list) =
     r_served_jobs = served;
     r_shed_jobs = shed;
     r_events = !events;
+    r_subs = List.rev !subs;
+    r_slo = slo;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,33 @@
+(* Nearest-rank percentiles over small samples.
+
+   The compile server, the farm benchmarks and the SLO reports all
+   summarize latency lists the same way; this is the one shared
+   implementation.  Nearest-rank (no interpolation): percentile p of n
+   sorted samples is the element at rank ceil(p/100 * n), so p100 is
+   the maximum, p50 of a single element is that element, and every
+   reported value is one that actually occurred — the right choice for
+   tail latencies, where interpolated values name sojourns no job ever
+   had. *)
+
+(* Nearest-rank percentile of an ascending-sorted array; 0 on empty
+   input. *)
+let percentile p sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+(* Ascending sorted array of a sample list. *)
+let sorted_of_list xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a
+
+(* (mean, p50, p95, p99, max) of a sample list; all 0 on empty. *)
+let summarize xs =
+  let sorted = sorted_of_list xs in
+  let n = Array.length sorted in
+  let mean = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 sorted /. float_of_int n in
+  let maxv = if n = 0 then 0.0 else sorted.(n - 1) in
+  (mean, percentile 50.0 sorted, percentile 95.0 sorted, percentile 99.0 sorted, maxv)

@@ -1,0 +1,15 @@
+(** Nearest-rank percentiles over small samples — the shared latency
+    summarizer for the compile server, the farm benchmarks and the SLO
+    reports.  Nearest-rank: every reported value is a sample that
+    actually occurred (no interpolation). *)
+
+(** Nearest-rank percentile of an ascending-sorted array; 0 on empty
+    input.  [percentile 100.0] is the maximum; on a single element,
+    every percentile is that element. *)
+val percentile : float -> float array -> float
+
+(** Ascending sorted array of a sample list. *)
+val sorted_of_list : float list -> float array
+
+(** [(mean, p50, p95, p99, max)] of a sample list; all 0 on empty. *)
+val summarize : float list -> float * float * float * float * float

@@ -200,6 +200,46 @@ let prop_prng_split_independent =
       in
       undisturbed = disturbed && child_draws seed <> undisturbed)
 
+let test_quantile_edges () =
+  (* empty: every statistic is 0 rather than an exception *)
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0 (Quantile.percentile 95.0 [||]);
+  let mean, p50, p95, p99, maxv = Quantile.summarize [] in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 mean;
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 p50;
+  Alcotest.(check (float 0.0)) "empty p95" 0.0 p95;
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 p99;
+  Alcotest.(check (float 0.0)) "empty max" 0.0 maxv;
+  (* single element: every percentile is that element *)
+  let one = Quantile.sorted_of_list [ 7.5 ] in
+  Alcotest.(check (float 0.0)) "single p1" 7.5 (Quantile.percentile 1.0 one);
+  Alcotest.(check (float 0.0)) "single p50" 7.5 (Quantile.percentile 50.0 one);
+  Alcotest.(check (float 0.0)) "single p100" 7.5 (Quantile.percentile 100.0 one);
+  let mean1, p50_1, _, _, max1 = Quantile.summarize [ 7.5 ] in
+  Alcotest.(check (float 0.0)) "single mean" 7.5 mean1;
+  Alcotest.(check (float 0.0)) "single summarize p50" 7.5 p50_1;
+  Alcotest.(check (float 0.0)) "single summarize max" 7.5 max1
+
+let test_quantile_exact_rank () =
+  (* nearest-rank on 10 sorted samples: rank = ceil(p/100 * 10), so p50
+     is the 5th element, p90 the 9th, p91..p100 the 10th — values that
+     actually occurred, never interpolations. *)
+  let sorted = Quantile.sorted_of_list (List.init 10 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 0.0)) "p10 = 1st" 1.0 (Quantile.percentile 10.0 sorted);
+  Alcotest.(check (float 0.0)) "p50 = 5th" 5.0 (Quantile.percentile 50.0 sorted);
+  Alcotest.(check (float 0.0)) "p90 = 9th" 9.0 (Quantile.percentile 90.0 sorted);
+  Alcotest.(check (float 0.0)) "p91 = 10th" 10.0 (Quantile.percentile 91.0 sorted);
+  Alcotest.(check (float 0.0)) "p100 = max" 10.0 (Quantile.percentile 100.0 sorted);
+  (* sorted_of_list actually sorts *)
+  let s = Quantile.sorted_of_list [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check (float 0.0)) "unsorted input, p100" 3.0 (Quantile.percentile 100.0 s);
+  Alcotest.(check (float 0.0)) "unsorted input, p33" 1.0 (Quantile.percentile 33.0 s);
+  let mean, p50, p95, p99, maxv = Quantile.summarize (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 0.0)) "mean of 1..100" 50.5 mean;
+  Alcotest.(check (float 0.0)) "p50 of 1..100" 50.0 p50;
+  Alcotest.(check (float 0.0)) "p95 of 1..100" 95.0 p95;
+  Alcotest.(check (float 0.0)) "p99 of 1..100" 99.0 p99;
+  Alcotest.(check (float 0.0)) "max of 1..100" 100.0 maxv
+
 let test_tablefmt () =
   let s = Tablefmt.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
   Alcotest.(check bool) "contains separator" true (Tutil.contains ~sub:"|-" s);
@@ -236,6 +276,11 @@ let () =
           Alcotest.test_case "basic" `Quick test_deque;
           Tutil.qtest prop_deque_fifo;
           Tutil.qtest prop_deque_model;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "edges" `Quick test_quantile_edges;
+          Alcotest.test_case "exact rank" `Quick test_quantile_exact_rank;
         ] );
       ("tablefmt", [ Alcotest.test_case "render" `Quick test_tablefmt ]);
     ]
