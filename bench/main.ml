@@ -19,6 +19,7 @@
      incr-fine (extra)  - declaration-level invalidation + early cutoff (BENCH_incr.json)
      serve     (extra)  - compile server: throughput, tails, fairness (BENCH_serve.json)
      farm      (extra)  - sharded build farm: scaling, node-loss recovery (BENCH_farm.json)
+     zoo       (extra)  - workload zoo: corpus, shapes, scaling knees (BENCH_zoo.json)
      faults    (extra)  - fault injection x rate x strategy x procs recovery matrix
      micro     (extra)  - bechamel microbenchmarks of compiler phases
      all       everything above
@@ -1503,6 +1504,129 @@ let trace_bench () =
   Out_channel.with_open_text "BENCH_trace.json" (fun oc -> output_string oc text);
   say "wrote BENCH_trace.json (%d bytes)" (String.length text)
 
+(* Workload-zoo benchmark (BENCH_zoo.json).  Four gated sections.
+   (1) Corpus: every scenario directory replays clean through its
+   manifest-declared oracles, and every loose shrunk reproducer stays
+   conformant.  (2) Shapes: the default adversarial zoo — plus the 10k
+   extremes (one 10k-line procedure; 10k one-line procedures) in full
+   mode — is oracle-clean, and regenerating each shape from the same
+   seed yields byte-identical sources.  (3) Scale: the module-count
+   mega-suite sweeps counts through build, bounded cache, serve and
+   farm in virtual time; every point must hold warm≡cold, the serve
+   and farm oracles must verify, and both knees must land inside the
+   sweep.  (4) Determinism: a same-seed scale re-run must serialize
+   byte-identically (CI additionally re-runs the whole binary and cmps
+   the artifact).  BENCH_SAMPLE drops the shape extremes and sweeps
+   the reduced counts. *)
+let zoo_bench () =
+  header "Workload zoo: corpus, adversarial shapes, scaling knees (BENCH_zoo.json)";
+  let fail fmt = Printf.ksprintf (fun s -> say "FAIL: %s" s; exit 1) fmt in
+  let module J = Mcc_obs.Json in
+  let module Zoo = Mcc_zoo.Zoo in
+  let module Shapes = Mcc_zoo.Shapes in
+  let module Scale = Mcc_zoo.Scale in
+  let sample = Option.bind (Sys.getenv_opt "BENCH_SAMPLE") int_of_string_opt <> None in
+  if sample then say "BENCH_SAMPLE: default shapes only, reduced scale counts";
+  let check_clean what (o : Zoo.outcome) =
+    List.iter (fun f -> say "  %s" (Zoo.failure_to_string f)) o.Zoo.o_failures;
+    if o.Zoo.o_failures <> [] then
+      fail "%s %s diverged (%d failure(s))" what o.Zoo.o_scenario (List.length o.Zoo.o_failures);
+    say "  %-24s [%s] clean: %s" o.Zoo.o_scenario o.Zoo.o_kind
+      (String.concat ", " o.Zoo.o_oracles)
+  in
+  let outcome_json (o : Zoo.outcome) =
+    J.Obj
+      [
+        ("scenario", J.Str o.Zoo.o_scenario);
+        ("kind", J.Str o.Zoo.o_kind);
+        ("oracles", J.Arr (List.map (fun s -> J.Str s) o.Zoo.o_oracles));
+        ("failures", J.Int (List.length o.Zoo.o_failures));
+      ]
+  in
+  (* --- corpus -------------------------------------------------------- *)
+  let corpus_dir =
+    match List.find_opt Sys.is_directory [ "corpus"; "../corpus" ] with
+    | Some d -> d
+    | None -> fail "corpus/ not found from %s" (Sys.getcwd ())
+  in
+  let corpus =
+    List.map
+      (fun d -> Zoo.run_dir (Filename.concat corpus_dir d))
+      (Zoo.scenario_dirs ~dir:corpus_dir)
+    @ Zoo.run_repros ~dir:corpus_dir
+  in
+  if corpus = [] then fail "corpus/ holds no scenario directories";
+  List.iter (check_clean "corpus scenario") corpus;
+  say "corpus: %d workload(s) oracle-clean: PASS" (List.length corpus);
+  (* --- shapes -------------------------------------------------------- *)
+  let spec_of s =
+    match Shapes.of_string s with Ok sp -> sp | Error e -> fail "bad shape spec %s: %s" s e
+  in
+  let extremes =
+    if sample then [] else List.map spec_of [ "long-proc:lines=10000"; "many-procs:procs=10000" ]
+  in
+  let specs = Shapes.default_zoo @ extremes in
+  let shapes = List.map (fun sp -> Zoo.run_spec ~seed:0 sp) specs in
+  List.iter (check_clean "shape") shapes;
+  let fingerprint sp =
+    let st = Shapes.generate ~seed:0 sp in
+    String.concat "\x00"
+      ((Source_store.main_src st
+       :: List.filter_map (Source_store.def_src st) (Source_store.def_names st))
+      @ List.filter_map (Source_store.impl_src st) (Source_store.impl_names st))
+  in
+  List.iter
+    (fun sp ->
+      if fingerprint sp <> fingerprint sp then
+        fail "shape %s: same-seed regeneration differs" (Shapes.name sp))
+    specs;
+  say "shapes: %d generated shape(s) oracle-clean, same-seed regeneration byte-identical%s: PASS"
+    (List.length shapes)
+    (if sample then "" else " (including the 10k-line and 10k-procedure extremes)");
+  (* --- scale --------------------------------------------------------- *)
+  let counts = if sample then Scale.sample_counts else Scale.default_counts in
+  let sweep () = Scale.run ~seed:0 ~counts ~sample ~log:(fun m -> say "  %s" m) () in
+  let r = sweep () in
+  List.iter (fun l -> say "%s" l) (Scale.render r);
+  List.iter
+    (fun (p : Scale.point) ->
+      if not p.Scale.p_warm_cold_ok then fail "scale n=%d: warm/cold observations diverge" p.Scale.p_n;
+      if not p.Scale.p_farm_ok then fail "scale n=%d: farm run failed" p.Scale.p_n)
+    r.Scale.s_points;
+  (match r.Scale.s_scheduler_knee with
+  | Some _ -> ()
+  | None -> fail "scale sweep located no scheduler knee");
+  (match r.Scale.s_cache_knee with
+  | Some _ -> ()
+  | None -> fail "scale sweep located no cache knee");
+  if r.Scale.s_serve_verified <= 0 then fail "serve oracle verified no jobs";
+  if not r.Scale.s_farm_verified then fail "farm oracle failed at the largest farm count";
+  say "scale: warm≡cold at every point, serve and farm oracles verified, both knees found: PASS";
+  (* --- determinism --------------------------------------------------- *)
+  let render_scale r = J.to_string (Scale.to_json r) in
+  if render_scale r <> render_scale (Scale.run ~seed:0 ~counts ~sample ()) then
+    fail "same-seed scale sweeps serialize differently — the sweep is nondeterministic";
+  say "determinism: same-seed scale sweep re-run is byte-identical: PASS";
+  (* --- artifact ------------------------------------------------------ *)
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "mcc-bench-zoo-v1");
+        ("sample", J.Bool sample);
+        ("corpus", J.Arr (List.map outcome_json corpus));
+        ("shapes", J.Arr (List.map outcome_json shapes));
+        ("scale", Scale.to_json r);
+        ( "determinism",
+          J.Obj [ ("scale_identical", J.Bool true); ("shapes_identical", J.Bool true) ] );
+      ]
+  in
+  let text = J.to_string doc ^ "\n" in
+  (match J.validate text with
+  | Ok () -> ()
+  | Error e -> fail "BENCH_zoo.json does not validate: %s" e);
+  Out_channel.with_open_text "BENCH_zoo.json" (fun oc -> output_string oc text);
+  say "wrote BENCH_zoo.json (%d bytes)" (String.length text)
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig2", fig2);
@@ -1511,6 +1635,7 @@ let experiments =
     ("sensitivity", sensitivity); ("incr", incr); ("incr-fine", incr_fine); ("serve", serve_bench);
     ("farm", farm_bench);
     ("trace", trace_bench);
+    ("zoo", zoo_bench);
     ("faults", faults);
     ("micro", micro);
     ("speedup", speedup_artifacts); ("conformance", conformance);

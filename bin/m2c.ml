@@ -591,25 +591,11 @@ let check_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Narrate each check to stderr.")
   in
   let save_report dir (r : Mcc_check.Check.report) =
-    let json = Mcc_check.Check.report_to_json r in
-    match Mcc_obs.Json.validate json with
-    | Error e -> Error (Printf.sprintf "internal error: report invalid: %s" e)
-    | Ok () -> (
-        try
-          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-          Out_channel.with_open_text (Filename.concat dir "report.json") (fun oc ->
-              output_string oc json);
-          List.iter
-            (fun (d : Mcc_check.Check.divergence_report) ->
-              List.iter
-                (fun (name, text) ->
-                  let path = Filename.concat dir (Printf.sprintf "repro%d-%s" d.Mcc_check.Check.item name) in
-                  Out_channel.with_open_text path (fun oc -> output_string oc text))
-                d.Mcc_check.Check.reproducer)
-            r.Mcc_check.Check.divergences;
-          Printf.printf "report: %s\n" (Filename.concat dir "report.json");
-          Ok ()
-        with Sys_error e -> Error e)
+    match Mcc_check.Check.save ~dir r with
+    | Error e -> Error e
+    | Ok report_path ->
+        Printf.printf "report: %s\n" report_path;
+        Ok ()
   in
   let run budget seed matrix no_shrink no_vm plant save verbose =
     if budget < 1 then `Error (false, Printf.sprintf "invalid budget %d: must be positive" budget)
@@ -1190,6 +1176,147 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Self-relative speedup on 1..8 simulated processors.") term
 
+let zoo_cmd =
+  let dir_arg =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Corpus root: one subdirectory per scenario (each with a $(b,manifest) and golden \
+             $(b,expect/) records), plus loose $(b,repro*) reproducers dropped by $(b,m2c check \
+             --save).")
+  in
+  let shape_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "shape" ] ~docv:"SPEC"
+          ~doc:
+            "Run only this generated shape (repeatable) instead of the corpus and the default \
+             zoo.  $(docv) is $(b,kind)[$(b,:)key$(b,=)value$(b,,)...], e.g. \
+             $(b,diamond:depth=5,width=3), $(b,mutual:pairs=3), $(b,long-proc:lines=2000), \
+             $(b,many-procs:procs=2000), $(b,hot-decl:defs=48), $(b,exc-lock:procs=6,depth=4).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed perturbing generated-shape constants (structure depends only on the spec).")
+  in
+  let scale_arg =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Run the scaling mega-suite instead: sweep module count through build, bounded \
+             cache, serve and farm in virtual time and report the scheduler and cache knees.")
+  in
+  let counts_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "counts" ] ~docv:"N,N,..."
+          ~doc:"Module counts for $(b,--scale) (default 100,300,1000,3000,10000).")
+  in
+  let update_arg =
+    Arg.(
+      value & flag
+      & info [ "update-golden" ]
+          ~doc:
+            "Rewrite the corpus $(b,expect/) records from observed behaviour instead of \
+             diffing against them (conformance and incremental equivalences still apply).")
+  in
+  let run dir shapes seed scale counts update_golden =
+    let open Mcc_zoo in
+    if scale then
+      let counts =
+        match counts with
+        | None -> Ok Scale.default_counts
+        | Some spec -> Cliopt.parse_counts spec
+      in
+      match counts with
+      | Error e -> `Error (false, e)
+      | Ok counts ->
+          let r =
+            Scale.run ~seed ~counts ~log:(fun m -> Printf.eprintf "m2c zoo: %s\n%!" m) ()
+          in
+          List.iter print_endline (Scale.render r);
+          `Ok ()
+    else if counts <> None then `Error (false, "--counts only applies with --scale")
+    else
+      let specs =
+        List.fold_right
+          (fun s acc ->
+            match (Shapes.of_string s, acc) with
+            | Ok sp, Ok l -> Ok (sp :: l)
+            | (Error _ as e), _ -> e
+            | _, (Error _ as e) -> e)
+          shapes (Ok [])
+      in
+      match specs with
+      | Error e -> `Error (false, e)
+      | Ok specs ->
+          let outcomes =
+            if specs <> [] then List.map (Zoo.run_spec ~seed) specs
+            else if not (Sys.file_exists dir && Sys.is_directory dir) then
+              [
+                {
+                  Zoo.o_scenario = dir;
+                  o_kind = "corpus";
+                  o_oracles = [];
+                  o_failures =
+                    [
+                      {
+                        Zoo.f_scenario = dir;
+                        f_oracle = "corpus";
+                        f_field = "directory";
+                        f_expected = "an existing corpus root";
+                        f_actual = "missing";
+                      };
+                    ];
+                  o_updated = [];
+                };
+              ]
+            else
+              List.map
+                (fun d -> Zoo.run_dir ~update_golden (Filename.concat dir d))
+                (Zoo.scenario_dirs ~dir)
+              @ Zoo.run_repros ~dir
+              @ List.map (Zoo.run_spec ~seed) Shapes.default_zoo
+          in
+          let failures = List.concat_map (fun (o : Zoo.outcome) -> o.Zoo.o_failures) outcomes in
+          List.iter
+            (fun (o : Zoo.outcome) ->
+              Printf.printf "%-4s %-24s [%s] %s\n"
+                (if o.Zoo.o_failures = [] then "ok" else "FAIL")
+                o.Zoo.o_scenario o.Zoo.o_kind
+                (String.concat ", " o.Zoo.o_oracles);
+              List.iter (fun u -> Printf.printf "       updated %s\n" u) o.Zoo.o_updated;
+              List.iter
+                (fun f -> Printf.printf "       %s\n" (Zoo.failure_to_string f))
+                o.Zoo.o_failures)
+            outcomes;
+          Printf.printf "zoo: %d workload%s, %d divergence%s\n" (List.length outcomes)
+            (if List.length outcomes = 1 then "" else "s")
+            (List.length failures)
+            (if List.length failures = 1 then "" else "s");
+          if failures = [] then `Ok ()
+          else
+            `Error
+              ( false,
+                Printf.sprintf "%d workload%s diverged" (List.length failures)
+                  (if List.length failures = 1 then "" else "s") )
+  in
+  let term =
+    Term.(
+      ret (const run $ dir_arg $ shape_arg $ seed_arg $ scale_arg $ counts_arg $ update_arg))
+  in
+  Cmd.v
+    (Cmd.info "zoo"
+       ~doc:
+         "Run the adversarial workload zoo: corpus scenarios through their manifest-declared \
+          oracles, shrunk reproducers, generated shapes, and (with $(b,--scale)) the module-count \
+          scaling mega-suite.")
+    term
+
 let () =
   let doc = "a concurrent compiler for Modula-2+ (Wortman & Junkin, PLDI 1992)" in
   let info = Cmd.info "m2c" ~version:"1.0.0" ~doc in
@@ -1198,5 +1325,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; build_cmd; run_cmd; sweep_cmd; analyze_cmd; profile_cmd; check_cmd;
-            serve_cmd; farm_cmd; trace_cmd;
+            serve_cmd; farm_cmd; trace_cmd; zoo_cmd;
           ]))

@@ -29,6 +29,7 @@ let default_config =
 
 type divergence_report = {
   item : int;
+  ordinal : int;
   program : string;
   cell : string;
   field : string;
@@ -156,13 +157,17 @@ let run ?(progress = fun _ -> ()) cfg =
       (Some (r.Shrink.orig_bytes, r.Shrink.min_bytes, r.Shrink.steps), sources_of r.Shrink.store)
     end
   in
+  let next_ordinal = ref 0 in
   let record item ~program ~cell_str ~cell_opt (field, expected, actual) =
     let shrunk, reproducer =
       match cell_opt with None -> (None, []) | Some cell -> shrink_divergence item cell
     in
+    let ordinal = !next_ordinal in
+    incr next_ordinal;
     divergences :=
       {
         item;
+        ordinal;
         program;
         cell = cell_str;
         field;
@@ -235,6 +240,7 @@ let report_to_json r =
     Json.Obj
       ([
          ("item", Json.Int d.item);
+         ("ordinal", Json.Int d.ordinal);
          ("program", Json.Str d.program);
          ("cell", Json.Str d.cell);
          ("field", Json.Str d.field);
@@ -283,3 +289,28 @@ let report_to_json r =
          ("planted_detected", Json.Bool r.planted_detected);
          ("ok", Json.Bool (ok r));
        ])
+
+let save ~dir r =
+  let json = report_to_json r in
+  match Json.validate json with
+  | Error e -> Error (Printf.sprintf "internal error: report invalid: %s" e)
+  | Ok () -> (
+      try
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let report_path = Filename.concat dir "report.json" in
+        Out_channel.with_open_text report_path (fun oc -> output_string oc json);
+        List.iter
+          (fun d ->
+            List.iter
+              (fun (name, text) ->
+                (* item alone is ambiguous: a morph item can record two
+                   divergences, and both would shrink to the same module
+                   names — the ordinal keeps the filenames distinct *)
+                let path =
+                  Filename.concat dir (Printf.sprintf "repro%dx%d-%s" d.item d.ordinal name)
+                in
+                Out_channel.with_open_text path (fun oc -> output_string oc text))
+              d.reproducer)
+          r.divergences;
+        Ok report_path
+      with Sys_error e -> Error e)

@@ -35,6 +35,11 @@ val default_config : config
 
 type divergence_report = {
   item : int;  (** 0-based queue index (replay: [--budget item+1]) *)
+  ordinal : int;
+      (** 0-based position in the report's divergence list — one queue
+          item can record more than one divergence (the morph branch
+          checks both the relation and an oracle cell), so [item] alone
+          does not name a divergence uniquely *)
   program : string;  (** program label, e.g. ["gen:3#17"] or ["morph:rename(gen:3#17)"] *)
   cell : string;  (** {!Oracle.cell_to_string}, or ["morph-relation"] *)
   field : string;
@@ -64,3 +69,10 @@ val run : ?progress:(string -> unit) -> config -> report
 
 (** Deterministic JSON rendering (schema [mcc-check-report-v1]). *)
 val report_to_json : report -> string
+
+(** Write [report.json] plus every divergence's minimized reproducer
+    sources into [dir] (created if missing).  Reproducers are named
+    [repro<item>x<ordinal>-<file>] so two divergences recorded by the
+    same queue item never overwrite each other.  Returns the report
+    path. *)
+val save : dir:string -> report -> (string, string) result

@@ -63,6 +63,22 @@ let parse_matrix spec =
       | Error e, _ | _, Error e -> Error (Printf.sprintf "invalid matrix %S: %s" spec e))
   | _ -> Error (Printf.sprintf "invalid matrix %S: expected STRATEGIES:PROCS, e.g. all:1,2,8" spec)
 
+let parse_counts spec =
+  let toks = List.filter (fun s -> s <> "") (String.split_on_char ',' spec) in
+  if toks = [] then
+    Error
+      (Printf.sprintf "invalid counts %S: expected a comma-separated list, e.g. 100,1000,10000"
+         spec)
+  else
+    List.fold_right
+      (fun tok acc ->
+        match (int_of_string_opt tok, acc) with
+        | Some n, Ok ns when n > 0 -> Ok (n :: ns)
+        | Some n, Ok _ -> Error (Printf.sprintf "invalid count %d in %S: must be positive" n spec)
+        | None, Ok _ -> Error (Printf.sprintf "invalid count %S in counts %S" tok spec)
+        | _, (Error _ as e) -> e)
+      toks (Ok [])
+
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in

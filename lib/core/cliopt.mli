@@ -33,6 +33,10 @@ val parse_strategy : string -> (Mcc_sem.Symtab.dky, string) result
     processor list. *)
 val parse_matrix : string -> (Mcc_sem.Symtab.dky list * int list, string) result
 
+(** A non-empty comma-separated list of strictly positive module
+    counts, e.g. ["100,1000,10000"] (the [m2c zoo --counts] sweep). *)
+val parse_counts : string -> (int list, string) result
+
 (** Load [FILE.mod] plus its sibling interfaces, with the bundled
     library modules available ({!M2lib.augment}).  Errors (wrong
     extension, missing or unreadable file) always name the path. *)

@@ -1,0 +1,70 @@
+(* Renderings are line-oriented ("field: value") so a golden mismatch
+   reports as a per-field first-divergent-line diff, and multi-valued
+   fields (diagnostics) get one line each.  Stdout is String.escaped to
+   keep the record one-line-per-field even when programs print
+   newlines. *)
+
+type program_record = {
+  g_ok : bool;
+  g_modules : string list;
+  g_diags : string list;
+  g_vm_status : string;
+  g_stdout : string;
+}
+
+type rebuild_record = {
+  g_recompiled : string list;
+  g_reused : string list;
+  g_cutoffs : string list;
+}
+
+let render_program g =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "ok: %b\n" g.g_ok);
+  Buffer.add_string b (Printf.sprintf "modules: %s\n" (String.concat " " g.g_modules));
+  List.iter (fun d -> Buffer.add_string b (Printf.sprintf "diag: %s\n" d)) g.g_diags;
+  Buffer.add_string b (Printf.sprintf "vm-status: %s\n" g.g_vm_status);
+  Buffer.add_string b (Printf.sprintf "stdout: %s\n" (String.escaped g.g_stdout));
+  Buffer.contents b
+
+let render_rebuild g =
+  Printf.sprintf "recompiled: %s\nreused: %s\ncutoffs: %s\n"
+    (String.concat " " g.g_recompiled)
+    (String.concat " " g.g_reused)
+    (String.concat " " g.g_cutoffs)
+
+let first_line_diff ~expected ~actual =
+  if String.equal expected actual then None
+  else
+    let el = String.split_on_char '\n' expected
+    and al = String.split_on_char '\n' actual in
+    let rec go n = function
+      | [], [] -> None
+      | e :: es, a :: al -> if String.equal e a then go (n + 1) (es, al) else Some (n, e, a)
+      | e :: _, [] -> Some (n, e, "<missing>")
+      | [], a :: _ -> Some (n, "<missing>", a)
+    in
+    go 1 (el, al)
+
+let expect_dir dir = Filename.concat dir "expect"
+let program_path dir = Filename.concat (expect_dir dir) "program.txt"
+
+let rebuild_path dir ~variant_file =
+  Filename.concat (expect_dir dir) (Printf.sprintf "rebuild.%s.txt" variant_file)
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    Some
+      (Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+
+let write_file path content =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)

@@ -1,0 +1,46 @@
+(** Golden records: the durable, diffable text form of what a corpus
+    scenario is expected to do.  [expect/program.txt] pins the
+    whole-program build and VM execution (success, module init order,
+    diagnostics, VM status and stdout); one
+    [expect/rebuild.<Def>.def.<variant>.txt] per prepared interface
+    edit pins the incremental rebuild set (recompiled / reused /
+    cutoffs).  Records are rendered deterministically, so
+    [--update-golden] followed by a clean run is a byte-level fixpoint
+    — the property the round-trip test pins. *)
+
+type program_record = {
+  g_ok : bool;
+  g_modules : string list;  (** init order, implementations only *)
+  g_diags : string list;  (** sorted diagnostic renderings *)
+  g_vm_status : string;  (** [-] when the program was not executed *)
+  g_stdout : string;  (** VM output, [String.escaped] *)
+}
+
+type rebuild_record = {
+  g_recompiled : string list;  (** init order *)
+  g_reused : string list;  (** init order *)
+  g_cutoffs : string list;  (** sorted *)
+}
+
+val render_program : program_record -> string
+val render_rebuild : rebuild_record -> string
+
+(** First divergent line between an expected rendering and an actual
+    one: [(line_number, expected_line, actual_line)] with ["<missing>"]
+    standing in for the shorter side; [None] when byte-equal. *)
+val first_line_diff : expected:string -> actual:string -> (int * string * string) option
+
+(** The golden directory of a scenario ([dir/expect]). *)
+val expect_dir : string -> string
+
+(** The golden file pinning the program record. *)
+val program_path : string -> string
+
+(** The golden file pinning the rebuild set of one variant file (e.g.
+    [rebuild.Lib.def.sig-edit.txt] for variant file [Lib.def.sig-edit]). *)
+val rebuild_path : string -> variant_file:string -> string
+
+val read_file : string -> string option
+
+(** Write [content] to [path], creating [expect/] as needed. *)
+val write_file : string -> string -> unit

@@ -1,0 +1,124 @@
+(* Line-oriented manifest format:
+
+     # comment
+     main: Diamond
+     oracles: conformance warm-cold incremental golden
+     input: 3 5
+
+   Unknown keys, unknown oracle names and malformed input are errors
+   naming the file and line — a manifest typo must fail the run, not
+   silently skip an oracle. *)
+
+type oracle = Conformance | Warm_cold | Incremental | Farm | Golden
+
+let oracle_to_string = function
+  | Conformance -> "conformance"
+  | Warm_cold -> "warm-cold"
+  | Incremental -> "incremental"
+  | Farm -> "farm"
+  | Golden -> "golden"
+
+let all_oracles = [ Conformance; Warm_cold; Incremental; Farm; Golden ]
+
+let oracle_of_string s =
+  match List.find_opt (fun o -> oracle_to_string o = s) all_oracles with
+  | Some o -> Ok o
+  | None ->
+      Error
+        (Printf.sprintf "unknown oracle %S (expected one of %s)" s
+           (String.concat ", " (List.map oracle_to_string all_oracles)))
+
+type t = { main : string option; oracles : oracle list; input : int list }
+
+let parse ~what text =
+  let err lineno fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "%s:%d: %s" what lineno m)) fmt
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok acc
+    | raw :: rest -> (
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then go (lineno + 1) acc rest
+        else
+          match String.index_opt line ':' with
+          | None -> err lineno "expected \"key: value\", got %S" line
+          | Some i -> (
+              let key = String.trim (String.sub line 0 i) in
+              let value =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              let words =
+                String.split_on_char ' ' value |> List.filter (fun w -> w <> "")
+              in
+              match key with
+              | "main" -> (
+                  match words with
+                  | [ m ] -> go (lineno + 1) { acc with main = Some m } rest
+                  | _ -> err lineno "main: expects exactly one module name, got %S" value)
+              | "oracles" -> (
+                  if words = [] then err lineno "oracles: declares no oracle"
+                  else
+                    match
+                      List.fold_left
+                        (fun acc w ->
+                          Result.bind acc (fun os ->
+                              Result.map (fun o -> o :: os) (oracle_of_string w)))
+                        (Ok []) words
+                    with
+                    | Error m -> err lineno "%s" m
+                    | Ok os ->
+                        let oracles =
+                          List.fold_left
+                            (fun seen o -> if List.mem o seen then seen else seen @ [ o ])
+                            [] (List.rev os)
+                        in
+                        go (lineno + 1) { acc with oracles } rest)
+              | "input" -> (
+                  match
+                    List.fold_left
+                      (fun acc w ->
+                        Result.bind acc (fun ns ->
+                            match int_of_string_opt w with
+                            | Some n -> Ok (n :: ns)
+                            | None -> Error w))
+                      (Ok []) words
+                  with
+                  | Ok ns -> go (lineno + 1) { acc with input = List.rev ns } rest
+                  | Error w -> err lineno "input: %S is not an integer" w)
+              | k -> err lineno "unknown manifest key %S (expected main, oracles or input)" k))
+  in
+  Result.bind (go 1 { main = None; oracles = []; input = [] } lines) (fun m ->
+      if m.oracles = [] then
+        Error (Printf.sprintf "%s: manifest declares no oracles" what)
+      else Ok m)
+
+let load ~dir =
+  let path = Filename.concat dir "manifest" in
+  if not (Sys.file_exists path) then
+    Error
+      (Printf.sprintf
+         "%s: corpus scenario has no manifest — add %s declaring its oracles (see corpus/README.md)"
+         dir path)
+  else
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse ~what:path text
+
+let render m =
+  let b = Buffer.create 128 in
+  (match m.main with
+  | Some main -> Buffer.add_string b (Printf.sprintf "main: %s\n" main)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "oracles: %s\n" (String.concat " " (List.map oracle_to_string m.oracles)));
+  (match m.input with
+  | [] -> ()
+  | ns ->
+      Buffer.add_string b
+        (Printf.sprintf "input: %s\n" (String.concat " " (List.map string_of_int ns))));
+  Buffer.contents b

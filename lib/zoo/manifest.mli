@@ -1,0 +1,32 @@
+(** A corpus scenario's manifest: which oracles the zoo runner must
+    apply to the directory, ghdl-testsuite style (one dir per issue, one
+    oracle declaration per dir).  A scenario directory without a
+    manifest is a hard error — CI guards on it — so a new reproducer
+    can never be dropped into [corpus/] without declaring how it is
+    checked. *)
+
+type oracle =
+  | Conformance  (** sequential vs. concurrent observation equality *)
+  | Warm_cold  (** warm [Project] rebuild ≡ cold, no-op recompiles nothing *)
+  | Incremental  (** prepared [.def.<variant>] overlays rebuild correctly *)
+  | Farm  (** {!Mcc_farm.Farm.verify} on a default 3-node farm run *)
+  | Golden  (** program record matches [expect/] (stdout, diags, rebuild sets) *)
+
+val oracle_to_string : oracle -> string
+val oracle_of_string : string -> (oracle, string) result
+
+type t = {
+  main : string option;  (** main module; [None] = auto-detect (the un-imported .mod) *)
+  oracles : oracle list;  (** in declaration order, deduplicated *)
+  input : int list;  (** VM stdin for golden execution *)
+}
+
+(** Parse manifest text.  [what] names the source in errors (a path). *)
+val parse : what:string -> string -> (t, string) result
+
+(** Load [dir/manifest].  A missing file is an [Error] naming the
+    directory and the guard's remedy. *)
+val load : dir:string -> (t, string) result
+
+(** Render a manifest back to its file format. *)
+val render : t -> string

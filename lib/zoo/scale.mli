@@ -1,0 +1,84 @@
+(** The 10k-module mega-suite: sweep module count through the build,
+    bounded-cache, serve and farm layers in virtual time and locate the
+    scheduler's and cache's scaling knees.
+
+    The workload is the flat interface family: one main module
+    importing [n] tiny single-constant interfaces — [n] def streams for
+    the scheduler, [n] cache artifacts of identical size, [n]-way
+    sharding for the farm.  All timings are virtual (DES units), so the
+    sweep is deterministic and two same-seed runs render byte-identical
+    reports.
+
+    Knee definitions (deterministic functions of the swept points):
+    - {e scheduler knee}: the first swept count whose per-module
+      concurrent compile cost is within 5% of the largest count's —
+      the saturation point past which extra modules no longer improve
+      parallel utilization (the serial main-module stream dominates).
+    - {e cache knee}: the first swept count with a nonzero eviction
+      count under the derived capacity bound — the point where the
+      interface working set outgrows the store and warm rebuilds start
+      to thrash.  The bound is [per-interface bytes x cap_modules] with
+      [cap_modules = (2 x max count) / 5], so the knee always lands
+      strictly inside the sweep, in full and in [BENCH_SAMPLE] mode. *)
+
+type point = {
+  p_n : int;  (** module count *)
+  p_seq_units : float;  (** sequential compile, virtual units *)
+  p_build_units : float;  (** concurrent end-to-end, virtual units *)
+  p_per_module : float;  (** [p_build_units / p_n] *)
+  p_efficiency : float;  (** [p_seq_units / (procs x p_build_units)] *)
+  p_cold_units : float;  (** cold compile into the bounded cache *)
+  p_warm_units : float;  (** recompile against the warm bounded cache *)
+  p_warm_hits : int;  (** interfaces served from the cache when warm *)
+  p_evictions : int;  (** capacity evictions across cold+warm *)
+  p_warm_cold_ok : bool;  (** warm observation ≡ cold observation *)
+  p_serve_mean : float;  (** mean served-job sojourn, virtual seconds *)
+  p_serve_throughput : float;  (** served jobs per virtual second *)
+  p_farm_makespan : float;  (** virtual seconds; [-1] when over the farm cap *)
+  p_farm_ok : bool;  (** farm run ok ([true] when skipped) *)
+}
+
+type report = {
+  s_seed : int;
+  s_procs : int;
+  s_counts : int list;
+  s_farm_cap : int;  (** counts above this skip the farm stage *)
+  s_cap_modules : int;
+  s_cap_bytes : int;  (** derived interface-store bound *)
+  s_points : point list;
+  s_scheduler_knee : int option;
+  s_cache_knee : int option;
+  s_serve_verified : int;  (** jobs passing {!Mcc_serve.Server.verify} at the smallest count *)
+  s_farm_verified : bool;  (** {!Mcc_farm.Farm.verify} at the largest farm count *)
+  s_sample : bool;
+}
+
+(** The full sweep (used by [m2c zoo --scale] and [bench zoo]). *)
+val default_counts : int list
+
+(** The [BENCH_SAMPLE] sweep. *)
+val sample_counts : int list
+
+(** The flat interface family at [n] modules (exposed for tests). *)
+val flat_store : ?seed:int -> int -> Mcc_core.Source_store.t
+
+(** Run the sweep.  Farm runs spin up one inner engine per interface
+    closure, so counts above [farm_cap] (default 1000) skip the farm
+    stage — recorded in the report, never silent.  [log] receives
+    progress lines. *)
+val run :
+  ?seed:int ->
+  ?counts:int list ->
+  ?procs:int ->
+  ?farm_cap:int ->
+  ?sample:bool ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+
+(** Deterministic JSON rendering (schema [mcc-bench-zoo-v1]'s [scale]
+    object). *)
+val to_json : report -> Mcc_obs.Json.t
+
+(** Human-readable table + knee summary, one line per element. *)
+val render : report -> string list

@@ -1,0 +1,390 @@
+(* Seeded adversarial shape generator.  Structure (module names, import
+   edges, procedure counts) depends only on the spec; the seed perturbs
+   embedded constants so two seeds give structurally identical but
+   value-distinct programs.  Everything is emitted line by line into a
+   buffer, corpus style — no AST round trip, so the sources double as
+   readable reproducers when a shape fails an oracle. *)
+
+open Mcc_core
+module Prng = Mcc_util.Prng
+
+type spec =
+  | Diamond of { depth : int; width : int }
+  | Mutual of { pairs : int }
+  | Long_proc of { lines : int }
+  | Many_procs of { procs : int }
+  | Hot_decl of { defs : int }
+  | Exc_lock of { procs : int; depth : int }
+
+let to_string = function
+  | Diamond { depth; width } -> Printf.sprintf "diamond:depth=%d,width=%d" depth width
+  | Mutual { pairs } -> Printf.sprintf "mutual:pairs=%d" pairs
+  | Long_proc { lines } -> Printf.sprintf "long-proc:lines=%d" lines
+  | Many_procs { procs } -> Printf.sprintf "many-procs:procs=%d" procs
+  | Hot_decl { defs } -> Printf.sprintf "hot-decl:defs=%d" defs
+  | Exc_lock { procs; depth } -> Printf.sprintf "exc-lock:procs=%d,depth=%d" procs depth
+
+let name = function
+  | Diamond { depth; width } -> Printf.sprintf "diamond-d%dw%d" depth width
+  | Mutual { pairs } -> Printf.sprintf "mutual-p%d" pairs
+  | Long_proc { lines } -> Printf.sprintf "long-proc-%d" lines
+  | Many_procs { procs } -> Printf.sprintf "many-procs-%d" procs
+  | Hot_decl { defs } -> Printf.sprintf "hot-decl-%d" defs
+  | Exc_lock { procs; depth } -> Printf.sprintf "exc-lock-p%dd%d" procs depth
+
+let default_zoo =
+  [
+    Diamond { depth = 5; width = 3 };
+    Mutual { pairs = 3 };
+    Long_proc { lines = 2000 };
+    Many_procs { procs = 2000 };
+    Hot_decl { defs = 48 };
+    Exc_lock { procs = 6; depth = 4 };
+  ]
+
+(* --- spec parsing -------------------------------------------------- *)
+
+let kinds =
+  [ "diamond"; "mutual"; "long-proc"; "many-procs"; "hot-decl"; "exc-lock" ]
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let kind, params =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let* pairs =
+    if params = "" then Ok []
+    else
+      String.split_on_char ',' params
+      |> List.fold_left
+           (fun acc kv ->
+             let* acc = acc in
+             match String.index_opt kv '=' with
+             | None -> fail "shape parameter %S is not of the form key=value" kv
+             | Some i ->
+                 let k = String.sub kv 0 i in
+                 let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                 let* n =
+                   match int_of_string_opt v with
+                   | Some n when n >= 1 -> Ok n
+                   | _ -> fail "shape parameter %s=%S: expected a strictly positive integer" k v
+                 in
+                 Ok ((k, n) :: acc))
+           (Ok [])
+  in
+  let get key default =
+    match List.assoc_opt key pairs with Some n -> n | None -> default
+  in
+  let check_keys allowed =
+    match List.find_opt (fun (k, _) -> not (List.mem k allowed)) pairs with
+    | Some (k, _) ->
+        fail "unknown parameter %S for shape %s (allowed: %s)" k kind
+          (String.concat ", " allowed)
+    | None -> Ok ()
+  in
+  match kind with
+  | "diamond" ->
+      let* () = check_keys [ "depth"; "width" ] in
+      Ok (Diamond { depth = get "depth" 5; width = get "width" 3 })
+  | "mutual" ->
+      let* () = check_keys [ "pairs" ] in
+      Ok (Mutual { pairs = get "pairs" 3 })
+  | "long-proc" ->
+      let* () = check_keys [ "lines" ] in
+      Ok (Long_proc { lines = get "lines" 2000 })
+  | "many-procs" ->
+      let* () = check_keys [ "procs" ] in
+      Ok (Many_procs { procs = get "procs" 2000 })
+  | "hot-decl" ->
+      let* () = check_keys [ "defs" ] in
+      Ok (Hot_decl { defs = get "defs" 48 })
+  | "exc-lock" ->
+      let* () = check_keys [ "procs"; "depth" ] in
+      Ok (Exc_lock { procs = get "procs" 6; depth = get "depth" 4 })
+  | k -> fail "unknown shape kind %S (expected one of %s)" k (String.concat ", " kinds)
+
+(* --- module naming ------------------------------------------------- *)
+
+let diamond_def level k = Printf.sprintf "DiaL%dN%d" level k
+
+let modules = function
+  | Diamond { depth; width } ->
+      let defs =
+        diamond_def 0 0
+        :: List.concat
+             (List.init (depth - 1) (fun l ->
+                  List.init width (fun k -> diamond_def (l + 1) k)))
+      in
+      List.sort compare ("ZDiamond" :: defs)
+  | Mutual { pairs } ->
+      List.sort compare
+        ("ZMutual"
+        :: List.concat
+             (List.init pairs (fun i ->
+                  [ Printf.sprintf "MutA%d" i; Printf.sprintf "MutB%d" i ])))
+  | Long_proc _ -> [ "ZLong" ]
+  | Many_procs _ -> [ "ZMany" ]
+  | Hot_decl { defs } ->
+      List.sort compare
+        ("ZHot" :: "Hot" :: List.init defs (Printf.sprintf "HotU%03d"))
+  | Exc_lock _ -> [ "ZExc" ]
+
+(* --- emission ------------------------------------------------------ *)
+
+type st = { b : Buffer.t }
+
+let line st fmt =
+  Printf.ksprintf (fun s -> Buffer.add_string st.b s; Buffer.add_char st.b '\n') fmt
+
+let buf_module f =
+  let st = { b = Buffer.create 1024 } in
+  f st;
+  Buffer.contents st.b
+
+(* Wide import diamond: level 0 is the single apex interface; every
+   interface above imports *all* of the level below, so interface frames
+   for the apex arrive along width^depth distinct paths and must dedup. *)
+let gen_diamond rng ~depth ~width =
+  let const level k = Printf.sprintf "c%d_%d" level k in
+  let def level k below =
+    buf_module (fun st ->
+        line st "DEFINITION MODULE %s;" (diamond_def level k);
+        List.iter (fun j -> line st "IMPORT %s;" (diamond_def (level - 1) j)) below;
+        (match below with
+        | [] -> line st "CONST %s = %d;" (const level k) (Prng.range rng 1 99)
+        | _ ->
+            let sum =
+              String.concat " + "
+                (List.map (fun j -> Printf.sprintf "%s.%s" (diamond_def (level - 1) j) (const (level - 1) j)) below)
+            in
+            line st "CONST %s = %s + %d;" (const level k) sum (Prng.range rng 1 99));
+        line st "END %s." (diamond_def level k))
+  in
+  let defs =
+    (diamond_def 0 0, def 0 0 [])
+    :: List.concat
+         (List.init (depth - 1) (fun l ->
+              let level = l + 1 in
+              let below = if level = 1 then [ 0 ] else List.init width Fun.id in
+              List.init width (fun k -> (diamond_def level k, def level k below))))
+  in
+  let top = depth - 1 in
+  let top_ks = if top = 0 then [ 0 ] else List.init width Fun.id in
+  let main =
+    buf_module (fun st ->
+        line st "IMPLEMENTATION MODULE ZDiamond;";
+        List.iter (fun k -> line st "IMPORT %s;" (diamond_def top k)) top_ks;
+        line st "";
+        line st "VAR total: INTEGER;";
+        line st "";
+        line st "BEGIN";
+        line st "  total := 0;";
+        List.iter
+          (fun k -> line st "  total := total + %s.%s;" (diamond_def top k) (const top k))
+          top_ks;
+        line st "  WriteInt(total)";
+        line st "END ZDiamond.")
+  in
+  Source_store.make ~main_name:"ZDiamond" ~main_src:main ~defs ()
+
+(* Mutually-recursive definition modules, corpus mutual-def style: each
+   pair's interfaces import each other; the implementations read the
+   partner's constant through the cycle. *)
+let gen_mutual rng ~pairs =
+  let defs = ref [] and impls = ref [] in
+  for i = pairs - 1 downto 0 do
+    let a = Printf.sprintf "MutA%d" i and b = Printf.sprintf "MutB%d" i in
+    let va = Prng.range rng 1 99 and vb = Prng.range rng 1 99 in
+    let def this other base v =
+      buf_module (fun st ->
+          line st "DEFINITION MODULE %s;" this;
+          line st "IMPORT %s;" other;
+          line st "CONST %s = %d;" base v;
+          line st "PROCEDURE Use%s(): INTEGER;" this;
+          line st "END %s." this)
+    in
+    let impl this other base obase =
+      buf_module (fun st ->
+          line st "IMPLEMENTATION MODULE %s;" this;
+          line st "IMPORT %s;" other;
+          line st "";
+          line st "PROCEDURE Use%s(): INTEGER;" this;
+          line st "BEGIN";
+          line st "  RETURN %s + %s.%s" base other obase;
+          line st "END Use%s;" this;
+          line st "";
+          line st "END %s." this)
+    in
+    let ba = Printf.sprintf "baseA%d" i and bb = Printf.sprintf "baseB%d" i in
+    defs := (a, def a b ba va) :: (b, def b a bb vb) :: !defs;
+    impls := (a, impl a b ba bb) :: (b, impl b a bb ba) :: !impls
+  done;
+  let main =
+    buf_module (fun st ->
+        line st "IMPLEMENTATION MODULE ZMutual;";
+        for i = 0 to pairs - 1 do
+          line st "IMPORT MutA%d;" i;
+          line st "IMPORT MutB%d;" i
+        done;
+        line st "";
+        line st "VAR total: INTEGER;";
+        line st "";
+        line st "BEGIN";
+        line st "  total := 0;";
+        for i = 0 to pairs - 1 do
+          line st "  total := total + MutA%d.UseMutA%d() + MutB%d.UseMutB%d();" i i i i
+        done;
+        line st "  WriteInt(total)";
+        line st "END ZMutual.")
+  in
+  Source_store.make ~impls:!impls ~main_name:"ZMutual" ~main_src:main ~defs:!defs ()
+
+(* One enormous procedure: the splitter sees a single unsplittable unit
+   [lines] statements long. *)
+let gen_long_proc rng ~lines =
+  let main =
+    buf_module (fun st ->
+        line st "IMPLEMENTATION MODULE ZLong;";
+        line st "";
+        line st "VAR total: INTEGER;";
+        line st "";
+        line st "PROCEDURE Big(): INTEGER;";
+        line st "VAR x: INTEGER;";
+        line st "BEGIN";
+        line st "  x := 0;";
+        for _ = 1 to lines do
+          line st "  x := x + %d;" (Prng.range rng 1 9)
+        done;
+        line st "  RETURN x";
+        line st "END Big;";
+        line st "";
+        line st "BEGIN";
+        line st "  total := Big();";
+        line st "  WriteInt(total)";
+        line st "END ZLong.")
+  in
+  Source_store.make ~main_name:"ZLong" ~main_src:main ~defs:[] ()
+
+(* The dual: [procs] one-line procedures, one code unit each. *)
+let gen_many_procs rng ~procs =
+  let main =
+    buf_module (fun st ->
+        line st "IMPLEMENTATION MODULE ZMany;";
+        line st "";
+        line st "VAR total: INTEGER;";
+        line st "";
+        for k = 0 to procs - 1 do
+          line st "PROCEDURE P%d(): INTEGER; BEGIN RETURN %d END P%d;" k
+            (Prng.range rng 1 9) k
+        done;
+        line st "";
+        line st "BEGIN";
+        line st "  total := 0;";
+        for k = 0 to min procs 16 - 1 do
+          line st "  total := total + P%d();" k
+        done;
+        line st "  WriteInt(total)";
+        line st "END ZMany.")
+  in
+  Source_store.make ~main_name:"ZMany" ~main_src:main ~defs:[] ()
+
+(* Pathological DKY contention: one hot interface; every other interface
+   and the main module block on its single declaration. *)
+let gen_hot_decl rng ~defs =
+  let hot_v = Prng.range rng 1 99 in
+  let hot =
+    buf_module (fun st ->
+        line st "DEFINITION MODULE Hot;";
+        line st "CONST hot = %d;" hot_v;
+        line st "END Hot.")
+  in
+  let user k =
+    let m = Printf.sprintf "HotU%03d" k in
+    ( m,
+      buf_module (fun st ->
+          line st "DEFINITION MODULE %s;" m;
+          line st "IMPORT Hot;";
+          line st "CONST c%03d = Hot.hot + %d;" k (Prng.range rng 1 99);
+          line st "END %s." m) )
+  in
+  let all = ("Hot", hot) :: List.init defs user in
+  let main =
+    buf_module (fun st ->
+        line st "IMPLEMENTATION MODULE ZHot;";
+        line st "IMPORT Hot;";
+        for k = 0 to defs - 1 do
+          line st "IMPORT HotU%03d;" k
+        done;
+        line st "";
+        line st "VAR total: INTEGER;";
+        line st "";
+        line st "BEGIN";
+        line st "  total := Hot.hot;";
+        for k = 0 to defs - 1 do
+          line st "  total := total + HotU%03d.c%03d;" k k
+        done;
+        line st "  WriteInt(total)";
+        line st "END ZHot.")
+  in
+  Source_store.make ~main_name:"ZHot" ~main_src:main ~defs:all ()
+
+(* Exception/LOCK-heavy bodies: TRY nests [depth] deep with a RAISE at
+   the bottom, every handler level adding its mark, and the survivor
+   value folded in under a LOCK. *)
+let gen_exc_lock rng ~procs ~depth =
+  let main =
+    buf_module (fun st ->
+        line st "IMPLEMENTATION MODULE ZExc;";
+        line st "";
+        line st "VAR gExc: EXCEPTION;";
+        line st "VAR gMu: MUTEX;";
+        line st "VAR total: INTEGER;";
+        line st "";
+        for k = 0 to procs - 1 do
+          line st "PROCEDURE E%d(x: INTEGER): INTEGER;" k;
+          line st "VAR t: INTEGER;";
+          line st "BEGIN";
+          line st "  t := x;";
+          let rec nest level indent =
+            let pad = String.make indent ' ' in
+            if level > depth then (
+              line st "%st := t + %d;" pad (Prng.range rng 1 9);
+              line st "%sRAISE gExc;" pad)
+            else (
+              line st "%sTRY" pad;
+              nest (level + 1) (indent + 2);
+              line st "%sEXCEPT gExc:" pad;
+              line st "%s  t := t + %d;" pad (10 * level);
+              (* inner handlers may re-raise; the outermost always
+                 swallows, so every E%d returns normally *)
+              if level > 1 && Prng.bool rng then line st "%s  RAISE gExc;" pad;
+              line st "%sEND;" pad)
+          in
+          nest 1 2;
+          line st "  LOCK gMu DO t := t * 2 END;";
+          line st "  RETURN t";
+          line st "END E%d;" k;
+          line st ""
+        done;
+        line st "BEGIN";
+        line st "  total := 0;";
+        for k = 0 to procs - 1 do
+          line st "  total := total + E%d(%d);" k (k + 1)
+        done;
+        line st "  WriteInt(total)";
+        line st "END ZExc.")
+  in
+  Source_store.make ~main_name:"ZExc" ~main_src:main ~defs:[] ()
+
+let generate ?(seed = 0) spec =
+  let rng = Prng.create (seed lxor (Hashtbl.hash (to_string spec) land 0xFFFF)) in
+  match spec with
+  | Diamond { depth; width } -> gen_diamond rng ~depth ~width
+  | Mutual { pairs } -> gen_mutual rng ~pairs
+  | Long_proc { lines } -> gen_long_proc rng ~lines
+  | Many_procs { procs } -> gen_many_procs rng ~procs
+  | Hot_decl { defs } -> gen_hot_decl rng ~defs
+  | Exc_lock { procs; depth } -> gen_exc_lock rng ~procs ~depth

@@ -1,0 +1,58 @@
+(** Seeded adversarial program shapes the synthetic generator
+    ({!Mcc_synth.Gen}) was never designed to reach.  Each shape targets
+    one layer of the concurrent compiler with a worst case the paper's
+    authors would recognize from real Modula-2+ workloads: wide import
+    diamonds stress interface-frame dedup and the scheduler's ready
+    queue; mutually-recursive definition modules stress DKY cycle
+    handling; one enormous procedure vs. thousands of tiny ones stress
+    the splitter and per-unit codegen; a single hot declaration every
+    module imports recreates pathological DKY contention; and deeply
+    nested TRY/RAISE under LOCK stresses the exception and mutex
+    machinery end to end.
+
+    Generation is deterministic: the same [spec] and [seed] always
+    produce byte-identical sources.  Every generated program is
+    runnable — it ends in [WriteInt] so the zoo can pin its VM output —
+    and elaborates without diagnostics (pinned by qcheck properties in
+    the test suite). *)
+
+type spec =
+  | Diamond of { depth : int; width : int }
+      (** [depth] levels; levels below the apex hold [width] interfaces,
+          each importing {e every} interface one level down. *)
+  | Mutual of { pairs : int }
+      (** [pairs] pairs of definition modules importing each other. *)
+  | Long_proc of { lines : int }
+      (** one procedure whose body is [lines] statements long. *)
+  | Many_procs of { procs : int }  (** [procs] one-line procedures. *)
+  | Hot_decl of { defs : int }
+      (** [defs] interfaces all reading one hot declaration. *)
+  | Exc_lock of { procs : int; depth : int }
+      (** [procs] procedures of TRY/RAISE nests [depth] deep, each
+          finishing under a LOCK. *)
+
+(** Canonical spec syntax, e.g. ["diamond:depth=5,width=3"] — the
+    round-trip partner of {!of_string}. *)
+val to_string : spec -> string
+
+(** Short filesystem/report label, e.g. ["diamond-d5w3"]. *)
+val name : spec -> string
+
+(** Parse a [--shape] spec: [kind] or [kind:k=v,k=v] with kinds
+    [diamond] (depth, width), [mutual] (pairs), [long-proc] (lines),
+    [many-procs] (procs), [hot-decl] (defs), [exc-lock] (procs, depth).
+    Omitted parameters take the defaults of {!default_zoo}'s entry for
+    that kind.  Errors name the offending kind, parameter or value. *)
+val of_string : string -> (spec, string) result
+
+(** The module names [generate] will emit (interfaces then main),
+    sorted — so tests can check depth/width are honored exactly. *)
+val modules : spec -> string list
+
+(** The zoo run by a bare [m2c zoo]: one moderate instance of every
+    kind. *)
+val default_zoo : spec list
+
+(** Deterministically emit the shape's program.  [seed] (default [0])
+    only perturbs embedded constants, never the module structure. *)
+val generate : ?seed:int -> spec -> Mcc_core.Source_store.t

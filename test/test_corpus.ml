@@ -1,226 +1,61 @@
-(* The corpus regression runner: every reproducer under corpus/ replays
-   through the compiler and the conformance oracle on each `dune
-   runtest`, so a saved divergence or a handcrafted incremental shape
-   can never silently regress.
+(* The corpus regression runner, now a thin driver over the workload
+   zoo: every scenario directory replays through the oracles its
+   manifest declares (conformance, warm≡cold, incremental rebuild-set,
+   farm, golden program output) on each `dune runtest`, and loose
+   `repro*` files (minimized divergence reproducers dropped by `m2c
+   check`) replay through the conformance oracle.  A manifest guard
+   fails the suite the moment a scenario directory lacks a manifest, so
+   new scenarios can never land silently under-tested.  corpus/README.md
+   documents the manifest and golden formats. *)
 
-   Each corpus subdirectory is one multi-module program (README.md
-   there documents the shapes).  For every shape: the sequential
-   compiler is the reference observation and the concurrent compiler
-   must match it; a warm Project rebuild must equal the cold one and
-   recompile nothing; and every prepared `<Def>.def.<variant>` edit is
-   overlaid in memory and rebuilt against the warm cache — the result
-   must match a cold build of the edited program, and a pure
-   comment-edit must recompile zero modules.  Loose `repro*` files
-   (minimized divergence reproducers dropped by `m2c check`) are
-   grouped by check item and replayed through the same oracle. *)
-
-open Mcc_core
-module Obs = Mcc_check.Observation
+module Zoo = Mcc_zoo.Zoo
+module Manifest = Mcc_zoo.Manifest
 
 let corpus_dir =
   lazy
-    (match List.find_opt Sys.is_directory [ "../corpus"; "corpus" ] with
+    (match
+       List.find_opt (fun d -> Sys.file_exists d && Sys.is_directory d) [ "../corpus"; "corpus" ]
+     with
     | Some d -> d
     | None -> Alcotest.fail "corpus/ not found next to the test directory")
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let check_outcome (o : Zoo.outcome) =
+  match o.Zoo.o_failures with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "%s [%s] diverged:\n  %s" o.Zoo.o_scenario o.Zoo.o_kind
+        (String.concat "\n  " (List.map Zoo.failure_to_string fs))
 
-(* --- import scanning, for main-module detection ------------------- *)
-
-let starts_with ~prefix s =
-  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
-
-let imports_of src =
-  let strip tok = String.trim (String.concat "" (String.split_on_char ';' tok)) in
-  List.concat_map
-    (fun line ->
-      let line = String.trim line in
-      if starts_with ~prefix:"FROM " line then
-        match String.split_on_char ' ' line with _ :: m :: _ -> [ strip m ] | _ -> []
-      else if starts_with ~prefix:"IMPORT " line then
-        String.sub line 7 (String.length line - 7)
-        |> String.split_on_char ','
-        |> List.map strip
-        |> List.filter (fun s -> s <> "")
-      else [])
-    (String.split_on_char '\n' src)
-
-(* The main module of a shape directory: the one .mod no other file in
-   the directory imports. *)
-let main_of_dir dir =
-  let files = Sys.readdir dir |> Array.to_list |> List.sort compare in
-  let mods =
-    List.filter_map
-      (fun f -> if Filename.check_suffix f ".mod" then Some (Filename.chop_suffix f ".mod") else None)
-      files
-  in
-  let imported =
-    List.concat_map
-      (fun f ->
-        if Filename.check_suffix f ".mod" || Filename.check_suffix f ".def" then
-          imports_of (read_file (Filename.concat dir f))
-        else [])
-      files
-  in
-  match List.filter (fun m -> not (List.mem m imported)) mods with
-  | [ m ] -> m
-  | [] -> Alcotest.failf "%s: no un-imported .mod — cannot pick a main module" dir
-  | ms -> Alcotest.failf "%s: ambiguous main module (%s)" dir (String.concat ", " ms)
-
-let load_dir dir =
-  let main_name = main_of_dir dir in
-  M2lib.augment (Source_store.of_directory ~dir ~main_name)
-
-(* Overlay one interface's source in memory. *)
-let with_def store name src =
-  if not (Source_store.has_def store name) then
-    Alcotest.failf "variant targets unknown interface %s" name;
-  let defs =
-    List.map
-      (fun d -> (d, if d = name then src else Option.get (Source_store.def_src store d)))
-      (Source_store.def_names store)
-  in
-  let impls =
-    List.map (fun i -> (i, Option.get (Source_store.impl_src store i))) (Source_store.impl_names store)
-  in
-  Source_store.make ~impls
-    ~main_name:(Source_store.main_name store)
-    ~main_src:(Source_store.main_src store)
-    ~defs ()
-
-(* --- the oracle and build checks ---------------------------------- *)
-
-let check_oracle tag store =
-  let reference = Obs.of_seq ~run:false (Seq_driver.compile store) in
-  List.iter
-    (fun procs ->
-      let config = { Driver.default_config with Driver.procs } in
-      let obs = Obs.of_driver ~run:false (Driver.compile ~config store) in
-      match Obs.first_diff ~reference obs with
-      | None -> ()
-      | Some (field, want, got) ->
-          Alcotest.failf "%s: seq/conc divergence on %d procs: %s: %s vs %s" tag procs field
-            want got)
-    [ 1; 8 ]
-
-let project_obs (r : Project.result) =
-  (Mcc_codegen.Cunit.disassemble r.Project.program, Tutil.diag_strings r.Project.diags)
-
-let check_shape dir =
-  let tag = Filename.basename dir in
-  let store = load_dir dir in
-  check_oracle tag store;
-  (* warm == cold, and a no-op rebuild recompiles nothing *)
-  let cache = Project.cache () in
-  let cold = Project.compile ~cache store in
-  let warm = Project.compile ~cache store in
-  Alcotest.(check bool) (tag ^ ": warm build equals cold") true
-    (project_obs cold = project_obs warm);
-  Alcotest.(check (list string)) (tag ^ ": no-op rebuild recompiles nothing") []
-    warm.Project.recompiled;
-  (* prepared interface-edit variants: <Def>.def.<variant> *)
-  let files = Sys.readdir dir |> Array.to_list |> List.sort compare in
-  List.iter
-    (fun f ->
-      if Filename.check_suffix f ".def" then () (* the live interface itself *)
-      else
-        let marker = ".def." in
-        let rec find i =
-          if i + String.length marker > String.length f then None
-          else if String.sub f i (String.length marker) = marker then Some i
-          else find (i + 1)
-        in
-        match find 0 with
-        | None -> ()
-        | Some i ->
-            let target = String.sub f 0 i in
-            let variant =
-              String.sub f (i + String.length marker)
-                (String.length f - i - String.length marker)
-            in
-            let vtag = Printf.sprintf "%s: %s(%s)" tag target variant in
-            let edited = with_def store target (read_file (Filename.concat dir f)) in
-            let rebuilt = Project.compile ~cache edited in
-            let fresh = Project.compile edited in
-            Alcotest.(check bool) (vtag ^ ": incremental rebuild equals cold build") true
-              (project_obs rebuilt = project_obs fresh);
-            check_oracle vtag edited;
-            if Tutil.contains ~sub:"comment" variant then
-              Alcotest.(check (list string))
-                (vtag ^ ": text-only interface edit recompiles nothing") []
-                rebuilt.Project.recompiled)
-    files
-
-(* --- loose repro<item>-<Module>.<ext> reproducers ------------------ *)
-
-let check_repros dir =
-  let files = Sys.readdir dir |> Array.to_list |> List.sort compare in
-  let repros = List.filter (fun f -> starts_with ~prefix:"repro" f) files in
-  (* group by the check-item prefix before the first '-' *)
-  let groups = Hashtbl.create 4 in
-  List.iter
-    (fun f ->
-      match String.index_opt f '-' with
-      | None -> ()
-      | Some i ->
-          let item = String.sub f 0 i in
-          Hashtbl.replace groups item (f :: (Option.value ~default:[] (Hashtbl.find_opt groups item))))
-    repros;
-  Hashtbl.fold (fun item fs acc -> (item, List.sort compare fs) :: acc) groups []
-  |> List.sort compare
-  |> List.iter (fun (item, fs) ->
-         let module_of f ext =
-           let base = Filename.chop_suffix f ext in
-           String.sub base (String.length item + 1) (String.length base - String.length item - 1)
-         in
-         let mods = List.filter (fun f -> Filename.check_suffix f ".mod") fs in
-         let defs =
-           List.filter_map
-             (fun f ->
-               if Filename.check_suffix f ".def" then
-                 Some (module_of f ".def", read_file (Filename.concat dir f))
-               else None)
-             fs
-         in
-         match mods with
-         | [] -> () (* a stray .def with no driver program; nothing to replay *)
-         | main :: rest ->
-             let impls =
-               List.map (fun f -> (module_of f ".mod", read_file (Filename.concat dir f))) rest
-             in
-             let store =
-               M2lib.augment
-                 (Source_store.make ~impls ~main_name:(module_of main ".mod")
-                    ~main_src:(read_file (Filename.concat dir main))
-                    ~defs ())
-             in
-             check_oracle ("repro " ^ item) store)
-
-(* ------------------------------------------------------------------ *)
-
-let shape_cases () =
+(* every scenario must declare its oracles — a new directory without a
+   manifest fails here with the recipe, not silently under-tested *)
+let manifest_guard () =
   let dir = Lazy.force corpus_dir in
-  let shapes =
-    Sys.readdir dir |> Array.to_list |> List.sort compare
-    |> List.filter (fun f -> Sys.is_directory (Filename.concat dir f))
-  in
-  if shapes = [] then Alcotest.fail "corpus/ holds no shape directories";
+  List.iter
+    (fun s ->
+      match Manifest.load ~dir:(Filename.concat dir s) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    (Zoo.scenario_dirs ~dir)
+
+let scenario_cases () =
+  let dir = Lazy.force corpus_dir in
+  let scenarios = Zoo.scenario_dirs ~dir in
+  if scenarios = [] then Alcotest.fail "corpus/ holds no scenario directories";
   List.map
     (fun s ->
-      Alcotest.test_case s `Quick (fun () -> check_shape (Filename.concat dir s)))
-    shapes
+      Alcotest.test_case s `Quick (fun () ->
+          check_outcome (Zoo.run_dir (Filename.concat dir s))))
+    scenarios
 
 let () =
   Alcotest.run "corpus"
     [
-      ("shapes", shape_cases ());
+      ( "manifest guard",
+        [ Alcotest.test_case "every scenario declares its oracles" `Quick manifest_guard ] );
+      ("scenarios", scenario_cases ());
       ( "repros",
         [
           Alcotest.test_case "saved reproducers" `Quick (fun () ->
-              check_repros (Lazy.force corpus_dir));
+              List.iter check_outcome (Zoo.run_repros ~dir:(Lazy.force corpus_dir)));
         ] );
     ]

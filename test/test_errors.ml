@@ -227,6 +227,19 @@ let test_cli_matrix () =
     (Mcc_core.Cliopt.parse_matrix "all:99");
   expect_err "empty procs" "no processor counts" (Mcc_core.Cliopt.parse_matrix "all:")
 
+let test_cli_counts () =
+  (match Mcc_core.Cliopt.parse_counts "100,1000,10000" with
+  | Ok ns -> Alcotest.(check (list int)) "sweep parses in order" [ 100; 1000; 10000 ] ns
+  | Error e -> Alcotest.failf "100,1000,10000 should parse: %s" e);
+  (match Mcc_core.Cliopt.parse_counts "7" with
+  | Ok ns -> Alcotest.(check (list int)) "single count" [ 7 ] ns
+  | Error e -> Alcotest.failf "single count should parse: %s" e);
+  expect_err "empty spec" "expected a comma-separated list" (Mcc_core.Cliopt.parse_counts "");
+  expect_err "only commas" "expected a comma-separated list" (Mcc_core.Cliopt.parse_counts ",,");
+  expect_err "zero count" "invalid count 0" (Mcc_core.Cliopt.parse_counts "100,0,300");
+  expect_err "negative count" "invalid count -5" (Mcc_core.Cliopt.parse_counts "-5");
+  expect_err "non-numeric" "invalid count \"ten\"" (Mcc_core.Cliopt.parse_counts "10,ten")
+
 let test_cli_load_module () =
   let missing = Filename.concat (Filename.get_temp_dir_name ()) "mcc-no-such-module.mod" in
   expect_err "missing file names the path" missing (Mcc_core.Cliopt.load_module missing);
@@ -275,6 +288,7 @@ let () =
           Alcotest.test_case "heading" `Quick test_cli_heading;
           Alcotest.test_case "strategy" `Quick test_cli_strategy;
           Alcotest.test_case "matrix" `Quick test_cli_matrix;
+          Alcotest.test_case "counts" `Quick test_cli_counts;
           Alcotest.test_case "load module" `Quick test_cli_load_module;
         ] );
     ]
